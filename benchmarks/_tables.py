@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``bench_e*.py`` module is both
+
+* a pytest-benchmark suite (``pytest benchmarks/ --benchmark-only``), and
+* a standalone experiment script (``python benchmarks/bench_e1_theorem1.py``)
+  that prints the table recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render an aligned plain-text table (the experiment report format)."""
+    table = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    print(f"\n== {title} ==")
+    for index, row in enumerate(table):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        print(line)
+        if index == 0:
+            print("  ".join("-" * width for width in widths))

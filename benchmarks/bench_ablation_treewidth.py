@@ -1,0 +1,86 @@
+"""Ablation — treewidth: exact branch-and-bound vs greedy heuristics.
+
+Records solution quality (heuristic width vs exact width) and time across
+the graph families the experiments rely on (F_ℓ graphs, CFI gadgets,
+Γ extensions, random hosts).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _tables import print_table
+from repro.cfi import cfi_graph
+from repro.graphs import (
+    complete_bipartite_graph,
+    complete_graph,
+    grid_graph,
+    petersen_graph,
+    random_graph,
+)
+from repro.queries import ell_copy, star_query
+from repro.treewidth import heuristic_treewidth_upper_bound, treewidth
+
+
+def instances():
+    return [
+        ("K_{3,3} = F_3(S_3)", complete_bipartite_graph(3, 3)),
+        ("F_5(S_4)", ell_copy(star_query(4), 5)[0]),
+        ("chi(K4)", cfi_graph(complete_graph(4))),
+        ("grid 3x4", grid_graph(3, 4)),
+        ("Petersen", petersen_graph()),
+        ("G(12,.3,s41)", random_graph(12, 0.3, seed=41)),
+        ("G(14,.25,s42)", random_graph(14, 0.25, seed=42)),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, graph in instances():
+        start = time.perf_counter()
+        heuristic, _ = heuristic_treewidth_upper_bound(graph)
+        heuristic_time = time.perf_counter() - start
+        start = time.perf_counter()
+        exact = treewidth(graph)
+        exact_time = time.perf_counter() - start
+        rows.append(
+            [
+                name,
+                graph.num_vertices(),
+                exact,
+                heuristic,
+                heuristic == exact,
+                f"{heuristic_time * 1000:.1f} ms",
+                f"{exact_time * 1000:.1f} ms",
+            ],
+        )
+    print_table(
+        "Ablation: treewidth — heuristics vs exact branch & bound",
+        ["graph", "|V|", "exact tw", "heuristic ub", "tight", "heur time",
+         "exact time"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize(
+    "index", range(len(instances())), ids=[name for name, _ in instances()],
+)
+def test_bench_exact(benchmark, index):
+    _, graph = instances()[index]
+    width = benchmark.pedantic(treewidth, args=(graph,), rounds=1, iterations=1)
+    assert width >= 0
+
+
+@pytest.mark.parametrize(
+    "index", range(len(instances())), ids=[name for name, _ in instances()],
+)
+def test_bench_heuristic(benchmark, index):
+    _, graph = instances()[index]
+    width, _ = benchmark(heuristic_treewidth_upper_bound, graph)
+    assert width >= treewidth(graph)
+
+
+if __name__ == "__main__":
+    run_experiment()

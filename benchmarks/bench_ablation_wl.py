@@ -1,0 +1,91 @@
+"""Ablation — WL equivalence: refinement algorithm vs hom-count oracle.
+
+Two decision procedures for ``G ≅_k G'`` (Definition 19):
+
+* the folklore k-WL refinement (exact, cost |V|^k per round);
+* homomorphism counts from all connected tw ≤ k patterns up to a size
+  bound (sound for separation; complete only in the limit).
+
+This bench measures both on the pairs the experiments use and records
+where the oracle's bounded battery already suffices.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _tables import print_table
+from repro.cfi import cfi_pair
+from repro.graphs import complete_graph, six_cycle, two_triangles
+from repro.wl import (
+    bounded_treewidth_patterns,
+    hom_indistinguishable_up_to,
+    k_wl_equivalent,
+)
+
+
+def instances():
+    k3_pair = cfi_pair(complete_graph(3))
+    k4_pair = cfi_pair(complete_graph(4))
+    return [
+        ("2K3 / C6", 1, two_triangles(), six_cycle(), True),
+        ("2K3 / C6", 2, two_triangles(), six_cycle(), False),
+        ("chi(K3) pair", 1, k3_pair.untwisted, k3_pair.twisted, True),
+        ("chi(K3) pair", 2, k3_pair.untwisted, k3_pair.twisted, False),
+        ("chi(K4) pair", 2, k4_pair.untwisted, k4_pair.twisted, True),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, level, first, second, expected in instances():
+        start = time.perf_counter()
+        refinement_verdict = k_wl_equivalent(first, second, level)
+        refinement_time = time.perf_counter() - start
+        start = time.perf_counter()
+        oracle_verdict = hom_indistinguishable_up_to(first, second, level, 5)
+        oracle_time = time.perf_counter() - start
+        rows.append(
+            [
+                name,
+                level,
+                refinement_verdict,
+                f"{refinement_time * 1000:.1f} ms",
+                oracle_verdict,
+                f"{oracle_time * 1000:.1f} ms",
+                refinement_verdict == expected,
+            ],
+        )
+    print_table(
+        "Ablation: k-WL refinement vs hom-indistinguishability oracle (≤5v patterns)",
+        ["pair", "k", "refinement", "time", "oracle", "time", "matches theory"],
+        rows,
+    )
+    for k in (1, 2):
+        patterns = bounded_treewidth_patterns(k, 5)
+        print(f"  oracle battery size (tw ≤ {k}, ≤ 5 vertices): {len(patterns)}")
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_bench_refinement(benchmark, level):
+    pair = cfi_pair(complete_graph(3))
+    result = benchmark(k_wl_equivalent, pair.untwisted, pair.twisted, level)
+    assert result == (level == 1)
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_bench_oracle(benchmark, level):
+    pair = cfi_pair(complete_graph(3))
+    result = benchmark.pedantic(
+        hom_indistinguishable_up_to,
+        args=(pair.untwisted, pair.twisted, level, 4),
+        rounds=1,
+        iterations=1,
+    )
+    assert result == (level == 1)
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,131 @@
+"""E10 — Corollary 5: the WL-dimension of a quantum query is hsew.
+
+Regenerates: (a) hsew/WL-dimension for a family of quantum queries
+(UCQ translations, injective expansions, hand-built combinations);
+(b) the upper bound on a 2-WL-equivalent pair; (c) the tensor-product
+separation idea on 1-WL-equivalent complements.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from _tables import print_table
+from repro.cfi import cfi_pair
+from repro.core import (
+    QuantumQuery,
+    injective_answers_quantum,
+    star_injective_quantum,
+    union_to_quantum,
+)
+from repro.graphs import complement, complete_graph, six_cycle, two_triangles
+from repro.queries import path_endpoints_query, relabel_query, star_query
+
+
+def quantum_instances():
+    renamed_path = relabel_query(
+        path_endpoints_query(2),
+        {"v1": "x1", "v2": "a", "v3": "b", "v4": "x2"},
+    )
+    return [
+        ("S_2 alone", QuantumQuery([(1, star_query(2))])),
+        ("2·S_2 − 3·S_3", QuantumQuery([(2, star_query(2)), (-3, star_query(3))])),
+        ("Inj-expansion of S_3", star_injective_quantum(3)),
+        ("UCQ: S_2 ∨ P_2", union_to_quantum([star_query(2), renamed_path])),
+        ("Inj-expansion of P_1", injective_answers_quantum(path_endpoints_query(1))),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, quantum in quantum_instances():
+        rows.append(
+            [
+                name,
+                len(quantum.terms),
+                quantum.hereditary_semantic_extension_width(),
+                quantum.wl_dimension(),
+            ],
+        )
+    print_table(
+        "E10a: WL-dimension of quantum queries = hsew (Corollary 5)",
+        ["quantum query", "#constituents", "hsew", "WL-dim"],
+        rows,
+    )
+
+    pair = cfi_pair(complete_graph(4))  # 2-WL-equivalent
+    rows = []
+    for name, quantum in quantum_instances():
+        if quantum.hereditary_semantic_extension_width() > 2:
+            continue
+        rows.append(
+            [
+                name,
+                str(quantum.count_answers(pair.untwisted)),
+                str(quantum.count_answers(pair.twisted)),
+            ],
+        )
+    print_table(
+        "E10b: hsew ≤ 2 quantum queries agree on the 2-WL-equivalent χ(K4) pair",
+        ["quantum query", "untwisted", "twisted"],
+        rows,
+    )
+
+    first = complement(two_triangles())
+    second = complement(six_cycle())
+    quantum = star_injective_quantum(2)
+    print(
+        "\nE10c: hsew-2 quantum query separating a 1-WL-equivalent pair "
+        "(complements of 2K3/C6):",
+        quantum.count_answers(first),
+        "vs",
+        quantum.count_answers(second),
+    )
+
+    # E10d — the proof's tensor trick, executed: a quantum query engineered
+    # to cancel on the CFI pair is un-cancelled by tensoring with a helper.
+    from repro.core.quantum_witness import (
+        build_cancelling_quantum,
+        quantum_lower_bound_witness,
+    )
+    from repro.core.witnesses import build_lower_bound_witness, cloned_pair
+
+    witness = build_lower_bound_witness(star_query(2))
+    pair = cloned_pair(witness, (1, 1))[:2]
+    cancelling = build_cancelling_quantum(pair)
+    result = quantum_lower_bound_witness(cancelling, helper_max_vertices=3)
+    print("\nE10d: tensor trick (Corollary 5 proof):")
+    print(
+        f"  engineered quantum cancels on the base pair: "
+        f"{cancelling.count_answers(pair[0]) == cancelling.count_answers(pair[1])}",
+    )
+    print(
+        f"  helper H = {result.helper!r} un-cancels: "
+        f"{result.value_first} ≠ {result.value_second}",
+    )
+
+
+@pytest.mark.parametrize(
+    "index", range(len(quantum_instances())),
+    ids=[name for name, _ in quantum_instances()],
+)
+def test_bench_quantum_evaluation(benchmark, index):
+    _, quantum = quantum_instances()[index]
+    host = complete_graph(5)
+    value = benchmark(quantum.count_answers, host)
+    assert isinstance(value, Fraction)
+
+
+def test_bench_union_translation(benchmark):
+    renamed_path = relabel_query(
+        path_endpoints_query(2),
+        {"v1": "x1", "v2": "a", "v3": "b", "v4": "x2"},
+    )
+    quantum = benchmark(union_to_quantum, [star_query(2), renamed_path])
+    assert not quantum.is_zero()
+
+
+if __name__ == "__main__":
+    run_experiment()

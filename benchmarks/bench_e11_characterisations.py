@@ -1,0 +1,93 @@
+"""E11 — the alternative characterisations of WL-equivalence (Section 1).
+
+The paper lists three classical characterisations:
+
+(I)   ``G ≅₁ G'`` iff fractionally isomorphic (Tinhofer);
+(II)  ``G ≅_k G'`` iff no C^{k+1} sentence separates (Immerman–Lander/CFI);
+(III) ``G ≅_k G'`` iff equal hom counts from tw ≤ k graphs (Dvořák/DGR) —
+      the paper's working Definition 19.
+
+This experiment runs all three deciders (plus the refinement algorithm) on
+the same pairs and confirms they agree, pairwise and with theory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.cfi import cfi_pair
+from repro.graphs import complete_graph, six_cycle, two_triangles
+from repro.logic import ck_equivalent_on_battery, separating_sentence
+from repro.wl import (
+    fractionally_isomorphic,
+    hom_indistinguishable_up_to,
+    k_wl_equivalent,
+)
+
+
+def pairs():
+    k3 = cfi_pair(complete_graph(3))
+    return [
+        ("2K3 / C6", two_triangles(), six_cycle()),
+        ("chi(K3) pair", k3.untwisted, k3.twisted),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, first, second in pairs():
+        rows.append(
+            [
+                name,
+                k_wl_equivalent(first, second, 1),
+                fractionally_isomorphic(first, second),
+                ck_equivalent_on_battery(first, second, 2),
+                hom_indistinguishable_up_to(first, second, 1, 5),
+                k_wl_equivalent(first, second, 2),
+                ck_equivalent_on_battery(first, second, 3),
+                hom_indistinguishable_up_to(first, second, 2, 4),
+            ],
+        )
+    print_table(
+        "E11: characterisations (I)/(II)/(III) agree with k-WL refinement",
+        ["pair", "1-WL", "frac-iso (I)", "C² (II)", "tw≤1 homs (III)",
+         "2-WL", "C³ (II)", "tw≤2 homs (III)"],
+        rows,
+    )
+
+    sentence = separating_sentence(two_triangles(), six_cycle(), 3)
+    print(f"\nSeparating C³ sentence for 2K3/C6: {sentence}")
+
+
+def test_bench_fractional_isomorphism(benchmark):
+    result = benchmark(fractionally_isomorphic, two_triangles(), six_cycle())
+    assert result
+
+
+def test_bench_logic_battery(benchmark):
+    result = benchmark.pedantic(
+        ck_equivalent_on_battery,
+        args=(two_triangles(), six_cycle(), 2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_bench_characterisations_agree(benchmark, level):
+    first, second = two_triangles(), six_cycle()
+
+    def all_deciders():
+        return (
+            k_wl_equivalent(first, second, level),
+            ck_equivalent_on_battery(first, second, level + 1),
+        )
+
+    refinement, logic = benchmark.pedantic(all_deciders, rounds=1, iterations=1)
+    assert refinement == logic == (level == 1)
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,103 @@
+"""E3 — Observation 62 & Corollary 61: acyclic queries vs the WL hierarchy.
+
+Two findings regenerated:
+
+1. every connected acyclic conjunctive query has the same number of answers
+   on ``2K3`` and ``C6`` (they are 1-WL-equivalent and acyclic CQs cannot
+   even use level 2 on this pair) — including the closed-form products of
+   the proof (factor 2 per weight-0 tree edge, factor 3 per positive
+   weight);
+2. nevertheless the acyclic k-star queries have WL-dimension k (Corollary
+   61): acyclicity does *not* bound the WL-dimension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.core import wl_dimension
+from repro.graphs import six_cycle, two_triangles
+from repro.queries import (
+    count_answers,
+    format_query,
+    query_from_atoms,
+    star_query,
+)
+
+
+def acyclic_battery():
+    return [
+        ("edge", query_from_atoms([("x1", "x2")], ["x1", "x2"])),
+        ("2-star", star_query(2)),
+        ("3-star", star_query(3)),
+        (
+            "path-3 free ends",
+            query_from_atoms(
+                [("x1", "y1"), ("y1", "y2"), ("y2", "x2")], ["x1", "x2"],
+            ),
+        ),
+        (
+            "caterpillar",
+            query_from_atoms(
+                [("x1", "y1"), ("y1", "x2"), ("x2", "y2"), ("y2", "x3")],
+                ["x1", "x2", "x3"],
+            ),
+        ),
+        (
+            "free path",
+            query_from_atoms(
+                [("x1", "x2"), ("x2", "x3")], ["x1", "x2", "x3"],
+            ),
+        ),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, query in acyclic_battery():
+        on_triangles = count_answers(query, two_triangles())
+        on_cycle = count_answers(query, six_cycle())
+        rows.append(
+            [name, format_query(query, style="datalog"), on_triangles, on_cycle,
+             on_triangles == on_cycle],
+        )
+    print_table(
+        "E3a: acyclic CQs cannot separate 2K3 from C6 (Observation 62)",
+        ["query", "datalog", "|Ans(2K3)|", "|Ans(C6)|", "equal"],
+        rows,
+    )
+
+    star_rows = [
+        [f"S_{k}", "acyclic (tw 1)", wl_dimension(star_query(k))]
+        for k in range(1, 6)
+    ]
+    print_table(
+        "E3b: acyclic star queries have unbounded WL-dimension (Corollary 61)",
+        ["query", "shape", "WL-dimension"],
+        star_rows,
+    )
+
+
+@pytest.mark.parametrize(
+    "index", range(len(acyclic_battery())),
+    ids=[name for name, _ in acyclic_battery()],
+)
+def test_bench_acyclic_counts_agree(benchmark, index):
+    name, query = acyclic_battery()[index]
+    counts = benchmark(
+        lambda: (
+            count_answers(query, two_triangles()),
+            count_answers(query, six_cycle()),
+        ),
+    )
+    assert counts[0] == counts[1]
+
+
+def test_bench_star_dimension_sweep(benchmark):
+    dims = benchmark(lambda: [wl_dimension(star_query(k)) for k in range(1, 6)])
+    assert dims == [1, 2, 3, 4, 5]
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,120 @@
+"""E6 — CFI machinery: Lemma 26 (parity), Lemma 27 (WL-equivalence),
+Lemma 34/35 (cloning).
+
+Regenerates the gadget table: per base graph, the CFI pair sizes, the parity
+isomorphism checks, the WL-equivalence level, and the distinguishing hom
+count at treewidth level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.cfi import cfi_graph, cfi_pair, clone_colour_blocks
+from repro.graphs import (
+    are_isomorphic,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    prism_graph,
+)
+from repro.homs import count_homomorphisms
+from repro.treewidth import treewidth
+from repro.wl import k_wl_equivalent
+
+
+def bases():
+    return [
+        ("K3", complete_graph(3)),
+        ("C5", cycle_graph(5)),
+        ("K_{2,3}", complete_bipartite_graph(2, 3)),
+        ("K4", complete_graph(4)),
+        ("prism_3", prism_graph(3)),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, base in bases():
+        width = treewidth(base)
+        pair = cfi_pair(base)
+        level = width - 1
+        equivalent_below = (
+            k_wl_equivalent(pair.untwisted, pair.twisted, level)
+            if 1 <= level <= 2
+            else "(level > 2: see hom oracle)"
+        )
+        hom_untwisted = count_homomorphisms(base, pair.untwisted)
+        hom_twisted = count_homomorphisms(base, pair.twisted)
+        double = cfi_graph(base, tuple(base.vertices()[:2]))
+        rows.append(
+            [
+                name,
+                width,
+                pair.untwisted.num_vertices(),
+                are_isomorphic(pair.untwisted, double),
+                not are_isomorphic(pair.untwisted, pair.twisted),
+                equivalent_below,
+                f"{hom_untwisted} > {hom_twisted}",
+            ],
+        )
+    print_table(
+        "E6: CFI pairs (Lemmas 26/27 + Theorem 32 gap)",
+        ["base F", "tw(F)", "|V(χ)|", "χ(F,∅)≅χ(F,{u,v})", "χ(F,∅)≇χ(F,{w})",
+         f"(tw−1)-WL-equiv", "|Hom(F,·)| gap"],
+        rows,
+    )
+
+    # Cloning preserves equivalence (Lemma 35) — spot table.
+    base = complete_graph(3)
+    pair = cfi_pair(base)
+    clone_rows = []
+    for z in (1, 2, 3):
+        cloned_untwisted = clone_colour_blocks(
+            pair.untwisted, pair.untwisted_colouring, [0], [z],
+        )
+        cloned_twisted = clone_colour_blocks(
+            pair.twisted, pair.twisted_colouring, [0], [z],
+        )
+        clone_rows.append(
+            [
+                f"z = ({z},)",
+                cloned_untwisted.num_vertices(),
+                k_wl_equivalent(cloned_untwisted, cloned_twisted, 1),
+            ],
+        )
+    print_table(
+        "E6b: cloning preserves (t−1)-WL-equivalence (Lemma 35, base K3)",
+        ["clone vector", "|V|", "1-WL-equivalent"],
+        clone_rows,
+    )
+
+
+@pytest.mark.parametrize(
+    "index", range(len(bases())), ids=[name for name, _ in bases()],
+)
+def test_bench_cfi_construction(benchmark, index):
+    _, base = bases()[index]
+    graph = benchmark(cfi_graph, base, (base.vertices()[0],))
+    assert graph.num_vertices() > 0
+
+
+def test_bench_parity_isomorphism_check(benchmark):
+    base = cycle_graph(5)
+    untwisted = cfi_graph(base)
+    double = cfi_graph(base, (0, 2))
+    assert benchmark(are_isomorphic, untwisted, double)
+
+
+def test_bench_wl_equivalence_k4_pair(benchmark):
+    pair = cfi_pair(complete_graph(4))
+    result = benchmark.pedantic(
+        k_wl_equivalent, args=(pair.untwisted, pair.twisted, 2),
+        rounds=1, iterations=1,
+    )
+    assert result
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,88 @@
+"""E9 — GNN expressiveness (Section 1.2): order-k GNNs count |Ans| iff
+k ≥ sew.
+
+Regenerates the expressiveness matrix (query × GNN order) and, for each
+under-powered order, the concrete inexpressiveness certificate: a pair of
+graphs the order-k GNN provably cannot separate with different answer
+counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _tables import print_table
+from repro.gnn import (
+    OrderKGNN,
+    demonstrate_inexpressiveness,
+    gnn_can_count_answers,
+    minimum_gnn_order,
+)
+from repro.graphs import six_cycle, two_triangles
+from repro.queries import path_endpoints_query, star_query
+
+
+def queries():
+    return [
+        ("S_1", star_query(1)),
+        ("S_2", star_query(2)),
+        ("S_3", star_query(3)),
+        ("P_2", path_endpoints_query(2)),
+    ]
+
+
+def run_experiment() -> None:
+    rows = []
+    for name, query in queries():
+        needed = minimum_gnn_order(query)
+        rows.append(
+            [name, needed]
+            + [gnn_can_count_answers(query, order) for order in (1, 2, 3)],
+        )
+    print_table(
+        "E9a: can a fully-refined order-k GNN count |Ans|? (k ≥ sew)",
+        ["query", "min order", "order 1", "order 2", "order 3"],
+        rows,
+    )
+
+    certificate = demonstrate_inexpressiveness(star_query(2), order=1)
+    print("\nE9b: certificate that order-1 GNNs cannot count S_2 answers:")
+    print(f"  pair sizes           {certificate.first.num_vertices()} / "
+          f"{certificate.second.num_vertices()}")
+    print(f"  |Ans| on each side   {certificate.count_first} ≠ "
+          f"{certificate.count_second}")
+    print(f"  GNN indistinguishable: {certificate.gnn_indistinguishable}")
+    print(f"  certificate valid:     {certificate.is_valid}")
+
+    gnn1 = OrderKGNN(1)
+    gnn2 = OrderKGNN(2)
+    print("\nE9c: order hierarchy on the classical pair 2K3 / C6:")
+    print(f"  order-1 distinguishes: {gnn1.distinguishes(two_triangles(), six_cycle())}")
+    print(f"  order-2 distinguishes: {gnn2.distinguishes(two_triangles(), six_cycle())}")
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_bench_gnn_run(benchmark, order):
+    gnn = OrderKGNN(order)
+    histogram = benchmark(gnn.readout_histogram, six_cycle())
+    assert sum(histogram.values()) == 6 ** order
+
+
+def test_bench_inexpressiveness_certificate(benchmark):
+    certificate = benchmark.pedantic(
+        lambda: demonstrate_inexpressiveness(star_query(2), order=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert certificate.is_valid
+
+
+def test_bench_minimum_order_battery(benchmark):
+    orders = benchmark(
+        lambda: [minimum_gnn_order(query) for _, query in queries()],
+    )
+    assert orders == [1, 2, 3, 2]
+
+
+if __name__ == "__main__":
+    run_experiment()

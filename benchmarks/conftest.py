@@ -1,0 +1,6 @@
+"""Pytest hooks for the benchmark suite (directory is kept importable)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

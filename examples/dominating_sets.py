@@ -1,0 +1,68 @@
+"""Counting dominating sets through conjunctive queries (Corollary 6/68).
+
+Run with::
+
+    python examples/dominating_sets.py
+
+Shows the full Section 5.4 pipeline on real graphs: the star-query identity
+``|Δ_k(G)| = C(n,k) − |Inj((S_k, X_k), Ḡ)|/k!``, the quantum expansion of
+the injective star answers, and the WL-dimension consequence — including a
+pair of 1-WL-equivalent graphs with different |Δ₂| (so no message-passing
+GNN can count dominating sets of size 2).
+"""
+
+from repro.core import (
+    count_dominating_sets_brute,
+    count_dominating_sets_via_stars,
+    dominating_set_wl_dimension,
+    star_injective_quantum,
+)
+from repro.graphs import complement, petersen_graph, random_graph, six_cycle, two_triangles
+from repro.wl import wl_1_equivalent
+
+
+def main() -> None:
+    print("=== the identity on concrete graphs ===")
+    for name, graph in [
+        ("Petersen", petersen_graph()),
+        ("G(9, 0.35, seed 2)", random_graph(9, 0.35, seed=2)),
+        ("G(10, 0.5, seed 3)", random_graph(10, 0.5, seed=3)),
+    ]:
+        for k in (1, 2, 3):
+            brute = count_dominating_sets_brute(graph, k)
+            via_stars = count_dominating_sets_via_stars(graph, k)
+            marker = "ok" if brute == via_stars else "MISMATCH"
+            print(f"  {name:20s} k={k}:  brute={brute:4d}  stars={via_stars:4d}  [{marker}]")
+
+    print("\n=== the quantum expansion behind the identity ===")
+    for k in (1, 2, 3):
+        quantum = star_injective_quantum(k)
+        terms = " + ".join(
+            f"{coeff}·S_{len(query.free_variables)}"
+            for coeff, query in quantum.terms
+        )
+        print(f"  Inj(S_{k}) = {terms}   (hsew = "
+              f"{quantum.hereditary_semantic_extension_width()})")
+
+    print("\n=== the WL-dimension consequence (Corollary 6) ===")
+    for k in (1, 2, 3, 4):
+        print(f"  WL-dimension of G ↦ |Δ_{k}(G)| = {dominating_set_wl_dimension(k)}")
+
+    print("\n=== a 1-WL-blind spot made concrete ===")
+    first, second = two_triangles(), six_cycle()
+    print("  2K3 and C6 are 1-WL-equivalent:", wl_1_equivalent(first, second))
+    print("  |Δ₂(2K3)| =", count_dominating_sets_brute(first, 2))
+    print("  |Δ₂(C6)|  =", count_dominating_sets_brute(second, 2))
+    print("  ⇒ counting size-2 dominating sets needs WL level ≥ 2, matching k = 2.")
+    quantum = star_injective_quantum(2)
+    print(
+        "  (equivalently, the hsew-2 quantum query separates the complements:",
+        quantum.count_answers(complement(first)),
+        "vs",
+        quantum.count_answers(complement(second)),
+        ")",
+    )
+
+
+if __name__ == "__main__":
+    main()

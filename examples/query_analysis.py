@@ -1,0 +1,65 @@
+"""Analysing a workload of SQL-ish graph queries.
+
+Run with::
+
+    python examples/query_analysis.py
+
+A database-flavoured scenario: given a mixed workload of conjunctive
+queries over an edge relation (friend-of-friend, co-purchase, reachability
+patterns), report for each query the structural widths, whether it is
+counting minimal (i.e. whether the optimiser may shrink it), and the WL
+level / GNN order a learned cardinality estimator would need to get its
+answer counts right on all inputs.
+"""
+
+from repro.core import analyse_query
+from repro.queries import format_query, parse_query
+
+
+WORKLOAD = [
+    # friends of friends (distinct endpoints handled by the app layer)
+    "q(u, v) :- E(u, w), E(w, v)",
+    # co-purchase: two products bought by a common customer
+    "q(p1, p2) :- E(p1, c), E(p2, c)",
+    # triangle closure around a free edge
+    "q(u, v) :- E(u, v), E(u, w), E(v, w)",
+    # hub detection: three products sharing a customer
+    "q(p1, p2, p3) :- E(p1, c), E(p2, c), E(p3, c)",
+    # a redundantly-written query: the tail y2, y3 folds away
+    "(x1, x2) exists y1, y2, y3 : E(x1, y1), E(x2, y1), E(y1, y2), E(y2, y3)",
+    # full pattern: path of length 3, all variables returned
+    "q(a, b, c, d) :- E(a, b), E(b, c), E(c, d)",
+]
+
+
+def main() -> None:
+    header = (
+        f"{'query':62s} {'tw':>3s} {'qss':>4s} {'ew':>3s} {'sew':>4s} "
+        f"{'minimal':>8s} {'WL-dim':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for text in WORKLOAD:
+        query = parse_query(text)
+        report = analyse_query(query)
+        print(
+            f"{format_query(query, style='datalog')[:62]:62s} "
+            f"{report['treewidth']:>3d} "
+            f"{report['quantified_star_size']:>4d} "
+            f"{report['extension_width']:>3d} "
+            f"{report['semantic_extension_width']:>4d} "
+            f"{str(report['counting_minimal']):>8s} "
+            f"{report['wl_dimension']:>7d}",
+        )
+
+    print(
+        "\nReading the table: a learned cardinality estimator built on "
+        "order-k GNN features\ncan be exact on a query only when "
+        "k ≥ WL-dim.  Note the hub query: treewidth 1,\nbut no estimator "
+        "below order 3 can count it — and the redundant query costs\n"
+        "nothing extra because its semantic width ignores the foldable tail.",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: compute the WL-dimension of a conjunctive query.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the library's core loop: parse a query, inspect its widths,
+count answers three different ways, and build the lower-bound witness that
+*proves* the WL-dimension on concrete graphs.
+"""
+
+from repro import (
+    count_answers,
+    count_answers_by_interpolation,
+    parse_query,
+    semantic_extension_width,
+    verify_lower_bound,
+    wl_dimension,
+)
+from repro.graphs import random_graph
+from repro.queries import count_answers_by_projection
+from repro.treewidth import treewidth
+
+
+def main() -> None:
+    # The paper's running example: the 2-star query
+    #   ϕ(x1, x2) = ∃y : E(x1, y) ∧ E(x2, y)
+    # "which pairs of vertices have a common neighbour?"
+    query = parse_query("q(x1, x2) :- E(x1, y), E(x2, y)")
+    print("query:", query.to_logic_string())
+
+    # Structure: treewidth 1 (it is a tree) but WL-dimension 2.
+    print("treewidth of H:         ", treewidth(query.graph))
+    print("semantic extension width:", semantic_extension_width(query))
+    print("WL-dimension (Theorem 1):", wl_dimension(query))
+
+    # Counting answers on a random host: three independent algorithms.
+    host = random_graph(8, 0.4, seed=5)
+    print("\nhost: G(8, 0.4), seed 5 —", host)
+    print("answers (direct):        ", count_answers(query, host))
+    print("answers (hom projection):", count_answers_by_projection(query, host))
+    print(
+        "answers (Lemma 22 interpolation from |Hom(F_ℓ)|):",
+        count_answers_by_interpolation(query, host),
+    )
+
+    # The lower bound, verified end to end: a pair of graphs that 1-WL
+    # (and hence every order-1 GNN) cannot distinguish, on which the query
+    # has different answer counts.
+    report = verify_lower_bound(query)
+    print("\nlower-bound witness (Section 4):")
+    print("  CFI pair size:          ", report.witness.untwisted.num_vertices())
+    print("  colour-prescribed counts:", report.cp_answers, "(strict gap)")
+    print("  1-WL-equivalent:        ", report.wl_equivalent_below)
+    z, first, second = report.clone_separation
+    print(f"  |Ans| separation:        z={z}: {first} != {second}")
+    print("  all Section-4 checks:   ", report.all_checks_pass)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of "The Weisfeiler-Leman Dimension of Conjunctive
+Queries" (Göbel, Goldberg, Roth; PODS 2024).
+
+Public API highlights
+---------------------
+``ConjunctiveQuery``, ``parse_query``
+    build queries from graphs or text.
+``wl_dimension(query)``
+    the main theorem: WL-dimension = semantic extension width.
+``count_answers(query, graph)``
+    answer counting (brute force, projection, or Lemma-22 interpolation).
+``cfi_pair`` / ``build_lower_bound_witness`` / ``verify_lower_bound``
+    the Section-4 lower-bound machinery, executable.
+``QuantumQuery`` / ``count_dominating_sets_via_stars``
+    Section-5 consequences.
+``OrderKGNN`` / ``minimum_gnn_order``
+    the GNN expressiveness corollary.
+"""
+
+from repro.cfi import cfi_graph, cfi_pair, clone_colour_blocks
+from repro.core import (
+    QuantumQuery,
+    analyse_query,
+    build_lower_bound_witness,
+    count_dominating_sets_brute,
+    count_dominating_sets_via_stars,
+    dominating_set_wl_dimension,
+    injective_answers_quantum,
+    union_to_quantum,
+    verify_lower_bound,
+    wl_dimension,
+    wl_dimension_upper_bound,
+)
+from repro.gnn import OrderKGNN, gnn_can_count_answers, minimum_gnn_order
+from repro.graphs import Graph
+from repro.homs import count_homomorphisms
+from repro.queries import (
+    ConjunctiveQuery,
+    count_answers,
+    count_answers_by_interpolation,
+    extension_width,
+    parse_query,
+    semantic_extension_width,
+    star_query,
+)
+from repro.treewidth import treewidth
+from repro.wl import k_wl_equivalent, wl_1_equivalent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConjunctiveQuery",
+    "Graph",
+    "OrderKGNN",
+    "QuantumQuery",
+    "analyse_query",
+    "build_lower_bound_witness",
+    "cfi_graph",
+    "cfi_pair",
+    "clone_colour_blocks",
+    "count_answers",
+    "count_answers_by_interpolation",
+    "count_dominating_sets_brute",
+    "count_dominating_sets_via_stars",
+    "count_homomorphisms",
+    "dominating_set_wl_dimension",
+    "extension_width",
+    "gnn_can_count_answers",
+    "injective_answers_quantum",
+    "k_wl_equivalent",
+    "minimum_gnn_order",
+    "parse_query",
+    "semantic_extension_width",
+    "star_query",
+    "treewidth",
+    "union_to_quantum",
+    "verify_lower_bound",
+    "wl_1_equivalent",
+    "wl_dimension",
+    "wl_dimension_upper_bound",
+    "__version__",
+]

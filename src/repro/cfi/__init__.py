@@ -1,0 +1,22 @@
+"""CFI graphs, twisted pairs, and colour-block cloning."""
+
+from repro.cfi.cloning import clone_colour_blocks, clone_colouring, clone_projection
+from repro.cfi.construction import (
+    cfi_graph,
+    cfi_projection,
+    cfi_size,
+    verify_cfi_graph,
+)
+from repro.cfi.pairs import CfiPair, cfi_pair
+
+__all__ = [
+    "CfiPair",
+    "cfi_graph",
+    "cfi_pair",
+    "cfi_projection",
+    "cfi_size",
+    "clone_colour_blocks",
+    "clone_colouring",
+    "clone_projection",
+    "verify_cfi_graph",
+]

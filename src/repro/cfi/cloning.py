@@ -1,0 +1,82 @@
+"""Colour-block cloning ``G(G, F, c, v⃗, z⃗)`` (Definition 33).
+
+Given an ``F``-colouring ``c`` of ``G``, a tuple ``v⃗`` of distinct vertices
+of ``F`` and a tuple ``z⃗`` of positive integers, the cloned graph replaces
+each colour class ``B_{v_i} = c^{-1}(v_i)`` by ``z_i`` copies; adjacency is
+inherited through the projection to the original vertices.
+
+To keep primal and cloned vertices unambiguous regardless of the original
+label types (CFI vertices are already tuples), labels are wrapped:
+
+* primal vertex ``u``  →  ``('primal', u)``
+* clone ``(u, j)``      →  ``('clone', u, j)`` with ``j ∈ 1..z_i``
+
+:func:`clone_colouring` is ``C(G, F, c, v⃗, z⃗)``; :func:`clone_projection`
+is the homomorphism ``ρ`` back to ``G`` used in Lemmas 34/38.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Vertex
+
+
+def clone_colour_blocks(
+    graph: Graph,
+    colouring: Mapping[Vertex, Vertex],
+    block_colours: Sequence[Vertex],
+    multiplicities: Sequence[int],
+) -> Graph:
+    """Build ``G(graph, F, colouring, v⃗, z⃗)`` (Definition 33)."""
+    if len(block_colours) != len(multiplicities):
+        raise GraphError("v⃗ and z⃗ must have the same length")
+    if len(set(block_colours)) != len(block_colours):
+        raise GraphError("block colours must be pairwise distinct")
+    if any(z < 1 for z in multiplicities):
+        raise GraphError("multiplicities must be positive")
+
+    multiplicity_of = dict(zip(block_colours, multiplicities))
+
+    def expand(vertex: Vertex) -> list:
+        colour = colouring[vertex]
+        if colour in multiplicity_of:
+            return [
+                ("clone", vertex, j)
+                for j in range(1, multiplicity_of[colour] + 1)
+            ]
+        return [("primal", vertex)]
+
+    result = Graph()
+    expansion = {v: expand(v) for v in graph.vertices()}
+    for copies in expansion.values():
+        for label in copies:
+            result.add_vertex(label)
+    for u, v in graph.edges():
+        for label_u in expansion[u]:
+            for label_v in expansion[v]:
+                result.add_edge(label_u, label_v)
+    return result
+
+
+def clone_projection(cloned: Graph) -> dict[Vertex, Vertex]:
+    """The homomorphism ``ρ`` mapping each (wrapped) vertex to its original."""
+    projection: dict[Vertex, Vertex] = {}
+    for label in cloned.vertices():
+        if label[0] == "primal":
+            projection[label] = label[1]
+        elif label[0] == "clone":
+            projection[label] = label[1]
+        else:  # pragma: no cover - labels always come from clone_colour_blocks
+            raise GraphError(f"unexpected cloned label {label!r}")
+    return projection
+
+
+def clone_colouring(
+    cloned: Graph,
+    colouring: Mapping[Vertex, Vertex],
+) -> dict[Vertex, Vertex]:
+    """``C(G, F, c, v⃗, z⃗)``: colour of a clone = colour of its primal."""
+    projection = clone_projection(cloned)
+    return {label: colouring[projection[label]] for label in cloned.vertices()}

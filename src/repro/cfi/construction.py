@@ -1,0 +1,120 @@
+"""The Cai-Fürer-Immerman construction ``χ(G, W)`` (Definition 25).
+
+For a graph ``G`` and ``W ⊆ V(G)``:
+
+* vertices: ``(w, S)`` with ``w ∈ V(G)``, ``S ⊆ N_G(w)`` and
+  ``|S| ≡ δ_{w,W} (mod 2)`` (odd sets exactly at twisted vertices);
+* edges: ``{(w, S), (w', S')}`` iff ``{w, w'} ∈ E(G)`` and
+  ``w' ∈ S ⇔ w ∈ S'``.
+
+Key properties reproduced in tests/experiments:
+
+* Lemma 26 — for connected ``G``, ``χ(G, W) ≅ χ(G, W')`` iff
+  ``|W| ≡ |W'| (mod 2)``;
+* Lemma 27 — if ``tw(G) = t`` then ``χ(G, ∅) ≅_k χ(G, {w})`` for all
+  ``k < t``;
+* Observation 29 — the projection ``π₁`` is a ``G``-colouring of
+  ``χ(G, W)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Vertex
+
+CfiVertex = tuple  # (base_vertex, frozenset_of_neighbours)
+
+
+def _even_subsets(items: list) -> Iterable[frozenset]:
+    for size in range(0, len(items) + 1, 2):
+        for subset in combinations(items, size):
+            yield frozenset(subset)
+
+
+def _odd_subsets(items: list) -> Iterable[frozenset]:
+    for size in range(1, len(items) + 1, 2):
+        for subset in combinations(items, size):
+            yield frozenset(subset)
+
+
+def cfi_graph(base: Graph, twist: Iterable[Vertex] = ()) -> Graph:
+    """Construct ``χ(base, twist)`` per Definition 25."""
+    twist_set = set(twist)
+    missing = twist_set - set(base.vertices())
+    if missing:
+        raise GraphError(f"twist vertices not in base graph: {missing!r}")
+
+    result = Graph()
+    for w in base.vertices():
+        neighbours = sorted(base.neighbours(w), key=repr)
+        subsets = _odd_subsets(neighbours) if w in twist_set else _even_subsets(neighbours)
+        for subset in subsets:
+            result.add_vertex((w, subset))
+
+    # Indexed edge construction (quadratic over compatible colour classes).
+    by_base: dict[Vertex, list[CfiVertex]] = {}
+    for vertex in result.vertices():
+        by_base.setdefault(vertex[0], []).append(vertex)
+    for w, w_prime in base.edges():
+        for (a, set_a) in by_base[w]:
+            for (b, set_b) in by_base[w_prime]:
+                if (b in set_a) == (a in set_b):
+                    result.add_edge((a, set_a), (b, set_b))
+    return result
+
+
+def cfi_projection(cfi: Graph) -> dict[CfiVertex, Vertex]:
+    """The ``π₁`` colouring ``χ(G, W) → G`` (Observation 29)."""
+    return {vertex: vertex[0] for vertex in cfi.vertices()}
+
+
+def cfi_size(base: Graph, twist: Iterable[Vertex] = ()) -> int:
+    """``|V(χ(base, twist))| = Σ_w 2^{max(deg(w)-1, 0)}`` (0-degree vertices
+    contribute one even-set vertex; twisted isolated vertices contribute
+    none)."""
+    twist_set = set(twist)
+    total = 0
+    for w in base.vertices():
+        degree = base.degree(w)
+        if degree == 0:
+            total += 0 if w in twist_set else 1
+        else:
+            total += 2 ** (degree - 1)
+    return total
+
+
+def verify_cfi_graph(base: Graph, twist: Iterable[Vertex], cfi: Graph) -> bool:
+    """Defensive check that ``cfi`` satisfies Definition 25 exactly."""
+    twist_set = set(twist)
+    for vertex in cfi.vertices():
+        if not isinstance(vertex, tuple) or len(vertex) != 2:
+            return False
+        w, s = vertex
+        if not base.has_vertex(w):
+            return False
+        if not s <= base.neighbours(w):
+            return False
+        parity = 1 if w in twist_set else 0
+        if len(s) % 2 != parity:
+            return False
+    if cfi.num_vertices() != cfi_size(base, twist_set):
+        return False
+    for (w, s), (w2, s2) in cfi.edges():
+        if not base.has_edge(w, w2):
+            return False
+        if (w2 in s) != (w in s2):
+            return False
+    # Every Definition-25 edge must be present.
+    by_base: dict[Vertex, list[CfiVertex]] = {}
+    for vertex in cfi.vertices():
+        by_base.setdefault(vertex[0], []).append(vertex)
+    for w, w2 in base.edges():
+        for (a, sa) in by_base.get(w, ()):
+            for (b, sb) in by_base.get(w2, ()):
+                expected = (b in sa) == (a in sb)
+                if expected != cfi.has_edge((a, sa), (b, sb)):
+                    return False
+    return True

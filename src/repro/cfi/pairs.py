@@ -1,0 +1,57 @@
+"""Twisted CFI pairs: the lower-bound gadget of Section 4.
+
+For a connected base graph ``F`` of treewidth ``t``, the pair
+``(χ(F, ∅), χ(F, {w}))`` is
+
+* non-isomorphic (Lemma 26: twist parities 0 vs 1 differ), yet
+* (t−1)-WL-equivalent (Lemma 27),
+
+and the twist is detected at level ``t`` — e.g. by the homomorphism count
+from ``F`` itself (``tw(F) = t``), which Theorem 32 bounds one-sidedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Vertex
+from repro.cfi.construction import cfi_graph, cfi_projection
+
+
+@dataclass(frozen=True)
+class CfiPair:
+    """A twisted pair with shared base graph and its π₁ colourings."""
+
+    base: Graph
+    untwisted: Graph
+    twisted: Graph
+    twist_vertex: Vertex
+
+    @property
+    def untwisted_colouring(self) -> dict:
+        return cfi_projection(self.untwisted)
+
+    @property
+    def twisted_colouring(self) -> dict:
+        return cfi_projection(self.twisted)
+
+
+def cfi_pair(base: Graph, twist_vertex: Vertex | None = None) -> CfiPair:
+    """Build ``(χ(base, ∅), χ(base, {twist_vertex}))``.
+
+    ``base`` must be connected (Lemma 26's hypothesis).  The twist vertex
+    defaults to the first vertex in insertion order.
+    """
+    if not base.is_connected() or base.num_vertices() == 0:
+        raise GraphError("CFI pairs require a non-empty connected base graph")
+    if twist_vertex is None:
+        twist_vertex = base.vertices()[0]
+    elif not base.has_vertex(twist_vertex):
+        raise GraphError(f"twist vertex {twist_vertex!r} not in base graph")
+    return CfiPair(
+        base=base,
+        untwisted=cfi_graph(base, ()),
+        twisted=cfi_graph(base, (twist_vertex,)),
+        twist_vertex=twist_vertex,
+    )

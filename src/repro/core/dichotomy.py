@@ -1,0 +1,101 @@
+"""The complexity dichotomy for counting answers (Corollary 4).
+
+Dell–Roth–Wellnitz (building on Chen–Durand–Mengel): for a recursively
+enumerable class Ψ of counting-minimal connected queries with free
+variables, ``#CQ(Ψ)`` is polynomial-time iff both the treewidth of the
+queries and the treewidth of their *contracts* ``Γ(H,X)[X]`` are bounded —
+and Corollary 4 re-states this as: iff the WL-dimension of Ψ is bounded.
+
+This module exposes the three equivalent profiles for concrete query
+classes (given as finite samples or generators) and verifies the
+equivalence claimed in Corollary 4's proof:
+
+``max(tw, contract-tw) ≤ ew ≤ tw + contract-tw + 1``  (the proof's final
+construction glues contract bags with component decompositions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.wl_dimension import wl_dimension
+from repro.queries.extension import contract_graph, extension_width
+from repro.queries.minimality import counting_minimal_core
+from repro.queries.query import ConjunctiveQuery
+from repro.treewidth.exact import treewidth
+
+
+def contract_treewidth(query: ConjunctiveQuery) -> int:
+    """Treewidth of the contract ``Γ(H, X)[X]``."""
+    return treewidth(contract_graph(query))
+
+
+@dataclass(frozen=True)
+class QueryComplexityProfile:
+    """The three width parameters the dichotomy trades between."""
+
+    treewidth: int
+    contract_treewidth: int
+    extension_width: int
+    wl_dimension: int
+
+    @property
+    def satisfies_sandwich(self) -> bool:
+        """The Corollary 4 proof's inequalities."""
+        lower = max(self.treewidth, self.contract_treewidth)
+        upper = self.treewidth + self.contract_treewidth + 1
+        return lower <= self.extension_width <= upper
+
+
+def complexity_profile(query: ConjunctiveQuery) -> QueryComplexityProfile:
+    """Width profile of a single (core of a) query."""
+    core = counting_minimal_core(query)
+    return QueryComplexityProfile(
+        treewidth=treewidth(core.graph),
+        contract_treewidth=contract_treewidth(core),
+        extension_width=extension_width(core),
+        wl_dimension=wl_dimension(core),
+    )
+
+
+@dataclass(frozen=True)
+class ClassVerdict:
+    """Tractability verdict for a (sampled) query class."""
+
+    max_treewidth: int
+    max_contract_treewidth: int
+    max_wl_dimension: int
+    sample_size: int
+
+    def polynomial_time_if_bounded_by(self, bound: int) -> bool:
+        """Corollary 4 applied at a candidate bound: the sample is
+        consistent with polynomial-time countability iff the WL-dimension
+        stays below the bound (equivalently both structural widths do)."""
+        return self.max_wl_dimension <= bound
+
+
+def classify_query_class(queries: Iterable[ConjunctiveQuery]) -> ClassVerdict:
+    """Profile a finite sample of a query class.
+
+    For genuinely infinite classes the caller samples a growing prefix; a
+    growing ``max_wl_dimension`` over prefixes is the experimental
+    signature of intractability (experiment E7 plots exactly this for the
+    star family vs the bounded path family).
+    """
+    max_tw = 0
+    max_contract = 0
+    max_dim = 0
+    count = 0
+    for query in queries:
+        profile = complexity_profile(query)
+        max_tw = max(max_tw, profile.treewidth)
+        max_contract = max(max_contract, profile.contract_treewidth)
+        max_dim = max(max_dim, profile.wl_dimension)
+        count += 1
+    return ClassVerdict(
+        max_treewidth=max_tw,
+        max_contract_treewidth=max_contract,
+        max_wl_dimension=max_dim,
+        sample_size=count,
+    )

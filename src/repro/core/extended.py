@@ -1,0 +1,189 @@
+"""Conjunctive queries with disequalities and negations on free variables
+(Section 5.3).
+
+The paper: unions of CQs, existential positive queries, and CQs with
+*disequalities* (``x ≠ y``) and *negations* (``¬E(x, y)``) over the free
+variables all have unique quantum-query expressions, so Corollary 5
+determines their WL-dimension as the hereditary sew of the expansion.
+
+:class:`ExtendedQuery` models a CQ plus disequality pairs and negated
+free-free atoms; :func:`extended_to_quantum` performs the two
+inclusion–exclusion passes:
+
+* negations: ``¬E`` constraints expand by ``|Ans_{¬E}| = Σ_T (−1)^{|T|}
+  |Ans(query + T)|`` over subsets ``T`` of the negated atoms;
+* disequalities: Möbius inversion over the partitions of the free
+  variables consistent with the disequality graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Iterable
+
+from repro.core.quantum import QuantumQuery, _quotient_query_by_partition
+from repro.errors import QueryError
+from repro.graphs.graph import Graph, Vertex
+from repro.queries.query import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class ExtendedQuery:
+    """A CQ with optional ``x ≠ y`` and ``¬E(x, y)`` constraints on free
+    variables."""
+
+    base: ConjunctiveQuery
+    disequalities: frozenset  # of frozenset pairs of free variables
+    negated_atoms: frozenset  # of frozenset pairs of free variables
+
+    def __init__(
+        self,
+        base: ConjunctiveQuery,
+        disequalities: Iterable = (),
+        negated_atoms: Iterable = (),
+    ) -> None:
+        free = base.free_variables
+
+        def normalise(pairs: Iterable, kind: str) -> frozenset:
+            result = set()
+            for pair in pairs:
+                u, v = tuple(pair)
+                if u == v:
+                    raise QueryError(f"{kind} pair must have distinct variables")
+                if u not in free or v not in free:
+                    raise QueryError(
+                        f"{kind} constraints only apply to free variables",
+                    )
+                result.add(frozenset((u, v)))
+            return frozenset(result)
+
+        object.__setattr__(self, "base", base)
+        object.__setattr__(
+            self, "disequalities", normalise(disequalities, "disequality"),
+        )
+        negated = normalise(negated_atoms, "negated atom")
+        for pair in negated:
+            u, v = tuple(pair)
+            if base.graph.has_edge(u, v):
+                raise QueryError(
+                    f"atom E({u}, {v}) both asserted and negated",
+                )
+        object.__setattr__(self, "negated_atoms", negated)
+
+    def count_answers_direct(self, target: Graph) -> int:
+        """Reference semantics: filter base answers by the constraints."""
+        from repro.queries.answers import enumerate_answers
+
+        count = 0
+        for answer in enumerate_answers(self.base, target):
+            if any(
+                answer[u] == answer[v]
+                for u, v in map(tuple, self.disequalities)
+            ):
+                continue
+            if any(
+                answer[u] == answer[v] or target.has_edge(answer[u], answer[v])
+                for u, v in map(tuple, self.negated_atoms)
+            ):
+                continue
+            count += 1
+        return count
+
+
+def _with_extra_atoms(
+    query: ConjunctiveQuery,
+    atoms: Iterable[tuple[Vertex, Vertex]],
+) -> ConjunctiveQuery:
+    graph = query.graph.copy()
+    for u, v in atoms:
+        graph.add_edge(u, v)
+    return ConjunctiveQuery(graph, query.free_variables)
+
+
+def extended_to_quantum(query: ExtendedQuery) -> QuantumQuery:
+    """The quantum expansion whose evaluation equals the extended
+    semantics on every graph (Section 5.3).
+
+    A negated atom ``¬E(u, v)`` on a *simple* graph excludes both the edge
+    case and the equality case (``E(v, v)`` can never hold but ``u = v``
+    must still be ruled out), so each negated pair also acts as a
+    disequality — mirroring the paper's "negations over the free
+    variables" semantics on loop-free graphs.
+    """
+    # Pass 1 — negations via inclusion–exclusion over asserted subsets.
+    negated = sorted(map(tuple, query.negated_atoms), key=repr)
+    # Negated pairs must also be distinct (see docstring).
+    disequalities = set(query.disequalities) | set(query.negated_atoms)
+
+    signed_bases: list[tuple[int, ConjunctiveQuery]] = []
+    for size in range(len(negated) + 1):
+        for asserted in combinations(negated, size):
+            signed_bases.append(
+                ((-1) ** size, _with_extra_atoms(query.base, asserted)),
+            )
+
+    # Pass 2 — disequalities by inclusion–exclusion over the constraint
+    # pairs ("pair equal" events): for the event family {A_p : p ∈ D},
+    # |Ans with no A_p| = Σ_{S ⊆ D} (−1)^{|S|} |Ans(query with S merged)|.
+    # Merging is transitive (union-find); a merge that collapses an
+    # asserted atom yields a self-loop, hence zero answers, matching the
+    # unsatisfiable event intersection.
+    free = sorted(query.base.free_variables, key=repr)
+    terms: list[tuple[Fraction, ConjunctiveQuery]] = []
+    disequality_list = sorted(map(tuple, disequalities), key=repr)
+    for sign, base in signed_bases:
+        for size in range(len(disequality_list) + 1):
+            for merged in combinations(disequality_list, size):
+                blocks = _merge_blocks(free, merged)
+                quotient = _quotient_query_by_partition(base, blocks)
+                if quotient is None:
+                    continue
+                terms.append(
+                    (Fraction(sign * (-1) ** size), quotient),
+                )
+    return QuantumQuery(terms)
+
+
+def _merge_blocks(
+    free: list,
+    merged_pairs: tuple,
+) -> list[list]:
+    """Union-find the free variables along the merged pairs."""
+    parent = {x: x for x in free}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in merged_pairs:
+        root_u, root_v = find(u), find(v)
+        if root_u != root_v:
+            parent[root_u] = root_v
+    blocks: dict = {}
+    for x in free:
+        blocks.setdefault(find(x), []).append(x)
+    return list(blocks.values())
+
+
+def count_extended_answers_via_quantum(
+    query: ExtendedQuery,
+    target: Graph,
+) -> int:
+    """Evaluate the quantum expansion (must coincide with the direct
+    filter semantics — asserted in tests)."""
+    value = extended_to_quantum(query).count_answers(target)
+    if value.denominator != 1:
+        raise AssertionError("extended answer counts must be integers")
+    return int(value)
+
+
+def extended_wl_dimension(query: ExtendedQuery) -> int:
+    """Corollary 5 applied to the expansion: WL-dimension = hsew."""
+    quantum = extended_to_quantum(query)
+    if quantum.is_zero():
+        return 1  # the identically-zero parameter is 1-WL-invariant
+    return quantum.wl_dimension()

@@ -1,0 +1,91 @@
+"""Ψ-indistinguishability of graphs by conjunctive queries (Section 5.1).
+
+Corollary 2/60: two graphs are k-WL-equivalent iff they agree on the answer
+counts of every connected conjunctive query with at least one free variable
+and semantic extension width ≤ k.  The infinite family ``Ψ_k`` is sampled
+here by enumerating all queries up to a size bound, which yields a finite
+(necessary, and in the exercised cases decisive) test battery.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+
+from repro.graphs.enumeration import all_connected_graphs_up_to_iso
+from repro.graphs.graph import Graph
+from repro.queries.answers import count_answers
+from repro.queries.extension import semantic_extension_width
+from repro.queries.minimality import is_counting_minimal
+from repro.queries.query import ConjunctiveQuery
+
+
+@lru_cache(maxsize=None)
+def _query_battery(max_sew: int, max_vertices: int, minimal_only: bool) -> tuple:
+    queries: list[ConjunctiveQuery] = []
+    seen: set[tuple] = set()
+    for n in range(1, max_vertices + 1):
+        for graph in all_connected_graphs_up_to_iso(n):
+            vertices = graph.vertices()
+            for size in range(1, n + 1):
+                for free in combinations(vertices, size):
+                    query = ConjunctiveQuery(graph, free)
+                    key = query.canonical_key()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if minimal_only and not is_counting_minimal(query):
+                        continue
+                    if semantic_extension_width(query) <= max_sew:
+                        queries.append(query)
+    return tuple(queries)
+
+
+def query_battery(
+    max_sew: int,
+    max_vertices: int = 4,
+    minimal_only: bool = True,
+) -> list[ConjunctiveQuery]:
+    """All connected queries (up to isomorphism) with ≥ 1 free variable,
+    at most ``max_vertices`` variables, and ``sew ≤ max_sew``."""
+    return list(_query_battery(max_sew, max_vertices, minimal_only))
+
+
+def psi_indistinguishable(
+    first: Graph,
+    second: Graph,
+    queries: list[ConjunctiveQuery],
+) -> bool:
+    """Do the graphs agree on ``|Ans|`` for every query in the battery
+    (Definition 59 restricted to the battery)?"""
+    return all(
+        count_answers(query, first) == count_answers(query, second)
+        for query in queries
+    )
+
+
+def separating_query(
+    first: Graph,
+    second: Graph,
+    queries: list[ConjunctiveQuery],
+) -> tuple[ConjunctiveQuery, int, int] | None:
+    """The first battery query with different answer counts, if any."""
+    for query in queries:
+        count_first = count_answers(query, first)
+        count_second = count_answers(query, second)
+        if count_first != count_second:
+            return query, count_first, count_second
+    return None
+
+
+def corollary2_forward_check(
+    first: Graph,
+    second: Graph,
+    k: int,
+    max_vertices: int = 4,
+) -> bool:
+    """Forward direction of Corollary 2 on a finite battery: if the graphs
+    are k-WL-equivalent then no query with ``sew ≤ k`` separates them.
+    Callers guarantee the k-WL-equivalence (e.g. CFI pairs)."""
+    battery = query_battery(k, max_vertices)
+    return psi_indistinguishable(first, second, battery)

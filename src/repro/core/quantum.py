@@ -1,0 +1,227 @@
+"""Quantum queries: finite linear combinations of conjunctive queries
+(Definition 63) and their WL-dimension (Corollary 5).
+
+A quantum query ``Q = Σ c_i · (H_i, X_i)`` has connected, counting-minimal,
+pairwise non-isomorphic constituents with non-empty free-variable sets and
+non-zero rational coefficients.  The constructor *normalises* arbitrary
+term lists into this canonical form (minimise, merge isomorphic terms, drop
+zeros), mirroring the uniqueness statement of Chen–Mengel /
+Dell–Roth–Wellnitz.
+
+Also provided: the translations that make quantum queries useful —
+
+* unions of conjunctive queries (inclusion–exclusion over conjunctions
+  glued on the shared free variables);
+* injective-answer expansion over the partition lattice of ``X`` (the
+  engine of the dominating-set corollary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError, QueryError
+from repro.graphs.graph import Graph
+from repro.queries.minimality import counting_minimal_core
+from repro.queries.query import ConjunctiveQuery
+from repro.queries.extension import semantic_extension_width
+from repro.utils import partition_moebius, set_partitions
+
+
+@dataclass(frozen=True)
+class QuantumQuery:
+    """An immutable, normalised quantum query."""
+
+    terms: tuple[tuple[Fraction, ConjunctiveQuery], ...]
+
+    def __init__(
+        self,
+        terms: Iterable[tuple[Fraction | int, ConjunctiveQuery]],
+    ) -> None:
+        merged: dict[ConjunctiveQuery, Fraction] = {}
+        for coefficient, query in terms:
+            coefficient = Fraction(coefficient)
+            if coefficient == 0:
+                continue
+            core = counting_minimal_core(query)
+            if not core.is_connected():
+                raise QueryError(
+                    "quantum query constituents must be connected",
+                )
+            if not core.free_variables:
+                raise QueryError(
+                    "quantum query constituents need at least one free variable",
+                )
+            merged[core] = merged.get(core, Fraction(0)) + coefficient
+        normalised = tuple(
+            sorted(
+                (
+                    (coefficient, query)
+                    for query, coefficient in merged.items()
+                    if coefficient != 0
+                ),
+                key=lambda item: repr(item[1].canonical_key()),
+            ),
+        )
+        object.__setattr__(self, "terms", normalised)
+
+    # ------------------------------------------------------------------
+    def constituents(self) -> list[ConjunctiveQuery]:
+        return [query for _, query in self.terms]
+
+    def coefficients(self) -> list[Fraction]:
+        return [coefficient for coefficient, _ in self.terms]
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def count_answers(self, target: Graph) -> Fraction:
+        """``|Ans(Q, G)| = Σ c_i |Ans((H_i, X_i), G)|``."""
+        from repro.queries.answers import count_answers
+
+        total = Fraction(0)
+        for coefficient, query in self.terms:
+            total += coefficient * count_answers(query, target)
+        return total
+
+    def hereditary_semantic_extension_width(self) -> int:
+        """``hsew(Q) = max_i sew(H_i, X_i)`` (Definition 64)."""
+        if self.is_zero():
+            raise QueryError("hsew of the zero quantum query is undefined")
+        return max(
+            semantic_extension_width(query) for query in self.constituents()
+        )
+
+    def wl_dimension(self) -> int:
+        """Corollary 5: the WL-dimension equals ``hsew(Q)``."""
+        return max(self.hereditary_semantic_extension_width(), 1)
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "QuantumQuery") -> "QuantumQuery":
+        return QuantumQuery(list(self.terms) + list(other.terms))
+
+    def __sub__(self, other: "QuantumQuery") -> "QuantumQuery":
+        return self + other.scaled(-1)
+
+    def scaled(self, factor: Fraction | int) -> "QuantumQuery":
+        return QuantumQuery(
+            [(Fraction(factor) * c, q) for c, q in self.terms],
+        )
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "QuantumQuery(0)"
+        parts = [f"{c}·({q.num_variables()}v,{len(q.free_variables)}f)" for c, q in self.terms]
+        return f"QuantumQuery({' + '.join(parts)})"
+
+
+def quantum_from_query(query: ConjunctiveQuery) -> QuantumQuery:
+    """Lift a single CQ to the quantum world (coefficient 1)."""
+    return QuantumQuery([(Fraction(1), query)])
+
+
+# ----------------------------------------------------------------------
+# conjunction and union
+# ----------------------------------------------------------------------
+def conjoin_on_free_variables(
+    queries: Sequence[ConjunctiveQuery],
+) -> ConjunctiveQuery:
+    """The conjunction of CQs sharing the same free-variable *labels*:
+    free variables are identified by name, quantified variables are tagged
+    per conjunct so they stay distinct."""
+    if not queries:
+        raise QueryError("conjunction of zero queries is undefined")
+    free = queries[0].free_variables
+    if any(q.free_variables != free for q in queries):
+        raise QueryError(
+            "conjunction requires identical free-variable label sets",
+        )
+    graph = Graph(vertices=list(free))
+    for index, query in enumerate(queries):
+        rename = {
+            v: (v if v in free else ("q", index, v))
+            for v in query.graph.vertices()
+        }
+        for v in query.graph.vertices():
+            graph.add_vertex(rename[v])
+        for u, v in query.graph.edges():
+            graph.add_edge(rename[u], rename[v])
+    return ConjunctiveQuery(graph, free)
+
+
+def union_to_quantum(queries: Sequence[ConjunctiveQuery]) -> QuantumQuery:
+    """A union of CQs (same free variables) as a quantum query via
+    inclusion–exclusion:
+
+    ``|Ans(ϕ₁ ∨ … ∨ ϕ_m)| = Σ_{∅≠S} (−1)^{|S|+1} |Ans(⋀_{i∈S} ϕ_i)|``.
+    """
+    from itertools import combinations
+
+    if not queries:
+        raise QueryError("union of zero queries is undefined")
+    terms: list[tuple[Fraction, ConjunctiveQuery]] = []
+    indices = range(len(queries))
+    for size in range(1, len(queries) + 1):
+        sign = Fraction((-1) ** (size + 1))
+        for chosen in combinations(indices, size):
+            conjunction = conjoin_on_free_variables(
+                [queries[i] for i in chosen],
+            )
+            terms.append((sign, conjunction))
+    return QuantumQuery(terms)
+
+
+# ----------------------------------------------------------------------
+# injective answers (disequalities on the free variables)
+# ----------------------------------------------------------------------
+def _quotient_query_by_partition(
+    query: ConjunctiveQuery,
+    partition: list[list],
+) -> ConjunctiveQuery | None:
+    """Identify free variables within each block; ``None`` when two adjacent
+    free variables are identified (self-loop ⇒ identically zero answers)."""
+    representative: dict = {}
+    for block in partition:
+        rep = sorted(block, key=repr)[0]
+        for member in block:
+            representative[member] = rep
+    mapping = {
+        v: representative.get(v, v) for v in query.graph.vertices()
+    }
+    graph = Graph(vertices=set(mapping.values()))
+    for u, v in query.graph.edges():
+        a, b = mapping[u], mapping[v]
+        if a == b:
+            return None
+        try:
+            graph.add_edge(a, b)
+        except GraphError:  # pragma: no cover - defensive
+            return None
+    new_free = frozenset(representative.get(x, x) for x in query.free_variables)
+    return ConjunctiveQuery(graph, new_free)
+
+
+def injective_answers_quantum(query: ConjunctiveQuery) -> QuantumQuery:
+    """The quantum query computing ``|Inj((H,X), G)|`` — answers that are
+    injective on the free variables — via Möbius inversion over the
+    partition lattice of ``X`` (the identity used in Corollary 68)."""
+    terms: list[tuple[Fraction, ConjunctiveQuery]] = []
+    for partition in set_partitions(sorted(query.free_variables, key=repr)):
+        quotient_query = _quotient_query_by_partition(query, partition)
+        if quotient_query is None:
+            continue
+        terms.append((Fraction(partition_moebius(partition)), quotient_query))
+    return QuantumQuery(terms)
+
+
+def count_injective_answers(query: ConjunctiveQuery, target: Graph) -> int:
+    """``|Inj((H,X), G)|`` by direct filtering (reference implementation)."""
+    from repro.queries.answers import enumerate_answers
+
+    count = 0
+    for answer in enumerate_answers(query, target):
+        if len(set(answer.values())) == len(answer):
+            count += 1
+    return count

@@ -1,0 +1,151 @@
+"""Lower-bound witnesses for quantum queries (Corollary 5's proof).
+
+The subtlety of Corollary 5: on the witness pair ``(G, G')`` of the
+maximum-sew constituent, the *linear combination* may cancel — different
+constituents' gaps can sum to zero.  The proof fixes this with the tensor
+trick: since ``|Ans((H_i, X_i), G ⊗ H)|`` varies with ``H`` independently
+per constituent (the answer-count matrix over a finite graph family has
+full rank, [DRW19, Lemma 34(iii)]), some ``H`` un-cancels the sum, and
+``G ⊗ H ≅_{k-1} G' ⊗ H`` persists because hom counts multiply over ⊗.
+
+:func:`quantum_lower_bound_witness` executes that argument: build the
+clone-separated pair for the dominant constituent, then search small
+connected graphs ``H`` until ``|Ans(Q, G ⊗ H)| ≠ |Ans(Q, G' ⊗ H)|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.quantum import QuantumQuery
+from repro.core.witnesses import (
+    build_lower_bound_witness,
+    cloned_pair,
+    search_clone_separation,
+)
+from repro.errors import WitnessError
+from repro.graphs.enumeration import all_connected_graphs_up_to_iso
+from repro.graphs.graph import Graph
+from repro.graphs.operations import tensor_product
+from repro.queries.extension import semantic_extension_width
+
+
+@dataclass(frozen=True)
+class QuantumWitness:
+    """A pair of (hsew−1)-WL-equivalent graphs separated by the quantum
+    query, possibly after tensoring with a small helper graph."""
+
+    quantum: QuantumQuery
+    first: Graph
+    second: Graph
+    helper: Graph | None          # None: the base pair already separates
+    value_first: Fraction
+    value_second: Fraction
+
+    @property
+    def separates(self) -> bool:
+        return self.value_first != self.value_second
+
+
+def quantum_lower_bound_witness(
+    quantum: QuantumQuery,
+    max_multiplicity: int = 2,
+    helper_max_vertices: int = 4,
+) -> QuantumWitness:
+    """Execute Corollary 5's lower-bound construction for ``quantum``.
+
+    Raises :class:`WitnessError` when the dominant constituent has
+    ``sew < 2`` (the bound is then vacuous) or when no separation is found
+    within the search budget — Corollary 5 guarantees one exists for some
+    helper, so a budget failure signals "increase the bounds", not a
+    theory violation.
+    """
+    if quantum.is_zero():
+        raise WitnessError("the zero quantum query has no witness")
+    dominant = max(
+        quantum.constituents(), key=semantic_extension_width,
+    )
+    width = semantic_extension_width(dominant)
+    if width < 2:
+        raise WitnessError("hsew < 2: the lower bound is vacuous")
+
+    witness = build_lower_bound_witness(dominant)
+    separation = search_clone_separation(witness, max_multiplicity)
+    if separation is None:
+        raise WitnessError(
+            "no clone separation for the dominant constituent within budget",
+        )
+    base_first, base_second, _, _ = cloned_pair(witness, separation[0])
+
+    # Try the base pair first — generically the combination does not cancel.
+    value_first = quantum.count_answers(base_first)
+    value_second = quantum.count_answers(base_second)
+    if value_first != value_second:
+        return QuantumWitness(
+            quantum=quantum,
+            first=base_first,
+            second=base_second,
+            helper=None,
+            value_first=value_first,
+            value_second=value_second,
+        )
+
+    # Cancellation: sweep small connected helpers H and tensor.
+    for n in range(1, helper_max_vertices + 1):
+        for helper in all_connected_graphs_up_to_iso(n):
+            tensored_first = tensor_product(base_first, helper)
+            tensored_second = tensor_product(base_second, helper)
+            value_first = quantum.count_answers(tensored_first)
+            value_second = quantum.count_answers(tensored_second)
+            if value_first != value_second:
+                return QuantumWitness(
+                    quantum=quantum,
+                    first=tensored_first,
+                    second=tensored_second,
+                    helper=helper,
+                    value_first=value_first,
+                    value_second=value_second,
+                )
+    raise WitnessError(
+        "no separating helper within the size bound; increase "
+        "helper_max_vertices",
+    )
+
+
+def build_cancelling_quantum(
+    witness_pair: tuple[Graph, Graph],
+    query_a=None,
+    query_b=None,
+) -> QuantumQuery:
+    """A quantum query engineered to cancel on the given pair — the
+    adversarial input that forces the tensor trick.
+
+    With gaps ``d_a, d_b`` of the two constituent queries on the pair, the
+    combination ``d_b · q_a − d_a · q_b`` has zero total gap there by
+    construction.  Both gaps must be non-zero (otherwise no non-trivial
+    cancelling combination of the two exists); the defaults — the 2-star
+    and the two-islands query, both of sew 2 — have non-zero gaps on the
+    2-star clone pair.
+    """
+    from repro.queries.answers import count_answers
+    from repro.queries.families import star_query
+    from repro.queries.query import query_from_atoms
+
+    if query_a is None:
+        query_a = star_query(2)
+    if query_b is None:
+        query_b = query_from_atoms(
+            [("x1", "y1"), ("x2", "y1"), ("x2", "y2"), ("x3", "y2")],
+            ["x1", "x2", "x3"],
+        )
+    first, second = witness_pair
+    gap_a = count_answers(query_a, first) - count_answers(query_a, second)
+    gap_b = count_answers(query_b, first) - count_answers(query_b, second)
+    if gap_a == 0 or gap_b == 0:
+        raise WitnessError(
+            "pair does not separate both constituents; pick other queries",
+        )
+    return QuantumQuery(
+        [(Fraction(gap_b), query_a), (Fraction(-gap_a), query_b)],
+    )

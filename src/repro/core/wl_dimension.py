@@ -1,0 +1,119 @@
+"""WL-dimension of conjunctive queries (Theorem 1 and its extensions).
+
+``wl_dimension(query)`` evaluates the paper's main theorem:
+
+* connected query with ``X ≠ ∅`` — WL-dimension = ``sew(H, X)``
+  (Theorem 1);
+* disconnected query — the maximum over connected components
+  (remark (A) in Section 1.3);
+* Boolean query (``X = ∅``) — treewidth of the homomorphic core
+  (remark (B), following Roberson).
+
+``wl_dimension_upper_bound`` is Theorem 21 (``≤ ew`` for the query as
+given); the certified lower bound lives in :mod:`repro.core.witnesses`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.graphs.graph import Graph, Vertex
+from repro.homs.brute_force import enumerate_homomorphisms
+from repro.queries.extension import extension_width, semantic_extension_width
+from repro.queries.minimality import counting_minimal_core
+from repro.queries.query import ConjunctiveQuery
+from repro.treewidth.exact import treewidth
+
+
+def graph_core(graph: Graph) -> Graph:
+    """The homomorphic core of a graph: shrink through retractions until
+    every endomorphism is an automorphism."""
+    current = graph.copy()
+    while True:
+        total = current.num_vertices()
+        shrinking: dict[Vertex, Vertex] | None = None
+        for endo in enumerate_homomorphisms(current, current):
+            if len(set(endo.values())) < total:
+                shrinking = endo
+                break
+        if shrinking is None:
+            return current
+        current = current.induced_subgraph(set(shrinking.values()))
+
+
+def _component_queries(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    return [
+        ConjunctiveQuery(
+            query.graph.induced_subgraph(component),
+            query.free_variables & component,
+        )
+        for component in query.graph.connected_components()
+    ]
+
+
+def wl_dimension(query: ConjunctiveQuery) -> int:
+    """The WL-dimension of ``G ↦ |Ans((H,X), G)|`` (Definition 20).
+
+    Computed via Theorem 1 (and remarks (A)/(B) for the disconnected and
+    Boolean cases).  The result is a positive integer; queries whose answer
+    count is a function of ``|V(G)|`` alone still have dimension 1 because
+    1-WL determines the number of vertices.
+    """
+    if query.num_variables() == 0:
+        raise QueryError("the empty query has no well-defined WL-dimension")
+    if not query.is_connected():
+        return max(wl_dimension(part) for part in _component_queries(query))
+    if query.is_boolean():
+        # Counting answers = deciding hom existence; dimension is the
+        # treewidth of the homomorphic core (but at least 1).
+        return max(treewidth(graph_core(query.graph)), 1)
+    return max(semantic_extension_width(query), 1)
+
+
+def wl_dimension_upper_bound(query: ConjunctiveQuery) -> int:
+    """Theorem 21: the WL-dimension is at most ``ew(H, X)`` — no
+    minimisation, so this can exceed :func:`wl_dimension`."""
+    if not query.is_connected():
+        return max(
+            wl_dimension_upper_bound(part) for part in _component_queries(query)
+        )
+    return max(extension_width(query), 1)
+
+
+def wl_invariant_on(
+    query: ConjunctiveQuery,
+    pairs: list[tuple[Graph, Graph]],
+) -> bool:
+    """Empirically check k-WL-invariance of the answer count on candidate
+    k-WL-equivalent ``pairs`` (callers guarantee the equivalence)."""
+    from repro.queries.answers import count_answers
+
+    return all(
+        count_answers(query, first) == count_answers(query, second)
+        for first, second in pairs
+    )
+
+
+def analyse_query(query: ConjunctiveQuery) -> dict:
+    """A one-stop structural report used by the CLI and the E1 benchmark."""
+    from repro.queries.star_size import quantified_star_size
+
+    core = counting_minimal_core(query)
+    report = {
+        "variables": query.num_variables(),
+        "free_variables": len(query.free_variables),
+        "atoms": query.num_atoms(),
+        "connected": query.is_connected(),
+        "full": query.is_full(),
+        "treewidth": treewidth(query.graph),
+        "quantified_star_size": quantified_star_size(query),
+        "extension_width": (
+            extension_width(query) if query.is_connected() else None
+        ),
+        "core_variables": core.num_variables(),
+        "counting_minimal": core.num_variables() == query.num_variables(),
+    }
+    report["semantic_extension_width"] = (
+        semantic_extension_width(query) if query.is_connected() else None
+    )
+    report["wl_dimension"] = wl_dimension(query)
+    return report

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so downstream users
+can catch a single base class.  More specific subclasses communicate which
+subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph operation (e.g. self-loops)."""
+
+
+class DecompositionError(ReproError):
+    """A tree decomposition violates (T1), (T2) or (T3) of Definition 10."""
+
+
+class QueryError(ReproError):
+    """Invalid conjunctive query (e.g. free variables not in the graph)."""
+
+
+class ParseError(QueryError):
+    """The textual query representation could not be parsed."""
+
+
+class IntractableError(ReproError):
+    """The requested exact computation exceeds the configured size limits."""
+
+
+class WitnessError(ReproError):
+    """A lower-bound witness could not be constructed or verified."""

@@ -1,0 +1,17 @@
+"""Order-k GNN simulation and expressiveness analysis."""
+
+from repro.gnn.expressiveness import (
+    InexpressivenessCertificate,
+    demonstrate_inexpressiveness,
+    gnn_can_count_answers,
+    minimum_gnn_order,
+)
+from repro.gnn.model import OrderKGNN
+
+__all__ = [
+    "InexpressivenessCertificate",
+    "OrderKGNN",
+    "demonstrate_inexpressiveness",
+    "gnn_can_count_answers",
+    "minimum_gnn_order",
+]

@@ -1,0 +1,112 @@
+"""GNN expressiveness for counting conjunctive query answers (Section 1.2).
+
+The paper's GNN corollary: a fully refined order-k GNN can compute
+``G ↦ |Ans((H,X), G)|`` (as a polynomial-time function of its partition)
+iff ``k ≥ sew(H, X)``.
+
+* Sufficiency: Observation 23 — the answer count is a rational linear
+  combination of homomorphism counts from graphs of treewidth ≤ sew, and
+  those are computable from the order-sew partition (Lanzinger–Barceló).
+* Necessity: the Section 4 witness pair is (sew−1)-WL-equivalent, hence
+  indistinguishable to every order-(sew−1) GNN (Proposition 3), yet has
+  different answer counts.
+
+``demonstrate_inexpressiveness`` produces the concrete counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.witnesses import (
+    build_lower_bound_witness,
+    search_clone_separation,
+    cloned_pair,
+)
+from repro.core.wl_dimension import wl_dimension
+from repro.errors import WitnessError
+from repro.gnn.model import OrderKGNN
+from repro.graphs.graph import Graph
+from repro.queries.query import ConjunctiveQuery
+
+
+def minimum_gnn_order(query: ConjunctiveQuery) -> int:
+    """The smallest GNN order able to count the query's answers = the
+    WL-dimension = ``sew`` (Theorem 1 + Proposition 3)."""
+    return wl_dimension(query)
+
+
+def gnn_can_count_answers(query: ConjunctiveQuery, order: int) -> bool:
+    """Can a fully refined order-``order`` GNN compute ``|Ans|``?"""
+    return order >= minimum_gnn_order(query)
+
+
+@dataclass(frozen=True)
+class InexpressivenessCertificate:
+    """A pair of graphs no order-``order`` GNN separates, with different
+    answer counts for the query — proof the GNN cannot compute ``|Ans|``."""
+
+    query: ConjunctiveQuery
+    order: int
+    first: Graph
+    second: Graph
+    count_first: int
+    count_second: int
+    gnn_indistinguishable: bool
+
+    @property
+    def is_valid(self) -> bool:
+        return (
+            self.gnn_indistinguishable and self.count_first != self.count_second
+        )
+
+
+def demonstrate_inexpressiveness(
+    query: ConjunctiveQuery,
+    order: int | None = None,
+    max_multiplicity: int = 2,
+    check_gnn: bool = True,
+) -> InexpressivenessCertificate:
+    """Build the counterexample for GNNs of order ``sew − 1`` (default).
+
+    Uses the lower-bound witness and the clone search; the GNN
+    indistinguishability check simulates the order-``order`` GNN directly
+    (feasible for order ≤ 2 on the witness sizes; pass ``check_gnn=False``
+    to skip it and rely on Lemma 35's guarantee).
+    """
+    dimension = wl_dimension(query)
+    if order is None:
+        order = dimension - 1
+    if order >= dimension:
+        raise WitnessError(
+            f"order {order} >= WL-dimension {dimension}: such GNNs *can* "
+            "count the answers; no counterexample exists",
+        )
+    if order < 1:
+        raise WitnessError("GNN order must be >= 1")
+
+    witness = build_lower_bound_witness(query)
+    separation = search_clone_separation(witness, max_multiplicity)
+    if separation is None:
+        raise WitnessError(
+            "no clone vector within budget separates the pair; increase "
+            "max_multiplicity",
+        )
+    multiplicities, count_first, count_second = separation
+    first, second, _, _ = cloned_pair(witness, multiplicities)
+
+    if check_gnn:
+        gnn = OrderKGNN(order)
+        indistinguishable = not gnn.distinguishes(first, second)
+    else:
+        indistinguishable = True  # guaranteed by Lemma 35 for order < sew
+
+    return InexpressivenessCertificate(
+        query=witness.query,
+        order=order,
+        first=first,
+        second=second,
+        count_first=count_first,
+        count_second=count_second,
+        gnn_indistinguishable=indistinguishable,
+    )

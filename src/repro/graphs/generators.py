@@ -1,0 +1,194 @@
+"""Generators for the graph families used throughout the paper and tests.
+
+Includes the standard small families (paths, cycles, cliques, stars,
+complete bipartite, grids, trees, hypercubes), the classical 1-WL-equivalent
+pair ``2K3`` / ``C6`` from Observation 62, the Petersen graph, prisms, and
+seeded Erdős–Rényi random graphs for property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def empty_graph(n: int) -> Graph:
+    """``n`` isolated vertices labelled ``0..n-1``."""
+    if n < 0:
+        raise GraphError("n must be non-negative")
+    return Graph(vertices=range(n))
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on ``n`` vertices (``n-1`` edges)."""
+    graph = empty_graph(n)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``; requires ``n >= 3``."""
+    if n < 3:
+        raise GraphError("cycles need at least 3 vertices")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique ``K_n``."""
+    graph = empty_graph(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j)
+    return graph
+
+
+def star_graph(k: int) -> Graph:
+    """The star with centre ``'y'`` and leaves ``'x1'..'xk'``.
+
+    This is the underlying graph ``S_k`` of the k-star query
+    (Definition 66); the leaves are the free variables.
+    """
+    if k < 1:
+        raise GraphError("stars need at least one leaf")
+    graph = Graph(vertices=["y"])
+    for i in range(1, k + 1):
+        graph.add_edge(f"x{i}", "y")
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with sides ``('L', i)`` and ``('R', j)``."""
+    graph = Graph(
+        vertices=[("L", i) for i in range(a)] + [("R", j) for j in range(b)],
+    )
+    for i in range(a):
+        for j in range(b):
+            graph.add_edge(("L", i), ("R", j))
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid; treewidth ``min(rows, cols)``."""
+    graph = Graph(vertices=[(r, c) for r in range(rows) for c in range(cols)])
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    return graph
+
+
+def binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (``depth = 0``: one vertex)."""
+    graph = Graph(vertices=[0])
+    last = 2 ** (depth + 1) - 1
+    for child in range(1, last):
+        graph.add_edge(child, (child - 1) // 2)
+    return graph
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube on bitmask vertices."""
+    n = 2 ** dimension
+    graph = Graph(vertices=range(n))
+    for v in range(n):
+        for bit in range(dimension):
+            graph.add_edge(v, v ^ (1 << bit))
+    return graph
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph (treewidth 4, girth 5)."""
+    graph = Graph(vertices=range(10))
+    for i in range(5):
+        graph.add_edge(i, (i + 1) % 5)
+        graph.add_edge(i, i + 5)
+        graph.add_edge(i + 5, (i + 2) % 5 + 5)
+    return graph
+
+
+def prism_graph(n: int) -> Graph:
+    """The circular ladder ``C_n × K_2`` (two n-cycles joined by a matching)."""
+    if n < 3:
+        raise GraphError("prisms need n >= 3")
+    graph = Graph(vertices=[("a", i) for i in range(n)] + [("b", i) for i in range(n)])
+    for i in range(n):
+        graph.add_edge(("a", i), ("a", (i + 1) % n))
+        graph.add_edge(("b", i), ("b", (i + 1) % n))
+        graph.add_edge(("a", i), ("b", i))
+    return graph
+
+
+def two_triangles() -> Graph:
+    """``2K3``: the disjoint union of two triangles (Observation 62)."""
+    graph = Graph()
+    for offset in (0, 3):
+        for i in range(3):
+            graph.add_edge(offset + i, offset + (i + 1) % 3)
+    return graph
+
+
+def six_cycle() -> Graph:
+    """``C6`` — 1-WL-equivalent to ``2K3`` but not 2-WL-equivalent."""
+    return cycle_graph(6)
+
+
+def disjoint_cliques(sizes: Iterable[int]) -> Graph:
+    """Disjoint union of cliques with the given sizes."""
+    graph = Graph()
+    offset = 0
+    for size in sizes:
+        for i in range(size):
+            graph.add_vertex(offset + i)
+            for j in range(i):
+                graph.add_edge(offset + i, offset + j)
+        offset += size
+    return graph
+
+
+def random_graph(n: int, p: float, seed: int | None = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` with a deterministic seed for reproducibility."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("edge probability must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = empty_graph(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def random_tree(n: int, seed: int | None = None) -> Graph:
+    """A uniformly random labelled tree via a random Prüfer-style attachment."""
+    rng = random.Random(seed)
+    graph = empty_graph(n)
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    return graph
+
+
+def random_connected_graph(n: int, extra_edge_prob: float, seed: int | None = None) -> Graph:
+    """A random connected graph: a random tree plus independent extra edges."""
+    rng = random.Random(seed)
+    graph = random_tree(n, seed=rng.randrange(2 ** 30))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not graph.has_edge(i, j) and rng.random() < extra_edge_prob:
+                graph.add_edge(i, j)
+    return graph
+
+
+def wheel_graph(n: int) -> Graph:
+    """The wheel ``W_n``: a hub adjacent to every vertex of ``C_n``."""
+    graph = cycle_graph(n)
+    for i in range(n):
+        graph.add_edge("hub", i)
+    return graph

@@ -1,0 +1,272 @@
+"""Core graph data structure.
+
+All graphs in the paper — and therefore in this library — are finite,
+undirected, and *simple*: no self-loops and no parallel edges (Section 2).
+:class:`Graph` stores an adjacency-set representation over arbitrary hashable
+vertex labels.  CFI graphs (Definition 25) use structured labels such as
+``(w, frozenset(S))``, ℓ-copies (Definition 13) use ``(y, i)`` pairs, so the
+vertex type is deliberately generic.
+
+The class is mutable during construction (``add_vertex`` / ``add_edge``) but
+the analysis code treats graphs as values; helpers that need a modified graph
+copy first (:meth:`Graph.copy`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+class Graph:
+    """A finite simple undirected graph with hashable vertex labels.
+
+    Parameters
+    ----------
+    vertices:
+        Initial vertices.  Vertices mentioned only in ``edges`` are added
+        automatically.
+    edges:
+        Iterable of 2-element tuples/iterables.  Self-loops raise
+        :class:`~repro.errors.GraphError`; duplicate edges are ignored
+        (the graph is simple).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2)])
+    >>> sorted(g.vertices())
+    [0, 1, 2]
+    >>> g.degree(1)
+    2
+    """
+
+    __slots__ = ("_adjacency",)
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Iterable[Vertex]] = (),
+    ) -> None:
+        self._adjacency: dict[Vertex, set[Vertex]] = {}
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for edge in edges:
+            u, v = edge
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` if not already present."""
+        self._adjacency.setdefault(vertex, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``, adding endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; raise if it is absent."""
+        try:
+            self._adjacency[u].remove(v)
+            self._adjacency[v].remove(u)
+        except KeyError as exc:
+            raise GraphError(f"edge {{{u!r}, {v!r}}} not in graph") from exc
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all incident edges; raise if absent."""
+        if vertex not in self._adjacency:
+            raise GraphError(f"vertex {vertex!r} not in graph")
+        for neighbour in self._adjacency[vertex]:
+            self._adjacency[neighbour].discard(vertex)
+        del self._adjacency[vertex]
+
+    def copy(self) -> "Graph":
+        """An independent deep copy of the adjacency structure."""
+        clone = Graph()
+        clone._adjacency = {v: set(adj) for v, adj in self._adjacency.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vertices(self) -> list[Vertex]:
+        """All vertices, in insertion order."""
+        return list(self._adjacency)
+
+    def edges(self) -> list[Edge]:
+        """Each edge once, as a tuple in first-seen endpoint order."""
+        seen: set[frozenset] = set()
+        result: list[Edge] = []
+        for u in self._adjacency:
+            for v in self._adjacency[u]:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((u, v))
+        return result
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def neighbours(self, vertex: Vertex) -> frozenset:
+        """The open neighbourhood ``N(v)``."""
+        if vertex not in self._adjacency:
+            raise GraphError(f"vertex {vertex!r} not in graph")
+        return frozenset(self._adjacency[vertex])
+
+    def neighbourhood_of_set(self, vertices: Iterable[Vertex]) -> frozenset:
+        """``N(U) = ∪_{u∈U} N(u)`` (may intersect ``U``)."""
+        result: set[Vertex] = set()
+        for vertex in vertices:
+            result |= self._adjacency[vertex]
+        return frozenset(result)
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self.neighbours(vertex))
+
+    def num_vertices(self) -> int:
+        return len(self._adjacency)
+
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def degree_sequence(self) -> tuple[int, ...]:
+        """Sorted (descending) degree sequence — a cheap invariant."""
+        return tuple(sorted((len(adj) for adj in self._adjacency.values()), reverse=True))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[frozenset]:
+        """Vertex sets of the connected components (BFS)."""
+        remaining = set(self._adjacency)
+        components: list[frozenset] = []
+        while remaining:
+            root = next(iter(remaining))
+            component = {root}
+            frontier = [root]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self._adjacency[current]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(frozenset(component))
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        """True for the empty graph and for connected graphs."""
+        if not self._adjacency:
+            return True
+        return len(self.connected_components()) == 1
+
+    def component_adjacent_to(self, component: Iterable[Vertex], vertex: Vertex) -> bool:
+        """True if some vertex of ``component`` is adjacent to ``vertex``.
+
+        This is the adjacency notion between connected components of
+        ``H[Y]`` and free variables used throughout Section 2.
+        """
+        adjacency = self._adjacency[vertex]
+        return any(u in adjacency for u in component)
+
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """``G[S]``: the subgraph induced by ``vertices``."""
+        keep = set(vertices)
+        missing = keep - set(self._adjacency)
+        if missing:
+            raise GraphError(f"vertices not in graph: {sorted(map(repr, missing))}")
+        sub = Graph(vertices=keep)
+        for u in keep:
+            for v in self._adjacency[u]:
+                if v in keep:
+                    sub._adjacency[u].add(v)
+        return sub
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """True if every pair of distinct vertices in the set is adjacent."""
+        vertex_list = list(vertices)
+        for i, u in enumerate(vertex_list):
+            for v in vertex_list[i + 1:]:
+                if not self.has_edge(u, v):
+                    return False
+        return True
+
+    def bfs_distances(self, source: Vertex) -> dict[Vertex, int]:
+        """Shortest-path distances from ``source`` to all reachable vertices."""
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: list[Vertex] = []
+            for current in frontier:
+                for neighbour in self._adjacency[current]:
+                    if neighbour not in distances:
+                        distances[neighbour] = distances[current] + 1
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return distances
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adjacency)
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __eq__(self, other: object) -> bool:
+        """Label-level equality (same vertices, same edges) — *not* isomorphism."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph is unhashable; use edge_fingerprint() for keys")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices()}, m={self.num_edges()})"
+
+    def edge_fingerprint(self) -> frozenset:
+        """A hashable, label-level identity for the graph."""
+        return frozenset(
+            (frozenset(self._adjacency), frozenset(frozenset(e) for e in self.edges())),
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def relabelled(self, mapping: Mapping[Vertex, Vertex]) -> "Graph":
+        """A copy with vertices renamed through ``mapping`` (a bijection)."""
+        values = list(mapping.values())
+        if len(set(values)) != len(values):
+            raise GraphError("relabelling must be injective")
+        result = Graph(vertices=(mapping[v] for v in self._adjacency))
+        for u, v in self.edges():
+            result.add_edge(mapping[u], mapping[v])
+        return result
+
+    def to_index_graph(self) -> tuple["Graph", dict[Vertex, int]]:
+        """Relabel to ``0..n-1`` (insertion order); also return the mapping."""
+        mapping = {v: i for i, v in enumerate(self._adjacency)}
+        return self.relabelled(mapping), mapping
+
+    def adjacency_dict(self) -> dict[Vertex, frozenset]:
+        """A read-only snapshot of the adjacency structure."""
+        return {v: frozenset(adj) for v, adj in self._adjacency.items()}

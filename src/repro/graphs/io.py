@@ -1,0 +1,102 @@
+"""Graph serialisation: graph6 strings and simple edge-list text.
+
+graph6 is the compact ASCII format used by ``nauty``/``geng``; we support
+graphs up to 62 vertices which is far beyond what the experiments need.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def to_graph6(graph: Graph) -> str:
+    """Encode ``graph`` (relabelled to ``0..n-1`` insertion order) as graph6."""
+    n = graph.num_vertices()
+    if n > 62:
+        raise GraphError("graph6 encoder supports at most 62 vertices")
+    indexed, mapping = graph.to_index_graph()
+    bits: list[int] = []
+    for j in range(1, n):
+        for i in range(j):
+            bits.append(1 if indexed.has_edge(i, j) else 0)
+    while len(bits) % 6 != 0:
+        bits.append(0)
+    chars = [chr(n + 63)]
+    for start in range(0, len(bits), 6):
+        value = 0
+        for bit in bits[start:start + 6]:
+            value = (value << 1) | bit
+        chars.append(chr(value + 63))
+    del mapping
+    return "".join(chars)
+
+
+def from_graph6(text: str) -> Graph:
+    """Decode a graph6 string into a graph on vertices ``0..n-1``."""
+    text = text.strip()
+    if not text:
+        raise GraphError("empty graph6 string")
+    n = ord(text[0]) - 63
+    if n < 0 or n > 62:
+        raise GraphError("unsupported graph6 header")
+    bits: list[int] = []
+    for char in text[1:]:
+        value = ord(char) - 63
+        if value < 0 or value > 63:
+            raise GraphError(f"invalid graph6 character {char!r}")
+        for shift in range(5, -1, -1):
+            bits.append((value >> shift) & 1)
+    expected = n * (n - 1) // 2
+    if len(bits) < expected:
+        raise GraphError("graph6 string too short")
+    graph = Graph(vertices=range(n))
+    position = 0
+    for j in range(1, n):
+        for i in range(j):
+            if bits[position]:
+                graph.add_edge(i, j)
+            position += 1
+    return graph
+
+
+def to_edge_list(graph: Graph) -> str:
+    """Readable one-edge-per-line text; isolated vertices listed first."""
+    lines = [f"# vertices: {graph.num_vertices()}"]
+    isolated = [v for v in graph.vertices() if graph.degree(v) == 0]
+    for v in isolated:
+        lines.append(f"v {v!r}")
+    for u, v in graph.edges():
+        lines.append(f"e {u!r} {v!r}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str) -> Graph:
+    """Parse the output of :func:`to_edge_list` (labels via ``eval``-free repr
+    of ints and strings only)."""
+
+    def parse_label(token: str):
+        token = token.strip()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        if token.startswith('"') and token.endswith('"'):
+            return token[1:-1]
+        try:
+            return int(token)
+        except ValueError as exc:
+            raise GraphError(f"unsupported label token {token!r}") from exc
+
+    graph = Graph()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        if parts[0] == "v":
+            graph.add_vertex(parse_label(parts[1]))
+        elif parts[0] == "e":
+            left, right = parts[1].rsplit(None, 1)
+            graph.add_edge(parse_label(left), parse_label(right))
+        else:
+            raise GraphError(f"unrecognised line {line!r}")
+    return graph

@@ -1,0 +1,90 @@
+"""Lemma 58: parity-prescribed edge assignments.
+
+For a connected graph ``G`` and an even-cardinality vertex set ``S`` there
+is an assignment ``β : E(G) → {0, 1}`` whose per-vertex incident sums have
+prescribed parities: odd exactly at the vertices of ``S``.  This is the
+combinatorial engine of Lemma 54 (constructing the extension homomorphism
+inside a CFI component) — a T-join on a spanning tree.
+
+The implementation realises β as the symmetric difference of tree paths
+pairing up the odd vertices, which is linear-time and constructive (the
+paper's proof is an induction; the object produced is the same).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Vertex
+
+
+def parity_edge_assignment(
+    graph: Graph,
+    odd_vertices: Iterable[Vertex],
+) -> dict[frozenset, int]:
+    """An assignment ``β`` with ``Σ_{u∈N(v)} β({u,v}) ≡ [v ∈ S] (mod 2)``.
+
+    Raises :class:`GraphError` if the graph is disconnected, ``S`` is odd,
+    or ``S`` contains unknown vertices (matching Lemma 58's hypotheses).
+    """
+    odd = set(odd_vertices)
+    unknown = odd - set(graph.vertices())
+    if unknown:
+        raise GraphError(f"odd vertices not in graph: {unknown!r}")
+    if len(odd) % 2 != 0:
+        raise GraphError("Lemma 58 requires an even number of odd vertices")
+    if graph.num_vertices() == 0:
+        return {}
+    if not graph.is_connected():
+        raise GraphError("Lemma 58 requires a connected graph")
+
+    beta = {frozenset(edge): 0 for edge in graph.edges()}
+    if not odd:
+        return beta
+
+    # Spanning tree by BFS, remembering parents.
+    root = graph.vertices()[0]
+    parent: dict[Vertex, Vertex | None] = {root: None}
+    order = [root]
+    frontier = [root]
+    while frontier:
+        current = frontier.pop()
+        for neighbour in graph.neighbours(current):
+            if neighbour not in parent:
+                parent[neighbour] = current
+                order.append(neighbour)
+                frontier.append(neighbour)
+
+    # Process vertices leaves-first: if a vertex still needs odd parity,
+    # flip its tree edge to the parent (toggling the parent's need).
+    needs_odd = {v: v in odd for v in graph.vertices()}
+    for v in reversed(order):
+        if not needs_odd[v]:
+            continue
+        up = parent[v]
+        if up is None:
+            raise AssertionError(
+                "root left odd — impossible for even |S| on a connected graph",
+            )
+        edge = frozenset((v, up))
+        beta[edge] ^= 1
+        needs_odd[v] = False
+        needs_odd[up] = not needs_odd[up]
+    return beta
+
+
+def verify_parity_assignment(
+    graph: Graph,
+    odd_vertices: Iterable[Vertex],
+    beta: dict[frozenset, int],
+) -> bool:
+    """Check the Lemma 58 condition for a candidate assignment."""
+    odd = set(odd_vertices)
+    if set(beta) != {frozenset(edge) for edge in graph.edges()}:
+        return False
+    for v in graph.vertices():
+        total = sum(beta[frozenset((u, v))] for u in graph.neighbours(v))
+        if total % 2 != (1 if v in odd else 0):
+            return False
+    return True

@@ -1,0 +1,43 @@
+"""Homomorphism counting: brute force, treewidth DP, coloured, injective."""
+
+from repro.homs.brute_force import (
+    count_homomorphisms_brute,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+)
+from repro.homs.colored import (
+    colour_classes,
+    count_cp_hom,
+    count_hom_tau,
+    enumerate_cp_hom,
+    enumerate_hom_tau,
+    hom_partition_by_tau,
+    is_colouring,
+)
+from repro.homs.counting import count_homomorphisms, hom_vector
+from repro.homs.injective import (
+    count_injective_homomorphisms,
+    count_injective_homomorphisms_brute,
+    count_subgraph_embeddings,
+)
+from repro.homs.treewidth_dp import count_homomorphisms_dp, prepared_pattern
+
+__all__ = [
+    "colour_classes",
+    "count_cp_hom",
+    "count_hom_tau",
+    "count_homomorphisms",
+    "count_homomorphisms_brute",
+    "count_homomorphisms_dp",
+    "count_injective_homomorphisms",
+    "count_injective_homomorphisms_brute",
+    "count_subgraph_embeddings",
+    "enumerate_cp_hom",
+    "enumerate_hom_tau",
+    "enumerate_homomorphisms",
+    "exists_homomorphism",
+    "hom_partition_by_tau",
+    "hom_vector",
+    "is_colouring",
+    "prepared_pattern",
+]

@@ -1,0 +1,117 @@
+"""Backtracking homomorphism enumeration and counting.
+
+This is the reference implementation every optimised path is tested against.
+It supports two extras that the paper's constructions need everywhere:
+
+* ``fixed`` — a partial assignment that must be extended (used for
+  answer-set semantics, Definition 8);
+* ``allowed`` — per-pattern-vertex candidate restrictions (used for
+  colour-prescribed and τ-restricted homomorphisms, Definitions 30/48).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.graphs.graph import Graph, Vertex
+
+Assignment = dict[Vertex, Vertex]
+
+
+def _variable_order(pattern: Graph, fixed: Mapping[Vertex, Vertex]) -> list[Vertex]:
+    """Order unassigned pattern vertices for search: stay connected to the
+    assigned region, preferring high-degree vertices (fail-first)."""
+    assigned = set(fixed)
+    remaining = [v for v in pattern.vertices() if v not in assigned]
+    order: list[Vertex] = []
+    frontier_scores = {
+        v: sum(1 for u in pattern.neighbours(v) if u in assigned) for v in remaining
+    }
+    remaining_set = set(remaining)
+    while remaining_set:
+        vertex = max(
+            remaining_set,
+            key=lambda v: (frontier_scores[v], pattern.degree(v), repr(v)),
+        )
+        order.append(vertex)
+        remaining_set.remove(vertex)
+        for u in pattern.neighbours(vertex):
+            if u in remaining_set:
+                frontier_scores[u] += 1
+    return order
+
+
+def enumerate_homomorphisms(
+    pattern: Graph,
+    target: Graph,
+    fixed: Mapping[Vertex, Vertex] | None = None,
+    allowed: Mapping[Vertex, frozenset] | None = None,
+) -> Iterator[Assignment]:
+    """Yield every homomorphism ``pattern → target`` extending ``fixed``.
+
+    ``allowed[v]`` (when present) restricts the image of pattern vertex
+    ``v``.  The ``fixed`` assignment is validated against pattern edges and
+    ``allowed`` before the search starts.
+    """
+    fixed = dict(fixed or {})
+    for v, image in fixed.items():
+        if not target.has_vertex(image):
+            return
+        if allowed is not None and v in allowed and image not in allowed[v]:
+            return
+    for v in fixed:
+        for u in pattern.neighbours(v):
+            if u in fixed and not target.has_edge(fixed[v], fixed[u]):
+                return
+
+    order = _variable_order(pattern, fixed)
+    assignment: Assignment = dict(fixed)
+    target_vertices = target.vertices()
+
+    def candidates(vertex: Vertex) -> Iterator[Vertex]:
+        assigned_neighbours = [
+            assignment[u] for u in pattern.neighbours(vertex) if u in assignment
+        ]
+        if assigned_neighbours:
+            pool = set(target.neighbours(assigned_neighbours[0]))
+            for image in assigned_neighbours[1:]:
+                pool &= target.neighbours(image)
+        else:
+            pool = set(target_vertices)
+        if allowed is not None and vertex in allowed:
+            pool &= allowed[vertex]
+        return iter(sorted(pool, key=repr))
+
+    def extend(index: int) -> Iterator[Assignment]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        vertex = order[index]
+        for image in candidates(vertex):
+            assignment[vertex] = image
+            yield from extend(index + 1)
+            del assignment[vertex]
+
+    yield from extend(0)
+
+
+def count_homomorphisms_brute(
+    pattern: Graph,
+    target: Graph,
+    fixed: Mapping[Vertex, Vertex] | None = None,
+    allowed: Mapping[Vertex, frozenset] | None = None,
+) -> int:
+    """``|Hom(pattern, target)|`` (restricted), by exhaustive backtracking."""
+    return sum(1 for _ in enumerate_homomorphisms(pattern, target, fixed, allowed))
+
+
+def exists_homomorphism(
+    pattern: Graph,
+    target: Graph,
+    fixed: Mapping[Vertex, Vertex] | None = None,
+    allowed: Mapping[Vertex, frozenset] | None = None,
+) -> bool:
+    """Does any homomorphism extending ``fixed`` exist?"""
+    for _ in enumerate_homomorphisms(pattern, target, fixed, allowed):
+        return True
+    return False

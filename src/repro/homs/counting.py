@@ -1,0 +1,62 @@
+"""Unified homomorphism-counting entry point.
+
+``count_homomorphisms`` dispatches between the brute-force backtracking
+counter and the treewidth DP.  The DP wins whenever the pattern has small
+treewidth relative to its size; the brute-force search wins on tiny patterns
+because it avoids the decomposition overhead.  The crossover is measured in
+``benchmarks/bench_ablation_homs.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping
+
+from repro.graphs.graph import Graph, Vertex
+from repro.homs.brute_force import count_homomorphisms_brute
+from repro.homs.treewidth_dp import count_homomorphisms_dp
+
+Method = Literal["auto", "brute", "dp"]
+
+# Patterns at or below this many vertices are counted by backtracking when
+# method='auto'; above it the treewidth DP takes over.
+_AUTO_BRUTE_LIMIT = 5
+
+
+def count_homomorphisms(
+    pattern: Graph,
+    target: Graph,
+    method: Method = "auto",
+    allowed: Mapping[Vertex, frozenset] | None = None,
+) -> int:
+    """``|Hom(pattern, target)|``, optionally restricted by ``allowed``.
+
+    Parameters
+    ----------
+    method:
+        ``'brute'`` forces backtracking, ``'dp'`` forces the treewidth DP,
+        ``'auto'`` (default) picks by pattern size.
+    allowed:
+        Optional per-pattern-vertex candidate sets (colour restrictions).
+    """
+    if method == "brute":
+        return count_homomorphisms_brute(pattern, target, allowed=allowed)
+    if method == "dp":
+        return count_homomorphisms_dp(pattern, target, allowed=allowed)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if pattern.num_vertices() <= _AUTO_BRUTE_LIMIT:
+        return count_homomorphisms_brute(pattern, target, allowed=allowed)
+    return count_homomorphisms_dp(pattern, target, allowed=allowed)
+
+
+def hom_vector(
+    patterns: list[Graph],
+    target: Graph,
+    method: Method = "auto",
+) -> tuple[int, ...]:
+    """The homomorphism-count profile of ``target`` over ``patterns``.
+
+    Profiles over graph classes are how homomorphism indistinguishability
+    (Section 5.1) is decided in practice.
+    """
+    return tuple(count_homomorphisms(p, target, method=method) for p in patterns)

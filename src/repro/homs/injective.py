@@ -1,0 +1,69 @@
+"""Injective homomorphism counting via Möbius inversion.
+
+The classical identity over the partition lattice of ``V(H)``:
+
+``|Inj(H, G)| = Σ_P μ(0̂, P) · |Hom(H/P, G)|``
+
+where ``H/P`` identifies each block of the partition ``P`` and
+``μ(0̂, P) = ∏_B (-1)^{|B|-1}(|B|-1)!``.  Quotients that merge two adjacent
+vertices would create a self-loop; a simple graph admits no homomorphism
+from a looped pattern, so those partitions contribute zero and are skipped.
+
+This is the engine behind the dominating-set corollary (Corollary 68), which
+needs injective *answers* to the k-star query — see
+:mod:`repro.core.dominating`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import quotient
+from repro.homs.brute_force import enumerate_homomorphisms
+from repro.homs.counting import Method, count_homomorphisms
+from repro.utils import partition_moebius, set_partitions
+
+
+def count_injective_homomorphisms(
+    pattern: Graph,
+    target: Graph,
+    method: Method = "auto",
+) -> int:
+    """``|Inj(pattern, target)|`` by partition-lattice Möbius inversion."""
+    total = 0
+    for partition in set_partitions(pattern.vertices()):
+        try:
+            quotient_graph = quotient(pattern, partition)
+        except GraphError:
+            # A block contains two adjacent vertices: the quotient would have
+            # a self-loop, hence no homomorphisms into a simple graph.
+            continue
+        total += partition_moebius(partition) * count_homomorphisms(
+            quotient_graph, target, method=method,
+        )
+    return total
+
+
+def count_injective_homomorphisms_brute(pattern: Graph, target: Graph) -> int:
+    """Reference implementation: filter the full enumeration for injectivity."""
+    count = 0
+    for hom in enumerate_homomorphisms(pattern, target):
+        if len(set(hom.values())) == len(hom):
+            count += 1
+    return count
+
+
+def count_subgraph_embeddings(pattern: Graph, target: Graph) -> int:
+    """Number of subgraphs of ``target`` isomorphic to ``pattern``.
+
+    ``|Sub| = |Inj| / |Aut(pattern)|``.
+    """
+    from repro.graphs.isomorphism import automorphism_count
+
+    injective = count_injective_homomorphisms(pattern, target)
+    automorphisms = automorphism_count(pattern)
+    if injective % automorphisms != 0:
+        raise AssertionError(
+            "injective count must be divisible by the automorphism count",
+        )
+    return injective // automorphisms

@@ -1,0 +1,31 @@
+"""Knowledge-graph extension (Section 1.3, remark (C))."""
+
+from repro.kg.kgraph import (
+    KnowledgeGraph,
+    count_kg_homomorphisms,
+    enumerate_kg_homomorphisms,
+    kg_colour_refinement,
+    kg_wl_1_equivalent,
+)
+from repro.kg.queries import (
+    KgQuery,
+    count_kg_answers,
+    enumerate_kg_answers,
+    kg_extension_graph,
+    kg_extension_width,
+    kg_query_from_triples,
+)
+
+__all__ = [
+    "KgQuery",
+    "KnowledgeGraph",
+    "count_kg_answers",
+    "count_kg_homomorphisms",
+    "enumerate_kg_answers",
+    "enumerate_kg_homomorphisms",
+    "kg_colour_refinement",
+    "kg_extension_graph",
+    "kg_extension_width",
+    "kg_query_from_triples",
+    "kg_wl_1_equivalent",
+]

@@ -1,0 +1,113 @@
+"""Conjunctive queries over knowledge graphs and their width measures.
+
+A KG conjunctive query is a pair ``(P, X)``: a pattern knowledge graph and
+a set of free variables.  Answers are assignments of the free variables
+extendable to KG homomorphisms (the exact analogue of Definition 8).
+
+Widths are measured on the Gaifman graph of the pattern, with the
+extension-graph construction lifted verbatim: components of the quantified
+part that attach to several free variables induce cliques.  Remark (C) of
+the paper states the WL-dimension analysis carries over; the tests validate
+the upper-bound side on labelled CFI-style instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.kg.kgraph import (
+    KnowledgeGraph,
+    Vertex,
+    enumerate_kg_homomorphisms,
+)
+from repro.treewidth.exact import treewidth
+
+
+@dataclass(frozen=True)
+class KgQuery:
+    """A conjunctive query ``(P, X)`` over knowledge graphs."""
+
+    pattern: KnowledgeGraph
+    free_variables: frozenset
+
+    def __init__(
+        self,
+        pattern: KnowledgeGraph,
+        free_variables: Iterable[Vertex],
+    ) -> None:
+        free = frozenset(free_variables)
+        missing = free - set(pattern.vertices())
+        if missing:
+            raise QueryError(f"free variables not in pattern: {missing!r}")
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "free_variables", free)
+
+    @property
+    def quantified_variables(self) -> frozenset:
+        return frozenset(set(self.pattern.vertices()) - self.free_variables)
+
+    def is_connected(self) -> bool:
+        return self.pattern.is_connected()
+
+
+def enumerate_kg_answers(
+    query: KgQuery,
+    target: KnowledgeGraph,
+) -> Iterator[dict]:
+    """Assignments of the free variables extendable to KG homomorphisms."""
+    free = sorted(query.free_variables, key=repr)
+    if not free:
+        for _ in enumerate_kg_homomorphisms(query.pattern, target):
+            yield {}
+            return
+        return
+
+    from itertools import product
+
+    for images in product(target.vertices(), repeat=len(free)):
+        assignment = dict(zip(free, images))
+        for _ in enumerate_kg_homomorphisms(query.pattern, target, fixed=assignment):
+            yield assignment
+            break
+
+
+def count_kg_answers(query: KgQuery, target: KnowledgeGraph) -> int:
+    return sum(1 for _ in enumerate_kg_answers(query, target))
+
+
+def kg_extension_graph(query: KgQuery):
+    """Γ(P, X) on the Gaifman graph of the pattern."""
+    gaifman = query.pattern.gaifman_graph()
+    quantified = query.quantified_variables
+    gamma = gaifman.copy()
+    if quantified:
+        for component in gaifman.induced_subgraph(quantified).connected_components():
+            attachment = sorted(
+                set(gaifman.neighbourhood_of_set(component)) & query.free_variables,
+                key=repr,
+            )
+            for i, u in enumerate(attachment):
+                for v in attachment[i + 1:]:
+                    if not gamma.has_edge(u, v):
+                        gamma.add_edge(u, v)
+    return gamma
+
+
+def kg_extension_width(query: KgQuery) -> int:
+    """``ew(P, X) = tw(Γ(P, X))`` — the upper bound on the WL-dimension of
+    the KG query (remark (C))."""
+    return treewidth(kg_extension_graph(query))
+
+
+def kg_query_from_triples(
+    triples: Iterable[tuple],
+    free_variables: Iterable[Vertex],
+    vertex_labels: dict | None = None,
+) -> KgQuery:
+    """Build a query pattern from ``(source, label, target)`` atoms."""
+    pattern = KnowledgeGraph(vertices=vertex_labels or {}, triples=triples)
+    for free in free_variables:
+        pattern.add_vertex(free)
+    return KgQuery(pattern, free_variables)

@@ -1,0 +1,232 @@
+"""First-order logic with counting quantifiers (characterisation (II)).
+
+``G ≅_k G'`` iff no sentence of ``C^{k+1}`` — first-order logic with
+counting quantifiers ``∃^{≥m} x`` using at most ``k + 1`` variables —
+distinguishes the graphs (Immerman–Lander / Cai–Fürer–Immerman).
+
+The AST supports the full fragment over the edge relation:
+
+* atoms ``E(x, y)`` and ``x = y``;
+* boolean connectives ``¬, ∧, ∨``;
+* counting quantifiers ``∃^{≥m} x. φ`` (plain ``∃`` is ``m = 1``; ``∀`` is
+  derived).
+
+Variables are *names*, and the variable **width** of a formula is the
+number of distinct names — re-quantifying a name does not cost a fresh
+variable, matching the logic's definition.  Evaluation is the direct
+semantics, exponential in the quantifier depth but exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.graphs.graph import Graph, Vertex
+
+
+class Formula:
+    """Base class; subclasses are immutable dataclasses."""
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        """All variable names occurring (free or bound)."""
+        raise NotImplementedError
+
+    def free_variables(self) -> frozenset:
+        raise NotImplementedError
+
+    def width(self) -> int:
+        """Number of distinct variable names — the ``k`` of ``C^k``."""
+        return len(self.variables())
+
+    def holds_in(self, graph: Graph) -> bool:
+        """Evaluate a sentence (no free variables)."""
+        free = self.free_variables()
+        if free:
+            raise ValueError(f"not a sentence; free variables {sorted(free)}")
+        return self.evaluate(graph, {})
+
+    # connective sugar -------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Edge(Formula):
+    """``E(left, right)``."""
+
+    left: str
+    right: str
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        return graph.has_edge(assignment[self.left], assignment[self.right])
+
+    def variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_variables(self) -> frozenset:
+        return self.variables()
+
+    def __str__(self) -> str:
+        return f"E({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Equal(Formula):
+    """``left = right``."""
+
+    left: str
+    right: str
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        return assignment[self.left] == assignment[self.right]
+
+    def variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_variables(self) -> frozenset:
+        return self.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The always-true formula."""
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        return True
+
+    def variables(self) -> frozenset:
+        return frozenset()
+
+    def free_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        return not self.operand.evaluate(graph, assignment)
+
+    def variables(self) -> frozenset:
+        return self.operand.variables()
+
+    def free_variables(self) -> frozenset:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        return self.left.evaluate(graph, assignment) and self.right.evaluate(
+            graph, assignment,
+        )
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def free_variables(self) -> frozenset:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        return self.left.evaluate(graph, assignment) or self.right.evaluate(
+            graph, assignment,
+        )
+
+    def variables(self) -> frozenset:
+        return self.left.variables() | self.right.variables()
+
+    def free_variables(self) -> frozenset:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class CountExists(Formula):
+    """``∃^{≥ threshold} variable. body``."""
+
+    variable: str
+    threshold: int
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("counting threshold must be >= 1")
+
+    def evaluate(self, graph: Graph, assignment: Mapping[str, Vertex]) -> bool:
+        satisfied = 0
+        extended = dict(assignment)
+        for vertex in graph.vertices():
+            extended[self.variable] = vertex
+            if self.body.evaluate(graph, extended):
+                satisfied += 1
+                if satisfied >= self.threshold:
+                    return True
+        return False
+
+    def variables(self) -> frozenset:
+        return self.body.variables() | {self.variable}
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        marker = "" if self.threshold == 1 else f"^≥{self.threshold}"
+        return f"∃{marker}{self.variable}. {self.body}"
+
+
+def exists(variable: str, body: Formula) -> Formula:
+    """Plain existential quantifier: ``∃^{≥1}``."""
+    return CountExists(variable, 1, body)
+
+
+def count_exists(variable: str, threshold: int, body: Formula) -> Formula:
+    return CountExists(variable, threshold, body)
+
+
+def forall(variable: str, body: Formula) -> Formula:
+    """``∀x. φ ≡ ¬∃x. ¬φ`` — costs no extra variable."""
+    return Not(CountExists(variable, 1, Not(body)))
+
+
+def exact_count(variable: str, count: int, body: Formula) -> Formula:
+    """``∃^{=count} x. φ`` as ``∃^{≥count} ∧ ¬∃^{≥count+1}`` (``count ≥ 0``)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    upper = Not(CountExists(variable, count + 1, body))
+    if count == 0:
+        return upper
+    return And(CountExists(variable, count, body), upper)

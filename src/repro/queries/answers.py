@@ -1,0 +1,381 @@
+"""Counting and enumerating answers to conjunctive queries.
+
+``Ans((H, X), G)`` is the set of assignments ``a : X → V(G)`` extendable to
+a homomorphism ``H → G`` (Definition 8).  Three counting routes:
+
+1. brute force — enumerate candidate assignments, check extendability by
+   backtracking (the reference implementation);
+2. projection — enumerate all homomorphisms and project to ``X`` (fast when
+   ``Hom`` is small);
+3. interpolation (Lemma 22 / Observation 23) — recover ``|Ans|`` from the
+   homomorphism counts ``|Hom(F_ℓ(H,X), G)|``, which are power sums
+   ``p_ℓ = Σ_σ |Ext(σ)|^ℓ`` over the answers ``σ``.  The adaptive solver
+   finds the distinct extension-set sizes via exact Hankel-rank detection
+   (Prony's method over ℚ) and reads off ``|Ans|`` as the sum of
+   multiplicities.  This is the computational content of the paper's upper
+   bound: answers are a finite linear combination of homomorphism counts
+   from graphs of treewidth ≤ ew(H, X).
+
+Colour-restricted answer sets (Definition 36: ``Ans_τ``) and
+colour-prescribed answers (Definition 48: ``cpAns``) are also provided; they
+drive the lower-bound experiments.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Iterator, Mapping
+
+from repro.errors import QueryError
+from repro.graphs.graph import Graph, Vertex
+from repro.homs.brute_force import (
+    count_homomorphisms_brute,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+)
+from repro.homs.counting import count_homomorphisms
+from repro.queries.extension import ell_copy, gamma_map
+from repro.queries.query import ConjunctiveQuery
+from repro.utils import matrix_rank_exact, solve_linear_system_exact
+
+Assignment = dict[Vertex, Vertex]
+
+
+# ----------------------------------------------------------------------
+# direct enumeration
+# ----------------------------------------------------------------------
+def enumerate_answers(
+    query: ConjunctiveQuery,
+    target: Graph,
+    allowed: Mapping[Vertex, frozenset] | None = None,
+) -> Iterator[Assignment]:
+    """Yield every answer ``a : X → V(G)``, optionally restricted to
+    ``a(x) ∈ allowed[x]``.
+
+    The extension check reuses the homomorphism backtracker with the answer
+    as a fixed partial assignment.
+    """
+    free = sorted(query.free_variables, key=repr)
+    if not free:
+        # Boolean query: the single empty assignment is an answer iff a
+        # homomorphism exists.
+        if exists_homomorphism(query.graph, target):
+            yield {}
+        return
+
+    domains = []
+    for x in free:
+        pool = target.vertices()
+        if allowed is not None and x in allowed:
+            pool = [w for w in pool if w in allowed[x]]
+        domains.append(pool)
+
+    for images in product(*domains):
+        assignment = dict(zip(free, images))
+        if exists_homomorphism(query.graph, target, fixed=assignment):
+            yield assignment
+
+
+def count_answers(query: ConjunctiveQuery, target: Graph) -> int:
+    """``|Ans((H, X), G)|`` by direct enumeration."""
+    return sum(1 for _ in enumerate_answers(query, target))
+
+
+def count_answers_by_projection(query: ConjunctiveQuery, target: Graph) -> int:
+    """``|Ans|`` as the number of distinct projections of homomorphisms."""
+    free = sorted(query.free_variables, key=repr)
+    projections = {
+        tuple(hom[x] for x in free)
+        for hom in enumerate_homomorphisms(query.graph, target)
+    }
+    return len(projections)
+
+
+# ----------------------------------------------------------------------
+# colour-restricted answers (Definitions 36 and 48)
+# ----------------------------------------------------------------------
+def count_answers_tau(
+    query: ConjunctiveQuery,
+    target: Graph,
+    colouring: Mapping[Vertex, Vertex],
+    tau: Mapping[Vertex, Vertex],
+) -> int:
+    """``|Ans_τ((H,X), (G, c))|``: answers with ``c(a(x)) = τ(x)`` on ``X``.
+
+    Only the *answer* is colour-constrained; extensions are free
+    (Definition 36, first form).
+    """
+    classes: dict[Vertex, set[Vertex]] = {}
+    for w in target.vertices():
+        classes.setdefault(colouring[w], set()).add(w)
+    allowed = {
+        x: frozenset(classes.get(tau[x], ())) for x in query.free_variables
+    }
+    return sum(1 for _ in enumerate_answers(query, target, allowed=allowed))
+
+
+def count_answers_id(
+    query: ConjunctiveQuery,
+    target: Graph,
+    colouring: Mapping[Vertex, Vertex],
+) -> int:
+    """``|Ans_id|``: answers with ``c(a(x)) = x`` for every free ``x``."""
+    identity = {x: x for x in query.free_variables}
+    return count_answers_tau(query, target, colouring, identity)
+
+
+def enumerate_cp_answers(
+    query: ConjunctiveQuery,
+    target: Graph,
+    colouring: Mapping[Vertex, Vertex],
+) -> Iterator[Assignment]:
+    """``cpAns((H,X),(G,c))`` (Definition 48): projections of
+    colour-*prescribed* homomorphisms (every variable lands in its own
+    colour class)."""
+    classes: dict[Vertex, set[Vertex]] = {}
+    for w in target.vertices():
+        classes.setdefault(colouring[w], set()).add(w)
+    allowed = {
+        v: frozenset(classes.get(v, ())) for v in query.graph.vertices()
+    }
+    free = sorted(query.free_variables, key=repr)
+    seen: set[tuple] = set()
+    for hom in enumerate_homomorphisms(query.graph, target, allowed=allowed):
+        key = tuple(hom[x] for x in free)
+        if key not in seen:
+            seen.add(key)
+            yield {x: hom[x] for x in free}
+
+
+def count_cp_answers(
+    query: ConjunctiveQuery,
+    target: Graph,
+    colouring: Mapping[Vertex, Vertex],
+) -> int:
+    """``|cpAns((H,X), (G, c))|``."""
+    return sum(1 for _ in enumerate_cp_answers(query, target, colouring))
+
+
+# ----------------------------------------------------------------------
+# extension profiles and interpolation (Lemma 22)
+# ----------------------------------------------------------------------
+def extension_counts(query: ConjunctiveQuery, target: Graph) -> list[int]:
+    """For each answer ``σ``, the size ``|Ext(σ)|`` of its extension set.
+
+    ``Ext(σ) = {ρ : Y → V(G) | σ ∪ ρ ∈ Hom(H, G)}`` — the quantities whose
+    power sums the interpolation argument manipulates.
+    """
+    counts: list[int] = []
+    for answer in enumerate_answers(query, target):
+        extensions = count_homomorphisms_brute(
+            query.graph, target, fixed=answer,
+        )
+        counts.append(extensions)
+    return counts
+
+
+def hom_count_of_ell_copy(
+    query: ConjunctiveQuery,
+    target: Graph,
+    ell: int,
+    method: str = "auto",
+) -> int:
+    """``p_ℓ = |Hom(F_ℓ(H, X), G)|``."""
+    pattern, _ = ell_copy(query, ell)
+    return count_homomorphisms(pattern, target, method=method)
+
+
+def _hankel_rank(power_sums: list[int], dimension: int) -> int:
+    """Rank of the Hankel matrix ``[p_{1+i+j}]_{i,j < dimension}``."""
+    matrix = [
+        [power_sums[i + j] for j in range(dimension)] for i in range(dimension)
+    ]
+    return matrix_rank_exact(matrix)
+
+
+def count_answers_by_interpolation(
+    query: ConjunctiveQuery,
+    target: Graph,
+    method: str = "auto",
+    max_distinct: int | None = None,
+) -> int:
+    """``|Ans|`` from homomorphism counts of ℓ-copies alone (Lemma 22).
+
+    Writes ``p_ℓ = Σ_i m_i x_i^ℓ`` with distinct extension sizes ``x_i ≥ 1``
+    and multiplicities ``m_i ≥ 1``, then:
+
+    1. find ``d`` = number of distinct sizes via exact Hankel rank;
+    2. recover the sizes as the integer roots of the Prony polynomial;
+    3. solve a Vandermonde system for the multiplicities;
+    4. ``|Ans| = Σ_i m_i``.
+
+    Every step is exact rational arithmetic.  ``max_distinct`` caps step 1
+    (default: a bound implied by ``p_1``).
+    """
+    if query.is_full():
+        # No existential variables: answers are homomorphisms.
+        return count_homomorphisms(query.graph, target, method=method)
+    if not query.free_variables:
+        raise QueryError(
+            "interpolation requires at least one free variable; Boolean "
+            "queries reduce to homomorphism existence",
+        )
+
+    p1 = hom_count_of_ell_copy(query, target, 1, method=method)
+    if p1 == 0:
+        return 0
+    # Each answer contributes x_i >= 1 to p1, so there are at most p1
+    # answers and at most p1 distinct sizes.
+    cap = p1 if max_distinct is None else min(max_distinct, p1)
+
+    power_sums = [p1]
+
+    def extend_to(length: int) -> None:
+        while len(power_sums) < length:
+            power_sums.append(
+                hom_count_of_ell_copy(
+                    query, target, len(power_sums) + 1, method=method,
+                ),
+            )
+
+    distinct = None
+    for d in range(1, cap + 1):
+        extend_to(2 * d)
+        if _hankel_rank(power_sums, d) < d:
+            distinct = d - 1
+            break
+    if distinct is None:
+        distinct = cap
+
+    if distinct == 0:
+        return 0
+
+    extend_to(2 * distinct)
+    # Prony: find the monic polynomial λ^d - c_{d-1} λ^{d-1} - … - c_0 whose
+    # roots are the distinct sizes; coefficients solve a Hankel system.
+    if distinct == 1:
+        # p2/p1 = x; guard against needing p2 when d == 1.
+        extend_to(2)
+        size = Fraction(power_sums[1], power_sums[0])
+        if size.denominator != 1:
+            raise AssertionError("extension sizes must be integers")
+        multiplicity = Fraction(power_sums[0], size)
+        if multiplicity.denominator != 1:
+            raise AssertionError("multiplicities must be integers")
+        return int(multiplicity)
+
+    matrix = [
+        [power_sums[i + j] for j in range(distinct)] for i in range(distinct)
+    ]
+    rhs = [power_sums[distinct + i] for i in range(distinct)]
+    coefficients = solve_linear_system_exact(matrix, rhs)
+
+    def poly(value: int) -> Fraction:
+        total = Fraction(value) ** distinct
+        for j, coefficient in enumerate(coefficients):
+            total -= coefficient * Fraction(value) ** j
+        return total
+
+    roots = [x for x in range(1, p1 + 1) if poly(x) == 0]
+    if len(roots) != distinct:
+        raise AssertionError(
+            f"expected {distinct} integer roots, found {len(roots)}",
+        )
+
+    vandermonde = [[Fraction(x) ** ell for x in roots] for ell in range(1, distinct + 1)]
+    multiplicities = solve_linear_system_exact(
+        vandermonde, power_sums[:distinct],
+    )
+    total = Fraction(0)
+    for multiplicity in multiplicities:
+        if multiplicity.denominator != 1 or multiplicity < 0:
+            raise AssertionError("multiplicities must be non-negative integers")
+        total += multiplicity
+    return int(total)
+
+
+def hom_combination_for_answers(
+    query: ConjunctiveQuery,
+    target: Graph,
+) -> list[tuple[Fraction, int]]:
+    """Observation 23, literally: weights ``w_ℓ`` with
+    ``|Ans((H,X), G)| = Σ_ℓ w_ℓ · |Hom(F_ℓ(H,X), G)|``.
+
+    With distinct extension sizes ``x_1 < … < x_d`` (recovered as in
+    :func:`count_answers_by_interpolation`), the weights solve
+    ``Σ_ℓ w_ℓ x^ℓ = 1`` for every ``x = x_i`` — a transposed Vandermonde
+    system over ``ℓ = 1..d``.  Since the ``F_ℓ`` have treewidth ≤ ew(H,X)
+    (Lemma 16), this exhibits the answer count as a finite rational
+    combination of bounded-treewidth homomorphism counts — the upper-bound
+    mechanism of Theorem 21 and the GNN result.
+
+    Returns ``[(w_1, 1), …, (w_d, d)]``; empty when there are no answers.
+    """
+    if not query.free_variables:
+        raise QueryError("Observation 23 requires at least one free variable")
+    profile = sorted(set(extension_counts(query, target)))
+    if not profile:
+        return []
+    matrix = [[Fraction(x) ** ell for ell in range(1, len(profile) + 1)] for x in profile]
+    weights = solve_linear_system_exact(matrix, [1] * len(profile))
+    return [(weight, ell) for ell, weight in enumerate(weights, start=1)]
+
+
+def evaluate_hom_combination(
+    query: ConjunctiveQuery,
+    target: Graph,
+    combination: list[tuple[Fraction, int]],
+) -> Fraction:
+    """``Σ_ℓ w_ℓ |Hom(F_ℓ, G)|`` for a combination from
+    :func:`hom_combination_for_answers`."""
+    total = Fraction(0)
+    for weight, ell in combination:
+        total += weight * hom_count_of_ell_copy(query, target, ell)
+    return total
+
+
+def power_sum_identity_check(
+    query: ConjunctiveQuery,
+    target: Graph,
+    max_ell: int,
+) -> bool:
+    """Verify ``|Hom(F_ℓ, G)| = Σ_σ |Ext(σ)|^ℓ`` for ``ℓ = 1..max_ell`` —
+    the identity at the heart of Lemma 22."""
+    profile = extension_counts(query, target)
+    for ell in range(1, max_ell + 1):
+        direct = hom_count_of_ell_copy(query, target, ell)
+        predicted = sum(size ** ell for size in profile)
+        if direct != predicted:
+            return False
+    return True
+
+
+def answers_of_gamma_colouring(
+    query: ConjunctiveQuery,
+    target: Graph,
+    f_colouring: Mapping[Vertex, Vertex],
+    ell: int,
+    tau: Mapping[Vertex, Vertex],
+) -> int:
+    """``|Ans_τ((H,X),(G, ĉ))|`` for an F-colouring ĉ (Definition 36, second
+    form): the answer colour is read through ``γ ∘ ĉ``."""
+    _, gamma = ell_copy(query, ell)
+    composed = {w: gamma[f_colouring[w]] for w in target.vertices()}
+    return count_answers_tau(query, target, composed, tau)
+
+
+def gamma_pi_colouring(
+    query: ConjunctiveQuery,
+    ell: int,
+    cfi: Graph,
+) -> dict[Vertex, Vertex]:
+    """The H-colouring ``c = γ(π₁(·))`` of a CFI graph over ``F_ℓ(H, X)``
+    (Observation 39)."""
+    _, gamma = ell_copy(query, ell)
+    return {vertex: gamma[vertex[0]] for vertex in cfi.vertices()}
+
+
+def gamma_of_query(query: ConjunctiveQuery, ell: int) -> dict[Vertex, Vertex]:
+    """Convenience re-export of the γ map (Definition 14)."""
+    return gamma_map(query, ell)

@@ -1,0 +1,129 @@
+"""Extension graphs, extension width, and ℓ-copies (Definitions 11-14).
+
+* ``Γ(H, X)`` adds an edge between free variables ``u ≠ v`` whenever some
+  connected component of ``H[Y]`` is adjacent to both — the "virtual
+  cliques" that existential islands induce on their attachment sets.
+* ``ew(H, X) = tw(Γ(H, X))`` (Definition 11).
+* ``sew(H, X)`` = extension width of the counting-minimal representative
+  (Definition 12) — the quantity Theorem 1 equates with the WL-dimension.
+* ``F_ℓ(H, X)`` clones every quantified variable ℓ times (Definition 13);
+  Corollary 18 characterises ``ew`` as ``max_ℓ tw(F_ℓ)``.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph, Vertex
+from repro.queries.query import ConjunctiveQuery
+from repro.treewidth.exact import treewidth
+
+
+def extension_graph(query: ConjunctiveQuery) -> Graph:
+    """``Γ(H, X)`` (Definition 11)."""
+    gamma = query.graph.copy()
+    free = query.free_variables
+    for component in query.quantified_components():
+        attachment = sorted(query.component_attachment(component), key=repr)
+        for i, u in enumerate(attachment):
+            for v in attachment[i + 1:]:
+                if not gamma.has_edge(u, v):
+                    gamma.add_edge(u, v)
+    del free
+    return gamma
+
+
+def extension_width(query: ConjunctiveQuery) -> int:
+    """``ew(H, X) = tw(Γ(H, X))``."""
+    return treewidth(extension_graph(query))
+
+
+def contract_graph(query: ConjunctiveQuery) -> Graph:
+    """The *contract* ``Γ(H,X)[X]`` used in Corollary 4's proof
+    (Dell–Roth–Wellnitz, Definition 8 there)."""
+    return extension_graph(query).induced_subgraph(query.free_variables)
+
+
+def semantic_extension_width(query: ConjunctiveQuery) -> int:
+    """``sew(H, X)`` (Definition 12): ew of the counting-minimal core."""
+    from repro.queries.minimality import counting_minimal_core
+
+    return extension_width(counting_minimal_core(query))
+
+
+def ell_copy(
+    query: ConjunctiveQuery,
+    ell: int,
+) -> tuple[Graph, dict[Vertex, Vertex]]:
+    """``F_ℓ(H, X)`` and the natural homomorphism ``γ : F_ℓ → H``
+    (Definitions 13-14).
+
+    Vertices: ``X ∪ (Y × [ℓ])`` with ``(y, i)`` the i-th clone of ``y``.
+    Edges:   X-X edges kept; X-Y edges to every clone; Y-Y edges within
+    each copy index only.
+    """
+    if ell < 1:
+        raise ValueError("ell must be a positive integer")
+    free = query.free_variables
+    quantified = query.quantified_variables
+
+    result = Graph(vertices=list(free))
+    gamma: dict[Vertex, Vertex] = {x: x for x in free}
+    for y in quantified:
+        for i in range(1, ell + 1):
+            clone = (y, i)
+            result.add_vertex(clone)
+            gamma[clone] = y
+
+    for u, v in query.graph.edges():
+        u_free = u in free
+        v_free = v in free
+        if u_free and v_free:
+            result.add_edge(u, v)
+        elif u_free and not v_free:
+            for i in range(1, ell + 1):
+                result.add_edge(u, (v, i))
+        elif not u_free and v_free:
+            for i in range(1, ell + 1):
+                result.add_edge((u, i), v)
+        else:
+            for i in range(1, ell + 1):
+                result.add_edge((u, i), (v, i))
+    return result, gamma
+
+
+def gamma_map(query: ConjunctiveQuery, ell: int) -> dict[Vertex, Vertex]:
+    """Just the γ homomorphism of Definition 14."""
+    return ell_copy(query, ell)[1]
+
+
+def extension_width_via_ell_copies(
+    query: ConjunctiveQuery,
+    max_ell: int | None = None,
+) -> int:
+    """``ew(H, X) = max_ℓ tw(F_ℓ(H, X))`` (Corollary 18).
+
+    Lemma 17's proof shows saturation by ``ℓ = |V(H)| + 2``; we sweep up to
+    that bound (or ``max_ell``).  Used as a cross-check of
+    :func:`extension_width` in tests and experiment E1.
+    """
+    bound = max_ell if max_ell is not None else query.num_variables() + 2
+    best = 0
+    for ell in range(1, bound + 1):
+        best = max(best, treewidth(ell_copy(query, ell)[0]))
+    return best
+
+
+def saturating_odd_ell(query: ConjunctiveQuery, width: int | None = None) -> int:
+    """Smallest odd ℓ with ``tw(F_ℓ) = ew(H, X)`` — the parameter the
+    lower-bound witness construction needs (Theorem 24's proof requires an
+    odd ℓ achieving the maximum)."""
+    target = width if width is not None else extension_width(query)
+    bound = query.num_variables() + 3
+    ell = 1
+    while ell <= bound:
+        if treewidth(ell_copy(query, ell)[0]) >= target:
+            return ell
+        ell += 2
+    raise AssertionError(
+        "no saturating odd ell within the Lemma 17 bound — this contradicts "
+        "Corollary 18 and indicates a bug",
+    )

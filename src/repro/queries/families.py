@@ -1,0 +1,148 @@
+"""Query families used in the paper and in the experiments.
+
+The k-star query (Definition 66) is the running example: acyclic
+(treewidth 1) yet of semantic extension width ``k``, witnessing that
+treewidth alone does not govern the WL-dimension (Corollary 61).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import QueryError
+from repro.graphs.graph import Graph
+from repro.queries.query import ConjunctiveQuery, query_from_atoms
+
+
+def star_query(k: int) -> ConjunctiveQuery:
+    """The k-star ``(S_k, X_k)``: free ``x1..xk`` sharing a quantified
+    neighbour ``y`` (Definition 66).  ``sew = k``."""
+    if k < 1:
+        raise QueryError("star queries need k >= 1")
+    atoms = [(f"x{i}", "y") for i in range(1, k + 1)]
+    return query_from_atoms(atoms, [f"x{i}" for i in range(1, k + 1)])
+
+
+def path_query(num_vertices: int, num_free_prefix: int) -> ConjunctiveQuery:
+    """A path ``v1 - v2 - … - vn`` with the first ``num_free_prefix``
+    vertices free.  Treewidth 1; extension width depends on how the
+    quantified suffix attaches."""
+    if not 0 <= num_free_prefix <= num_vertices:
+        raise QueryError("free prefix must be between 0 and the path length")
+    atoms = [(f"v{i}", f"v{i+1}") for i in range(1, num_vertices)]
+    free = [f"v{i}" for i in range(1, num_free_prefix + 1)]
+    return query_from_atoms(atoms, free, extra_variables=["v1"] if num_vertices == 1 else ())
+
+
+def path_endpoints_query(internal: int) -> ConjunctiveQuery:
+    """Two free endpoints joined by a path of ``internal`` quantified
+    vertices: "are the images at walk-distance internal+1?"."""
+    total = internal + 2
+    atoms = [(f"v{i}", f"v{i+1}") for i in range(1, total)]
+    return query_from_atoms(atoms, ["v1", f"v{total}"])
+
+
+def cycle_query(length: int, num_free: int) -> ConjunctiveQuery:
+    """A cycle of given length with a contiguous block of free variables."""
+    if length < 3:
+        raise QueryError("cycles need length >= 3")
+    if not 0 <= num_free <= length:
+        raise QueryError("num_free out of range")
+    atoms = [(f"v{i}", f"v{(i % length) + 1}") for i in range(1, length + 1)]
+    return query_from_atoms(atoms, [f"v{i}" for i in range(1, num_free + 1)])
+
+
+def clique_query(size: int, num_free: int) -> ConjunctiveQuery:
+    """A clique with a chosen number of free variables."""
+    if not 0 <= num_free <= size:
+        raise QueryError("num_free out of range")
+    atoms = [
+        (f"v{i}", f"v{j}")
+        for i in range(1, size + 1)
+        for j in range(i + 1, size + 1)
+    ]
+    return query_from_atoms(atoms, [f"v{i}" for i in range(1, num_free + 1)])
+
+
+def full_query_from_graph(graph: Graph) -> ConjunctiveQuery:
+    """The full CQ of a graph: ``X = V(H)``, so answers = homomorphisms."""
+    return ConjunctiveQuery(graph, graph.vertices())
+
+
+def boolean_query_from_graph(graph: Graph) -> ConjunctiveQuery:
+    """The Boolean CQ of a graph: ``X = ∅``."""
+    return ConjunctiveQuery(graph, ())
+
+
+def double_star_query(left: int, right: int) -> ConjunctiveQuery:
+    """Two stars whose centres are adjacent quantified variables: ``left``
+    free leaves on one centre, ``right`` on the other.  Exercises multiple
+    components of Γ-cliques through a single H[Y] component."""
+    atoms = [("yL", "yR")]
+    atoms += [(f"a{i}", "yL") for i in range(1, left + 1)]
+    atoms += [(f"b{i}", "yR") for i in range(1, right + 1)]
+    free = [f"a{i}" for i in range(1, left + 1)] + [
+        f"b{i}" for i in range(1, right + 1)
+    ]
+    return query_from_atoms(atoms, free)
+
+
+def star_with_redundant_triangle(k: int) -> ConjunctiveQuery:
+    """A k-star with a quantified triangle attached to the centre.
+
+    The triangle admits no homomorphism into the bipartite star, so —
+    unlike the pendant path of :func:`star_with_redundant_path` — it
+    *survives* counting minimisation.  Useful as a counting-minimal,
+    non-acyclic companion to the plain star in the width tests.
+    """
+    base = star_query(k)
+    graph = base.graph.copy()
+    graph.add_edge("y", "t1")
+    graph.add_edge("t1", "t2")
+    graph.add_edge("t2", "t3")
+    graph.add_edge("t3", "t1")
+    return ConjunctiveQuery(graph, base.free_variables)
+
+
+def star_with_redundant_path(k: int, tail: int = 2) -> ConjunctiveQuery:
+    """A k-star with a quantified pendant path of length ``tail`` hanging
+    off the centre.  The path folds back onto the star (map each path
+    vertex alternately to a leaf's image/centre), so the counting core is
+    the plain k-star: ``sew = k`` even though the raw query looks bigger.
+
+    This is the canonical example of ``sew < ew``-style redundancy used in
+    the minimality tests (the paper's remark after Theorem 1 that ``H[Y]``
+    may contain parts that do not influence the answer count).
+    """
+    base = star_query(k)
+    graph = base.graph.copy()
+    previous = "y"
+    for i in range(1, tail + 1):
+        graph.add_edge(previous, f"p{i}")
+        previous = f"p{i}"
+    return ConjunctiveQuery(graph, base.free_variables)
+
+
+def random_query(
+    num_variables: int,
+    num_free: int,
+    edge_probability: float,
+    seed: int | None = None,
+    connected: bool = True,
+) -> ConjunctiveQuery:
+    """A random connected conjunctive query for property-based tests."""
+    if not 0 <= num_free <= num_variables:
+        raise QueryError("num_free out of range")
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(num_variables)]
+    graph = Graph(vertices=names)
+    # Spanning tree for connectivity, then extra random atoms.
+    if connected:
+        for i in range(1, num_variables):
+            graph.add_edge(names[i], names[rng.randrange(i)])
+    for i in range(num_variables):
+        for j in range(i + 1, num_variables):
+            if not graph.has_edge(names[i], names[j]) and rng.random() < edge_probability:
+                graph.add_edge(names[i], names[j])
+    free = rng.sample(names, num_free)
+    return ConjunctiveQuery(graph, free)

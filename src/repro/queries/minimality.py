@@ -1,0 +1,96 @@
+"""Counting equivalence and counting-minimal cores (Definition 9, Lemma 44).
+
+Two queries are *counting equivalent* when they have the same number of
+answers in every graph.  Each equivalence class has a unique (up to query
+isomorphism) minimal representative w.r.t. subgraphs — the *counting core*.
+
+The core is computed by image-shrinking retractions: an endomorphism
+``h : H → H`` whose restriction to ``X`` is a bijection ``X → X`` and whose
+image is a proper subset of ``V(H)`` witnesses that ``(H[h(V)], X)`` is
+counting equivalent to ``(H, X)`` (composing answers' extensions with ``h``
+is a bijection on answer sets up to the ``X``-permutation ``h|X``).
+Iterating to a fixpoint yields a query in which every ``X``-bijective
+endomorphism is an automorphism — exactly the property Lemma 44 states for
+counting-minimal queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graphs.graph import Graph, Vertex
+from repro.homs.brute_force import enumerate_homomorphisms
+from repro.queries.query import ConjunctiveQuery
+
+
+def _x_bijective_endomorphisms(
+    query: ConjunctiveQuery,
+) -> Iterator[dict[Vertex, Vertex]]:
+    """Endomorphisms of ``H`` mapping ``X`` bijectively onto ``X``."""
+    free = query.free_variables
+    allowed = {x: frozenset(free) for x in free}
+    for endo in enumerate_homomorphisms(query.graph, query.graph, allowed=allowed):
+        image_of_free = {endo[x] for x in free}
+        if len(image_of_free) == len(free):
+            yield endo
+
+
+def _shrinking_endomorphism(
+    query: ConjunctiveQuery,
+) -> dict[Vertex, Vertex] | None:
+    """An ``X``-bijective endomorphism with a strictly smaller image, if any."""
+    total = query.num_variables()
+    for endo in _x_bijective_endomorphisms(query):
+        if len(set(endo.values())) < total:
+            return endo
+    return None
+
+
+def counting_minimal_core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The counting-minimal representative of ``query``'s equivalence class.
+
+    The result has the same free-variable set ``X`` (as labels) and an
+    induced subgraph of the original ``H`` as its graph.
+    """
+    current = query
+    while True:
+        endo = _shrinking_endomorphism(current)
+        if endo is None:
+            return current
+        image = set(endo.values())
+        current = ConjunctiveQuery(
+            current.graph.induced_subgraph(image),
+            current.free_variables,
+        )
+
+
+def is_counting_minimal(query: ConjunctiveQuery) -> bool:
+    """No ``X``-bijective endomorphism shrinks the image (Lemma 44's
+    characterisation)."""
+    return _shrinking_endomorphism(query) is None
+
+
+def counting_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Counting equivalence (Definition 9): minimal cores are isomorphic.
+
+    Uses the classification of Chen–Mengel / Dell–Roth–Wellnitz that
+    counting-minimal representatives are unique up to query isomorphism.
+    """
+    return counting_minimal_core(first).is_isomorphic_to(
+        counting_minimal_core(second),
+    )
+
+
+def empirical_counting_equivalent(
+    first: ConjunctiveQuery,
+    second: ConjunctiveQuery,
+    targets: list[Graph],
+) -> bool:
+    """Direct check of Definition 9 on a finite battery of target graphs —
+    a necessary condition used to sanity-test :func:`counting_equivalent`."""
+    from repro.queries.answers import count_answers
+
+    return all(
+        count_answers(first, target) == count_answers(second, target)
+        for target in targets
+    )

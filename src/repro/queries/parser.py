@@ -1,0 +1,148 @@
+"""Textual syntax for conjunctive queries.
+
+Two equivalent forms are accepted:
+
+Datalog style
+    ``q(x1, x2) :- E(x1, y), E(x2, y)``
+
+Logic style
+    ``(x1, x2) exists y : E(x1, y) & E(x2, y)``
+    (``&``, ``,`` and ``∧`` all separate atoms; ``exists``/``∃`` introduces
+    the quantified variables, and may be omitted when there are none)
+
+Head variables are the free variables; every variable that appears only in
+the body is existentially quantified.  The relation symbol must be ``E`` or
+``edge`` (case-insensitive) — the paper's setting has a single binary edge
+relation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.queries.query import ConjunctiveQuery, query_from_atoms
+
+_ATOM_PATTERN = re.compile(
+    r"(?P<rel>[A-Za-z_][A-Za-z_0-9]*)\s*\(\s*(?P<u>[A-Za-z_0-9']+)\s*,\s*(?P<v>[A-Za-z_0-9']+)\s*\)",
+)
+_HEAD_PATTERN = re.compile(
+    r"^\s*(?:[A-Za-z_][A-Za-z_0-9]*)?\s*\(\s*(?P<vars>[^)]*)\s*\)\s*$",
+)
+
+
+def _parse_variable_list(text: str) -> list[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _parse_atoms(body: str) -> list[tuple[str, str]]:
+    atoms: list[tuple[str, str]] = []
+    consumed_spans: list[tuple[int, int]] = []
+    for match in _ATOM_PATTERN.finditer(body):
+        relation = match.group("rel").lower()
+        if relation not in ("e", "edge"):
+            raise ParseError(
+                f"unknown relation {match.group('rel')!r}; only E/edge is supported",
+            )
+        u, v = match.group("u"), match.group("v")
+        if u == v:
+            raise ParseError(f"atom E({u}, {v}) would be a self-loop")
+        atoms.append((u, v))
+        consumed_spans.append(match.span())
+
+    # Everything outside atoms must be separators.
+    leftovers = []
+    cursor = 0
+    for start, end in consumed_spans:
+        leftovers.append(body[cursor:start])
+        cursor = end
+    leftovers.append(body[cursor:])
+    residue = "".join(leftovers)
+    residue = re.sub(r"[\s,&∧]+", "", residue)
+    residue = residue.replace("and", "")
+    if residue:
+        raise ParseError(f"unparsed query text: {residue!r}")
+    return atoms
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query from either accepted syntax."""
+    text = text.strip()
+    if not text:
+        raise ParseError("empty query text")
+
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head_match = _HEAD_PATTERN.match(head_text)
+        if head_match is None:
+            raise ParseError(f"malformed datalog head {head_text!r}")
+        free = _parse_variable_list(head_match.group("vars"))
+        existential: list[str] = []
+    else:
+        # logic style: "(x1, x2) [exists y1, y2 :] atoms"
+        if not text.startswith("("):
+            raise ParseError(
+                "logic-style queries must start with the free-variable tuple",
+            )
+        close = text.index(")")
+        free = _parse_variable_list(text[1:close])
+        body_text = text[close + 1:].strip()
+        existential = []
+        quant_match = re.match(
+            r"^(exists|∃)\s+(?P<vars>[^:]*):",
+            body_text,
+            flags=re.IGNORECASE,
+        )
+        if quant_match:
+            existential = _parse_variable_list(quant_match.group("vars"))
+            body_text = body_text[quant_match.end():]
+
+    atoms = _parse_atoms(body_text)
+    mentioned = {u for u, _ in atoms} | {v for _, v in atoms}
+    if existential:
+        undeclared = mentioned - set(free) - set(existential)
+        if undeclared:
+            raise ParseError(
+                f"variables {sorted(undeclared)!r} are neither free nor quantified",
+            )
+    missing_free = set(free) - mentioned
+    # Isolated free variables are permitted (they just multiply answer counts
+    # by |V(G)|), but we must declare them explicitly as vertices.
+    return query_from_atoms(atoms, free, extra_variables=sorted(missing_free))
+
+
+def parse_union_query(text: str) -> list[ConjunctiveQuery]:
+    """Parse a union of conjunctive queries, disjuncts separated by ``;``.
+
+    All disjuncts must use the same free-variable names (the UCQ
+    convention); the result feeds
+    :func:`repro.core.quantum.union_to_quantum`.
+    """
+    disjuncts = [part.strip() for part in text.split(";") if part.strip()]
+    if not disjuncts:
+        raise ParseError("empty union")
+    queries = [parse_query(part) for part in disjuncts]
+    free_names = {frozenset(map(str, q.free_variables)) for q in queries}
+    if len(free_names) != 1:
+        raise ParseError(
+            "all disjuncts of a union must share the same free variables; "
+            f"got {sorted(map(sorted, free_names))}",
+        )
+    return queries
+
+
+def format_query(query: ConjunctiveQuery, style: str = "logic") -> str:
+    """Render a query in ``'logic'`` or ``'datalog'`` style."""
+    if style == "logic":
+        return query.to_logic_string()
+    if style == "datalog":
+        free = ", ".join(str(x) for x in sorted(query.free_variables, key=repr))
+        atoms = ", ".join(
+            f"E({u}, {v})"
+            for u, v in sorted(query.graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+        )
+        return f"q({free}) :- {atoms}" if atoms else f"q({free}) :-"
+    raise ValueError(f"unknown style {style!r}")

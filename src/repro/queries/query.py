@@ -1,0 +1,210 @@
+"""Conjunctive queries on graphs (Definitions 7-9 and 42).
+
+Following the paper, a conjunctive query is a pair ``(H, X)``: a graph ``H``
+(the variables and atom structure) together with a distinguished vertex set
+``X`` of *free* variables.  ``Y = V(H) \\ X`` are the existentially
+quantified variables.  The logical form
+
+``ϕ(x₁, …, x_k) = ∃ y₁, …, y_ℓ : E(z, z') ∧ …``
+
+corresponds to edges of ``H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.graphs.canonical import canonical_form
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.isomorphism import (
+    find_isomorphism_coloured,
+    isomorphisms_coloured,
+)
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``(H, X)`` over the single edge relation ``E``.
+
+    Instances are value-like: the constructor copies the graph, and the
+    query compares/hashes by a colour-aware canonical form (isomorphism of
+    queries must map free variables to free variables, Definition 8).
+    """
+
+    graph: Graph
+    free_variables: frozenset
+    _canonical: tuple = field(init=False, repr=False, compare=False)
+
+    def __init__(self, graph: Graph, free_variables: Iterable[Vertex]) -> None:
+        free = frozenset(free_variables)
+        missing = free - set(graph.vertices())
+        if missing:
+            raise QueryError(f"free variables not in the graph: {missing!r}")
+        object.__setattr__(self, "graph", graph.copy())
+        object.__setattr__(self, "free_variables", free)
+        colours = {
+            v: ("free" if v in free else "bound") for v in graph.vertices()
+        }
+        object.__setattr__(self, "_canonical", canonical_form(graph, colours))
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def quantified_variables(self) -> frozenset:
+        """``Y = V(H) \\ X``."""
+        return frozenset(set(self.graph.vertices()) - self.free_variables)
+
+    def is_connected(self) -> bool:
+        """Is ``H`` connected (Definition 7)?"""
+        return self.graph.is_connected()
+
+    def is_full(self) -> bool:
+        """Full conjunctive query: no existential variables (``X = V(H)``)."""
+        return not self.quantified_variables
+
+    def is_quantifier_free(self) -> bool:
+        """Alias of :meth:`is_full` using logic terminology."""
+        return self.is_full()
+
+    def is_boolean(self) -> bool:
+        """No free variables (``X = ∅``): counting degenerates to deciding."""
+        return not self.free_variables
+
+    def num_variables(self) -> int:
+        return self.graph.num_vertices()
+
+    def num_atoms(self) -> int:
+        return self.graph.num_edges()
+
+    def quantified_components(self) -> list[frozenset]:
+        """Connected components of ``H[Y]`` — the existential islands whose
+        free-variable neighbourhoods drive the extension graph."""
+        quantified = self.quantified_variables
+        if not quantified:
+            return []
+        return self.graph.induced_subgraph(quantified).connected_components()
+
+    def component_attachment(self, component: Iterable[Vertex]) -> frozenset:
+        """``δ = N(C) ∩ X``: free variables adjacent to the component."""
+        neighbours = self.graph.neighbourhood_of_set(component)
+        return frozenset(neighbours & self.free_variables)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def vertex_colours(self) -> dict[Vertex, str]:
+        """'free'/'bound' labels, the colouring under which query
+        isomorphisms are exactly coloured graph isomorphisms."""
+        return {
+            v: ("free" if v in self.free_variables else "bound")
+            for v in self.graph.vertices()
+        }
+
+    def is_isomorphic_to(self, other: "ConjunctiveQuery") -> bool:
+        """Query isomorphism (Definition 8): isomorphism ``H₁ → H₂`` mapping
+        ``X₁`` onto ``X₂``."""
+        mapping = find_isomorphism_coloured(
+            self.graph,
+            other.graph,
+            self.vertex_colours(),
+            other.vertex_colours(),
+        )
+        return mapping is not None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._canonical == other._canonical
+
+    def __hash__(self) -> int:
+        return hash(self._canonical)
+
+    def canonical_key(self) -> tuple:
+        """A complete isomorphism invariant of the query."""
+        return self._canonical
+
+    # ------------------------------------------------------------------
+    # automorphisms (Definition 42)
+    # ------------------------------------------------------------------
+    def partial_automorphisms(self) -> list[dict[Vertex, Vertex]]:
+        """``Aut(H, X)``: restrictions to ``X`` of automorphisms of ``H``
+        that preserve ``X`` setwise.  Returned as maps ``X → X``; duplicates
+        (different automorphisms with the same restriction) are removed."""
+        colours = self.vertex_colours()
+        seen: set[tuple] = set()
+        result: list[dict[Vertex, Vertex]] = []
+        for automorphism in isomorphisms_coloured(
+            self.graph, self.graph, colours, colours,
+        ):
+            restriction = {x: automorphism[x] for x in self.free_variables}
+            key = tuple(sorted(restriction.items(), key=lambda kv: repr(kv[0])))
+            if key not in seen:
+                seen.add(key)
+                result.append(restriction)
+        return result
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def to_logic_string(self) -> str:
+        """Render as ``ϕ(x, …) = ∃ y, … : E(a, b) ∧ …``."""
+        free = sorted(self.free_variables, key=repr)
+        bound = sorted(self.quantified_variables, key=repr)
+        atoms = " ∧ ".join(
+            f"E({u}, {v})" for u, v in sorted(
+                self.graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])),
+            )
+        ) or "⊤"
+        head = f"ϕ({', '.join(map(str, free))})"
+        if bound:
+            return f"{head} = ∃ {', '.join(map(str, bound))} : {atoms}"
+        return f"{head} = {atoms}"
+
+    def __repr__(self) -> str:
+        return (
+            f"ConjunctiveQuery(|V|={self.num_variables()}, "
+            f"|X|={len(self.free_variables)}, atoms={self.num_atoms()})"
+        )
+
+
+def query_from_atoms(
+    atoms: Iterable[tuple[Vertex, Vertex]],
+    free_variables: Iterable[Vertex],
+    extra_variables: Iterable[Vertex] = (),
+) -> ConjunctiveQuery:
+    """Build a query from ``E``-atoms; variables are collected from the atoms
+    plus ``free_variables`` plus ``extra_variables`` (isolated variables are
+    legal, if unusual)."""
+    graph = Graph(vertices=list(free_variables) + list(extra_variables))
+    for u, v in atoms:
+        if u == v:
+            raise QueryError(f"atom E({u}, {u}) is a self-loop; graphs are simple")
+        graph.add_edge(u, v)
+    return ConjunctiveQuery(graph, free_variables)
+
+
+def relabel_query(query: ConjunctiveQuery, mapping: dict) -> ConjunctiveQuery:
+    """Rename variables through a bijection."""
+    return ConjunctiveQuery(
+        query.graph.relabelled(mapping),
+        frozenset(mapping[x] for x in query.free_variables),
+    )
+
+
+def all_sub_queries_on_induced_subsets(
+    query: ConjunctiveQuery,
+) -> Iterator[ConjunctiveQuery]:
+    """All queries ``(H[S], X ∩ S)`` for ``X ⊆ S ⊆ V(H)`` — the candidate
+    counting-minimal representatives (minimality is w.r.t. subgraphs and
+    must keep the free variables)."""
+    from itertools import combinations
+
+    quantified = sorted(query.quantified_variables, key=repr)
+    free = query.free_variables
+    for size in range(len(quantified) + 1):
+        for chosen in combinations(quantified, size):
+            keep = set(free) | set(chosen)
+            yield ConjunctiveQuery(query.graph.induced_subgraph(keep), free)

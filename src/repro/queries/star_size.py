@@ -1,0 +1,37 @@
+"""Quantified star size (Durand–Mengel, ICDT 2013).
+
+The *star size* of a component ``C`` of ``H[Y]`` is ``|N(C) ∩ X|`` — the
+number of free variables it attaches to.  The quantified star size of
+``(H, X)`` is the maximum over components; the *semantic* variant is taken
+on the counting-minimal core.
+
+The paper describes ``sew`` as "a combination of the treewidth of ϕ and its
+quantified star size": every attachment set becomes a clique of ``Γ(H, X)``,
+so ``ew ≥ star size − 1``, and for the k-star query the bound is tight
+(``sew(S_k, X_k) = k``).  Those relations are asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.queries.minimality import counting_minimal_core
+from repro.queries.query import ConjunctiveQuery
+
+
+def quantified_star_size(query: ConjunctiveQuery) -> int:
+    """``max_C |N(C) ∩ X|`` over components ``C`` of ``H[Y]`` (0 if full)."""
+    sizes = [
+        len(query.component_attachment(component))
+        for component in query.quantified_components()
+    ]
+    return max(sizes, default=0)
+
+
+def semantic_quantified_star_size(query: ConjunctiveQuery) -> int:
+    """Quantified star size of the counting-minimal core."""
+    return quantified_star_size(counting_minimal_core(query))
+
+
+def star_size_lower_bound_on_ew(query: ConjunctiveQuery) -> int:
+    """``ew(H, X) ≥ quantified_star_size − 1``: each attachment set is a
+    clique in ``Γ(H, X)`` and cliques force treewidth."""
+    return max(quantified_star_size(query) - 1, 0)

@@ -1,0 +1,79 @@
+"""Treewidth lower bounds used to prune the exact solver.
+
+* degeneracy: ``tw(G) >= degeneracy(G)``'s companion bound does not hold
+  in general, but the *minimum degree of any subgraph* (the MMD bound,
+  achieved by the degeneracy ordering) does: every graph contains a subgraph
+  whose minimum degree is the degeneracy, and ``tw >= min-degree of any
+  subgraph``.
+* clique number on small graphs: ``tw(G) >= ω(G) - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy (max over subgraphs of the minimum degree)."""
+    working = graph.copy()
+    best = 0
+    while working.num_vertices() > 0:
+        vertex = min(working.vertices(), key=lambda v: (working.degree(v), repr(v)))
+        best = max(best, working.degree(vertex))
+        working.remove_vertex(vertex)
+    return best
+
+
+def mmd_lower_bound(graph: Graph) -> int:
+    """Maximum-minimum-degree lower bound: ``tw(G) >= degeneracy(G)``."""
+    return degeneracy(graph)
+
+
+def max_clique_size(graph: Graph, limit: int | None = None) -> int:
+    """Size of a maximum clique (Bron–Kerbosch with pivoting).
+
+    ``limit`` stops the search early once a clique of that size is found,
+    which is all the exact treewidth solver needs.
+    """
+    best = 0
+    adjacency = {v: graph.neighbours(v) for v in graph.vertices()}
+
+    def expand(candidates: set, excluded: set, size: int) -> None:
+        nonlocal best
+        if not candidates and not excluded:
+            best = max(best, size)
+            return
+        if limit is not None and best >= limit:
+            return
+        if size + len(candidates) <= best:
+            return
+        pivot = max(
+            candidates | excluded,
+            key=lambda v: len(adjacency[v] & candidates),
+        )
+        for vertex in list(candidates - adjacency[pivot]):
+            expand(
+                candidates & adjacency[vertex],
+                excluded & adjacency[vertex],
+                size + 1,
+            )
+            candidates.remove(vertex)
+            excluded.add(vertex)
+
+    if graph.num_vertices() > 0:
+        expand(set(graph.vertices()), set(), 0)
+    return best
+
+
+def clique_lower_bound(graph: Graph) -> int:
+    """``tw(G) >= ω(G) - 1``."""
+    if graph.num_vertices() == 0:
+        return 0
+    return max_clique_size(graph) - 1
+
+
+def treewidth_lower_bound(graph: Graph) -> int:
+    """Best available cheap lower bound."""
+    if graph.num_vertices() == 0:
+        return 0
+    return max(mmd_lower_bound(graph), clique_lower_bound(graph))

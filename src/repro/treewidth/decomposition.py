@@ -1,0 +1,173 @@
+"""Tree decompositions (Definition 10) and their validation.
+
+A :class:`TreeDecomposition` stores the tree as a :class:`~repro.graphs.Graph`
+over bag identifiers plus a mapping from identifier to bag (a frozenset of
+vertices of the decomposed graph).  :meth:`TreeDecomposition.validate`
+checks (T1) vertex coverage, (T2) connectivity of occurrence sets, and (T3)
+edge coverage — every decomposition produced by this library is validated in
+tests, and the homomorphism-counting DP validates its input defensively.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import DecompositionError
+from repro.graphs.graph import Graph, Vertex
+
+BagId = Hashable
+
+
+class TreeDecomposition:
+    """A tree decomposition ``(T, B)`` of a graph.
+
+    Parameters
+    ----------
+    tree:
+        A graph that must be a tree (connected, acyclic) over bag ids.
+        A single-bag decomposition may have a one-vertex tree.
+    bags:
+        Mapping from each tree node to its bag.
+    """
+
+    def __init__(self, tree: Graph, bags: Mapping[BagId, Iterable[Vertex]]) -> None:
+        self.tree = tree.copy()
+        self.bags: dict[BagId, frozenset] = {
+            node: frozenset(bag) for node, bag in bags.items()
+        }
+        if set(self.tree.vertices()) != set(self.bags):
+            raise DecompositionError("tree nodes and bag keys must coincide")
+        if self.tree.num_vertices() == 0:
+            raise DecompositionError("decomposition needs at least one bag")
+        if not self.tree.is_connected():
+            raise DecompositionError("decomposition tree must be connected")
+        if self.tree.num_edges() != self.tree.num_vertices() - 1:
+            raise DecompositionError("decomposition tree must be acyclic")
+
+    @property
+    def width(self) -> int:
+        """``max |B_t| - 1`` over all bags."""
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    def covered_vertices(self) -> frozenset:
+        """Union of all bags."""
+        covered: set[Vertex] = set()
+        for bag in self.bags.values():
+            covered |= bag
+        return frozenset(covered)
+
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`DecompositionError` unless (T1)-(T3) hold for ``graph``."""
+        covered = self.covered_vertices()
+        missing = set(graph.vertices()) - covered
+        if missing:
+            raise DecompositionError(f"(T1) violated: uncovered vertices {missing!r}")
+
+        for vertex in graph.vertices():
+            nodes = {t for t, bag in self.bags.items() if vertex in bag}
+            if not self._nodes_connected(nodes):
+                raise DecompositionError(
+                    f"(T2) violated: occurrences of {vertex!r} not connected",
+                )
+
+        for u, v in graph.edges():
+            if not any(u in bag and v in bag for bag in self.bags.values()):
+                raise DecompositionError(
+                    f"(T3) violated: edge {{{u!r}, {v!r}}} not covered",
+                )
+
+    def _nodes_connected(self, nodes: set[BagId]) -> bool:
+        if not nodes:
+            return True
+        root = next(iter(nodes))
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self.tree.neighbours(current):
+                if neighbour in nodes and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen == nodes
+
+    def is_valid_for(self, graph: Graph) -> bool:
+        """Boolean variant of :meth:`validate`."""
+        try:
+            self.validate(graph)
+        except DecompositionError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition(bags={len(self.bags)}, width={self.width})"
+        )
+
+
+def trivial_decomposition(graph: Graph) -> TreeDecomposition:
+    """The one-bag decomposition containing every vertex (width ``n - 1``)."""
+    tree = Graph(vertices=[0])
+    return TreeDecomposition(tree, {0: frozenset(graph.vertices())})
+
+
+def decomposition_from_elimination_ordering(
+    graph: Graph,
+    ordering: Iterable[Vertex],
+) -> TreeDecomposition:
+    """Build a tree decomposition from a (perfect) elimination ordering.
+
+    Eliminating vertex ``v`` creates the bag ``{v} ∪ N(v)`` in the current
+    fill-in graph, then turns ``N(v)`` into a clique and removes ``v``.
+    The bag of ``v`` is attached to the bag of the earliest-eliminated vertex
+    among its current neighbours.  The resulting width equals the width of
+    the ordering, so an optimal ordering yields an optimal decomposition.
+    """
+    ordering = list(ordering)
+    if set(ordering) != set(graph.vertices()):
+        raise DecompositionError("ordering must enumerate every vertex once")
+
+    working = graph.copy()
+    position = {v: i for i, v in enumerate(ordering)}
+    bags: dict[BagId, frozenset] = {}
+    attach_to: dict[BagId, BagId] = {}
+
+    for v in ordering:
+        neighbours = sorted(working.neighbours(v), key=lambda u: position[u])
+        bags[v] = frozenset([v, *neighbours])
+        if neighbours:
+            attach_to[v] = neighbours[0]
+        for i, a in enumerate(neighbours):
+            for b in neighbours[i + 1:]:
+                if not working.has_edge(a, b):
+                    working.add_edge(a, b)
+        working.remove_vertex(v)
+
+    tree = Graph(vertices=ordering)
+    for v, parent in attach_to.items():
+        tree.add_edge(v, parent)
+    # `attach_to` links each bag to a later-eliminated neighbour, which keeps
+    # the tree connected except when the graph is disconnected: stitch
+    # remaining components along the ordering.
+    components = tree.connected_components()
+    if len(components) > 1:
+        anchors = [
+            min(component, key=lambda u: position[u]) for component in components
+        ]
+        for first, second in zip(anchors, anchors[1:]):
+            tree.add_edge(first, second)
+    return TreeDecomposition(tree, bags)
+
+
+def ordering_width(graph: Graph, ordering: Iterable[Vertex]) -> int:
+    """Width of the elimination ordering (max back-degree during fill-in)."""
+    working = graph.copy()
+    width = 0
+    for v in list(ordering):
+        neighbours = list(working.neighbours(v))
+        width = max(width, len(neighbours))
+        for i, a in enumerate(neighbours):
+            for b in neighbours[i + 1:]:
+                if not working.has_edge(a, b):
+                    working.add_edge(a, b)
+        working.remove_vertex(v)
+    return width

@@ -1,0 +1,81 @@
+"""Elimination-ordering heuristics: upper bounds on treewidth.
+
+Min-degree and min-fill are the classical greedy heuristics.  They are used
+(a) as stand-alone fast upper bounds, (b) to seed the exact branch-and-bound
+solver with a good incumbent, and (c) in the ablation benchmark comparing
+heuristic quality against the exact solver.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph, Vertex
+from repro.treewidth.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_ordering,
+)
+
+
+def _fill_in_count(graph: Graph, vertex: Vertex) -> int:
+    """Number of missing edges among the neighbours of ``vertex``."""
+    neighbours = list(graph.neighbours(vertex))
+    missing = 0
+    for i, a in enumerate(neighbours):
+        for b in neighbours[i + 1:]:
+            if not graph.has_edge(a, b):
+                missing += 1
+    return missing
+
+
+def _eliminate(graph: Graph, vertex: Vertex) -> None:
+    neighbours = list(graph.neighbours(vertex))
+    for i, a in enumerate(neighbours):
+        for b in neighbours[i + 1:]:
+            if not graph.has_edge(a, b):
+                graph.add_edge(a, b)
+    graph.remove_vertex(vertex)
+
+
+def min_degree_ordering(graph: Graph) -> list[Vertex]:
+    """Repeatedly eliminate a vertex of minimum current degree."""
+    working = graph.copy()
+    ordering: list[Vertex] = []
+    while working.num_vertices() > 0:
+        vertex = min(working.vertices(), key=lambda v: (working.degree(v), repr(v)))
+        ordering.append(vertex)
+        _eliminate(working, vertex)
+    return ordering
+
+
+def min_fill_ordering(graph: Graph) -> list[Vertex]:
+    """Repeatedly eliminate a vertex whose elimination adds fewest fill edges."""
+    working = graph.copy()
+    ordering: list[Vertex] = []
+    while working.num_vertices() > 0:
+        vertex = min(
+            working.vertices(),
+            key=lambda v: (_fill_in_count(working, v), working.degree(v), repr(v)),
+        )
+        ordering.append(vertex)
+        _eliminate(working, vertex)
+    return ordering
+
+
+def heuristic_treewidth_upper_bound(graph: Graph) -> tuple[int, list[Vertex]]:
+    """Best of min-degree and min-fill; returns ``(width, ordering)``."""
+    from repro.treewidth.decomposition import ordering_width
+
+    best_width: int | None = None
+    best_ordering: list[Vertex] = []
+    for ordering in (min_fill_ordering(graph), min_degree_ordering(graph)):
+        width = ordering_width(graph, ordering)
+        if best_width is None or width < best_width:
+            best_width = width
+            best_ordering = ordering
+    assert best_width is not None
+    return best_width, best_ordering
+
+
+def heuristic_decomposition(graph: Graph) -> TreeDecomposition:
+    """A (possibly suboptimal) tree decomposition from the best heuristic."""
+    _, ordering = heuristic_treewidth_upper_bound(graph)
+    return decomposition_from_elimination_ordering(graph, ordering)

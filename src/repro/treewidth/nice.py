@@ -1,0 +1,173 @@
+"""Nice tree decompositions.
+
+A *nice* tree decomposition is rooted and every node is one of:
+
+* ``leaf`` — empty bag, no children;
+* ``introduce`` — one child, ``bag = child.bag ∪ {vertex}``;
+* ``forget`` — one child, ``bag = child.bag \\ {vertex}``;
+* ``join`` — two children, all three bags equal.
+
+We additionally normalise the root to an empty bag (a chain of forgets), so
+dynamic programmes can read off their final value at the root directly.
+The transformation preserves width and yields ``O(width · #bags)`` nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import DecompositionError
+from repro.graphs.graph import Graph, Vertex
+from repro.treewidth.decomposition import TreeDecomposition
+
+
+@dataclass
+class NiceNode:
+    """One node of a nice tree decomposition."""
+
+    kind: str  # 'leaf' | 'introduce' | 'forget' | 'join'
+    bag: frozenset
+    children: list["NiceNode"] = field(default_factory=list)
+    vertex: Optional[Vertex] = None
+
+    def iter_postorder(self) -> Iterator["NiceNode"]:
+        """All nodes, children before parents (iterative, stack-safe)."""
+        stack: list[tuple[NiceNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+
+    def count_nodes(self) -> int:
+        return sum(1 for _ in self.iter_postorder())
+
+    def width(self) -> int:
+        return max(len(node.bag) for node in self.iter_postorder()) - 1
+
+
+def _chain_from_leaf(target_bag: frozenset) -> NiceNode:
+    """leaf → introduce… until the bag equals ``target_bag``."""
+    node = NiceNode(kind="leaf", bag=frozenset())
+    current: set[Vertex] = set()
+    for vertex in sorted(target_bag, key=repr):
+        current.add(vertex)
+        node = NiceNode(
+            kind="introduce",
+            bag=frozenset(current),
+            children=[node],
+            vertex=vertex,
+        )
+    return node
+
+
+def _chain_between(node: NiceNode, source_bag: frozenset, target_bag: frozenset) -> NiceNode:
+    """Extend ``node`` (top bag ``source_bag``) upwards to ``target_bag``."""
+    current = set(source_bag)
+    for vertex in sorted(source_bag - target_bag, key=repr):
+        current.remove(vertex)
+        node = NiceNode(
+            kind="forget",
+            bag=frozenset(current),
+            children=[node],
+            vertex=vertex,
+        )
+    for vertex in sorted(target_bag - source_bag, key=repr):
+        current.add(vertex)
+        node = NiceNode(
+            kind="introduce",
+            bag=frozenset(current),
+            children=[node],
+            vertex=vertex,
+        )
+    return node
+
+
+def nice_tree_decomposition(decomposition: TreeDecomposition) -> NiceNode:
+    """Convert a tree decomposition into a nice one with an empty root bag."""
+    tree = decomposition.tree
+    bags = decomposition.bags
+    root_id = next(iter(bags))
+
+    # Root the decomposition tree and convert bottom-up.
+    parent: dict = {root_id: None}
+    order = [root_id]
+    frontier = [root_id]
+    while frontier:
+        current = frontier.pop()
+        for neighbour in tree.neighbours(current):
+            if neighbour not in parent:
+                parent[neighbour] = current
+                order.append(neighbour)
+                frontier.append(neighbour)
+
+    children_of: dict = {node: [] for node in bags}
+    for node, up in parent.items():
+        if up is not None:
+            children_of[up].append(node)
+
+    converted: dict = {}
+    for node in reversed(order):
+        bag = bags[node]
+        child_chains = [
+            _chain_between(converted[child], bags[child], bag)
+            for child in children_of[node]
+        ]
+        if not child_chains:
+            converted[node] = _chain_from_leaf(bag)
+            continue
+        combined = child_chains[0]
+        for chain in child_chains[1:]:
+            combined = NiceNode(
+                kind="join",
+                bag=bag,
+                children=[combined, chain],
+            )
+        converted[node] = combined
+
+    root = _chain_between(converted[root_id], bags[root_id], frozenset())
+    if root.bag:
+        raise DecompositionError("nice decomposition root must have empty bag")
+    return root
+
+
+def validate_nice(root: NiceNode, graph: Graph) -> None:
+    """Structural checks for a nice decomposition of ``graph``."""
+    for node in root.iter_postorder():
+        if node.kind == "leaf":
+            if node.children or node.bag:
+                raise DecompositionError("leaf nodes must be empty and childless")
+        elif node.kind == "introduce":
+            (child,) = node.children
+            if node.vertex is None or node.bag != child.bag | {node.vertex}:
+                raise DecompositionError("introduce node bag mismatch")
+        elif node.kind == "forget":
+            (child,) = node.children
+            if node.vertex is None or node.bag != child.bag - {node.vertex}:
+                raise DecompositionError("forget node bag mismatch")
+        elif node.kind == "join":
+            left, right = node.children
+            if not (node.bag == left.bag == right.bag):
+                raise DecompositionError("join node bags must agree")
+        else:
+            raise DecompositionError(f"unknown node kind {node.kind!r}")
+
+    # Reconstruct (T1)/(T3) coverage from the nice tree.
+    covered: set[Vertex] = set()
+    covered_edges: set[frozenset] = set()
+    for node in root.iter_postorder():
+        covered |= node.bag
+        bag_list = sorted(node.bag, key=repr)
+        for i, u in enumerate(bag_list):
+            for v in bag_list[i + 1:]:
+                if graph.has_edge(u, v):
+                    covered_edges.add(frozenset((u, v)))
+    if covered != set(graph.vertices()):
+        raise DecompositionError("nice decomposition misses vertices")
+    expected = {frozenset(e) for e in graph.edges()}
+    if covered_edges != expected:
+        raise DecompositionError("nice decomposition misses edges")

@@ -1,0 +1,65 @@
+"""Held–Karp subset dynamic programme for treewidth — an independent
+exact oracle.
+
+``TW(S) = min_{v ∈ S} max(TW(S \\ {v}), deg_after(S \\ {v}, v))`` over all
+subsets in popcount order, where ``deg_after(S, v)`` counts vertices
+outside ``S ∪ {v}`` reachable from ``v`` through ``S``.  Exponential space
+(``2^n`` table), practical to ~16 vertices; used purely to cross-check the
+branch-and-bound solver (:mod:`repro.treewidth.exact`) in tests and the
+ablation bench — two independent implementations of the same quantity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntractableError
+from repro.graphs.graph import Graph
+from repro.treewidth.exact import _adjacency_masks, _eliminated_degree
+
+_DEFAULT_LIMIT = 18
+
+
+def treewidth_subset_dp(graph: Graph, max_vertices: int = _DEFAULT_LIMIT) -> int:
+    """Exact treewidth by the full-subset DP.
+
+    Raises :class:`IntractableError` beyond ``max_vertices`` (the table is
+    ``2^n`` integers).  Disconnected graphs are solved per component.
+    """
+    if graph.num_vertices() > max_vertices:
+        raise IntractableError(
+            f"subset DP limited to {max_vertices} vertices; "
+            f"got {graph.num_vertices()}",
+        )
+    components = graph.connected_components()
+    if len(components) > 1:
+        return max(
+            treewidth_subset_dp(graph.induced_subgraph(component), max_vertices)
+            for component in components
+        )
+    n = graph.num_vertices()
+    if n <= 1 or graph.num_edges() == 0:
+        return 0
+
+    masks, _ = _adjacency_masks(graph)
+    full = (1 << n) - 1
+    # table[S] = best achievable max-degree over orderings eliminating S first.
+    table = [0] * (full + 1)
+    # Iterate subsets in increasing popcount via direct enumeration.
+    subsets_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for subset in range(full + 1):
+        subsets_by_size[subset.bit_count()].append(subset)
+
+    for size in range(1, n + 1):
+        for subset in subsets_by_size[size]:
+            best = n  # upper bound
+            remaining = subset
+            while remaining:
+                low_bit = remaining & -remaining
+                remaining ^= low_bit
+                vertex = low_bit.bit_length() - 1
+                previous = subset ^ low_bit
+                degree = _eliminated_degree(masks, previous, vertex)
+                candidate = max(table[previous], degree)
+                if candidate < best:
+                    best = candidate
+            table[subset] = best
+    return table[full]

@@ -1,0 +1,158 @@
+"""Small shared utilities: exact linear algebra, partitions, multisets.
+
+These helpers are deliberately dependency-light (``fractions`` from the
+standard library only) because several callers — most importantly the
+interpolation argument of Lemma 22 — require *exact* arithmetic: the linear
+systems involved are Vandermonde/Hankel systems whose entries grow quickly,
+and floating point would silently corrupt answer counts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from math import factorial
+from typing import Iterable, Iterator, Sequence
+
+
+def solve_linear_system_exact(
+    matrix: Sequence[Sequence[int | Fraction]],
+    rhs: Sequence[int | Fraction],
+) -> list[Fraction]:
+    """Solve ``matrix @ x = rhs`` exactly over the rationals.
+
+    Uses Gaussian elimination with partial (nonzero) pivoting on
+    :class:`~fractions.Fraction` values.  Raises :class:`ValueError` if the
+    matrix is singular.
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ValueError("matrix must be square")
+    if len(rhs) != n:
+        raise ValueError("rhs length must match matrix dimension")
+
+    aug = [
+        [Fraction(value) for value in row] + [Fraction(rhs[i])]
+        for i, row in enumerate(matrix)
+    ]
+    for col in range(n):
+        pivot_row = next(
+            (r for r in range(col, n) if aug[r][col] != 0),
+            None,
+        )
+        if pivot_row is None:
+            raise ValueError("matrix is singular")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        aug[col] = [value / pivot for value in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [a - factor * b for a, b in zip(aug[r], aug[col])]
+    return [aug[i][n] for i in range(n)]
+
+
+def matrix_rank_exact(matrix: Sequence[Sequence[int | Fraction]]) -> int:
+    """Rank of a rational matrix, computed exactly by row reduction."""
+    rows = [[Fraction(value) for value in row] for row in matrix]
+    if not rows:
+        return 0
+    num_cols = len(rows[0])
+    rank = 0
+    pivot_col = 0
+    while rank < len(rows) and pivot_col < num_cols:
+        pivot_row = next(
+            (r for r in range(rank, len(rows)) if rows[r][pivot_col] != 0),
+            None,
+        )
+        if pivot_row is None:
+            pivot_col += 1
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][pivot_col]
+        rows[rank] = [value / pivot for value in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][pivot_col] != 0:
+                factor = rows[r][pivot_col]
+                rows[r] = [a - factor * b for a, b in zip(rows[r], rows[rank])]
+        rank += 1
+        pivot_col += 1
+    return rank
+
+
+def vandermonde_solve(points: Sequence[int], values: Sequence[int | Fraction]) -> list[Fraction]:
+    """Solve the Vandermonde system ``sum_j c_j * p_i^j = v_i`` exactly.
+
+    ``points`` must be pairwise distinct.  Returns the coefficient vector
+    ``c_0, …, c_{n-1}``.
+    """
+    n = len(points)
+    if len(set(points)) != n:
+        raise ValueError("interpolation points must be distinct")
+    matrix = [[Fraction(p) ** j for j in range(n)] for p in points]
+    return solve_linear_system_exact(matrix, list(values))
+
+
+def set_partitions(items: Sequence) -> Iterator[list[list]]:
+    """Yield all set partitions of ``items`` (each partition: list of blocks).
+
+    Uses the standard recursive scheme: the first element starts block 0;
+    every later element either joins an existing block or opens a new one.
+    The number of partitions is the Bell number of ``len(items)``.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+
+    def recurse(index: int, blocks: list[list]) -> Iterator[list[list]]:
+        if index == len(items):
+            yield [list(block) for block in blocks]
+            return
+        element = items[index]
+        for block in blocks:
+            block.append(element)
+            yield from recurse(index + 1, blocks)
+            block.pop()
+        blocks.append([element])
+        yield from recurse(index + 1, blocks)
+        blocks.pop()
+
+    yield from recurse(1, [[items[0]]])
+
+
+def partition_moebius(partition: Iterable[Sequence]) -> int:
+    """Möbius function of the partition lattice at ``(0̂, partition)``.
+
+    ``μ(0̂, P) = ∏_{B ∈ P} (-1)^{|B|-1} (|B|-1)!`` — the classical value used
+    to convert homomorphism counts into injective-homomorphism counts.
+    """
+    result = 1
+    for block in partition:
+        size = len(block)
+        result *= (-1) ** (size - 1) * factorial(size - 1)
+    return result
+
+
+def pairs(items: Sequence) -> Iterator[tuple]:
+    """All unordered pairs of distinct elements, in deterministic order."""
+    yield from combinations(items, 2)
+
+
+def multiset_key(values: Iterable) -> tuple:
+    """Canonical hashable key for a multiset of hashable values."""
+    return tuple(sorted(values))
+
+
+def powerset(items: Sequence) -> Iterator[tuple]:
+    """All subsets of ``items``, smallest first."""
+    items = list(items)
+    for size in range(len(items) + 1):
+        yield from combinations(items, size)
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``n choose k`` (0 when ``k`` is out of range)."""
+    if k < 0 or k > n:
+        return 0
+    return factorial(n) // (factorial(k) * factorial(n - k))

@@ -1,0 +1,61 @@
+"""Weisfeiler-Leman algorithms and equivalence tests."""
+
+from repro.wl.equitable import (
+    coarsest_equitable_partition,
+    doubly_stochastic_witness,
+    fractionally_isomorphic,
+    have_common_equitable_partition,
+    is_equitable,
+    partition_parameters,
+)
+from repro.wl.hom_indistinguishability import (
+    bounded_treewidth_patterns,
+    distinguishing_pattern,
+    hom_indistinguishable_up_to,
+    hom_profile,
+)
+from repro.wl.quotient_counting import (
+    equitable_quotient,
+    tree_hom_count_from_quotient,
+    tree_hom_count_via_quotient,
+)
+from repro.wl.kwl import (
+    atomic_type,
+    k_wl_colouring,
+    k_wl_equivalent,
+    tuple_colour_histogram,
+    wl_distinguishing_dimension,
+)
+from repro.wl.refinement import (
+    ColourInterner,
+    colour_histogram,
+    colour_refinement,
+    refinement_rounds,
+    wl_1_equivalent,
+)
+
+__all__ = [
+    "ColourInterner",
+    "coarsest_equitable_partition",
+    "doubly_stochastic_witness",
+    "fractionally_isomorphic",
+    "have_common_equitable_partition",
+    "is_equitable",
+    "partition_parameters",
+    "atomic_type",
+    "bounded_treewidth_patterns",
+    "colour_histogram",
+    "colour_refinement",
+    "distinguishing_pattern",
+    "equitable_quotient",
+    "hom_indistinguishable_up_to",
+    "hom_profile",
+    "k_wl_colouring",
+    "k_wl_equivalent",
+    "refinement_rounds",
+    "tree_hom_count_from_quotient",
+    "tree_hom_count_via_quotient",
+    "tuple_colour_histogram",
+    "wl_1_equivalent",
+    "wl_distinguishing_dimension",
+]

@@ -1,0 +1,76 @@
+"""Homomorphism indistinguishability over bounded-treewidth graph classes.
+
+Definition 19 characterises k-WL-equivalence as equality of homomorphism
+counts from *all* graphs of treewidth at most k.  That family is infinite;
+this module provides the finite restriction used as a cross-check of the
+k-WL refinement algorithm: equality of homomorphism counts from all
+(connected) graphs of treewidth ≤ k on at most ``max_vertices`` vertices.
+
+Connected patterns suffice because homomorphism counts are multiplicative
+over disjoint unions (used explicitly in Corollary 60's proof).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graphs.enumeration import all_connected_graphs_up_to_iso
+from repro.graphs.graph import Graph
+from repro.homs.counting import count_homomorphisms
+from repro.treewidth.exact import treewidth
+
+
+@lru_cache(maxsize=None)
+def _bounded_treewidth_patterns(k: int, max_vertices: int) -> tuple[Graph, ...]:
+    patterns: list[Graph] = []
+    for n in range(1, max_vertices + 1):
+        for graph in all_connected_graphs_up_to_iso(n):
+            if treewidth(graph) <= k:
+                patterns.append(graph)
+    return tuple(patterns)
+
+
+def bounded_treewidth_patterns(k: int, max_vertices: int) -> list[Graph]:
+    """All connected graphs (up to iso) with ≤ ``max_vertices`` vertices and
+    treewidth ≤ k.  Cached; intended for ``max_vertices ≤ 6``."""
+    return list(_bounded_treewidth_patterns(k, max_vertices))
+
+
+def hom_indistinguishable_up_to(
+    first: Graph,
+    second: Graph,
+    k: int,
+    max_vertices: int,
+) -> bool:
+    """Do the graphs agree on hom counts from all tw ≤ k patterns of
+    bounded size?  (Necessary condition for ``≅_k``; exact in the limit.)"""
+    for pattern in _bounded_treewidth_patterns(k, max_vertices):
+        if count_homomorphisms(pattern, first) != count_homomorphisms(pattern, second):
+            return False
+    return True
+
+
+def distinguishing_pattern(
+    first: Graph,
+    second: Graph,
+    k: int,
+    max_vertices: int,
+) -> Graph | None:
+    """A concrete tw ≤ k pattern with different hom counts, if one exists
+    within the size bound.  Useful for witness reports."""
+    for pattern in _bounded_treewidth_patterns(k, max_vertices):
+        if count_homomorphisms(pattern, first) != count_homomorphisms(pattern, second):
+            return pattern
+    return None
+
+
+def hom_profile(
+    graph: Graph,
+    k: int,
+    max_vertices: int,
+) -> tuple[int, ...]:
+    """The hom-count vector of ``graph`` over the bounded pattern family."""
+    return tuple(
+        count_homomorphisms(pattern, graph)
+        for pattern in _bounded_treewidth_patterns(k, max_vertices)
+    )

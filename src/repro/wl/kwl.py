@@ -1,0 +1,177 @@
+"""The k-dimensional (folklore) Weisfeiler-Leman algorithm.
+
+Definition 19 of the paper defines k-WL-equivalence through homomorphism
+counts from graphs of treewidth at most k.  By Dvořák (2010) and
+Dell–Grohe–Rattan (2018), that relation coincides with indistinguishability
+under the *folklore* k-WL algorithm (equivalently, (k+1)-variable counting
+logic).  This module implements folklore k-WL for k ≥ 2:
+
+* state: a colouring of all ``k``-tuples of vertices;
+* initialisation: the ordered atomic type of the tuple (equality pattern +
+  adjacency pattern);
+* refinement: ``c'(v⃗) = (c(v⃗), {{ (c(v⃗[1←w]), …, c(v⃗[k←w])) : w ∈ V }})``.
+
+For k = 1 callers should use :mod:`repro.wl.refinement` (colour refinement),
+which :func:`k_wl_equivalent` dispatches to automatically.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable
+
+from repro.graphs.graph import Graph, Vertex
+from repro.wl.refinement import ColourInterner, wl_1_equivalent
+
+Tuple = tuple
+
+
+def atomic_type(graph: Graph, vertices: Tuple) -> tuple:
+    """The ordered isomorphism type of ``vertices`` in ``graph``.
+
+    Encodes, for every index pair ``i < j``, whether the entries coincide
+    and whether they are adjacent.  Two tuples have the same atomic type iff
+    the map ``v_i ↦ u_i`` is a partial isomorphism.
+    """
+    k = len(vertices)
+    bits = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            bits.append(
+                (vertices[i] == vertices[j], graph.has_edge(vertices[i], vertices[j])),
+            )
+    return tuple(bits)
+
+
+def k_wl_colouring(
+    graph: Graph,
+    k: int,
+    interner: ColourInterner | None = None,
+    max_rounds: int | None = None,
+) -> dict[Tuple, int]:
+    """The stable folklore k-WL colouring of all k-tuples of ``graph``.
+
+    A shared ``interner`` makes colour identifiers comparable across graphs.
+    """
+    if k < 2:
+        raise ValueError("k_wl_colouring requires k >= 2; use colour_refinement")
+    if interner is None:
+        interner = ColourInterner()
+    vertices = graph.vertices()
+    tuples = list(product(vertices, repeat=k))
+    colours: dict[Tuple, int] = {
+        t: interner.intern(("atomic", atomic_type(graph, t))) for t in tuples
+    }
+    rounds = max_rounds if max_rounds is not None else max(len(tuples), 1)
+    for _ in range(rounds):
+        num_classes = len(set(colours.values()))
+        updated: dict[Tuple, int] = {}
+        for t in tuples:
+            neighbourhood: list[tuple] = []
+            for w in vertices:
+                substituted = tuple(
+                    colours[t[:i] + (w,) + t[i + 1:]] for i in range(k)
+                )
+                neighbourhood.append(substituted)
+            neighbourhood.sort()
+            updated[t] = interner.intern((colours[t], tuple(neighbourhood)))
+        colours = updated
+        if len(set(colours.values())) == num_classes:
+            break
+    return colours
+
+
+def tuple_colour_histogram(colours: dict[Tuple, int]) -> dict[int, int]:
+    """Multiset of tuple colours."""
+    histogram: dict[int, int] = {}
+    for colour in colours.values():
+        histogram[colour] = histogram.get(colour, 0) + 1
+    return histogram
+
+
+def k_wl_equivalent(first: Graph, second: Graph, k: int) -> bool:
+    """Are the two graphs k-WL-equivalent (``G ≅_k G'``, Definition 19)?
+
+    Dispatches to colour refinement for k = 1 and to folklore k-WL for
+    k ≥ 2.  Runs both graphs through a *shared* palette and compares the
+    stable histograms round-by-round (simultaneous refinement), so an
+    early divergence short-circuits.
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    if first.num_vertices() != second.num_vertices():
+        return False
+    if first.num_edges() != second.num_edges():
+        return False
+    if k == 1:
+        return wl_1_equivalent(first, second)
+
+    interner = ColourInterner()
+    vertices_a = first.vertices()
+    vertices_b = second.vertices()
+    tuples_a = list(product(vertices_a, repeat=k))
+    tuples_b = list(product(vertices_b, repeat=k))
+    colours_a = {t: interner.intern(("atomic", atomic_type(first, t))) for t in tuples_a}
+    colours_b = {t: interner.intern(("atomic", atomic_type(second, t))) for t in tuples_b}
+
+    def histograms_equal() -> bool:
+        return tuple_colour_histogram(colours_a) == tuple_colour_histogram(colours_b)
+
+    if not histograms_equal():
+        return False
+
+    for _ in range(max(len(tuples_a), 1)):
+        num_classes = len(set(colours_a.values()) | set(colours_b.values()))
+
+        def refine(
+            graph: Graph,
+            vertices: list[Vertex],
+            tuples: list[Tuple],
+            colours: dict[Tuple, int],
+        ) -> dict[Tuple, int]:
+            updated: dict[Tuple, int] = {}
+            for t in tuples:
+                neighbourhood = sorted(
+                    tuple(colours[t[:i] + (w,) + t[i + 1:]] for i in range(k))
+                    for w in vertices
+                )
+                updated[t] = interner.intern((colours[t], tuple(neighbourhood)))
+            return updated
+
+        colours_a = refine(first, vertices_a, tuples_a, colours_a)
+        colours_b = refine(second, vertices_b, tuples_b, colours_b)
+        if not histograms_equal():
+            return False
+        if len(set(colours_a.values()) | set(colours_b.values())) == num_classes:
+            break
+    return True
+
+
+def wl_distinguishing_dimension(
+    first: Graph,
+    second: Graph,
+    max_k: int,
+) -> int | None:
+    """Smallest ``k ≤ max_k`` with ``G ≇_k G'``, or ``None`` if none found.
+
+    By monotonicity of WL-equivalence, once level ``k`` distinguishes, all
+    higher levels do too.
+    """
+    for k in range(1, max_k + 1):
+        if not k_wl_equivalent(first, second, k):
+            return k
+    return None
+
+
+def initial_partition_from_colours(
+    graph: Graph,
+    k: int,
+    vertex_colours: dict[Vertex, Hashable],
+) -> dict[Tuple, tuple]:
+    """Atomic types enriched with vertex colours — the initial partition a
+    GNN with non-trivial input features induces (Proposition 3)."""
+    tuples = product(graph.vertices(), repeat=k)
+    return {
+        t: (atomic_type(graph, t), tuple(vertex_colours[v] for v in t))
+        for t in tuples
+    }

@@ -1,0 +1,133 @@
+"""Unit tests for the CFI construction χ(G, W) (Definition 25)."""
+
+import pytest
+
+from repro.cfi import cfi_graph, cfi_projection, cfi_size, verify_cfi_graph
+from repro.errors import GraphError
+from repro.graphs import (
+    are_isomorphic,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.homs import is_colouring
+
+
+class TestVertexSets:
+    def test_size_formula_k4(self):
+        base = complete_graph(4)
+        # Each vertex has degree 3: 2^(3-1) = 4 vertices each.
+        assert cfi_graph(base).num_vertices() == 16
+        assert cfi_size(base) == 16
+
+    def test_size_formula_cycle(self):
+        base = cycle_graph(5)
+        assert cfi_graph(base).num_vertices() == 10
+        assert cfi_size(base) == 10
+
+    def test_parities(self):
+        base = path_graph(3)
+        untwisted = cfi_graph(base)
+        for (w, s) in untwisted.vertices():
+            assert len(s) % 2 == 0
+        twisted = cfi_graph(base, (1,))
+        for (w, s) in twisted.vertices():
+            expected = 1 if w == 1 else 0
+            assert len(s) % 2 == expected
+
+    def test_twist_vertex_must_exist(self):
+        with pytest.raises(GraphError):
+            cfi_graph(path_graph(2), ("missing",))
+
+    def test_definition_verified(self):
+        for base in (complete_graph(3), cycle_graph(4), star_graph(3)):
+            for twist in ((), (base.vertices()[0],)):
+                cfi = cfi_graph(base, twist)
+                assert verify_cfi_graph(base, twist, cfi)
+
+
+class TestProjection:
+    def test_projection_is_colouring(self):
+        """Observation 29: π₁ is a homomorphism χ(G, W) → G."""
+        base = complete_graph(3)
+        for twist in ((), (0,)):
+            cfi = cfi_graph(base, twist)
+            assert is_colouring(cfi, base, cfi_projection(cfi))
+
+    def test_projection_fibres_match_degrees(self):
+        base = star_graph(3)
+        cfi = cfi_graph(base)
+        fibres: dict = {}
+        for vertex, colour in cfi_projection(cfi).items():
+            fibres.setdefault(colour, []).append(vertex)
+        assert len(fibres["y"]) == 2 ** (3 - 1)
+        assert all(len(fibres[f"x{i}"]) == 1 for i in range(1, 4))
+
+
+class TestLemma26:
+    """χ(G, W) ≅ χ(G, W′) iff |W| ≡ |W′| (mod 2), for connected G."""
+
+    @pytest.mark.parametrize(
+        "base_factory",
+        [
+            lambda: complete_graph(3),
+            lambda: cycle_graph(4),
+            lambda: complete_bipartite_graph(2, 3),
+        ],
+        ids=["K3", "C4", "K23"],
+    )
+    def test_even_twists_isomorphic(self, base_factory):
+        base = base_factory()
+        vertices = base.vertices()
+        untwisted = cfi_graph(base, ())
+        double_twist = cfi_graph(base, (vertices[0], vertices[1]))
+        assert are_isomorphic(untwisted, double_twist)
+
+    @pytest.mark.parametrize(
+        "base_factory",
+        [
+            lambda: complete_graph(3),
+            lambda: cycle_graph(4),
+            lambda: complete_bipartite_graph(2, 3),
+        ],
+        ids=["K3", "C4", "K23"],
+    )
+    def test_odd_twist_not_isomorphic(self, base_factory):
+        base = base_factory()
+        untwisted = cfi_graph(base, ())
+        twisted = cfi_graph(base, (base.vertices()[0],))
+        assert not are_isomorphic(untwisted, twisted)
+
+    def test_twist_location_irrelevant(self):
+        base = cycle_graph(5)
+        first = cfi_graph(base, (0,))
+        second = cfi_graph(base, (3,))
+        assert are_isomorphic(first, second)
+
+
+class TestEdgeStructure:
+    def test_cfi_of_single_edge(self):
+        base = path_graph(2)
+        cfi = cfi_graph(base)
+        # Degree-1 vertices have only the empty set: χ(K2, ∅) = K2.
+        assert cfi.num_vertices() == 2
+        assert cfi.num_edges() == 1
+
+    def test_cfi_of_triangle_structure(self):
+        base = complete_graph(3)
+        cfi = cfi_graph(base)
+        assert cfi.num_vertices() == 6
+        # Each base edge contributes 2·2/... : count directly.
+        assert cfi.num_edges() == 6
+        assert cfi.degree_sequence() == (2,) * 6
+
+    def test_cfi_triangle_untwisted_is_two_triangles(self):
+        """χ(K3, ∅) ≅ 2K3 and χ(K3, {w}) ≅ C6 — the classical example."""
+        from repro.graphs import six_cycle, two_triangles
+
+        assert are_isomorphic(cfi_graph(complete_graph(3)), two_triangles())
+        assert are_isomorphic(
+            cfi_graph(complete_graph(3), (0,)), six_cycle(),
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for twisted CFI pairs (Lemma 27) and colour-block cloning
+(Definition 33, Lemmas 34/35)."""
+
+import pytest
+
+from repro.cfi import (
+    cfi_pair,
+    clone_colour_blocks,
+    clone_colouring,
+    clone_projection,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.homs import count_hom_tau, count_homomorphisms, is_colouring
+from repro.homs.brute_force import enumerate_homomorphisms
+from repro.wl import k_wl_equivalent
+
+
+class TestCfiPair:
+    def test_pair_construction(self):
+        pair = cfi_pair(complete_graph(3))
+        assert pair.untwisted.num_vertices() == pair.twisted.num_vertices() == 6
+        assert pair.twist_vertex == 0
+
+    def test_requires_connected(self):
+        with pytest.raises(GraphError):
+            cfi_pair(Graph(edges=[(0, 1), (2, 3)]))
+
+    def test_requires_valid_twist(self):
+        with pytest.raises(GraphError):
+            cfi_pair(complete_graph(3), twist_vertex=9)
+
+    def test_lemma27_k3(self):
+        """tw(K3) = 2 ⇒ the pair is 1-WL-equivalent but not 2-WL-equivalent."""
+        pair = cfi_pair(complete_graph(3))
+        assert k_wl_equivalent(pair.untwisted, pair.twisted, 1)
+        assert not k_wl_equivalent(pair.untwisted, pair.twisted, 2)
+
+    def test_lemma27_k4(self):
+        """tw(K4) = 3 ⇒ 2-WL-equivalent; distinguished by hom counts from
+        K4 (a treewidth-3 pattern, Definition 19)."""
+        pair = cfi_pair(complete_graph(4))
+        assert k_wl_equivalent(pair.untwisted, pair.twisted, 2)
+        assert count_homomorphisms(complete_graph(4), pair.untwisted) != (
+            count_homomorphisms(complete_graph(4), pair.twisted)
+        )
+
+    def test_lemma27_k23(self):
+        """tw(K_{2,3}) = 2 ⇒ 1-WL-equivalent, 2-WL-separated."""
+        pair = cfi_pair(complete_bipartite_graph(2, 3))
+        assert k_wl_equivalent(pair.untwisted, pair.twisted, 1)
+        assert not k_wl_equivalent(pair.untwisted, pair.twisted, 2)
+
+    def test_theorem32_one_sided_bound(self):
+        """|Hom_τ(H, χ(F, W))| ≤ |Hom_τ(H, χ(F, ∅))| for every τ
+        (Theorem 32), summed over τ via plain hom counts for H = F."""
+        base = complete_graph(3)
+        pair = cfi_pair(base)
+        assert count_homomorphisms(base, pair.twisted) <= (
+            count_homomorphisms(base, pair.untwisted)
+        )
+
+
+class TestCloning:
+    def _setup(self):
+        base = complete_graph(3)
+        pair = cfi_pair(base)
+        colouring = pair.untwisted_colouring
+        return base, pair.untwisted, colouring
+
+    def test_clone_sizes(self):
+        base, cfi, colouring = self._setup()
+        cloned = clone_colour_blocks(cfi, colouring, [0], [3])
+        # Colour class of base vertex 0 has 2 CFI vertices; cloning ×3 adds 4.
+        assert cloned.num_vertices() == cfi.num_vertices() + 4
+
+    def test_multiplicity_one_isomorphic(self):
+        from repro.graphs import are_isomorphic
+
+        base, cfi, colouring = self._setup()
+        cloned = clone_colour_blocks(cfi, colouring, [0], [1])
+        assert are_isomorphic(cloned, cfi)
+
+    def test_projection_is_homomorphism(self):
+        base, cfi, colouring = self._setup()
+        cloned = clone_colour_blocks(cfi, colouring, [0, 1], [2, 2])
+        projection = clone_projection(cloned)
+        for u, v in cloned.edges():
+            assert cfi.has_edge(projection[u], projection[v])
+
+    def test_clone_colouring_composes(self):
+        base, cfi, colouring = self._setup()
+        cloned = clone_colour_blocks(cfi, colouring, [0], [2])
+        new_colouring = clone_colouring(cloned, colouring)
+        assert is_colouring(cloned, base, new_colouring)
+
+    def test_validation(self):
+        base, cfi, colouring = self._setup()
+        with pytest.raises(GraphError):
+            clone_colour_blocks(cfi, colouring, [0, 0], [1, 2])
+        with pytest.raises(GraphError):
+            clone_colour_blocks(cfi, colouring, [0], [0])
+        with pytest.raises(GraphError):
+            clone_colour_blocks(cfi, colouring, [0], [1, 2])
+
+    def test_lemma34_count_scaling(self):
+        """|Hom_τ(H, G′)| = |Hom_τ(H, G)| · ∏ z_i^{d_i} (Lemma 34)."""
+        base = complete_graph(3)
+        pair = cfi_pair(base)
+        cfi = pair.untwisted
+        colouring = pair.untwisted_colouring
+        pattern = path_graph(3)  # H
+        z = 2
+        cloned = clone_colour_blocks(cfi, colouring, [0], [z])
+        cloned_colouring = clone_colouring(cloned, colouring)
+        for tau in enumerate_homomorphisms(pattern, base):
+            d = sum(1 for v in pattern.vertices() if tau[v] == 0)
+            before = count_hom_tau(pattern, cfi, colouring, tau)
+            after = count_hom_tau(pattern, cloned, cloned_colouring, tau)
+            assert after == before * z ** d
+
+    def test_lemma35_wl_equivalence_preserved(self):
+        """Cloning both sides of a CFI pair preserves (t−1)-WL-equivalence."""
+        base = complete_graph(3)  # treewidth 2
+        pair = cfi_pair(base)
+        for graph_pair in [
+            (
+                clone_colour_blocks(pair.untwisted, pair.untwisted_colouring, [0], [2]),
+                clone_colour_blocks(pair.twisted, pair.twisted_colouring, [0], [2]),
+            ),
+        ]:
+            assert k_wl_equivalent(graph_pair[0], graph_pair[1], 1)
+
+    def test_clone_all_blocks(self):
+        base = cycle_graph(4)
+        pair = cfi_pair(base)
+        cloned = clone_colour_blocks(
+            pair.untwisted,
+            pair.untwisted_colouring,
+            base.vertices(),
+            [2] * 4,
+        )
+        assert cloned.num_vertices() == 2 * pair.untwisted.num_vertices()

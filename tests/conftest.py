@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    random_graph,
+    six_cycle,
+    star_graph,
+    two_triangles,
+)
+from repro.queries import star_query
+
+
+@pytest.fixture
+def triangle():
+    return complete_graph(3)
+
+
+@pytest.fixture
+def k4():
+    return complete_graph(4)
+
+
+@pytest.fixture
+def p4():
+    return path_graph(4)
+
+
+@pytest.fixture
+def c5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def c6():
+    return six_cycle()
+
+
+@pytest.fixture
+def double_triangle():
+    return two_triangles()
+
+
+@pytest.fixture
+def petersen():
+    return petersen_graph()
+
+
+@pytest.fixture
+def star3():
+    return star_graph(3)
+
+
+@pytest.fixture
+def star2_query():
+    return star_query(2)
+
+
+@pytest.fixture
+def star3_query():
+    return star_query(3)
+
+
+@pytest.fixture
+def random_host():
+    """A fixed 7-vertex random host used across answer-counting tests."""
+    return random_graph(7, 0.4, seed=11)
+
+
+@pytest.fixture
+def random_hosts():
+    """A small battery of random hosts for empirical equivalence checks."""
+    return [
+        random_graph(5, 0.3, seed=1),
+        random_graph(5, 0.5, seed=2),
+        random_graph(6, 0.4, seed=3),
+        random_graph(6, 0.6, seed=4),
+        random_graph(7, 0.35, seed=5),
+    ]

@@ -1,0 +1,77 @@
+"""Unit tests for the complexity-dichotomy profiles (Corollary 4)."""
+
+from repro.core import (
+    classify_query_class,
+    complexity_profile,
+    contract_treewidth,
+)
+from repro.queries import (
+    clique_query,
+    path_endpoints_query,
+    star_query,
+    star_with_redundant_path,
+)
+
+
+class TestProfiles:
+    def test_star_profile(self):
+        profile = complexity_profile(star_query(3))
+        assert profile.treewidth == 1
+        assert profile.contract_treewidth == 2  # contract = K3
+        assert profile.extension_width == 3
+        assert profile.wl_dimension == 3
+        assert profile.satisfies_sandwich
+
+    def test_path_profile(self):
+        profile = complexity_profile(path_endpoints_query(2))
+        assert profile.treewidth == 1
+        assert profile.contract_treewidth == 1  # contract = single edge
+        assert profile.extension_width == 2
+        assert profile.satisfies_sandwich
+
+    def test_profile_minimises_first(self):
+        raw = complexity_profile(star_with_redundant_path(2, tail=3))
+        core = complexity_profile(star_query(2))
+        assert raw == core
+
+    def test_contract_treewidth_of_full_query(self):
+        from repro.queries import full_query_from_graph
+        from repro.graphs import complete_graph
+
+        q = full_query_from_graph(complete_graph(4))
+        assert contract_treewidth(q) == 3  # contract = H itself
+
+    def test_sandwich_holds_on_battery(self):
+        battery = [
+            star_query(2),
+            star_query(4),
+            path_endpoints_query(1),
+            path_endpoints_query(3),
+            clique_query(3, 2),
+            clique_query(4, 4),
+        ]
+        for query in battery:
+            assert complexity_profile(query).satisfies_sandwich
+
+
+class TestClassVerdicts:
+    def test_bounded_class_tractable(self):
+        """Path-endpoint queries: sew = 2 for every length ⇒ tractable."""
+        verdict = classify_query_class(
+            path_endpoints_query(internal) for internal in range(1, 6)
+        )
+        assert verdict.max_wl_dimension == 2
+        assert verdict.polynomial_time_if_bounded_by(2)
+        assert verdict.sample_size == 5
+
+    def test_growing_class_intractable_signature(self):
+        """Star queries: WL-dimension grows with k ⇒ unbounded ⇒ hard."""
+        small = classify_query_class(star_query(k) for k in range(1, 3))
+        large = classify_query_class(star_query(k) for k in range(1, 5))
+        assert large.max_wl_dimension > small.max_wl_dimension
+        assert not large.polynomial_time_if_bounded_by(small.max_wl_dimension)
+
+    def test_verdict_tracks_both_widths(self):
+        verdict = classify_query_class([clique_query(4, 2), star_query(3)])
+        assert verdict.max_treewidth == 3
+        assert verdict.max_contract_treewidth == 2

@@ -1,0 +1,113 @@
+"""Unit tests for CQs with disequalities and negations (Section 5.3)."""
+
+import pytest
+
+from repro.core.extended import (
+    ExtendedQuery,
+    count_extended_answers_via_quantum,
+    extended_to_quantum,
+    extended_wl_dimension,
+)
+from repro.errors import QueryError
+from repro.graphs import complete_graph, cycle_graph, random_graph
+from repro.queries import query_from_atoms, star_query
+
+
+class TestConstruction:
+    def test_constraints_must_be_free(self):
+        with pytest.raises(QueryError):
+            ExtendedQuery(star_query(2), disequalities=[("x1", "y")])
+        with pytest.raises(QueryError):
+            ExtendedQuery(star_query(2), negated_atoms=[("x1", "y")])
+
+    def test_reflexive_pair_rejected(self):
+        with pytest.raises(QueryError):
+            ExtendedQuery(star_query(2), disequalities=[("x1", "x1")])
+
+    def test_contradictory_negation_rejected(self):
+        q = query_from_atoms([("x1", "x2"), ("x1", "y")], ["x1", "x2"])
+        with pytest.raises(QueryError):
+            ExtendedQuery(q, negated_atoms=[("x1", "x2")])
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_disequality_quantum_matches_direct(self, seed):
+        query = ExtendedQuery(star_query(2), disequalities=[("x1", "x2")])
+        host = random_graph(7, 0.45, seed=seed)
+        assert count_extended_answers_via_quantum(query, host) == (
+            query.count_answers_direct(host)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_negation_quantum_matches_direct(self, seed):
+        query = ExtendedQuery(star_query(2), negated_atoms=[("x1", "x2")])
+        host = random_graph(7, 0.45, seed=seed)
+        assert count_extended_answers_via_quantum(query, host) == (
+            query.count_answers_direct(host)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_combined_constraints(self, seed):
+        query = ExtendedQuery(
+            star_query(3),
+            disequalities=[("x1", "x2"), ("x2", "x3")],
+            negated_atoms=[("x1", "x3")],
+        )
+        host = random_graph(6, 0.5, seed=10 + seed)
+        assert count_extended_answers_via_quantum(query, host) == (
+            query.count_answers_direct(host)
+        )
+
+    def test_all_distinct_matches_injective_machinery(self):
+        """Full pairwise disequalities = injective answers."""
+        from repro.core import count_injective_answers
+
+        base = star_query(3)
+        query = ExtendedQuery(
+            base,
+            disequalities=[("x1", "x2"), ("x1", "x3"), ("x2", "x3")],
+        )
+        host = random_graph(6, 0.5, seed=20)
+        assert query.count_answers_direct(host) == count_injective_answers(
+            base, host,
+        )
+        assert count_extended_answers_via_quantum(query, host) == (
+            count_injective_answers(base, host)
+        )
+
+    def test_negated_atom_on_clique_host(self):
+        """On K_n, 'common neighbour and non-adjacent and distinct' is
+        impossible."""
+        query = ExtendedQuery(star_query(2), negated_atoms=[("x1", "x2")])
+        assert query.count_answers_direct(complete_graph(5)) == 0
+        assert count_extended_answers_via_quantum(query, complete_graph(5)) == 0
+
+    def test_independent_set_style_query(self):
+        # Free edge plus negated other pair: paths of length 2 with
+        # non-adjacent endpoints — in C5 every 2-path has non-adjacent,
+        # distinct endpoints... endpoints at distance 2 in C5 are
+        # non-adjacent, so all 10 ordered 2-paths qualify.
+        base = query_from_atoms([("x1", "m"), ("m", "x2")], ["x1", "x2", "m"])
+        query = ExtendedQuery(base, negated_atoms=[("x1", "x2")])
+        assert query.count_answers_direct(cycle_graph(5)) == 10
+        assert count_extended_answers_via_quantum(query, cycle_graph(5)) == 10
+
+
+class TestWlDimension:
+    def test_dimension_of_disequality_star(self):
+        query = ExtendedQuery(star_query(2), disequalities=[("x1", "x2")])
+        assert extended_wl_dimension(query) == 2
+
+    def test_dimension_survives_negation(self):
+        query = ExtendedQuery(star_query(2), negated_atoms=[("x1", "x2")])
+        assert extended_wl_dimension(query) == 2
+
+    def test_expansion_terms_connected_and_minimal(self):
+        query = ExtendedQuery(star_query(3), disequalities=[("x1", "x2")])
+        quantum = extended_to_quantum(query)
+        from repro.queries import is_counting_minimal
+
+        for constituent in quantum.constituents():
+            assert constituent.is_connected()
+            assert is_counting_minimal(constituent)

@@ -1,0 +1,163 @@
+"""Unit tests for quantum queries (Definition 63, Corollary 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    QuantumQuery,
+    conjoin_on_free_variables,
+    count_injective_answers,
+    injective_answers_quantum,
+    quantum_from_query,
+    union_to_quantum,
+)
+from repro.errors import QueryError
+from repro.graphs import complete_graph, cycle_graph, path_graph, random_graph
+from repro.queries import (
+    count_answers,
+    path_endpoints_query,
+    query_from_atoms,
+    star_query,
+    star_with_redundant_path,
+)
+
+
+class TestNormalisation:
+    def test_zero_coefficients_dropped(self):
+        q = QuantumQuery([(0, star_query(2))])
+        assert q.is_zero()
+
+    def test_isomorphic_terms_merged(self):
+        from repro.queries import relabel_query
+
+        a = star_query(2)
+        b = relabel_query(a, {"x1": "u", "x2": "v", "y": "w"})
+        q = QuantumQuery([(1, a), (2, b)])
+        assert len(q.terms) == 1
+        assert q.coefficients() == [Fraction(3)]
+
+    def test_cancellation_gives_zero(self):
+        a = star_query(2)
+        q = QuantumQuery([(1, a), (-1, a)])
+        assert q.is_zero()
+
+    def test_constituents_minimised(self):
+        q = QuantumQuery([(1, star_with_redundant_path(2))])
+        assert q.constituents() == [star_query(2)]
+
+    def test_disconnected_constituent_rejected(self):
+        from repro.graphs import Graph
+        from repro.queries import ConjunctiveQuery
+
+        broken = ConjunctiveQuery(Graph(edges=[(0, 1), (2, 3)]), [0, 2])
+        with pytest.raises(QueryError):
+            QuantumQuery([(1, broken)])
+
+    def test_boolean_constituent_rejected(self):
+        from repro.queries import ConjunctiveQuery
+
+        boolean = ConjunctiveQuery(complete_graph(3), [])
+        with pytest.raises(QueryError):
+            QuantumQuery([(1, boolean)])
+
+
+class TestEvaluationAndArithmetic:
+    def test_count_answers_linear(self):
+        g = random_graph(6, 0.5, seed=17)
+        a, b = star_query(2), star_query(3)
+        q = QuantumQuery([(2, a), (-1, b)])
+        expected = 2 * count_answers(a, g) - count_answers(b, g)
+        assert q.count_answers(g) == expected
+
+    def test_addition_and_scaling(self):
+        a = quantum_from_query(star_query(2))
+        b = quantum_from_query(star_query(3))
+        combined = a + b.scaled(3)
+        assert sorted(map(int, combined.coefficients())) == [1, 3]
+        difference = combined - combined
+        assert difference.is_zero()
+
+    def test_hsew(self):
+        q = QuantumQuery([(1, star_query(2)), (1, star_query(4))])
+        assert q.hereditary_semantic_extension_width() == 4
+        assert q.wl_dimension() == 4
+
+    def test_hsew_of_zero_rejected(self):
+        with pytest.raises(QueryError):
+            QuantumQuery([]).hereditary_semantic_extension_width()
+
+
+class TestConjunctionAndUnion:
+    def test_conjunction_counts_intersection(self):
+        """Answers of the conjunction = assignments answering both."""
+        a = star_query(2)                      # common neighbour
+        b = path_endpoints_query(2)            # connected by a 3-walk
+        conjunction = conjoin_on_free_variables(
+            [a, _rename_free(b, {"v1": "x1", "v4": "x2"})],
+        )
+        g = random_graph(6, 0.5, seed=30)
+        from repro.queries import enumerate_answers
+
+        first = {tuple(sorted(x.items())) for x in enumerate_answers(a, g)}
+        renamed = _rename_free(b, {"v1": "x1", "v4": "x2"})
+        second = {tuple(sorted(x.items())) for x in enumerate_answers(renamed, g)}
+        assert count_answers(conjunction, g) == len(first & second)
+
+    def test_conjunction_requires_same_free_labels(self):
+        with pytest.raises(QueryError):
+            conjoin_on_free_variables([star_query(2), star_query(3)])
+
+    def test_union_inclusion_exclusion(self):
+        """|Ans(ϕ₁ ∨ ϕ₂)| evaluated through the quantum expansion equals
+        the direct union count."""
+        a = star_query(2)
+        b = _rename_free(path_endpoints_query(2), {"v1": "x1", "v4": "x2"})
+        quantum = union_to_quantum([a, b])
+        g = random_graph(6, 0.5, seed=31)
+        from repro.queries import enumerate_answers
+
+        first = {tuple(sorted(x.items())) for x in enumerate_answers(a, g)}
+        second = {tuple(sorted(x.items())) for x in enumerate_answers(b, g)}
+        assert quantum.count_answers(g) == len(first | second)
+
+    def test_union_of_one(self):
+        a = star_query(2)
+        assert union_to_quantum([a]).count_answers(cycle_graph(5)) == (
+            count_answers(a, cycle_graph(5))
+        )
+
+
+class TestInjectiveAnswers:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_injective_star_answers(self, k):
+        g = random_graph(6, 0.5, seed=40 + k)
+        quantum = injective_answers_quantum(star_query(k))
+        assert quantum.count_answers(g) == count_injective_answers(star_query(k), g)
+
+    def test_injective_expansion_top_coefficient(self):
+        """Corollary 68: the coefficient of (S_k, X_k) itself is 1."""
+        quantum = injective_answers_quantum(star_query(3))
+        top = [c for c, q in quantum.terms if q == star_query(3)]
+        assert top == [Fraction(1)]
+
+    def test_injective_on_query_with_free_edge(self):
+        """Adjacent identified free variables vanish (self-loop ⇒ zero)."""
+        q = query_from_atoms([("x1", "x2"), ("x1", "y")], ["x1", "x2"])
+        g = random_graph(6, 0.5, seed=44)
+        quantum = injective_answers_quantum(q)
+        assert quantum.count_answers(g) == count_injective_answers(q, g)
+
+    def test_injective_path_query(self):
+        q = path_endpoints_query(1)
+        g = complete_graph(4)
+        quantum = injective_answers_quantum(q)
+        assert quantum.count_answers(g) == count_injective_answers(q, g)
+
+
+def _rename_free(query, mapping):
+    """Rename only the listed variables, keeping the rest."""
+    from repro.queries import relabel_query
+
+    full = {v: mapping.get(v, v) for v in query.graph.vertices()}
+    return relabel_query(query, full)

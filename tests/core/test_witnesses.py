@@ -1,0 +1,172 @@
+"""Unit + integration tests for the Section-4 lower-bound machinery."""
+
+import pytest
+
+from repro.core import (
+    answer_id_gap,
+    build_full_query_witness,
+    build_lower_bound_witness,
+    cloned_pair,
+    colour_prescribed_gap,
+    count_extendable_assignments,
+    extendability_matches_answers,
+    search_clone_separation,
+    verify_lower_bound,
+    verify_wl_distinguished_at_width,
+    verify_wl_equivalence,
+)
+from repro.errors import WitnessError
+from repro.graphs import complete_graph
+from repro.homs import count_homomorphisms
+from repro.queries import (
+    ConjunctiveQuery,
+    full_query_from_graph,
+    path_endpoints_query,
+    star_query,
+    star_with_redundant_path,
+)
+
+
+class TestConstruction:
+    def test_star2_witness_shape(self):
+        witness = build_lower_bound_witness(star_query(2))
+        assert witness.width == 2
+        assert witness.ell == 3
+        assert witness.f_graph.num_vertices() == 2 + 3
+        assert witness.twist_vertex in witness.query.free_variables
+        # χ(K_{2,3}): 2·2² + 3·2 = 14 vertices.
+        assert witness.untwisted.num_vertices() == 14
+        assert witness.twisted.num_vertices() == 14
+
+    def test_non_minimal_query_reduced_first(self):
+        witness = build_lower_bound_witness(star_with_redundant_path(2))
+        assert witness.query == star_query(2)
+
+    def test_width_one_rejected(self):
+        with pytest.raises(WitnessError):
+            build_lower_bound_witness(star_query(1))
+
+    def test_full_query_rejected_here(self):
+        with pytest.raises(WitnessError):
+            build_lower_bound_witness(
+                full_query_from_graph(complete_graph(3)),
+            )
+
+    def test_even_ell_rejected(self):
+        with pytest.raises(WitnessError):
+            build_lower_bound_witness(star_query(2), ell=4)
+
+    def test_colouring_is_h_colouring(self):
+        from repro.homs import is_colouring
+
+        witness = build_lower_bound_witness(star_query(2))
+        assert is_colouring(
+            witness.untwisted, witness.query.graph, witness.untwisted_colouring,
+        )
+        assert is_colouring(
+            witness.twisted, witness.query.graph, witness.twisted_colouring,
+        )
+
+
+class TestColouredGap:
+    def test_lemma56_strict_gap_star2(self):
+        witness = build_lower_bound_witness(star_query(2))
+        untwisted, twisted = colour_prescribed_gap(witness)
+        assert untwisted > twisted
+
+    def test_lemma50_cp_equals_id(self):
+        witness = build_lower_bound_witness(star_query(2))
+        assert colour_prescribed_gap(witness) == answer_id_gap(witness)
+
+    def test_lemma55_extendability_characterisation(self):
+        witness = build_lower_bound_witness(star_query(2))
+        assert extendability_matches_answers(witness)
+
+    def test_extendable_counts_match_cp(self):
+        witness = build_lower_bound_witness(star_query(2))
+        cp = colour_prescribed_gap(witness)
+        extendable = (
+            count_extendable_assignments(witness, twisted=False),
+            count_extendable_assignments(witness, twisted=True),
+        )
+        assert cp == extendable
+
+    def test_lemma52_strictness_on_path_query(self):
+        witness = build_lower_bound_witness(path_endpoints_query(2))
+        untwisted, twisted = colour_prescribed_gap(witness)
+        assert untwisted > twisted
+
+
+class TestWlEquivalence:
+    def test_pair_equivalent_below_width(self):
+        witness = build_lower_bound_witness(star_query(2))
+        assert verify_wl_equivalence(witness)
+
+    def test_pair_distinguished_at_width(self):
+        witness = build_lower_bound_witness(star_query(2))
+        assert verify_wl_distinguished_at_width(witness)
+
+    def test_hom_count_gap_direction(self):
+        """Theorem 32: hom counts can only drop on the twisted side."""
+        witness = build_lower_bound_witness(star_query(2))
+        assert count_homomorphisms(witness.f_graph, witness.untwisted) > (
+            count_homomorphisms(witness.f_graph, witness.twisted)
+        )
+
+
+class TestCloneSeparation:
+    def test_star2_separates(self):
+        witness = build_lower_bound_witness(star_query(2))
+        result = search_clone_separation(witness, max_multiplicity=2)
+        assert result is not None
+        _, untwisted, twisted = result
+        assert untwisted != twisted
+
+    def test_cloned_pair_shapes(self):
+        witness = build_lower_bound_witness(star_query(2))
+        first, second, colour_first, colour_second = cloned_pair(witness, (2, 1))
+        assert first.num_vertices() == second.num_vertices()
+        assert set(colour_first.values()) <= set(witness.query.graph.vertices())
+        assert set(colour_second.values()) <= set(witness.query.graph.vertices())
+
+    def test_wrong_multiplicity_arity(self):
+        witness = build_lower_bound_witness(star_query(2))
+        with pytest.raises(WitnessError):
+            cloned_pair(witness, (1, 1, 1))
+
+
+class TestFullReport:
+    def test_star2_all_checks(self):
+        report = verify_lower_bound(star_query(2))
+        assert report.all_checks_pass
+        assert report.clone_separation is not None
+
+    def test_path_query_all_checks(self):
+        report = verify_lower_bound(path_endpoints_query(2))
+        assert report.all_checks_pass
+
+
+class TestFullQueryWitness:
+    def test_triangle_full_query(self):
+        q = full_query_from_graph(complete_graph(3))
+        witness = build_full_query_witness(q)
+        assert witness.width == 2
+        # Answers are hom counts; they differ across the pair (Roberson).
+        first = count_homomorphisms(q.graph, witness.untwisted)
+        second = count_homomorphisms(q.graph, witness.twisted)
+        assert first > second
+        # And the pair is 1-WL-equivalent.
+        from repro.wl import k_wl_equivalent
+
+        assert k_wl_equivalent(witness.untwisted, witness.twisted, 1)
+
+    def test_tree_full_query_rejected(self):
+        from repro.graphs import path_graph
+
+        q = full_query_from_graph(path_graph(3))
+        with pytest.raises(WitnessError):
+            build_full_query_witness(q)
+
+    def test_non_full_rejected(self):
+        with pytest.raises(WitnessError):
+            build_full_query_witness(star_query(2))

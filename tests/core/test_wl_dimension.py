@@ -1,0 +1,118 @@
+"""Unit tests for the WL-dimension computation (Theorem 1)."""
+
+import pytest
+
+from repro.core import (
+    analyse_query,
+    graph_core,
+    wl_dimension,
+    wl_dimension_upper_bound,
+    wl_invariant_on,
+)
+from repro.errors import QueryError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    full_query_from_graph,
+    path_endpoints_query,
+    star_query,
+    star_with_redundant_path,
+)
+
+
+class TestMainTheorem:
+    def test_star_dimension_is_k(self):
+        """The headline example: WL-dim(S_k, X_k) = k despite treewidth 1
+        (Corollaries 61/67)."""
+        for k in (1, 2, 3, 4, 5):
+            assert wl_dimension(star_query(k)) == k
+
+    def test_full_query_dimension_is_treewidth(self):
+        """Quantifier-free case: WL-dim = tw(H) (Neuen; Theorem 1's first
+        branch)."""
+        assert wl_dimension(full_query_from_graph(complete_graph(4))) == 3
+        assert wl_dimension(full_query_from_graph(cycle_graph(5))) == 2
+        assert wl_dimension(full_query_from_graph(path_graph(4))) == 1
+
+    def test_semantic_not_syntactic(self):
+        """Redundant quantified parts do not raise the dimension."""
+        q = star_with_redundant_path(2, tail=2)
+        assert wl_dimension(q) == 2
+
+    def test_path_endpoints_dimension(self):
+        assert wl_dimension(path_endpoints_query(2)) == 2
+
+    def test_dimension_at_least_one(self):
+        q = ConjunctiveQuery(Graph(vertices=["x"]), ["x"])
+        assert wl_dimension(q) == 1
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            wl_dimension(ConjunctiveQuery(Graph(), []))
+
+
+class TestExtensions:
+    def test_disconnected_query_max_over_components(self):
+        """Remark (A): disconnected queries take the max."""
+        star2 = star_query(2)
+        star3 = star_query(3)
+        union_graph = disjoint_union(star2.graph, star3.graph)
+        free = frozenset(
+            (0, x) for x in star2.free_variables
+        ) | frozenset((1, x) for x in star3.free_variables)
+        q = ConjunctiveQuery(union_graph, free)
+        assert wl_dimension(q) == 3
+
+    def test_boolean_query_dimension(self):
+        """Remark (B): X = ∅ gives tw of the homomorphic core."""
+        q = ConjunctiveQuery(complete_graph(3), [])
+        assert wl_dimension(q) == 2
+        # Boolean P3 folds to an edge: dimension 1.
+        q2 = ConjunctiveQuery(path_graph(3), [])
+        assert wl_dimension(q2) == 1
+
+    def test_graph_core(self):
+        core = graph_core(cycle_graph(6))  # bipartite: folds to K2
+        assert core.num_vertices() == 2
+        core_odd = graph_core(cycle_graph(5))  # odd cycles are cores
+        assert core_odd.num_vertices() == 5
+
+
+class TestUpperBound:
+    def test_upper_bound_at_least_dimension(self):
+        for q in (
+            star_query(3),
+            star_with_redundant_path(2),
+            path_endpoints_query(1),
+        ):
+            assert wl_dimension_upper_bound(q) >= wl_dimension(q)
+
+    def test_upper_bound_equals_for_minimal(self):
+        assert wl_dimension_upper_bound(star_query(3)) == 3
+
+
+class TestInvariance:
+    def test_wl_invariant_on_cfi_pairs(self):
+        """Upper bound in action: a sew-2 query cannot separate a
+        1-WL-equivalent pair of treewidth-2 CFI graphs? No — it *can*.
+        What it cannot separate is pairs that are 2-WL-equivalent.  Use the
+        K4-based pair (2-WL-equivalent, Lemma 27)."""
+        from repro.cfi import cfi_pair
+
+        pair = cfi_pair(complete_graph(4))
+        assert wl_invariant_on(star_query(2), [(pair.untwisted, pair.twisted)])
+
+    def test_analyse_query_report(self):
+        report = analyse_query(star_query(2))
+        assert report["wl_dimension"] == 2
+        assert report["treewidth"] == 1
+        assert report["quantified_star_size"] == 2
+        assert report["extension_width"] == 2
+        assert report["semantic_extension_width"] == 2
+        assert report["counting_minimal"]

@@ -1,0 +1,63 @@
+"""Unit tests for canonical forms."""
+
+from repro.graphs import (
+    canonical_form,
+    canonical_key,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    six_cycle,
+    star_graph,
+    two_triangles,
+)
+
+
+def test_isomorphic_graphs_same_key():
+    g = cycle_graph(5)
+    h = g.relabelled({i: f"v{i}" for i in range(5)})
+    assert canonical_key(g) == canonical_key(h)
+
+
+def test_non_isomorphic_graphs_different_key():
+    assert canonical_key(six_cycle()) != canonical_key(two_triangles())
+    assert canonical_key(path_graph(4)) != canonical_key(star_graph(3))
+
+
+def test_regular_cospectral_like_pair():
+    """C6 vs 2K3 defeat plain colour refinement; individualisation must
+    separate them."""
+    assert canonical_key(six_cycle()) != canonical_key(two_triangles())
+
+
+def test_coloured_canonical_form():
+    g = path_graph(3)
+    a = canonical_form(g, {0: "x", 1: "y", 2: "x"})
+    b = canonical_form(g, {0: "x", 1: "y", 2: "x"})
+    c = canonical_form(g, {0: "y", 1: "x", 2: "x"})
+    assert a == b
+    assert a != c
+
+
+def test_coloured_form_respects_relabelling():
+    g = path_graph(3)
+    h = g.relabelled({0: "a", 1: "b", 2: "c"})
+    a = canonical_form(g, {0: "end", 1: "mid", 2: "end"})
+    b = canonical_form(h, {"a": "end", "b": "mid", "c": "end"})
+    assert a == b
+
+
+def test_clique_canonical():
+    assert canonical_key(complete_graph(4)) == canonical_key(
+        complete_graph(4).relabelled({0: 9, 1: 8, 2: 7, 3: 6}),
+    )
+
+
+def test_key_distinguishes_sizes():
+    assert canonical_key(path_graph(3)) != canonical_key(path_graph(4))
+
+
+def test_key_for_edgeless():
+    from repro.graphs import empty_graph
+
+    assert canonical_key(empty_graph(3)) == canonical_key(empty_graph(3))
+    assert canonical_key(empty_graph(3)) != canonical_key(empty_graph(4))

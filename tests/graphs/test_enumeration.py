@@ -1,0 +1,68 @@
+"""Unit tests for exhaustive small-graph enumeration.
+
+Counts are checked against OEIS: A000088 (graphs), A001349 (connected
+graphs), A000055 (trees).
+"""
+
+from repro.graphs import are_isomorphic, path_graph, star_graph
+from repro.graphs.enumeration import (
+    all_connected_graphs_up_to_iso,
+    all_graphs_up_to_iso,
+    all_trees_up_to_iso,
+    graphs_with_property,
+)
+
+
+def test_graph_counts_match_oeis():
+    # A000088: 1, 2, 4, 11, 34 for n = 1..5
+    assert sum(1 for _ in all_graphs_up_to_iso(1)) == 1
+    assert sum(1 for _ in all_graphs_up_to_iso(2)) == 2
+    assert sum(1 for _ in all_graphs_up_to_iso(3)) == 4
+    assert sum(1 for _ in all_graphs_up_to_iso(4)) == 11
+
+
+def test_graph_count_five_vertices():
+    assert sum(1 for _ in all_graphs_up_to_iso(5)) == 34
+
+
+def test_connected_counts_match_oeis():
+    # A001349: 1, 1, 2, 6, 21 for n = 1..5
+    assert sum(1 for _ in all_connected_graphs_up_to_iso(3)) == 2
+    assert sum(1 for _ in all_connected_graphs_up_to_iso(4)) == 6
+    assert sum(1 for _ in all_connected_graphs_up_to_iso(5)) == 21
+
+
+def test_tree_counts_match_oeis():
+    # A000055: 1, 1, 1, 2, 3, 6 for n = 1..6
+    assert sum(1 for _ in all_trees_up_to_iso(4)) == 2
+    assert sum(1 for _ in all_trees_up_to_iso(5)) == 3
+    assert sum(1 for _ in all_trees_up_to_iso(6)) == 6
+
+
+def test_trees_are_trees():
+    for tree in all_trees_up_to_iso(5):
+        assert tree.num_edges() == tree.num_vertices() - 1
+        assert tree.is_connected()
+
+
+def test_enumeration_contains_path_and_star():
+    trees4 = list(all_trees_up_to_iso(4))
+    assert any(are_isomorphic(t, path_graph(4)) for t in trees4)
+    assert any(are_isomorphic(t, star_graph(3)) for t in trees4)
+
+
+def test_graphs_with_property_filters():
+    triangles = list(
+        graphs_with_property(
+            4,
+            lambda g: g.num_edges() == 3 and g.is_connected() and g.num_vertices() == 3,
+        ),
+    )
+    assert len(triangles) == 1
+
+
+def test_enumeration_yields_distinct_classes():
+    graphs = list(all_graphs_up_to_iso(4))
+    for i, a in enumerate(graphs):
+        for b in graphs[i + 1:]:
+            assert not are_isomorphic(a, b)

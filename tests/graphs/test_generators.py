@@ -1,0 +1,163 @@
+"""Unit tests for graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cliques,
+    empty_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    prism_graph,
+    random_connected_graph,
+    random_graph,
+    random_tree,
+    six_cycle,
+    star_graph,
+    two_triangles,
+    wheel_graph,
+)
+
+
+def test_empty_graph():
+    g = empty_graph(4)
+    assert g.num_vertices() == 4
+    assert g.num_edges() == 0
+
+
+def test_empty_graph_negative():
+    with pytest.raises(GraphError):
+        empty_graph(-1)
+
+
+def test_path_graph():
+    g = path_graph(5)
+    assert g.num_edges() == 4
+    assert g.degree_sequence() == (2, 2, 2, 1, 1)
+    assert g.is_connected()
+
+
+def test_cycle_graph():
+    g = cycle_graph(5)
+    assert g.num_edges() == 5
+    assert g.degree_sequence() == (2,) * 5
+
+
+def test_cycle_too_small():
+    with pytest.raises(GraphError):
+        cycle_graph(2)
+
+
+def test_complete_graph():
+    g = complete_graph(5)
+    assert g.num_edges() == 10
+    assert g.is_clique(g.vertices())
+
+
+def test_star_graph():
+    g = star_graph(4)
+    assert g.num_vertices() == 5
+    assert g.degree("y") == 4
+    assert all(g.degree(f"x{i}") == 1 for i in range(1, 5))
+
+
+def test_star_requires_leaf():
+    with pytest.raises(GraphError):
+        star_graph(0)
+
+
+def test_complete_bipartite():
+    g = complete_bipartite_graph(2, 3)
+    assert g.num_vertices() == 5
+    assert g.num_edges() == 6
+    assert g.degree(("L", 0)) == 3
+    assert g.degree(("R", 0)) == 2
+
+
+def test_grid_graph():
+    g = grid_graph(3, 4)
+    assert g.num_vertices() == 12
+    assert g.num_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+def test_binary_tree():
+    g = binary_tree(3)
+    assert g.num_vertices() == 15
+    assert g.num_edges() == 14
+    assert g.is_connected()
+
+
+def test_hypercube():
+    g = hypercube_graph(3)
+    assert g.num_vertices() == 8
+    assert g.num_edges() == 12
+    assert g.degree_sequence() == (3,) * 8
+
+
+def test_petersen():
+    g = petersen_graph()
+    assert g.num_vertices() == 10
+    assert g.num_edges() == 15
+    assert g.degree_sequence() == (3,) * 10
+
+
+def test_prism():
+    g = prism_graph(4)
+    assert g.num_vertices() == 8
+    assert g.num_edges() == 12
+    assert g.degree_sequence() == (3,) * 8
+
+
+def test_two_triangles_vs_six_cycle():
+    tt = two_triangles()
+    c6 = six_cycle()
+    assert tt.num_vertices() == c6.num_vertices() == 6
+    assert tt.num_edges() == c6.num_edges() == 6
+    assert tt.degree_sequence() == c6.degree_sequence()
+    assert not tt.is_connected()
+    assert c6.is_connected()
+
+
+def test_disjoint_cliques():
+    g = disjoint_cliques([3, 2, 1])
+    assert g.num_vertices() == 6
+    assert g.num_edges() == 3 + 1
+    assert len(g.connected_components()) == 3
+
+
+def test_random_graph_deterministic():
+    a = random_graph(8, 0.5, seed=42)
+    b = random_graph(8, 0.5, seed=42)
+    assert a == b
+
+
+def test_random_graph_probability_bounds():
+    with pytest.raises(GraphError):
+        random_graph(5, 1.5)
+    assert random_graph(5, 0.0).num_edges() == 0
+    assert random_graph(5, 1.0).num_edges() == 10
+
+
+def test_random_tree_is_tree():
+    g = random_tree(10, seed=7)
+    assert g.num_edges() == 9
+    assert g.is_connected()
+
+
+def test_random_connected_graph():
+    g = random_connected_graph(9, 0.2, seed=13)
+    assert g.is_connected()
+    assert g.num_edges() >= 8
+
+
+def test_wheel_graph():
+    g = wheel_graph(5)
+    assert g.num_vertices() == 6
+    assert g.degree("hub") == 5
+    assert g.num_edges() == 10

@@ -1,0 +1,181 @@
+"""Unit tests for the core Graph data structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices() == 0
+        assert g.num_edges() == 0
+        assert g.vertices() == []
+        assert g.edges() == []
+
+    def test_vertices_only(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 0
+
+    def test_edges_add_endpoints(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert sorted(g.vertices()) == [1, 2, 3]
+        assert g.num_edges() == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(edges=[(1, 1)])
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges() == 1
+
+    def test_hashable_labels(self):
+        g = Graph(edges=[(("a", 1), ("b", frozenset([2])))])
+        assert g.num_vertices() == 2
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(5)
+        g.add_vertex(5)
+        assert g.num_vertices() == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert g.num_vertices() == 3
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(vertices=[0, 1])
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_remove_vertex(self):
+        g = complete_graph(4)
+        g.remove_vertex(0)
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 3
+        assert not g.has_vertex(0)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_vertex("missing")
+
+    def test_copy_is_independent(self):
+        g = path_graph(3)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert not g.has_edge(0, 2)
+        assert h.has_edge(0, 2)
+
+
+class TestQueries:
+    def test_neighbours(self):
+        g = path_graph(3)
+        assert g.neighbours(1) == frozenset({0, 2})
+        assert g.neighbours(0) == frozenset({1})
+
+    def test_neighbours_missing_vertex(self):
+        with pytest.raises(GraphError):
+            path_graph(2).neighbours(99)
+
+    def test_neighbourhood_of_set(self):
+        g = path_graph(4)
+        assert g.neighbourhood_of_set([1, 2]) == frozenset({0, 1, 2, 3})
+
+    def test_degree_sequence(self):
+        assert complete_graph(4).degree_sequence() == (3, 3, 3, 3)
+        assert path_graph(3).degree_sequence() == (2, 1, 1)
+
+    def test_edge_count_clique(self):
+        assert complete_graph(5).num_edges() == 10
+
+    def test_contains_iter_len(self):
+        g = path_graph(3)
+        assert 1 in g
+        assert 9 not in g
+        assert len(g) == 3
+        assert sorted(g) == [0, 1, 2]
+
+
+class TestStructure:
+    def test_connected_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        g.add_vertex(4)
+        components = sorted(g.connected_components(), key=lambda c: min(c))
+        assert components == [frozenset({0, 1}), frozenset({2, 3}), frozenset({4})]
+
+    def test_is_connected(self):
+        assert path_graph(5).is_connected()
+        assert not Graph(edges=[(0, 1), (2, 3)]).is_connected()
+        assert Graph().is_connected()  # convention: empty graph is connected
+
+    def test_component_adjacent_to(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 0)])
+        assert g.component_adjacent_to({1, 2}, 0)
+        assert not g.component_adjacent_to({2}, 0)
+
+    def test_induced_subgraph(self):
+        g = complete_graph(4)
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices() == 3
+        assert sub.num_edges() == 3
+
+    def test_induced_subgraph_missing_vertex(self):
+        with pytest.raises(GraphError):
+            path_graph(2).induced_subgraph([0, 7])
+
+    def test_is_clique(self):
+        g = complete_graph(4)
+        assert g.is_clique([0, 1, 2])
+        assert g.is_clique([])
+        assert not cycle_graph(4).is_clique([0, 1, 2])
+
+    def test_bfs_distances(self):
+        g = cycle_graph(6)
+        distances = g.bfs_distances(0)
+        assert distances[0] == 0
+        assert distances[3] == 3
+        assert distances[5] == 1
+
+
+class TestRelabelling:
+    def test_relabelled(self):
+        g = path_graph(3)
+        h = g.relabelled({0: "a", 1: "b", 2: "c"})
+        assert h.has_edge("a", "b")
+        assert h.has_edge("b", "c")
+        assert not h.has_edge("a", "c")
+
+    def test_relabelled_non_injective_raises(self):
+        with pytest.raises(GraphError):
+            path_graph(3).relabelled({0: "a", 1: "a", 2: "c"})
+
+    def test_to_index_graph(self):
+        g = Graph(edges=[("x", "y")])
+        indexed, mapping = g.to_index_graph()
+        assert set(mapping.values()) == {0, 1}
+        assert indexed.has_edge(0, 1)
+
+    def test_equality_is_label_level(self):
+        assert path_graph(3) == path_graph(3)
+        assert path_graph(3) != cycle_graph(3)
+
+    def test_graphs_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(path_graph(2))
+
+    def test_edge_fingerprint_distinguishes(self):
+        assert path_graph(3).edge_fingerprint() != cycle_graph(3).edge_fingerprint()
+        assert path_graph(3).edge_fingerprint() == path_graph(3).edge_fingerprint()
+
+    def test_adjacency_dict_snapshot(self):
+        g = path_graph(3)
+        snapshot = g.adjacency_dict()
+        assert snapshot[1] == frozenset({0, 2})

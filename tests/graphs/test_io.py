@@ -1,0 +1,84 @@
+"""Unit tests for graph6 and edge-list serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    are_isomorphic,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    random_graph,
+)
+from repro.graphs.io import from_edge_list, from_graph6, to_edge_list, to_graph6
+
+
+class TestGraph6:
+    def test_round_trip_small(self):
+        for g in (path_graph(4), cycle_graph(5), complete_graph(4)):
+            decoded = from_graph6(to_graph6(g))
+            assert are_isomorphic(g, decoded)
+
+    def test_round_trip_random(self):
+        g = random_graph(9, 0.5, seed=99)
+        assert are_isomorphic(g, from_graph6(to_graph6(g)))
+
+    def test_known_encodings(self):
+        # K3 on 3 vertices: standard graph6 string "Bw".
+        assert to_graph6(complete_graph(3)) == "Bw"
+        # Empty graph on one vertex: "@".
+        assert to_graph6(Graph(vertices=[0])) == "@"
+
+    def test_decode_known(self):
+        g = from_graph6("Bw")
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 3
+
+    def test_petersen_round_trip(self):
+        g = petersen_graph()
+        assert are_isomorphic(g, from_graph6(to_graph6(g)))
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(GraphError):
+            from_graph6("")
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(GraphError):
+            from_graph6("B\x01")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(GraphError):
+            from_graph6("I")  # header says 10 vertices, no bits follow
+
+    def test_too_large_rejected(self):
+        g = Graph(vertices=range(63))
+        with pytest.raises(GraphError):
+            to_graph6(g)
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        g = cycle_graph(5)
+        g.add_vertex(99)  # isolated vertex must survive
+        restored = from_edge_list(to_edge_list(g))
+        assert restored == g
+
+    def test_string_labels(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        restored = from_edge_list(to_edge_list(g))
+        assert restored == g
+
+    def test_comments_ignored(self):
+        text = "# a comment\ne 1 2\n"
+        g = from_edge_list(text)
+        assert g.has_edge(1, 2)
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list("x 1 2\n")
+
+    def test_unsupported_label_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list("e 1.5 2\n")

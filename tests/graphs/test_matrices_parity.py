@@ -1,0 +1,147 @@
+"""Unit tests for the matrix/spectral module and Lemma 58 parity
+assignments."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    closed_walk_profile,
+    complete_graph,
+    cospectral,
+    count_closed_walks,
+    count_walks,
+    cycle_graph,
+    parity_edge_assignment,
+    path_graph,
+    petersen_graph,
+    random_graph,
+    six_cycle,
+    spectrum,
+    star_graph,
+    two_triangles,
+    verify_parity_assignment,
+    walk_profile,
+)
+from repro.homs import count_homomorphisms
+
+
+class TestWalkCounting:
+    def test_walks_match_path_homs(self):
+        g = random_graph(7, 0.5, seed=61)
+        for length in (0, 1, 2, 3, 4):
+            assert count_walks(g, length) == count_homomorphisms(
+                path_graph(length + 1), g,
+            )
+
+    def test_closed_walks_match_cycle_homs(self):
+        g = random_graph(7, 0.5, seed=62)
+        for length in (3, 4, 5):
+            assert count_closed_walks(g, length) == count_homomorphisms(
+                cycle_graph(length), g,
+            )
+
+    def test_trace_counts_triangles(self):
+        # trace(A³) = 6 · #triangles.
+        assert count_closed_walks(complete_graph(3), 3) == 6
+        assert count_closed_walks(complete_graph(4), 3) == 24
+        assert count_closed_walks(six_cycle(), 3) == 0
+
+    def test_empty_graph(self):
+        assert count_walks(Graph(), 2) == 0
+        assert count_closed_walks(Graph(), 3) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_walks(path_graph(2), -1)
+        with pytest.raises(ValueError):
+            count_closed_walks(path_graph(2), 0)
+
+    def test_walk_profile_is_1wl_invariant_on_classic_pair(self):
+        assert walk_profile(two_triangles(), 5) == walk_profile(six_cycle(), 5)
+
+    def test_closed_walk_profile_separates_classic_pair(self):
+        """Closed-walk counts are 2-WL information: the triangle shows."""
+        assert closed_walk_profile(two_triangles(), 4) != (
+            closed_walk_profile(six_cycle(), 4)
+        )
+
+
+class TestSpectra:
+    def test_known_spectrum_complete(self):
+        spec = spectrum(complete_graph(4))
+        assert abs(spec[0] - 3.0) < 1e-9
+        assert all(abs(value + 1.0) < 1e-9 for value in spec[1:])
+
+    def test_petersen_spectrum(self):
+        spec = spectrum(petersen_graph())
+        assert abs(spec[0] - 3.0) < 1e-9
+        # Eigenvalue 1 with multiplicity 5, −2 with multiplicity 4.
+        assert sum(1 for v in spec if abs(v - 1.0) < 1e-6) == 5
+        assert sum(1 for v in spec if abs(v + 2.0) < 1e-6) == 4
+
+    def test_cospectral_iso_graphs(self):
+        g = random_graph(7, 0.5, seed=63)
+        h = g.relabelled({v: f"c{v}" for v in g.vertices()})
+        assert cospectral(g, h)
+
+    def test_not_cospectral(self):
+        assert not cospectral(two_triangles(), six_cycle())
+        assert not cospectral(path_graph(3), path_graph(4))
+
+
+class TestLemma58:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_even_sets(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = random_graph(8, 0.45, seed=100 + seed)
+        if not graph.is_connected():
+            pytest.skip("disconnected sample")
+        vertices = graph.vertices()
+        odd = rng.sample(vertices, 4)
+        beta = parity_edge_assignment(graph, odd)
+        assert verify_parity_assignment(graph, odd, beta)
+
+    def test_empty_odd_set(self):
+        g = cycle_graph(5)
+        beta = parity_edge_assignment(g, [])
+        assert all(value == 0 for value in beta.values())
+        assert verify_parity_assignment(g, [], beta)
+
+    def test_pair_on_path(self):
+        g = path_graph(4)
+        beta = parity_edge_assignment(g, [0, 3])
+        # The unique solution flips the whole path.
+        assert all(value == 1 for value in beta.values())
+
+    def test_adjacent_pair(self):
+        g = cycle_graph(6)
+        beta = parity_edge_assignment(g, [0, 1])
+        assert verify_parity_assignment(g, [0, 1], beta)
+
+    def test_all_vertices_odd(self):
+        g = complete_graph(4)
+        beta = parity_edge_assignment(g, [0, 1, 2, 3])
+        assert verify_parity_assignment(g, [0, 1, 2, 3], beta)
+
+    def test_odd_cardinality_rejected(self):
+        with pytest.raises(GraphError):
+            parity_edge_assignment(cycle_graph(4), [0])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            parity_edge_assignment(two_triangles(), [0, 3])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            parity_edge_assignment(path_graph(3), [0, 99])
+
+    def test_star_centre_paths(self):
+        g = star_graph(4)
+        beta = parity_edge_assignment(g, ["x1", "x2"])
+        assert verify_parity_assignment(g, ["x1", "x2"], beta)
+        # Only the two chosen leaf edges flip.
+        flipped = [edge for edge, value in beta.items() if value]
+        assert len(flipped) == 2

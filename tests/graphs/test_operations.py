@@ -1,0 +1,142 @@
+"""Unit tests for graph operations (union, tensor, complement, quotient)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    add_apex,
+    complement,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    disjoint_union_many,
+    path_graph,
+    quotient,
+    quotient_by_map,
+    subdivide_edges,
+    tensor_product,
+)
+from repro.homs import count_homomorphisms
+
+
+def test_disjoint_union_sizes():
+    g = disjoint_union(complete_graph(3), path_graph(2))
+    assert g.num_vertices() == 5
+    assert g.num_edges() == 4
+    assert len(g.connected_components()) == 2
+
+
+def test_disjoint_union_many():
+    g = disjoint_union_many([complete_graph(2)] * 3)
+    assert g.num_vertices() == 6
+    assert g.num_edges() == 3
+
+
+def test_tensor_product_size():
+    g = tensor_product(complete_graph(2), complete_graph(3))
+    assert g.num_vertices() == 6
+    # K2 ⊗ K3 = C6
+    assert g.degree_sequence() == (2,) * 6
+    assert g.is_connected()
+
+
+def test_tensor_product_hom_multiplicativity():
+    """|Hom(H, A⊗B)| = |Hom(H, A)| · |Hom(H, B)| — the property Corollary 5
+    relies on."""
+    pattern = path_graph(3)
+    a = cycle_graph(5)
+    b = complete_graph(3)
+    product_graph = tensor_product(a, b)
+    assert count_homomorphisms(pattern, product_graph) == (
+        count_homomorphisms(pattern, a) * count_homomorphisms(pattern, b)
+    )
+
+
+def test_tensor_product_hom_multiplicativity_triangle():
+    pattern = complete_graph(3)
+    a = complete_graph(4)
+    b = cycle_graph(7)
+    product_graph = tensor_product(a, b)
+    assert count_homomorphisms(pattern, product_graph) == (
+        count_homomorphisms(pattern, a) * count_homomorphisms(pattern, b)
+    )
+
+
+def test_complement_of_clique_is_empty():
+    g = complement(complete_graph(4))
+    assert g.num_edges() == 0
+    assert g.num_vertices() == 4
+
+
+def test_complement_involution():
+    g = cycle_graph(5)
+    assert complement(complement(g)) == g
+
+
+def test_complement_edge_count():
+    g = path_graph(4)
+    assert complement(g).num_edges() == 6 - 3
+
+
+def test_quotient_identifies_blocks():
+    g = path_graph(4)  # 0-1-2-3
+    q = quotient(g, [[0, 3], [1], [2]])
+    assert q.num_vertices() == 3
+    assert q.num_edges() == 3  # {03,1}, {1,2}, {2,03}
+
+
+def test_quotient_self_loop_rejected():
+    g = path_graph(2)
+    with pytest.raises(GraphError):
+        quotient(g, [[0, 1]])
+
+
+def test_quotient_requires_partition():
+    g = path_graph(3)
+    with pytest.raises(GraphError):
+        quotient(g, [[0], [1]])  # vertex 2 missing
+    with pytest.raises(GraphError):
+        quotient(g, [[0, 1], [1, 2]])  # overlap
+
+
+def test_quotient_by_map():
+    g = cycle_graph(4)
+    q = quotient_by_map(g, {0: "a", 1: "b", 2: "a2", 3: "b2"})
+    assert q.num_vertices() == 4
+    assert q.num_edges() == 4
+
+
+def test_quotient_by_map_self_loop():
+    with pytest.raises(GraphError):
+        quotient_by_map(path_graph(2), {0: "a", 1: "a"})
+
+
+def test_subdivide_edges():
+    g = complete_graph(3)
+    s = subdivide_edges(g, times=1)
+    assert s.num_vertices() == 3 + 3
+    assert s.num_edges() == 6
+    assert s.degree_sequence() == (2, 2, 2, 2, 2, 2)
+
+
+def test_subdivide_zero_is_copy():
+    g = complete_graph(3)
+    assert subdivide_edges(g, 0) == g
+
+
+def test_subdivide_negative_raises():
+    with pytest.raises(GraphError):
+        subdivide_edges(path_graph(2), -1)
+
+
+def test_add_apex():
+    g = add_apex(cycle_graph(4))
+    assert g.degree("apex") == 4
+    assert g.num_vertices() == 5
+
+
+def test_add_apex_label_clash():
+    g = path_graph(2)
+    g.add_vertex("apex")
+    with pytest.raises(GraphError):
+        add_apex(g)

@@ -1,0 +1,137 @@
+"""Unit tests for backtracking homomorphism enumeration.
+
+Known closed forms used as oracles:
+* |Hom(K2, G)| = 2·|E(G)|
+* |Hom(P3, G)| = Σ_v deg(v)²      (walks of length 2)
+* |Hom(C3, K_n)| = n(n-1)(n-2)
+* |Hom(H, K_n)| = chromatic-polynomial-free special cases via injectivity
+* bipartite patterns admit no homomorphism into bipartite-incompatible hosts
+"""
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    random_graph,
+    star_graph,
+)
+from repro.homs import (
+    count_homomorphisms_brute,
+    enumerate_homomorphisms,
+    exists_homomorphism,
+)
+
+
+class TestClosedForms:
+    def test_edge_into_graph(self):
+        g = cycle_graph(5)
+        assert count_homomorphisms_brute(path_graph(2), g) == 2 * g.num_edges()
+
+    def test_path3_walk_count(self):
+        g = random_graph(7, 0.5, seed=2)
+        expected = sum(g.degree(v) ** 2 for v in g.vertices())
+        assert count_homomorphisms_brute(path_graph(3), g) == expected
+
+    def test_triangle_into_clique(self):
+        assert count_homomorphisms_brute(complete_graph(3), complete_graph(4)) == 24
+        assert count_homomorphisms_brute(complete_graph(3), complete_graph(5)) == 60
+
+    def test_triangle_into_bipartite(self):
+        from repro.graphs import complete_bipartite_graph
+
+        assert count_homomorphisms_brute(
+            complete_graph(3), complete_bipartite_graph(3, 3),
+        ) == 0
+
+    def test_odd_cycle_into_even_cycle(self):
+        assert count_homomorphisms_brute(cycle_graph(5), cycle_graph(6)) == 0
+
+    def test_even_cycle_into_edge(self):
+        # C4 → K2: alternating assignments, 2 per proper 2-colouring = 2.
+        assert count_homomorphisms_brute(cycle_graph(4), complete_graph(2)) == 2
+
+    def test_single_vertex_pattern(self):
+        g = random_graph(6, 0.3, seed=1)
+        assert count_homomorphisms_brute(Graph(vertices=["v"]), g) == 6
+
+    def test_empty_pattern(self):
+        assert count_homomorphisms_brute(Graph(), cycle_graph(4)) == 1
+
+    def test_pattern_into_empty_target(self):
+        assert count_homomorphisms_brute(path_graph(2), Graph()) == 0
+
+    def test_star_into_graph(self):
+        # |Hom(S_k, G)| = Σ_v deg(v)^k (centre to v, leaves to neighbours).
+        g = random_graph(6, 0.5, seed=9)
+        k = 3
+        expected = sum(g.degree(v) ** k for v in g.vertices())
+        assert count_homomorphisms_brute(star_graph(k), g) == expected
+
+
+class TestFixedAndAllowed:
+    def test_fixed_assignment_restricts(self):
+        pattern = path_graph(2)
+        target = path_graph(3)  # 0-1-2
+        assert count_homomorphisms_brute(pattern, target, fixed={0: 1}) == 2
+        assert count_homomorphisms_brute(pattern, target, fixed={0: 0}) == 1
+
+    def test_fixed_violating_edge_gives_zero(self):
+        pattern = path_graph(2)
+        target = path_graph(3)
+        assert count_homomorphisms_brute(pattern, target, fixed={0: 0, 1: 2}) == 0
+
+    def test_fixed_image_not_in_target(self):
+        assert count_homomorphisms_brute(
+            path_graph(2), path_graph(2), fixed={0: 99},
+        ) == 0
+
+    def test_allowed_restricts_candidates(self):
+        pattern = path_graph(2)
+        target = cycle_graph(4)
+        allowed = {0: frozenset({0}), 1: frozenset({1, 3})}
+        assert count_homomorphisms_brute(pattern, target, allowed=allowed) == 2
+
+    def test_allowed_empty_set(self):
+        pattern = path_graph(2)
+        target = cycle_graph(4)
+        allowed = {0: frozenset()}
+        assert count_homomorphisms_brute(pattern, target, allowed=allowed) == 0
+
+    def test_fixed_conflicts_with_allowed(self):
+        pattern = path_graph(2)
+        target = cycle_graph(4)
+        assert count_homomorphisms_brute(
+            pattern, target, fixed={0: 0}, allowed={0: frozenset({1})},
+        ) == 0
+
+
+class TestEnumeration:
+    def test_all_results_are_homomorphisms(self):
+        pattern = cycle_graph(4)
+        target = complete_graph(3)
+        for hom in enumerate_homomorphisms(pattern, target):
+            for u, v in pattern.edges():
+                assert target.has_edge(hom[u], hom[v])
+
+    def test_enumeration_no_duplicates(self):
+        pattern = path_graph(3)
+        target = cycle_graph(4)
+        homs = [
+            tuple(sorted(h.items())) for h in enumerate_homomorphisms(pattern, target)
+        ]
+        assert len(homs) == len(set(homs))
+
+    def test_exists_homomorphism(self):
+        assert exists_homomorphism(path_graph(4), cycle_graph(5))
+        assert not exists_homomorphism(complete_graph(3), path_graph(5))
+
+    def test_disconnected_pattern(self):
+        pattern = Graph(edges=[(0, 1), (2, 3)])
+        target = complete_graph(3)
+        # Components independent: (2·3)² = 36.
+        assert count_homomorphisms_brute(pattern, target) == 36
+
+    def test_petersen_triangle_free(self):
+        assert not exists_homomorphism(complete_graph(3), petersen_graph())

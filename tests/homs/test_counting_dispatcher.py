@@ -1,0 +1,54 @@
+"""Unit tests for the counting dispatcher and the hom-vector helper."""
+
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_graph
+from repro.homs import count_homomorphisms, hom_vector
+from repro.homs.brute_force import count_homomorphisms_brute
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("method", ["auto", "brute", "dp"])
+    def test_methods_agree(self, method):
+        pattern = cycle_graph(4)
+        target = random_graph(6, 0.5, seed=71)
+        assert count_homomorphisms(pattern, target, method=method) == (
+            count_homomorphisms_brute(pattern, target)
+        )
+
+    def test_auto_handles_large_patterns(self):
+        # 8-vertex pattern: auto must route to the DP and stay fast.
+        pattern = grid_graph(2, 4)
+        target = random_graph(7, 0.5, seed=72)
+        assert count_homomorphisms(pattern, target, method="auto") == (
+            count_homomorphisms(pattern, target, method="dp")
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            count_homomorphisms(path_graph(2), path_graph(2), method="magic")
+
+    def test_allowed_passed_through(self):
+        pattern = path_graph(2)
+        target = cycle_graph(4)
+        allowed = {0: frozenset({0})}
+        for method in ("auto", "brute", "dp"):
+            assert count_homomorphisms(
+                pattern, target, method=method, allowed=allowed,
+            ) == 2
+
+
+class TestHomVector:
+    def test_profile_matches_individual_counts(self):
+        patterns = [path_graph(2), path_graph(3), cycle_graph(3)]
+        target = random_graph(6, 0.5, seed=73)
+        profile = hom_vector(patterns, target)
+        assert profile == tuple(
+            count_homomorphisms(p, target) for p in patterns
+        )
+
+    def test_profile_invariant_under_relabelling(self):
+        patterns = [path_graph(2), cycle_graph(4)]
+        target = random_graph(6, 0.4, seed=74)
+        renamed = target.relabelled({v: f"n{v}" for v in target.vertices()})
+        assert hom_vector(patterns, target) == hom_vector(patterns, renamed)

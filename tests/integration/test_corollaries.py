@@ -1,0 +1,165 @@
+"""Integration tests for the paper's corollaries and observations."""
+
+import pytest
+
+from repro.cfi import cfi_pair
+from repro.core import (
+    count_dominating_sets_brute,
+    count_dominating_sets_via_stars,
+    dominating_set_wl_dimension,
+    query_battery,
+    separating_query,
+    star_injective_quantum,
+)
+from repro.graphs import (
+    complete_graph,
+    path_graph,
+    random_graph,
+    six_cycle,
+    two_triangles,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    count_answers,
+    query_from_atoms,
+    star_query,
+)
+from repro.wl import k_wl_equivalent
+
+
+class TestObservation62:
+    """Connected acyclic conjunctive queries cannot separate 2K3 from C6."""
+
+    ACYCLIC_QUERIES = [
+        star_query(2),
+        star_query(3),
+        star_query(4),
+        query_from_atoms([("x1", "y"), ("y", "x2")], ["x1", "x2"]),
+        query_from_atoms(
+            [("x1", "y1"), ("y1", "y2"), ("y2", "x2")], ["x1", "x2"],
+        ),
+        query_from_atoms([("x1", "x2"), ("x2", "y")], ["x1", "x2"]),
+        query_from_atoms(
+            [("x1", "y1"), ("y1", "x2"), ("x2", "y2"), ("y2", "x3")],
+            ["x1", "x2", "x3"],
+        ),
+        ConjunctiveQuery(path_graph(4), [0, 1, 2, 3]),
+    ]
+
+    @pytest.mark.parametrize(
+        "query", ACYCLIC_QUERIES,
+        ids=[f"q{i}" for i in range(len(ACYCLIC_QUERIES))],
+    )
+    def test_acyclic_queries_agree(self, query):
+        assert count_answers(query, two_triangles()) == (
+            count_answers(query, six_cycle())
+        )
+
+    def test_observation62_closed_form(self):
+        """The proof's induction: single free variable gives 6; each tree
+        edge multiplies by 2 (weight 0) or 3 (weight > 0)."""
+        # ϕ(x1, x2) = E(x1, x2): weight-0 edge → 6·2 = 12.
+        q = query_from_atoms([("x1", "x2")], ["x1", "x2"])
+        assert count_answers(q, two_triangles()) == 12
+        # ϕ(x1, x2) = ∃y: E(x1,y) ∧ E(y,x2): weight-1 edge → 6·3 = 18.
+        q = star_query(2)
+        assert count_answers(q, two_triangles()) == 18
+
+    def test_triangle_query_separates(self):
+        """Corollary 61's flip side: a cyclic (sew 2) query separates."""
+        triangle = ConjunctiveQuery(complete_graph(3), [0, 1, 2])
+        assert count_answers(triangle, two_triangles()) != (
+            count_answers(triangle, six_cycle())
+        )
+
+
+class TestCorollary2:
+    """k-WL-equivalence ⇔ Ψ_k-indistinguishability (on finite batteries)."""
+
+    def test_forward_k1(self):
+        battery = query_battery(1, max_vertices=4)
+        assert all(
+            count_answers(q, two_triangles()) == count_answers(q, six_cycle())
+            for q in battery
+        )
+
+    def test_backward_k2(self):
+        """Not 2-WL-equivalent ⇒ some sew ≤ 2 query separates."""
+        assert not k_wl_equivalent(two_triangles(), six_cycle(), 2)
+        battery = query_battery(2, max_vertices=3)
+        assert separating_query(two_triangles(), six_cycle(), battery) is not None
+
+    def test_forward_k2_on_cfi(self):
+        pair = cfi_pair(complete_graph(4))
+        battery = query_battery(2, max_vertices=3)
+        for q in battery:
+            assert count_answers(q, pair.untwisted) == (
+                count_answers(q, pair.twisted)
+            )
+
+
+class TestCorollary6:
+    """WL-dimension of counting size-k dominating sets = k."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_dimension(self, k):
+        assert dominating_set_wl_dimension(k) == k
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identity_randomised(self, seed):
+        g = random_graph(8, 0.4, seed=seed)
+        for k in (1, 2):
+            assert count_dominating_sets_brute(g, k) == (
+                count_dominating_sets_via_stars(g, k)
+            )
+
+    def test_dominating_respects_wl_level(self):
+        """|Δ_2| agrees on the 2-WL-equivalent χ(K4) pair (upper bound)."""
+        pair = cfi_pair(complete_graph(4))
+        assert count_dominating_sets_brute(pair.untwisted, 2) == (
+            count_dominating_sets_brute(pair.twisted, 2)
+        )
+
+    def test_dominating_separates_below(self):
+        """|Δ_2| distinguishes some 1-WL-equivalent pair: stars' clone
+        machinery gives one; here the classical 2K3/C6 pair suffices."""
+        assert count_dominating_sets_brute(two_triangles(), 2) != (
+            count_dominating_sets_brute(six_cycle(), 2)
+        )
+
+
+class TestCorollary5:
+    """WL-dimension of a quantum query = hsew."""
+
+    def test_star_expansion_dimension(self):
+        for k in (2, 3):
+            assert star_injective_quantum(k).wl_dimension() == k
+
+    def test_quantum_upper_bound_on_cfi(self):
+        """hsew ≤ 2 quantum queries agree on the 2-WL-equivalent pair."""
+        pair = cfi_pair(complete_graph(4))
+        quantum = star_injective_quantum(2)
+        assert quantum.count_answers(pair.untwisted) == (
+            quantum.count_answers(pair.twisted)
+        )
+
+    def test_quantum_cannot_separate_acyclic_blind_pair(self):
+        """On 2K3/C6 themselves the star expansion is *blind* — its
+        constituents are acyclic (Observation 62)."""
+        quantum = star_injective_quantum(2)
+        assert quantum.count_answers(two_triangles()) == (
+            quantum.count_answers(six_cycle())
+        )
+
+    def test_quantum_lower_bound_witness(self):
+        """An hsew-2 quantum query separates some 1-WL-equivalent pair:
+        the complements of 2K3/C6 (1-WL-equivalence is complement-closed,
+        and the dominating-set identity transfers the |Δ₂| gap)."""
+        from repro.graphs import complement
+        from repro.wl import wl_1_equivalent
+
+        first = complement(two_triangles())
+        second = complement(six_cycle())
+        assert wl_1_equivalent(first, second)
+        quantum = star_injective_quantum(2)
+        assert quantum.count_answers(first) != quantum.count_answers(second)

@@ -1,0 +1,153 @@
+"""Property-based tests for the extension modules: equitable partitions,
+parity assignments, extended queries, logic evaluation, and the treewidth
+oracle pair."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.extended import ExtendedQuery, count_extended_answers_via_quantum
+from repro.graphs import Graph, parity_edge_assignment, verify_parity_assignment
+from repro.queries import ConjunctiveQuery, star_query
+from repro.treewidth import treewidth
+from repro.treewidth.subset_dp import treewidth_subset_dp
+from repro.wl import fractionally_isomorphic, wl_1_equivalent
+
+
+@st.composite
+def graphs(draw, max_vertices=6, min_vertices=0):
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    graph = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(i, j)
+    return graph
+
+
+@st.composite
+def connected_graphs(draw, max_vertices=7, min_vertices=2):
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    graph = Graph(vertices=range(n))
+    for v in range(1, n):
+        graph.add_edge(v, draw(st.integers(min_value=0, max_value=v - 1)))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not graph.has_edge(i, j) and draw(st.booleans()):
+                graph.add_edge(i, j)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# characterisation (I): fractional isomorphism ⇔ 1-WL
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=6, min_vertices=1), graphs(max_vertices=6, min_vertices=1))
+def test_tinhofer_equivalence(first, second):
+    assert fractionally_isomorphic(first, second) == wl_1_equivalent(first, second)
+
+
+# ----------------------------------------------------------------------
+# Lemma 58: parity assignments exist and verify
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(max_vertices=7), st.data())
+def test_parity_assignment_exists(graph, data):
+    vertices = graph.vertices()
+    size = data.draw(
+        st.sampled_from([s for s in range(0, len(vertices) + 1, 2)]),
+    )
+    odd = data.draw(
+        st.lists(
+            st.sampled_from(vertices),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        ),
+    )
+    beta = parity_edge_assignment(graph, odd)
+    assert verify_parity_assignment(graph, odd, beta)
+
+
+# ----------------------------------------------------------------------
+# extended queries: quantum expansion matches direct filtering
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(graphs(max_vertices=5, min_vertices=1), st.booleans(), st.booleans())
+def test_extended_query_consistency(host, use_diseq, use_negation):
+    query = ExtendedQuery(
+        star_query(2),
+        disequalities=[("x1", "x2")] if use_diseq else (),
+        negated_atoms=[("x1", "x2")] if use_negation else (),
+    )
+    assert count_extended_answers_via_quantum(query, host) == (
+        query.count_answers_direct(host)
+    )
+
+
+# ----------------------------------------------------------------------
+# two independent exact treewidth implementations agree
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=8))
+def test_treewidth_oracles_agree(graph):
+    assert treewidth(graph) == treewidth_subset_dp(graph)
+
+
+# ----------------------------------------------------------------------
+# answer counts are invariant under query relabelling
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(connected_graphs(max_vertices=5), graphs(max_vertices=4, min_vertices=1))
+def test_answers_invariant_under_query_relabelling(pattern, host):
+    from repro.queries import count_answers, relabel_query
+
+    query = ConjunctiveQuery(pattern, pattern.vertices()[:2])
+    renamed = relabel_query(
+        query, {v: ("renamed", v) for v in pattern.vertices()},
+    )
+    assert count_answers(query, host) == count_answers(renamed, host)
+
+
+# ----------------------------------------------------------------------
+# CFI construction: definition validity + parity law on random bases
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(connected_graphs(max_vertices=5, min_vertices=2))
+def test_cfi_definition_valid_on_random_bases(base):
+    from repro.cfi import cfi_graph, verify_cfi_graph
+
+    twist = (base.vertices()[0],)
+    assert verify_cfi_graph(base, (), cfi_graph(base))
+    assert verify_cfi_graph(base, twist, cfi_graph(base, twist))
+
+
+@settings(max_examples=10, deadline=None)
+@given(connected_graphs(max_vertices=4, min_vertices=2))
+def test_cfi_parity_law_on_random_bases(base):
+    """Lemma 26 on random connected bases: even twists are isomorphic to
+    the untwisted graph, odd twists are not."""
+    from repro.cfi import cfi_graph
+    from repro.graphs import are_isomorphic
+
+    vertices = base.vertices()
+    untwisted = cfi_graph(base)
+    assert not are_isomorphic(untwisted, cfi_graph(base, (vertices[0],)))
+    if len(vertices) >= 2:
+        assert are_isomorphic(
+            untwisted, cfi_graph(base, (vertices[0], vertices[1])),
+        )
+
+
+# ----------------------------------------------------------------------
+# spectral oracles agree with combinatorial counting
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(graphs(max_vertices=6, min_vertices=1))
+def test_spectral_hom_oracles(graph):
+    from repro.graphs import count_closed_walks, count_walks
+    from repro.graphs.generators import cycle_graph, path_graph
+    from repro.homs import count_homomorphisms
+
+    assert count_walks(graph, 2) == count_homomorphisms(path_graph(3), graph)
+    assert count_closed_walks(graph, 3) == count_homomorphisms(
+        cycle_graph(3), graph,
+    )

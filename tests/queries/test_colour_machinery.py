@@ -1,0 +1,52 @@
+"""Unit tests for the γ/π₁ colouring helpers used by Section 4."""
+
+from repro.cfi import cfi_graph
+from repro.homs import is_colouring
+from repro.queries import (
+    answers_of_gamma_colouring,
+    count_answers_tau,
+    ell_copy,
+    gamma_pi_colouring,
+    star_query,
+)
+
+
+class TestGammaPiColouring:
+    def test_observation39_h_colouring(self):
+        """γ(π₁(·)) is an H-colouring of χ(F_ℓ, W) (Observation 39)."""
+        query = star_query(2)
+        f_graph, _ = ell_copy(query, 3)
+        for twist in ((), ("x1",)):
+            cfi = cfi_graph(f_graph, twist)
+            colouring = gamma_pi_colouring(query, 3, cfi)
+            assert is_colouring(cfi, query.graph, colouring)
+
+    def test_colouring_fixes_free_variables(self):
+        query = star_query(2)
+        f_graph, _ = ell_copy(query, 3)
+        cfi = cfi_graph(f_graph)
+        colouring = gamma_pi_colouring(query, 3, cfi)
+        for vertex in cfi.vertices():
+            base = vertex[0]
+            if base in query.free_variables:
+                assert colouring[vertex] == base
+            else:
+                # Clones (y, i) map back to y.
+                assert colouring[vertex] == base[0]
+
+
+class TestAnswersOfGammaColouring:
+    def test_f_colouring_form_matches_composed(self):
+        """Definition 36's second form (F-colouring read through γ) equals
+        the first form with the composed H-colouring."""
+        query = star_query(2)
+        ell = 3
+        f_graph, gamma = ell_copy(query, ell)
+        cfi = cfi_graph(f_graph)
+        pi1 = {v: v[0] for v in cfi.vertices()}
+        tau = {x: x for x in query.free_variables}
+
+        via_f_colouring = answers_of_gamma_colouring(query, cfi, pi1, ell, tau)
+        composed = {v: gamma[pi1[v]] for v in cfi.vertices()}
+        via_h_colouring = count_answers_tau(query, cfi, composed, tau)
+        assert via_f_colouring == via_h_colouring

@@ -1,0 +1,159 @@
+"""Unit tests for Γ(H,X), extension width, sew, and ℓ-copies."""
+
+import pytest
+
+from repro.graphs import are_isomorphic, complete_graph
+from repro.queries import (
+    ConjunctiveQuery,
+    clique_query,
+    contract_graph,
+    cycle_query,
+    double_star_query,
+    ell_copy,
+    extension_graph,
+    extension_width,
+    extension_width_via_ell_copies,
+    full_query_from_graph,
+    gamma_map,
+    path_endpoints_query,
+    path_query,
+    query_from_atoms,
+    saturating_odd_ell,
+    semantic_extension_width,
+    star_query,
+    star_with_redundant_path,
+)
+from repro.treewidth import treewidth
+
+
+class TestExtensionGraph:
+    def test_star_extension_is_clique(self):
+        """Γ(S_k, X_k) = K_{k+1} (the paper's running example)."""
+        for k in (2, 3, 4):
+            gamma = extension_graph(star_query(k))
+            assert are_isomorphic(gamma, complete_graph(k + 1))
+
+    def test_full_query_extension_is_self(self):
+        q = full_query_from_graph(complete_graph(3))
+        assert extension_graph(q) == q.graph
+
+    def test_extension_adds_no_edge_for_single_attachment(self):
+        # x - y: one component attached to one free variable; no new edges.
+        q = query_from_atoms([("x", "y")], ["x"])
+        assert extension_graph(q).num_edges() == 1
+
+    def test_two_components_separate_cliques(self):
+        # y1 adjacent to x1, x2; y2 adjacent to x2, x3: edges x1x2 and x2x3.
+        q = query_from_atoms(
+            [("x1", "y1"), ("x2", "y1"), ("x2", "y2"), ("x3", "y2")],
+            ["x1", "x2", "x3"],
+        )
+        gamma = extension_graph(q)
+        assert gamma.has_edge("x1", "x2")
+        assert gamma.has_edge("x2", "x3")
+        assert not gamma.has_edge("x1", "x3")
+
+    def test_contract_graph(self):
+        q = star_query(3)
+        contract = contract_graph(q)
+        assert are_isomorphic(contract, complete_graph(3))
+
+
+class TestExtensionWidth:
+    def test_star_widths(self):
+        for k in (1, 2, 3, 4):
+            assert extension_width(star_query(k)) == max(k, 1)
+
+    def test_full_query_width_is_treewidth(self):
+        q = full_query_from_graph(complete_graph(4))
+        assert extension_width(q) == 3
+
+    def test_path_endpoints_width(self):
+        # Two free endpoints joined through quantified path: Γ adds the edge
+        # x1-x2 → a cycle of length internal+2? No: Γ = path + chord; tw 2
+        # for internal >= 2, else tw 1 (triangle for internal=1 → tw 2).
+        assert extension_width(path_endpoints_query(1)) == 2
+        assert extension_width(path_endpoints_query(2)) == 2
+
+    def test_double_star_width(self):
+        # One H[Y] component {yL, yR} attached to all leaves: clique on all
+        # free variables plus the two centres hanging in.
+        q = double_star_query(2, 2)
+        assert extension_width(q) == 4
+
+    def test_cycle_query_full(self):
+        q = cycle_query(5, 5)
+        assert extension_width(q) == 2
+
+
+class TestSemanticExtensionWidth:
+    def test_sew_equals_ew_for_minimal(self):
+        for k in (2, 3):
+            q = star_query(k)
+            assert semantic_extension_width(q) == extension_width(q) == k
+
+    def test_sew_ignores_redundant_parts(self):
+        """A star with a foldable quantified tail: same sew as the star."""
+        q = star_with_redundant_path(2, tail=2)
+        assert semantic_extension_width(q) == 2
+
+    def test_sew_leq_ew(self):
+        for q in (star_query(2), path_query(4, 2), clique_query(3, 2)):
+            assert semantic_extension_width(q) <= extension_width(q)
+
+
+class TestEllCopies:
+    def test_f1_isomorphic_to_h(self):
+        q = star_query(2)
+        f1, _ = ell_copy(q, 1)
+        assert are_isomorphic(f1, q.graph)
+
+    def test_f_ell_of_star_is_complete_bipartite(self):
+        """F_ℓ(S_k, X_k) = K_{k,ℓ}."""
+        from repro.graphs import complete_bipartite_graph
+
+        q = star_query(2)
+        f3, _ = ell_copy(q, 3)
+        assert are_isomorphic(f3, complete_bipartite_graph(2, 3))
+
+    def test_vertex_count(self):
+        q = star_query(3)
+        f5, _ = ell_copy(q, 5)
+        assert f5.num_vertices() == 3 + 5 * 1
+
+    def test_gamma_is_homomorphism(self):
+        """Observation 15."""
+        q = path_query(4, 2)
+        f, gamma = ell_copy(q, 3)
+        for u, v in f.edges():
+            assert q.graph.has_edge(gamma[u], gamma[v])
+
+    def test_gamma_identity_on_free(self):
+        q = star_query(2)
+        gamma = gamma_map(q, 4)
+        for x in q.free_variables:
+            assert gamma[x] == x
+
+    def test_invalid_ell(self):
+        with pytest.raises(ValueError):
+            ell_copy(star_query(2), 0)
+
+    def test_lemma16_treewidth_bound(self):
+        """tw(F_ℓ) ≤ ew(H, X) for all ℓ (Lemma 16)."""
+        for q in (star_query(2), star_query(3), path_endpoints_query(2)):
+            width = extension_width(q)
+            for ell in (1, 2, 3, 4, 5):
+                f, _ = ell_copy(q, ell)
+                assert treewidth(f) <= width
+
+    def test_corollary18_saturation(self):
+        """max_ℓ tw(F_ℓ) = ew (Corollary 18)."""
+        for q in (star_query(2), star_query(3), path_endpoints_query(1)):
+            assert extension_width_via_ell_copies(q) == extension_width(q)
+
+    def test_saturating_odd_ell(self):
+        q = star_query(2)
+        ell = saturating_odd_ell(q)
+        assert ell % 2 == 1
+        f, _ = ell_copy(q, ell)
+        assert treewidth(f) == extension_width(q)

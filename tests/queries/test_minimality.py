@@ -1,0 +1,118 @@
+"""Unit tests for counting minimality and counting equivalence."""
+
+from repro.graphs import complete_graph, path_graph
+from repro.queries import (
+    ConjunctiveQuery,
+    counting_equivalent,
+    counting_minimal_core,
+    empirical_counting_equivalent,
+    is_counting_minimal,
+    path_endpoints_query,
+    query_from_atoms,
+    star_query,
+    star_with_redundant_path,
+    star_with_redundant_triangle,
+)
+
+
+class TestMinimality:
+    def test_star_is_minimal(self):
+        """The k-star is counting minimal (used throughout the paper)."""
+        for k in (1, 2, 3, 4):
+            assert is_counting_minimal(star_query(k))
+
+    def test_full_queries_on_cores_minimal(self):
+        q = ConjunctiveQuery(complete_graph(3), [0, 1, 2])
+        assert is_counting_minimal(q)
+
+    def test_redundant_path_not_minimal(self):
+        assert not is_counting_minimal(star_with_redundant_path(2))
+
+    def test_redundant_triangle_is_minimal(self):
+        """The pendant triangle cannot fold into the bipartite star."""
+        assert is_counting_minimal(star_with_redundant_triangle(2))
+
+    def test_doubled_leaf_collapses(self):
+        # Two quantified vertices attached identically to x fold together.
+        q = query_from_atoms([("x", "y1"), ("x", "y2")], ["x"])
+        core = counting_minimal_core(q)
+        assert core.num_variables() == 2
+
+    def test_core_of_minimal_is_self(self):
+        q = star_query(3)
+        core = counting_minimal_core(q)
+        assert core == q
+
+    def test_core_keeps_free_variables(self):
+        q = star_with_redundant_path(2, tail=3)
+        core = counting_minimal_core(q)
+        assert core.free_variables == q.free_variables
+        assert core == star_query(2)
+
+
+class TestCountingEquivalence:
+    def test_redundant_path_equivalent_to_star(self):
+        assert counting_equivalent(star_with_redundant_path(2), star_query(2))
+
+    def test_stars_of_different_arity_not_equivalent(self):
+        assert not counting_equivalent(star_query(2), star_query(3))
+
+    def test_equivalence_is_reflexive(self):
+        q = path_endpoints_query(2)
+        assert counting_equivalent(q, q)
+
+    def test_relabelled_queries_equivalent(self):
+        from repro.queries import relabel_query
+
+        q = star_query(2)
+        r = relabel_query(q, {"x1": "a", "x2": "b", "y": "c"})
+        assert counting_equivalent(q, r)
+
+    def test_empirical_agreement(self, random_hosts):
+        """Definition 9 checked directly: equal counts on a host battery."""
+        pairs = [
+            (star_with_redundant_path(2), star_query(2), True),
+            (star_query(2), star_query(3), False),
+        ]
+        for first, second, expected in pairs:
+            assert counting_equivalent(first, second) == expected
+            if expected:
+                assert empirical_counting_equivalent(first, second, random_hosts)
+
+    def test_inequivalent_queries_differ_somewhere(self, random_hosts):
+        assert not empirical_counting_equivalent(
+            star_query(2), star_query(3), random_hosts,
+        )
+
+
+class TestLemma44Property:
+    def test_minimal_query_endos_are_automorphisms(self):
+        """Lemma 44: on a counting-minimal query, every endomorphism that
+        maps X bijectively onto X is an automorphism."""
+        from repro.homs.brute_force import enumerate_homomorphisms
+
+        q = star_query(2)
+        free = q.free_variables
+        allowed = {x: frozenset(free) for x in free}
+        for endo in enumerate_homomorphisms(q.graph, q.graph, allowed=allowed):
+            if len({endo[x] for x in free}) == len(free):
+                assert len(set(endo.values())) == q.num_variables()
+
+    def test_non_minimal_has_shrinking_endo(self):
+        from repro.queries.minimality import _shrinking_endomorphism
+
+        q = star_with_redundant_path(2)
+        assert _shrinking_endomorphism(q) is not None
+
+
+class TestBooleanAndFullEdgeCases:
+    def test_boolean_query_core_is_graph_core(self):
+        # Boolean P3 folds to a single edge.
+        q = ConjunctiveQuery(path_graph(3), [])
+        core = counting_minimal_core(q)
+        assert core.num_variables() == 2
+
+    def test_full_query_is_always_minimal(self):
+        """With X = V(H) every X-bijective endomorphism is bijective."""
+        q = ConjunctiveQuery(path_graph(4), [0, 1, 2, 3])
+        assert is_counting_minimal(q)

@@ -1,0 +1,147 @@
+"""Unit tests for the query model and the textual parser."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.graphs import Graph, path_graph
+from repro.queries import (
+    ConjunctiveQuery,
+    all_sub_queries_on_induced_subsets,
+    format_query,
+    parse_query,
+    query_from_atoms,
+    relabel_query,
+    star_query,
+)
+
+
+class TestQueryModel:
+    def test_basic_properties(self):
+        q = star_query(3)
+        assert q.num_variables() == 4
+        assert q.num_atoms() == 3
+        assert q.free_variables == frozenset({"x1", "x2", "x3"})
+        assert q.quantified_variables == frozenset({"y"})
+        assert q.is_connected()
+        assert not q.is_full()
+        assert not q.is_boolean()
+
+    def test_free_variables_must_exist(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(path_graph(2), ["missing"])
+
+    def test_full_query(self):
+        q = ConjunctiveQuery(path_graph(3), [0, 1, 2])
+        assert q.is_full()
+        assert q.quantified_variables == frozenset()
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery(path_graph(3), [])
+        assert q.is_boolean()
+
+    def test_quantified_components(self):
+        # x free; two separate quantified islands.
+        q = query_from_atoms([("x", "y1"), ("x", "y2")], ["x"])
+        components = q.quantified_components()
+        assert sorted(map(sorted, components)) == [["y1"], ["y2"]]
+
+    def test_component_attachment(self):
+        q = star_query(2)
+        (component,) = q.quantified_components()
+        assert q.component_attachment(component) == frozenset({"x1", "x2"})
+
+    def test_isomorphism_respects_free_set(self):
+        # Same graph (P3), different free sets: end vs middle.
+        end_free = ConjunctiveQuery(path_graph(3), [0])
+        mid_free = ConjunctiveQuery(path_graph(3), [1])
+        other_end = ConjunctiveQuery(path_graph(3), [2])
+        assert end_free.is_isomorphic_to(other_end)
+        assert not end_free.is_isomorphic_to(mid_free)
+
+    def test_equality_and_hash_by_canonical_form(self):
+        a = star_query(2)
+        b = relabel_query(a, {"x1": "u", "x2": "v", "y": "c"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != star_query(3)
+
+    def test_partial_automorphisms_star(self):
+        """Aut(S_k, X_k) = all k! permutations of the leaves."""
+        q = star_query(3)
+        assert len(q.partial_automorphisms()) == 6
+
+    def test_partial_automorphisms_asymmetric(self):
+        # Path v1-v2-v3 with v1 free only: only the identity on X.
+        q = query_from_atoms([("v1", "v2"), ("v2", "v3")], ["v1"])
+        assert q.partial_automorphisms() == [{"v1": "v1"}]
+
+    def test_to_logic_string(self):
+        text = star_query(2).to_logic_string()
+        assert "∃" in text and "E(" in text
+
+    def test_sub_queries_enumeration(self):
+        q = star_query(2)
+        subs = list(all_sub_queries_on_induced_subsets(q))
+        # Y = {y}: subsets {} and {y} → two candidates.
+        assert len(subs) == 2
+
+    def test_isolated_free_variable_allowed(self):
+        g = Graph(vertices=["x"])
+        q = ConjunctiveQuery(g, ["x"])
+        assert q.num_atoms() == 0
+
+
+class TestParser:
+    def test_datalog_style(self):
+        q = parse_query("q(x1, x2) :- E(x1, y), E(x2, y)")
+        assert q == star_query(2)
+
+    def test_logic_style(self):
+        q = parse_query("(x1, x2) exists y : E(x1, y) & E(x2, y)")
+        assert q == star_query(2)
+
+    def test_logic_style_unicode(self):
+        q = parse_query("(x1, x2) ∃ y : E(x1, y) ∧ E(x2, y)")
+        assert q == star_query(2)
+
+    def test_edge_relation_alias(self):
+        q = parse_query("q(a, b) :- edge(a, b)")
+        assert q.is_full()
+        assert q.num_atoms() == 1
+
+    def test_no_quantifier_needed_for_full(self):
+        q = parse_query("(a, b) E(a, b)")
+        assert q.is_full()
+
+    def test_self_loop_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) :- E(x, x)")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) :- R(x, y)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) :- E(x, y) whatever")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("   ")
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("(x) exists y : E(x, y), E(y, z)")
+
+    def test_isolated_free_variable(self):
+        q = parse_query("q(x, z) :- E(x, y)")
+        assert "z" in q.free_variables
+        assert q.graph.degree("z") == 0
+
+    def test_round_trip_datalog(self):
+        q = star_query(3)
+        assert parse_query(format_query(q, style="datalog")) == q
+
+    def test_format_unknown_style(self):
+        with pytest.raises(ValueError):
+            format_query(star_query(1), style="sql")

@@ -1,0 +1,101 @@
+"""Unit tests for quantified star size and the query families."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import (
+    boolean_query_from_graph,
+    clique_query,
+    cycle_query,
+    double_star_query,
+    extension_width,
+    full_query_from_graph,
+    path_endpoints_query,
+    path_query,
+    quantified_star_size,
+    random_query,
+    semantic_quantified_star_size,
+    star_query,
+    star_size_lower_bound_on_ew,
+    star_with_redundant_path,
+)
+from repro.graphs import complete_graph
+
+
+class TestStarSize:
+    def test_star_query_star_size(self):
+        for k in (1, 2, 3, 4):
+            assert quantified_star_size(star_query(k)) == k
+
+    def test_full_query_star_size_zero(self):
+        assert quantified_star_size(full_query_from_graph(complete_graph(3))) == 0
+
+    def test_path_endpoints_star_size(self):
+        assert quantified_star_size(path_endpoints_query(2)) == 2
+
+    def test_double_star_size(self):
+        assert quantified_star_size(double_star_query(2, 3)) == 5
+
+    def test_semantic_star_size_of_redundant(self):
+        q = star_with_redundant_path(3)
+        assert semantic_quantified_star_size(q) == 3
+
+    def test_lower_bound_relation(self):
+        """ew ≥ star size − 1 (attachment sets are Γ-cliques)."""
+        for q in (
+            star_query(3),
+            double_star_query(2, 2),
+            path_endpoints_query(1),
+            clique_query(3, 2),
+        ):
+            assert extension_width(q) >= star_size_lower_bound_on_ew(q)
+
+
+class TestFamilies:
+    def test_path_query_shapes(self):
+        q = path_query(5, 2)
+        assert q.num_variables() == 5
+        assert len(q.free_variables) == 2
+        assert q.is_connected()
+
+    def test_path_query_bounds(self):
+        with pytest.raises(QueryError):
+            path_query(3, 5)
+
+    def test_cycle_query(self):
+        q = cycle_query(5, 2)
+        assert q.num_atoms() == 5
+        with pytest.raises(QueryError):
+            cycle_query(2, 1)
+
+    def test_clique_query(self):
+        q = clique_query(4, 2)
+        assert q.num_atoms() == 6
+        with pytest.raises(QueryError):
+            clique_query(3, 4)
+
+    def test_star_validation(self):
+        with pytest.raises(QueryError):
+            star_query(0)
+
+    def test_boolean_and_full_helpers(self):
+        g = complete_graph(3)
+        assert boolean_query_from_graph(g).is_boolean()
+        assert full_query_from_graph(g).is_full()
+
+    def test_random_query_deterministic(self):
+        a = random_query(6, 3, 0.3, seed=5)
+        b = random_query(6, 3, 0.3, seed=5)
+        assert a == b
+        assert a.is_connected()
+        assert len(a.free_variables) == 3
+
+    def test_random_query_bounds(self):
+        with pytest.raises(QueryError):
+            random_query(3, 4, 0.5)
+
+    def test_double_star_structure(self):
+        q = double_star_query(2, 3)
+        assert len(q.free_variables) == 5
+        assert len(q.quantified_variables) == 2
+        assert q.is_connected()

@@ -1,0 +1,146 @@
+"""Unit tests for counting logic C^k (characterisation (II))."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    six_cycle,
+    star_graph,
+    two_triangles,
+)
+from repro.logic import (
+    And,
+    Edge,
+    Equal,
+    Not,
+    Top,
+    ck_equivalent_on_battery,
+    count_exists,
+    exact_count,
+    exists,
+    forall,
+    has_at_least_n_vertices,
+    has_path_of_length,
+    has_triangle,
+    has_vertex_of_degree_at_least,
+    query_to_sentence,
+    sentence_battery,
+    separating_sentence,
+)
+from repro.queries import star_query
+from repro.wl import k_wl_equivalent, wl_1_equivalent
+
+
+class TestEvaluation:
+    def test_atoms(self):
+        g = path_graph(3)
+        assert Edge("x", "y").evaluate(g, {"x": 0, "y": 1})
+        assert not Edge("x", "y").evaluate(g, {"x": 0, "y": 2})
+        assert Equal("x", "y").evaluate(g, {"x": 1, "y": 1})
+        assert Top().evaluate(g, {})
+
+    def test_connectives(self):
+        g = path_graph(3)
+        assignment = {"x": 0, "y": 1}
+        formula = And(Edge("x", "y"), Not(Equal("x", "y")))
+        assert formula.evaluate(g, assignment)
+        assert (Edge("x", "y") | Equal("x", "y")).evaluate(g, assignment)
+        assert not (~Edge("x", "y")).evaluate(g, assignment)
+
+    def test_counting_quantifier(self):
+        g = star_graph(3)
+        # The centre has >= 3 neighbours; no vertex has >= 4.
+        assert exists("x", count_exists("y", 3, Edge("x", "y"))).holds_in(g)
+        assert not exists("x", count_exists("y", 4, Edge("x", "y"))).holds_in(g)
+
+    def test_forall(self):
+        # Every vertex of C5 has a neighbour.
+        assert forall("x", exists("y", Edge("x", "y"))).holds_in(cycle_graph(5))
+        # Not every vertex of a star has 2 neighbours.
+        assert not forall(
+            "x", count_exists("y", 2, Edge("x", "y")),
+        ).holds_in(star_graph(3))
+
+    def test_exact_count(self):
+        g = cycle_graph(5)
+        assert exact_count("x", 5, Top()).holds_in(g)
+        assert not exact_count("x", 4, Top()).holds_in(g)
+
+    def test_sentence_requires_no_free_variables(self):
+        with pytest.raises(ValueError):
+            Edge("x", "y").holds_in(path_graph(2))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            count_exists("x", 0, Top())
+
+
+class TestWidth:
+    def test_variable_reuse_keeps_width(self):
+        """The C² path idiom: any fixed-length walk in two variables."""
+        sentence = has_path_of_length(5)
+        assert sentence.width() == 2
+
+    def test_triangle_needs_three(self):
+        assert has_triangle().width() == 3
+
+    def test_battery_respects_width(self):
+        for width in (1, 2, 3):
+            for sentence in sentence_battery(width):
+                assert sentence.width() <= width
+
+
+class TestCharacterisationII:
+    def test_c2_blind_on_classic_pair(self):
+        """2K3 ≅₁ C6 ⇒ agreement on all C² battery sentences."""
+        assert wl_1_equivalent(two_triangles(), six_cycle())
+        assert ck_equivalent_on_battery(two_triangles(), six_cycle(), 2)
+
+    def test_c3_separates_classic_pair(self):
+        """≇₂ ⇒ some C³ sentence separates: the triangle sentence."""
+        assert not k_wl_equivalent(two_triangles(), six_cycle(), 2)
+        sentence = separating_sentence(two_triangles(), six_cycle(), 3)
+        assert sentence is not None
+        assert sentence.width() == 3
+
+    def test_triangle_sentence_is_the_separator(self):
+        assert has_triangle().holds_in(two_triangles())
+        assert not has_triangle().holds_in(six_cycle())
+
+    def test_cfi_pair_agrees_on_battery(self):
+        from repro.cfi import cfi_pair
+
+        pair = cfi_pair(complete_graph(4))  # 2-WL-equivalent
+        assert ck_equivalent_on_battery(pair.untwisted, pair.twisted, 3)
+
+    def test_c1_counts_vertices(self):
+        assert has_at_least_n_vertices(5).holds_in(cycle_graph(5))
+        assert not has_at_least_n_vertices(6).holds_in(cycle_graph(5))
+
+    def test_degree_sentences(self):
+        assert has_vertex_of_degree_at_least(4).holds_in(star_graph(4))
+        assert not has_vertex_of_degree_at_least(3).holds_in(cycle_graph(7))
+
+
+class TestQueryTranslation:
+    def test_boolean_shadow_of_star(self):
+        sentence = query_to_sentence(star_query(2))
+        assert sentence.width() == 3
+        assert sentence.holds_in(path_graph(3))
+        from repro.graphs import empty_graph
+
+        assert not sentence.holds_in(empty_graph(4))
+
+    def test_shadow_matches_hom_existence(self):
+        from repro.homs import exists_homomorphism
+        from repro.graphs import random_graph
+
+        query = star_query(3)
+        sentence = query_to_sentence(query)
+        for seed in range(3):
+            host = random_graph(6, 0.3, seed=seed)
+            assert sentence.holds_in(host) == exists_homomorphism(
+                query.graph, host,
+            )

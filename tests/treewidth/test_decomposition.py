@@ -1,0 +1,106 @@
+"""Unit tests for tree decompositions and their validation."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph
+from repro.treewidth import (
+    TreeDecomposition,
+    decomposition_from_elimination_ordering,
+    ordering_width,
+    trivial_decomposition,
+)
+
+
+def _path_decomposition():
+    """A valid decomposition of P4: bags {0,1}, {1,2}, {2,3} on a path."""
+    tree = Graph(edges=[("a", "b"), ("b", "c")])
+    bags = {"a": {0, 1}, "b": {1, 2}, "c": {2, 3}}
+    return TreeDecomposition(tree, bags)
+
+
+class TestValidation:
+    def test_valid_path_decomposition(self):
+        decomposition = _path_decomposition()
+        decomposition.validate(path_graph(4))
+        assert decomposition.width == 1
+
+    def test_trivial_decomposition(self):
+        g = complete_graph(4)
+        decomposition = trivial_decomposition(g)
+        decomposition.validate(g)
+        assert decomposition.width == 3
+
+    def test_t1_violation_detected(self):
+        tree = Graph(vertices=["a"])
+        decomposition = TreeDecomposition(tree, {"a": {0, 1}})
+        with pytest.raises(DecompositionError, match=r"\(T1\)"):
+            decomposition.validate(path_graph(3))
+
+    def test_t2_violation_detected(self):
+        # Vertex 0 appears in two non-adjacent bags.
+        tree = Graph(edges=[("a", "b"), ("b", "c")])
+        bags = {"a": {0, 1}, "b": {1, 2}, "c": {0, 2}}
+        decomposition = TreeDecomposition(tree, bags)
+        with pytest.raises(DecompositionError, match=r"\(T2\)"):
+            decomposition.validate(path_graph(3))
+
+    def test_t3_violation_detected(self):
+        tree = Graph(edges=[("a", "b")])
+        bags = {"a": {0}, "b": {1}}
+        decomposition = TreeDecomposition(tree, bags)
+        with pytest.raises(DecompositionError, match=r"\(T3\)"):
+            decomposition.validate(path_graph(2))
+
+    def test_is_valid_for(self):
+        assert _path_decomposition().is_valid_for(path_graph(4))
+        assert not _path_decomposition().is_valid_for(complete_graph(4))
+
+
+class TestStructuralChecks:
+    def test_tree_must_be_connected(self):
+        tree = Graph(vertices=["a", "b"])  # two isolated nodes
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(tree, {"a": {0}, "b": {1}})
+
+    def test_tree_must_be_acyclic(self):
+        tree = cycle_graph(3)
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(tree, {0: {0}, 1: {1}, 2: {2}})
+
+    def test_bags_must_match_nodes(self):
+        tree = Graph(vertices=["a"])
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(tree, {"b": {0}})
+
+    def test_at_least_one_bag(self):
+        with pytest.raises(DecompositionError):
+            TreeDecomposition(Graph(), {})
+
+
+class TestEliminationOrderings:
+    def test_ordering_width_path(self):
+        assert ordering_width(path_graph(4), [0, 1, 2, 3]) == 1
+
+    def test_ordering_width_bad_order(self):
+        # Eliminating the middle of a star first creates a clique.
+        from repro.graphs import star_graph
+
+        g = star_graph(3)
+        assert ordering_width(g, ["y", "x1", "x2", "x3"]) == 3
+        assert ordering_width(g, ["x1", "x2", "x3", "y"]) == 1
+
+    def test_decomposition_from_ordering_valid(self):
+        g = cycle_graph(5)
+        decomposition = decomposition_from_elimination_ordering(g, [0, 1, 2, 3, 4])
+        decomposition.validate(g)
+        assert decomposition.width == ordering_width(g, [0, 1, 2, 3, 4])
+
+    def test_ordering_must_cover_vertices(self):
+        with pytest.raises(DecompositionError):
+            decomposition_from_elimination_ordering(path_graph(3), [0, 1])
+
+    def test_disconnected_graph_ordering(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        decomposition = decomposition_from_elimination_ordering(g, [0, 1, 2, 3])
+        decomposition.validate(g)

@@ -1,0 +1,130 @@
+"""Unit tests for exact treewidth — known values for classical families."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    prism_graph,
+    random_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.treewidth import (
+    decomposition_from_elimination_ordering,
+    is_treewidth_at_most,
+    optimal_tree_decomposition,
+    treewidth,
+    treewidth_with_ordering,
+)
+
+
+class TestKnownValues:
+    def test_empty_and_singleton(self):
+        assert treewidth(Graph()) == 0
+        assert treewidth(Graph(vertices=[0])) == 0
+
+    def test_edgeless(self):
+        assert treewidth(Graph(vertices=range(5))) == 0
+
+    def test_trees_have_treewidth_one(self):
+        assert treewidth(path_graph(7)) == 1
+        assert treewidth(star_graph(5)) == 1
+        assert treewidth(binary_tree(3)) == 1
+
+    def test_cycles_have_treewidth_two(self):
+        for n in (3, 4, 5, 8):
+            assert treewidth(cycle_graph(n)) == 2
+
+    def test_cliques(self):
+        for n in (2, 3, 4, 5, 6):
+            assert treewidth(complete_graph(n)) == n - 1
+
+    def test_complete_bipartite(self):
+        # tw(K_{a,b}) = min(a, b) for a, b >= 1.
+        assert treewidth(complete_bipartite_graph(2, 3)) == 2
+        assert treewidth(complete_bipartite_graph(3, 3)) == 3
+        assert treewidth(complete_bipartite_graph(1, 4)) == 1
+        assert treewidth(complete_bipartite_graph(2, 5)) == 2
+
+    def test_grids(self):
+        # tw(grid m×n) = min(m, n).
+        assert treewidth(grid_graph(2, 4)) == 2
+        assert treewidth(grid_graph(3, 3)) == 3
+        assert treewidth(grid_graph(3, 4)) == 3
+
+    def test_petersen(self):
+        assert treewidth(petersen_graph()) == 4
+
+    def test_prism(self):
+        assert treewidth(prism_graph(4)) == 3
+
+    def test_hypercube_q3(self):
+        assert treewidth(hypercube_graph(3)) == 3
+
+    def test_wheel(self):
+        assert treewidth(wheel_graph(5)) == 3
+
+    def test_disconnected_max_over_components(self):
+        g = disjoint_union(complete_graph(4), cycle_graph(5))
+        assert treewidth(g) == 3
+
+
+class TestOrderingAndDecomposition:
+    def test_ordering_achieves_width(self):
+        g = grid_graph(3, 3)
+        width, ordering = treewidth_with_ordering(g)
+        decomposition = decomposition_from_elimination_ordering(g, ordering)
+        assert decomposition.width == width
+        decomposition.validate(g)
+
+    def test_optimal_decomposition_valid(self):
+        for g in (cycle_graph(6), petersen_graph(), complete_bipartite_graph(2, 4)):
+            decomposition = optimal_tree_decomposition(g)
+            decomposition.validate(g)
+            assert decomposition.width == treewidth(g)
+
+    def test_optimal_decomposition_empty_graph(self):
+        decomposition = optimal_tree_decomposition(Graph())
+        assert decomposition.width == -1  # single empty bag
+
+    def test_decomposition_for_disconnected(self):
+        g = disjoint_union(cycle_graph(4), path_graph(3))
+        decomposition = optimal_tree_decomposition(g)
+        decomposition.validate(g)
+        assert decomposition.width == 2
+
+
+class TestDecisionVariant:
+    def test_is_treewidth_at_most(self):
+        g = cycle_graph(5)
+        assert not is_treewidth_at_most(g, 1)
+        assert is_treewidth_at_most(g, 2)
+        assert is_treewidth_at_most(g, 3)
+
+
+class TestRandomisedCrossCheck:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_at_most_heuristic(self, seed):
+        from repro.treewidth import heuristic_treewidth_upper_bound, treewidth_lower_bound
+
+        g = random_graph(9, 0.35, seed=seed)
+        exact = treewidth(g)
+        ub, _ = heuristic_treewidth_upper_bound(g)
+        lb = treewidth_lower_bound(g)
+        assert lb <= exact <= ub
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_decomposition_width_matches(self, seed):
+        g = random_graph(8, 0.45, seed=100 + seed)
+        decomposition = optimal_tree_decomposition(g)
+        decomposition.validate(g)
+        assert decomposition.width == treewidth(g)

@@ -1,0 +1,106 @@
+"""Unit tests for treewidth heuristics and lower bounds."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_graph,
+    star_graph,
+)
+from repro.treewidth import (
+    clique_lower_bound,
+    degeneracy,
+    heuristic_decomposition,
+    heuristic_treewidth_upper_bound,
+    max_clique_size,
+    min_degree_ordering,
+    min_fill_ordering,
+    mmd_lower_bound,
+    ordering_width,
+    treewidth,
+    treewidth_lower_bound,
+)
+
+
+class TestHeuristics:
+    def test_min_degree_on_tree_is_optimal(self):
+        g = star_graph(4)
+        ordering = min_degree_ordering(g)
+        assert ordering_width(g, ordering) == 1
+
+    def test_min_fill_on_cycle_is_optimal(self):
+        g = cycle_graph(7)
+        ordering = min_fill_ordering(g)
+        assert ordering_width(g, ordering) == 2
+
+    def test_upper_bound_at_least_exact(self):
+        for seed in range(4):
+            g = random_graph(8, 0.4, seed=seed)
+            ub, ordering = heuristic_treewidth_upper_bound(g)
+            assert ub >= treewidth(g)
+            assert ordering_width(g, ordering) == ub
+
+    def test_heuristic_decomposition_valid(self):
+        g = grid_graph(3, 3)
+        decomposition = heuristic_decomposition(g)
+        decomposition.validate(g)
+        assert decomposition.width >= treewidth(g)
+
+    def test_orderings_cover_all_vertices(self):
+        g = petersen_graph()
+        assert sorted(min_degree_ordering(g)) == sorted(g.vertices())
+        assert sorted(min_fill_ordering(g)) == sorted(g.vertices())
+
+
+class TestBounds:
+    def test_degeneracy_values(self):
+        assert degeneracy(path_graph(5)) == 1
+        assert degeneracy(cycle_graph(5)) == 2
+        assert degeneracy(complete_graph(5)) == 4
+        assert degeneracy(petersen_graph()) == 3
+
+    def test_mmd_is_lower_bound(self):
+        for g in (cycle_graph(6), grid_graph(3, 3), petersen_graph()):
+            assert mmd_lower_bound(g) <= treewidth(g)
+
+    def test_max_clique(self):
+        assert max_clique_size(complete_graph(5)) == 5
+        assert max_clique_size(cycle_graph(5)) == 2
+        assert max_clique_size(petersen_graph()) == 2
+        assert max_clique_size(grid_graph(2, 2)) == 2
+
+    def test_max_clique_with_limit(self):
+        assert max_clique_size(complete_graph(6), limit=3) >= 3
+
+    def test_clique_lower_bound(self):
+        assert clique_lower_bound(complete_graph(4)) == 3
+        assert clique_lower_bound(path_graph(3)) == 1
+
+    def test_combined_lower_bound_sandwich(self):
+        for seed in range(4):
+            g = random_graph(8, 0.5, seed=10 + seed)
+            assert treewidth_lower_bound(g) <= treewidth(g)
+
+    def test_empty_graph_bounds(self):
+        from repro.graphs import Graph
+
+        assert treewidth_lower_bound(Graph()) == 0
+        assert max_clique_size(Graph()) == 0
+
+
+@pytest.mark.parametrize(
+    "graph_factory,expected",
+    [
+        (lambda: complete_graph(5), 4),
+        (lambda: cycle_graph(9), 2),
+        (lambda: grid_graph(2, 5), 2),
+    ],
+)
+def test_heuristics_exact_on_easy_families(graph_factory, expected):
+    g = graph_factory()
+    ub, _ = heuristic_treewidth_upper_bound(g)
+    assert ub == expected

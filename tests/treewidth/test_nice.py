@@ -1,0 +1,126 @@
+"""Unit tests for nice tree decompositions."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+from repro.treewidth import (
+    NiceNode,
+    nice_tree_decomposition,
+    optimal_tree_decomposition,
+    treewidth,
+    validate_nice,
+)
+
+
+def _nice_for(graph):
+    return nice_tree_decomposition(optimal_tree_decomposition(graph))
+
+
+class TestConversion:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(5),
+            lambda: cycle_graph(6),
+            lambda: complete_graph(4),
+            lambda: star_graph(4),
+            lambda: grid_graph(3, 3),
+        ],
+    )
+    def test_valid_nice_decomposition(self, graph_factory):
+        graph = graph_factory()
+        root = _nice_for(graph)
+        validate_nice(root, graph)
+
+    def test_root_bag_empty(self):
+        root = _nice_for(cycle_graph(5))
+        assert root.bag == frozenset()
+
+    def test_width_preserved(self):
+        for graph in (cycle_graph(6), grid_graph(2, 4), complete_graph(4)):
+            root = _nice_for(graph)
+            assert root.width() == treewidth(graph)
+
+    def test_every_node_kind_valid(self):
+        root = _nice_for(grid_graph(2, 3))
+        kinds = {node.kind for node in root.iter_postorder()}
+        assert kinds <= {"leaf", "introduce", "forget", "join"}
+        assert "leaf" in kinds
+        assert "introduce" in kinds
+        assert "forget" in kinds
+
+    def test_join_appears_for_branching_graphs(self):
+        root = _nice_for(star_graph(4))
+        kinds = [node.kind for node in root.iter_postorder()]
+        assert "join" in kinds
+
+    def test_postorder_children_first(self):
+        root = _nice_for(path_graph(4))
+        seen: set[int] = set()
+        for node in root.iter_postorder():
+            for child in node.children:
+                assert id(child) in seen
+            seen.add(id(node))
+
+    def test_node_count_linear(self):
+        graph = random_graph(8, 0.4, seed=5)
+        root = _nice_for(graph)
+        # Generous linearity bound: each bag expands into O(width) nodes.
+        assert root.count_nodes() <= 30 * (graph.num_vertices() + 1)
+
+    def test_random_graphs_validate(self):
+        for seed in range(4):
+            graph = random_graph(7, 0.45, seed=seed)
+            validate_nice(_nice_for(graph), graph)
+
+
+class TestValidateNiceRejects:
+    def test_bad_introduce(self):
+        leaf = NiceNode(kind="leaf", bag=frozenset())
+        bad = NiceNode(
+            kind="introduce", bag=frozenset({1, 2}), children=[leaf], vertex=1,
+        )
+        with pytest.raises(DecompositionError):
+            validate_nice(bad, Graph(vertices=[1, 2]))
+
+    def test_bad_join(self):
+        leaf_a = NiceNode(kind="leaf", bag=frozenset())
+        intro = NiceNode(
+            kind="introduce", bag=frozenset({1}), children=[leaf_a], vertex=1,
+        )
+        leaf_b = NiceNode(kind="leaf", bag=frozenset())
+        bad = NiceNode(kind="join", bag=frozenset({1}), children=[intro, leaf_b])
+        with pytest.raises(DecompositionError):
+            validate_nice(bad, Graph(vertices=[1]))
+
+    def test_leaf_with_bag_rejected(self):
+        bad = NiceNode(kind="leaf", bag=frozenset({1}))
+        with pytest.raises(DecompositionError):
+            validate_nice(bad, Graph(vertices=[1]))
+
+    def test_missing_edge_coverage_rejected(self):
+        # Nice decomposition of the edgeless structure can't cover an edge.
+        leaf = NiceNode(kind="leaf", bag=frozenset())
+        intro1 = NiceNode(
+            kind="introduce", bag=frozenset({0}), children=[leaf], vertex=0,
+        )
+        forget1 = NiceNode(
+            kind="forget", bag=frozenset(), children=[intro1], vertex=0,
+        )
+        intro2 = NiceNode(
+            kind="introduce", bag=frozenset({1}), children=[forget1], vertex=1,
+        )
+        root = NiceNode(
+            kind="forget", bag=frozenset(), children=[intro2], vertex=1,
+        )
+        with pytest.raises(DecompositionError):
+            validate_nice(root, path_graph(2))

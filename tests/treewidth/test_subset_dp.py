@@ -1,0 +1,57 @@
+"""Cross-check of the two independent exact treewidth solvers."""
+
+import pytest
+
+from repro.errors import IntractableError
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_graph,
+)
+from repro.treewidth import treewidth
+from repro.treewidth.subset_dp import treewidth_subset_dp
+
+
+@pytest.mark.parametrize(
+    "graph_factory,expected",
+    [
+        (lambda: path_graph(6), 1),
+        (lambda: cycle_graph(7), 2),
+        (lambda: complete_graph(5), 4),
+        (lambda: complete_bipartite_graph(3, 3), 3),
+        (lambda: grid_graph(3, 3), 3),
+        (lambda: petersen_graph(), 4),
+    ],
+    ids=["P6", "C7", "K5", "K33", "grid3x3", "Petersen"],
+)
+def test_known_values(graph_factory, expected):
+    assert treewidth_subset_dp(graph_factory()) == expected
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_agrees_with_branch_and_bound(seed):
+    graph = random_graph(9, 0.35 + 0.05 * (seed % 3), seed=seed)
+    assert treewidth_subset_dp(graph) == treewidth(graph)
+
+
+def test_edge_cases():
+    assert treewidth_subset_dp(Graph()) == 0
+    assert treewidth_subset_dp(Graph(vertices=[0])) == 0
+    assert treewidth_subset_dp(Graph(vertices=range(4))) == 0
+
+
+def test_disconnected():
+    graph = disjoint_union(complete_graph(4), cycle_graph(5))
+    assert treewidth_subset_dp(graph) == 3
+
+
+def test_size_limit():
+    graph = Graph(vertices=range(25))
+    with pytest.raises(IntractableError):
+        treewidth_subset_dp(graph, max_vertices=20)

@@ -1,0 +1,117 @@
+"""Unit tests for equitable partitions and fractional isomorphism
+(characterisation (I))."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    prism_graph,
+    random_graph,
+    six_cycle,
+    star_graph,
+    two_triangles,
+)
+from repro.wl import (
+    coarsest_equitable_partition,
+    doubly_stochastic_witness,
+    fractionally_isomorphic,
+    have_common_equitable_partition,
+    is_equitable,
+    partition_parameters,
+    wl_1_equivalent,
+)
+
+
+class TestEquitablePartitions:
+    def test_regular_graph_single_class(self):
+        partition = coarsest_equitable_partition(cycle_graph(6))
+        assert len(partition) == 1
+
+    def test_star_two_classes(self):
+        partition = coarsest_equitable_partition(star_graph(4))
+        sizes = sorted(len(block) for block in partition)
+        assert sizes == [1, 4]
+
+    def test_path_orbit_classes(self):
+        partition = coarsest_equitable_partition(path_graph(5))
+        assert len(partition) == 3
+
+    def test_result_is_equitable(self):
+        for graph in (path_graph(6), star_graph(3), random_graph(8, 0.4, seed=9)):
+            partition = coarsest_equitable_partition(graph)
+            assert is_equitable(graph, partition)
+
+    def test_is_equitable_rejects_uneven(self):
+        g = path_graph(3)
+        # {ends ∪ middle} as one block: middle has 2 neighbours inside, ends 1.
+        assert not is_equitable(g, [frozenset({0, 1, 2})])
+
+    def test_is_equitable_requires_cover(self):
+        assert not is_equitable(path_graph(3), [frozenset({0, 1})])
+
+    def test_partition_parameters(self):
+        g = star_graph(3)
+        partition = coarsest_equitable_partition(g)
+        sizes, degrees = partition_parameters(g, partition)
+        assert sorted(sizes) == [1, 3]
+        # The centre sees 3 leaves; each leaf sees 1 centre.
+        flattened = sorted(value for row in degrees for value in row if value)
+        assert flattened == [1, 3]
+
+
+class TestFractionalIsomorphism:
+    def test_tinhofer_matches_wl1(self):
+        """Characterisation (I): fractional isomorphism ⇔ 1-WL-equivalence."""
+        pairs = [
+            (two_triangles(), six_cycle()),
+            (petersen_graph(), prism_graph(5)),
+            (path_graph(4), star_graph(3)),
+            (cycle_graph(5), cycle_graph(5)),
+            (random_graph(7, 0.4, seed=1), random_graph(7, 0.4, seed=2)),
+        ]
+        for first, second in pairs:
+            assert fractionally_isomorphic(first, second) == (
+                wl_1_equivalent(first, second)
+            )
+
+    def test_size_mismatch(self):
+        assert not fractionally_isomorphic(cycle_graph(4), cycle_graph(5))
+
+    def test_common_partition_symmetry(self):
+        first, second = two_triangles(), six_cycle()
+        assert have_common_equitable_partition(first, second) == (
+            have_common_equitable_partition(second, first)
+        )
+
+
+class TestDoublyStochasticWitness:
+    def test_witness_for_classic_pair(self):
+        numpy = pytest.importorskip("numpy")
+        matrix = doubly_stochastic_witness(two_triangles(), six_cycle())
+        assert matrix is not None
+        # Doubly stochastic up to LP tolerance.
+        assert numpy.allclose(matrix.sum(axis=0), 1.0, atol=1e-7)
+        assert numpy.allclose(matrix.sum(axis=1), 1.0, atol=1e-7)
+        assert (matrix >= -1e-9).all()
+
+    def test_witness_satisfies_intertwining(self):
+        numpy = pytest.importorskip("numpy")
+        first, second = two_triangles(), six_cycle()
+        matrix = doubly_stochastic_witness(first, second)
+        n = 6
+        a = numpy.zeros((n, n))
+        b = numpy.zeros((n, n))
+        indexed_a, _ = first.to_index_graph()
+        indexed_b, _ = second.to_index_graph()
+        for u, v in indexed_a.edges():
+            a[u][v] = a[v][u] = 1
+        for u, v in indexed_b.edges():
+            b[u][v] = b[v][u] = 1
+        assert numpy.allclose(a @ matrix, matrix @ b, atol=1e-7)
+
+    def test_no_witness_for_distinguishable_pair(self):
+        pytest.importorskip("numpy")
+        assert doubly_stochastic_witness(path_graph(4), star_graph(3)) is None

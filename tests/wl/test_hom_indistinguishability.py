@@ -1,0 +1,68 @@
+"""Unit tests for the hom-indistinguishability oracle (Definition 19
+restricted to bounded pattern size)."""
+
+from repro.graphs import cycle_graph, six_cycle, two_triangles
+from repro.treewidth import treewidth
+from repro.wl import (
+    bounded_treewidth_patterns,
+    distinguishing_pattern,
+    hom_indistinguishable_up_to,
+    hom_profile,
+    k_wl_equivalent,
+)
+
+
+class TestPatternFamilies:
+    def test_tw1_patterns_are_trees_or_forests(self):
+        for pattern in bounded_treewidth_patterns(1, 5):
+            assert treewidth(pattern) <= 1
+            assert pattern.is_connected()
+
+    def test_tw1_pattern_counts(self):
+        # Connected graphs of treewidth ≤ 1 on ≤ 4 vertices are exactly the
+        # trees: 1 + 1 + 1 + 2 = 5.
+        assert len(bounded_treewidth_patterns(1, 4)) == 5
+
+    def test_tw2_contains_cycles(self):
+        patterns = bounded_treewidth_patterns(2, 4)
+        assert any(p.num_edges() == p.num_vertices() == 3 for p in patterns)
+
+    def test_monotone_in_k(self):
+        small = set(map(id, bounded_treewidth_patterns(1, 4)))
+        assert len(bounded_treewidth_patterns(2, 4)) >= len(small)
+
+
+class TestOracleAgreesWithKwl:
+    def test_classic_pair_tw1(self):
+        """2K3 ≅₁ C6: equal hom counts from all trees (Definition 19)."""
+        assert hom_indistinguishable_up_to(two_triangles(), six_cycle(), 1, 5)
+
+    def test_classic_pair_tw2_separated(self):
+        """The triangle (treewidth 2) separates them."""
+        assert not hom_indistinguishable_up_to(two_triangles(), six_cycle(), 2, 4)
+        witness = distinguishing_pattern(two_triangles(), six_cycle(), 2, 4)
+        assert witness is not None
+        assert treewidth(witness) == 2
+
+    def test_agrees_with_refinement_on_samples(self):
+        from repro.graphs import random_graph
+
+        for seed in range(3):
+            a = random_graph(6, 0.5, seed=seed)
+            b = random_graph(6, 0.5, seed=seed + 50)
+            refinement_verdict = k_wl_equivalent(a, b, 1)
+            oracle_verdict = hom_indistinguishable_up_to(a, b, 1, 4)
+            # The oracle is a relaxation: k-WL-equivalence implies oracle
+            # equivalence; oracle separation implies k-WL separation.
+            if refinement_verdict:
+                assert oracle_verdict
+
+    def test_profile_shape(self):
+        profile = hom_profile(cycle_graph(4), 1, 3)
+        assert len(profile) == len(bounded_treewidth_patterns(1, 3))
+        assert all(isinstance(x, int) and x >= 0 for x in profile)
+
+    def test_profile_is_invariant(self):
+        g = cycle_graph(5)
+        h = g.relabelled({i: f"x{i}" for i in range(5)})
+        assert hom_profile(g, 1, 4) == hom_profile(h, 1, 4)

@@ -1,0 +1,104 @@
+"""Unit tests for folklore k-WL and the WL hierarchy."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    six_cycle,
+    star_graph,
+    two_triangles,
+)
+from repro.wl import (
+    atomic_type,
+    k_wl_colouring,
+    k_wl_equivalent,
+    tuple_colour_histogram,
+    wl_distinguishing_dimension,
+)
+
+
+class TestAtomicTypes:
+    def test_equality_pattern(self):
+        g = path_graph(3)
+        assert atomic_type(g, (0, 0)) == ((True, False),)
+        assert atomic_type(g, (0, 1)) == ((False, True),)
+        assert atomic_type(g, (0, 2)) == ((False, False),)
+
+    def test_atomic_type_is_partial_iso_invariant(self):
+        g = cycle_graph(5)
+        assert atomic_type(g, (0, 1)) == atomic_type(g, (2, 3))
+        assert atomic_type(g, (0, 2)) == atomic_type(g, (1, 3))
+        assert atomic_type(g, (0, 1)) != atomic_type(g, (0, 2))
+
+    def test_triple_types(self):
+        g = complete_graph(3)
+        t = atomic_type(g, (0, 1, 2))
+        assert t == ((False, True), (False, True), (False, True))
+
+
+class TestKwlColouring:
+    def test_requires_k_at_least_two(self):
+        with pytest.raises(ValueError):
+            k_wl_colouring(path_graph(3), 1)
+
+    def test_stable_colouring_size(self):
+        g = cycle_graph(4)
+        colours = k_wl_colouring(g, 2)
+        assert len(colours) == 16
+        histogram = tuple_colour_histogram(colours)
+        assert sum(histogram.values()) == 16
+
+    def test_vertex_transitive_diagonal(self):
+        g = cycle_graph(5)
+        colours = k_wl_colouring(g, 2)
+        diagonal_colours = {colours[(v, v)] for v in g.vertices()}
+        assert len(diagonal_colours) == 1
+
+
+class TestKwlEquivalence:
+    def test_2wl_separates_classic_pair(self):
+        """2-WL (unlike 1-WL) distinguishes 2K3 from C6 — triangle counts
+        are 2-WL-invariant."""
+        assert not k_wl_equivalent(two_triangles(), six_cycle(), 2)
+
+    def test_1wl_dispatch(self):
+        assert k_wl_equivalent(two_triangles(), six_cycle(), 1)
+
+    def test_isomorphic_graphs_equivalent_at_any_level(self):
+        g = random_graph(6, 0.5, seed=20)
+        h = g.relabelled({v: f"w{v}" for v in g.vertices()})
+        assert k_wl_equivalent(g, h, 1)
+        assert k_wl_equivalent(g, h, 2)
+
+    def test_size_mismatch_fast_path(self):
+        assert not k_wl_equivalent(cycle_graph(5), cycle_graph(6), 2)
+
+    def test_edge_count_mismatch_fast_path(self):
+        assert not k_wl_equivalent(path_graph(4), star_graph(3), 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_wl_equivalent(path_graph(2), path_graph(2), 0)
+
+    def test_monotone_hierarchy(self):
+        """If 1-WL distinguishes, so does 2-WL (contrapositive check on a
+        pair distinguished at level 1)."""
+        a, b = path_graph(4), star_graph(3)
+        assert not k_wl_equivalent(a, b, 1)
+        assert not k_wl_equivalent(a, b, 2)
+
+
+class TestDistinguishingDimension:
+    def test_classic_pair_dimension(self):
+        assert wl_distinguishing_dimension(two_triangles(), six_cycle(), 3) == 2
+
+    def test_degree_separated_pair(self):
+        assert wl_distinguishing_dimension(path_graph(4), star_graph(3), 2) == 1
+
+    def test_isomorphic_pair_none(self):
+        g = cycle_graph(5)
+        h = g.relabelled({i: i + 10 for i in range(5)})
+        assert wl_distinguishing_dimension(g, h, 2) is None

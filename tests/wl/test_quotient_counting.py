@@ -1,0 +1,91 @@
+"""Unit tests: tree hom counts from the 1-WL quotient (Dvořák direction)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    six_cycle,
+    star_graph,
+    two_triangles,
+)
+from repro.graphs.enumeration import all_trees_up_to_iso
+from repro.homs import count_homomorphisms
+from repro.wl.quotient_counting import (
+    equitable_quotient,
+    tree_hom_count_from_quotient,
+    tree_hom_count_via_quotient,
+)
+
+
+class TestAgainstDirectCounting:
+    @pytest.mark.parametrize(
+        "tree_factory",
+        [
+            lambda: path_graph(2),
+            lambda: path_graph(4),
+            lambda: star_graph(3),
+            lambda: Graph(edges=[(0, 1), (1, 2), (1, 3), (3, 4)]),
+        ],
+        ids=["K2", "P4", "S3", "caterpillar"],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_vertex_level_counting(self, tree_factory, seed):
+        tree = tree_factory()
+        host = random_graph(7, 0.45, seed=seed)
+        assert tree_hom_count_via_quotient(tree, host) == (
+            count_homomorphisms(tree, host)
+        )
+
+    def test_all_small_trees_on_structured_hosts(self):
+        for host in (cycle_graph(6), complete_graph(4), star_graph(4)):
+            for size in (2, 3, 4, 5):
+                for tree in all_trees_up_to_iso(size):
+                    assert tree_hom_count_via_quotient(tree, host) == (
+                        count_homomorphisms(tree, host)
+                    )
+
+    def test_single_vertex_tree(self):
+        host = random_graph(6, 0.4, seed=5)
+        assert tree_hom_count_via_quotient(Graph(vertices=[0]), host) == 6
+
+    def test_empty_tree(self):
+        assert tree_hom_count_via_quotient(Graph(), cycle_graph(4)) == 1
+
+    def test_empty_host(self):
+        assert tree_hom_count_via_quotient(path_graph(2), Graph()) == 0
+
+
+class TestValidation:
+    def test_non_tree_rejected(self):
+        with pytest.raises(GraphError):
+            tree_hom_count_via_quotient(cycle_graph(3), cycle_graph(5))
+
+    def test_disconnected_pattern_rejected(self):
+        forest = Graph(edges=[(0, 1)])
+        forest.add_vertex(2)
+        with pytest.raises(GraphError):
+            tree_hom_count_via_quotient(forest, cycle_graph(4))
+
+
+class TestDvorakDirection:
+    def test_common_quotient_implies_equal_tree_counts(self):
+        """2K3 and C6 share their equitable quotient parameters up to the
+        quotient's own structure — and indeed agree on every tree count,
+        computed *from the quotients alone*."""
+        quotient_a = equitable_quotient(two_triangles())
+        quotient_b = equitable_quotient(six_cycle())
+        for size in (2, 3, 4, 5, 6):
+            for tree in all_trees_up_to_iso(size):
+                assert tree_hom_count_from_quotient(tree, quotient_a) == (
+                    tree_hom_count_from_quotient(tree, quotient_b)
+                )
+
+    def test_quotient_of_regular_graph(self):
+        sizes, degrees = equitable_quotient(cycle_graph(8))
+        assert sizes == (8,)
+        assert degrees == ((2,),)

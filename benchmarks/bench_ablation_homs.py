@@ -1,9 +1,12 @@
 """Ablation — homomorphism counting: brute-force backtracking vs
 treewidth DP.
 
-Design decision recorded in DESIGN.md: ``count_homomorphisms(method='auto')``
-uses backtracking for patterns with ≤ 5 vertices and the DP beyond.  This
-bench regenerates the crossover evidence.
+``count_homomorphisms(method='auto')`` routes through the engine's
+treewidth-aware cost model (``repro.engine.plans.select_backend``): brute
+force when a greedy treewidth upper bound shows the DP cannot shave an
+exponent level off the search (``tw + 2 > n``), the DP otherwise, and
+closed-form linear algebra for paths/cycles.  This bench regenerates the
+crossover evidence on raw (uncached) backends.
 """
 
 from __future__ import annotations

@@ -1,0 +1,115 @@
+"""Benchmark — the ``repro.engine`` compile-then-execute pipeline vs the
+seed counting path.
+
+The seed dispatcher recomputed the pattern's tree decomposition on *every*
+call and had no memory of finished counts.  The engine compiles a pattern
+once (closed-form matrix plan, DP instruction tape, or brute force) and
+caches counts behind canonical keys, which is exactly what the
+one-pattern-many-targets workloads (WL indistinguishability, hom-profile
+features, E1/E6) need.
+
+Acceptance gate: the engine must beat the seed path by >= 3x on the
+many-targets workload.  ``python benchmarks/bench_engine.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _tables import print_table
+from repro.engine import HomEngine
+from repro.graphs import cycle_graph, grid_graph, random_graph
+from repro.homs import count_homomorphisms_brute, count_homomorphisms_dp
+
+
+# The seed crossover: brute for <= 5 vertices, fresh-decomposition DP above.
+def seed_count(pattern, target):
+    if pattern.num_vertices() <= 5:
+        return count_homomorphisms_brute(pattern, target)
+    return count_homomorphisms_dp(pattern, target)
+
+
+def workloads():
+    """(name, pattern, targets) — each target list is visited twice, the
+    access pattern of indistinguishability checks and repeated profiling."""
+    hosts = [random_graph(13, 0.3, seed=900 + i) for i in range(12)]
+    return [
+        ("C6 x 12 targets x 2", cycle_graph(6), hosts * 2),
+        ("grid 2x3 x 12 targets x 2", grid_graph(2, 3), hosts * 2),
+        ("C8 x 12 targets x 2", cycle_graph(8), hosts * 2),
+    ]
+
+
+def run_experiment() -> None:
+    # Matrix plans import numpy lazily; pay that one-time cost outside the
+    # timed region so the table reflects steady-state per-call behaviour.
+    from repro.graphs.matrices import count_walks
+
+    count_walks(random_graph(3, 0.5, seed=1), 2)
+
+    rows = []
+    overall_seed = 0.0
+    overall_engine = 0.0
+    for name, pattern, targets in workloads():
+        start = time.perf_counter()
+        expected = [seed_count(pattern, target) for target in targets]
+        seed_time = time.perf_counter() - start
+
+        engine = HomEngine()
+        start = time.perf_counter()
+        (got,) = engine.count_batch([pattern], targets)
+        engine_time = time.perf_counter() - start
+
+        assert got == expected
+        overall_seed += seed_time
+        overall_engine += engine_time
+        stats = engine.stats_summary()
+        rows.append(
+            [
+                name,
+                engine.plan_for(pattern).describe(),
+                f"{seed_time * 1000:.1f} ms",
+                f"{engine_time * 1000:.1f} ms",
+                f"{seed_time / engine_time:.1f}x",
+                f"{stats['count_hits']}/{stats['count_requests']}",
+            ],
+        )
+    print_table(
+        "Engine vs seed path — one pattern, many targets (hosts G(13, .3))",
+        ["workload", "plan", "seed", "engine", "speedup", "cache hits"],
+        rows,
+    )
+    speedup = overall_seed / overall_engine
+    print(f"\noverall speedup: {speedup:.1f}x (gate: >= 3x)")
+    assert speedup >= 3.0, f"engine speedup {speedup:.2f}x below the 3x gate"
+
+
+@pytest.mark.parametrize(
+    "index", range(len(workloads())), ids=[name for name, _, _ in workloads()],
+)
+def test_bench_seed_path(benchmark, index):
+    _, pattern, targets = workloads()[index]
+    result = benchmark(
+        lambda: [seed_count(pattern, target) for target in targets],
+    )
+    assert all(count >= 0 for count in result)
+
+
+@pytest.mark.parametrize(
+    "index", range(len(workloads())), ids=[name for name, _, _ in workloads()],
+)
+def test_bench_engine(benchmark, index):
+    _, pattern, targets = workloads()[index]
+
+    def engine_pass():
+        (row,) = HomEngine().count_batch([pattern], targets)
+        return row
+
+    result = benchmark(engine_pass)
+    assert result == [seed_count(pattern, target) for target in targets]
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -15,6 +15,9 @@ Public API highlights
     Section-5 consequences.
 ``OrderKGNN`` / ``minimum_gnn_order``
     the GNN expressiveness corollary.
+``HomEngine`` / ``default_engine``
+    the batched, cached, multi-backend homomorphism-count engine behind
+    ``count_homomorphisms(method='auto')``.
 """
 
 from repro.cfi import cfi_graph, cfi_pair, clone_colour_blocks
@@ -31,6 +34,7 @@ from repro.core import (
     wl_dimension,
     wl_dimension_upper_bound,
 )
+from repro.engine import HomEngine, default_engine
 from repro.gnn import OrderKGNN, gnn_can_count_answers, minimum_gnn_order
 from repro.graphs import Graph
 from repro.homs import count_homomorphisms
@@ -51,6 +55,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ConjunctiveQuery",
     "Graph",
+    "HomEngine",
     "OrderKGNN",
     "QuantumQuery",
     "analyse_query",
@@ -63,6 +68,7 @@ __all__ = [
     "count_dominating_sets_brute",
     "count_dominating_sets_via_stars",
     "count_homomorphisms",
+    "default_engine",
     "dominating_set_wl_dimension",
     "extension_width",
     "gnn_can_count_answers",

@@ -7,6 +7,8 @@ Examples
     repro analyze "q(x1, x2) :- E(x1, y), E(x2, y)"
     repro wl-dim  "q(x1, x2, x3) :- E(x1, y), E(x2, y), E(x3, y)"
     repro witness "q(x1, x2) :- E(x1, y), E(x2, y)" --max-multiplicity 2
+    repro count   "q(x1, x2) :- E(x1, y), E(x2, y)" --batch 10 --interpolate
+    repro engine-stats --targets 16 --n 10
     repro dominating --n 8 --p 0.4 --k 2 --seed 7
 """
 
@@ -78,6 +80,7 @@ def _cmd_dominating(args: argparse.Namespace) -> int:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
+    from repro.engine import default_engine
     from repro.graphs.io import from_graph6
     from repro.queries.answers import (
         count_answers,
@@ -86,18 +89,75 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
     query = parse_query(args.query)
     if args.graph6:
-        host = from_graph6(args.graph6)
+        hosts = [from_graph6(args.graph6)]
+    elif args.batch > 1:
+        hosts = [
+            random_graph(args.n, args.p, seed=args.seed + i)
+            for i in range(args.batch)
+        ]
     else:
-        host = random_graph(args.n, args.p, seed=args.seed)
-    direct = count_answers(query, host)
+        hosts = [random_graph(args.n, args.p, seed=args.seed)]
+
+    # Batch mode always exercises the engine-backed hom-count route
+    # (Lemma-22 interpolation) so the cache statistics describe real work.
+    engine_route = (args.interpolate or len(hosts) > 1) and not query.is_boolean()
+
     print(f"query  {format_query(query, style='logic')}")
-    print(f"host   {host!r}")
-    print(f"|Ans|  {direct}")
-    if args.interpolate and not query.is_boolean():
-        via_homs = count_answers_by_interpolation(query, host)
-        agreement = "ok" if via_homs == direct else "MISMATCH"
-        print(f"|Ans| via Lemma-22 interpolation: {via_homs} [{agreement}]")
-        return 0 if via_homs == direct else 1
+    status = 0
+    for host in hosts:
+        direct = count_answers(query, host)
+        line = f"host {host!r}  |Ans| {direct}"
+        if engine_route:
+            via_homs = count_answers_by_interpolation(query, host)
+            agreement = "ok" if via_homs == direct else "MISMATCH"
+            line += f"  via Lemma-22 interpolation {via_homs} [{agreement}]"
+            if via_homs != direct:
+                status = 1
+        print(line)
+    if engine_route and len(hosts) > 1:
+        stats = default_engine().stats_summary()
+        print(
+            f"engine: {stats['plans_compiled']} plans compiled, "
+            f"{stats['count_hits']}/{stats['count_requests']} count-cache hits",
+        )
+    return status
+
+
+def _cmd_engine_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine import HomEngine
+    from repro.wl.hom_indistinguishability import bounded_treewidth_patterns
+
+    patterns = bounded_treewidth_patterns(args.tw, args.max_pattern_vertices)
+    targets = [
+        random_graph(args.n, args.p, seed=args.seed + i)
+        for i in range(args.targets)
+    ]
+    engine = HomEngine(processes=args.processes)
+
+    start = time.perf_counter()
+    engine.count_batch(patterns, targets)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    engine.count_batch(patterns, targets)
+    warm = time.perf_counter() - start
+
+    kinds: dict[str, int] = {}
+    for pattern in patterns:
+        kind = engine.plan_for(pattern).kind
+        kinds[kind] = kinds.get(kind, 0) + 1
+
+    print(
+        f"workload        {len(patterns)} patterns "
+        f"(tw<={args.tw}, <={args.max_pattern_vertices} vertices) x "
+        f"{len(targets)} targets G({args.n}, {args.p})",
+    )
+    print(f"plan kinds      {kinds}")
+    print(f"cold batch      {cold * 1000:.1f} ms")
+    print(f"warm batch      {warm * 1000:.1f} ms (served from count cache)")
+    for key, value in sorted(engine.stats_summary().items()):
+        print(f"  {key:18s} {value}")
     return 0
 
 
@@ -142,18 +202,43 @@ def build_parser() -> argparse.ArgumentParser:
     witness.add_argument("--skip-wl", action="store_true")
     witness.set_defaults(func=_cmd_witness)
 
-    count = sub.add_parser("count", help="count answers on a host graph")
+    count = sub.add_parser("count", help="count answers on host graphs")
     count.add_argument("query")
     count.add_argument("--graph6", help="host as a graph6 string")
     count.add_argument("--n", type=int, default=8)
     count.add_argument("--p", type=float, default=0.4)
     count.add_argument("--seed", type=int, default=0)
     count.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="count on N random hosts (seeds seed..seed+N-1); each count is "
+        "cross-checked through the engine-backed Lemma-22 route and cache "
+        "statistics are reported",
+    )
+    count.add_argument(
         "--interpolate",
         action="store_true",
         help="also recover the count from |Hom(F_ell)| (Lemma 22)",
     )
     count.set_defaults(func=_cmd_count)
+
+    engine_stats = sub.add_parser(
+        "engine-stats",
+        help="run a patterns-x-targets workload and report engine caching",
+    )
+    engine_stats.add_argument("--tw", type=int, default=2)
+    engine_stats.add_argument("--max-pattern-vertices", type=int, default=5)
+    engine_stats.add_argument("--targets", type=int, default=8)
+    engine_stats.add_argument("--n", type=int, default=10)
+    engine_stats.add_argument("--p", type=float, default=0.4)
+    engine_stats.add_argument("--seed", type=int, default=0)
+    engine_stats.add_argument(
+        "--processes", type=int, default=None,
+        help="evaluate the batch on a multiprocessing pool",
+    )
+    engine_stats.set_defaults(func=_cmd_engine_stats)
 
     union = sub.add_parser(
         "union", help="analyse a union of CQs (disjuncts separated by ';')",

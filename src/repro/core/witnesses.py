@@ -25,9 +25,9 @@ from typing import Iterator, Mapping
 
 from repro.cfi.cloning import clone_colour_blocks, clone_colouring
 from repro.cfi.construction import cfi_graph
+from repro.engine.engine import default_engine
 from repro.errors import WitnessError
 from repro.graphs.graph import Graph, Vertex
-from repro.homs.counting import count_homomorphisms
 from repro.queries.answers import (
     count_answers,
     count_answers_id,
@@ -313,10 +313,14 @@ def verify_wl_distinguished_at_width(witness: LowerBoundWitness) -> bool:
     """Certificate that the pair is *not* k-WL-equivalent at ``k = ew``:
     by Definition 19 it suffices to exhibit one treewidth-k pattern with
     different hom counts — ``F`` itself (tw(F) = ew) works by Theorem 32 +
-    Lemma 57's strictness."""
-    first = count_homomorphisms(witness.f_graph, witness.untwisted)
-    second = count_homomorphisms(witness.f_graph, witness.twisted)
-    return first != second
+    Lemma 57's strictness.
+
+    Counted through the engine: ``F`` is compiled once and executed against
+    both CFI graphs (a one-pattern-two-targets batch)."""
+    (counts,) = default_engine().count_batch(
+        [witness.f_graph], [witness.untwisted, witness.twisted],
+    )
+    return counts[0] != counts[1]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,198 @@
+"""The :class:`HomEngine` facade: compile once, count many.
+
+``HomEngine`` is the single entry point the rest of the library delegates
+to for homomorphism counts.  It owns
+
+* a plan cache (canonical-form keys → compiled
+  :class:`~repro.engine.plans.CountPlan`),
+* a count cache (``pattern × target × restriction`` → int),
+* batch evaluation with optional multiprocessing
+  (:mod:`repro.engine.batch`).
+
+A module-level default engine backs ``count_homomorphisms(method='auto')``
+so every existing call site transparently gains plan reuse and caching;
+code with special lifetime requirements (benchmarks, tests measuring cold
+behaviour) constructs private instances.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.engine.batch import run_batch
+from repro.engine.cache import (
+    DEFAULT_CANONICAL_LIMIT,
+    CacheStats,
+    EngineCache,
+    restriction_key,
+    target_key,
+)
+from repro.engine.plans import CountPlan, compile_plan
+from repro.graphs.graph import Graph, Vertex
+
+
+class HomEngine:
+    """A batched, cached, multi-backend homomorphism-count engine."""
+
+    def __init__(
+        self,
+        plan_capacity: int = 512,
+        count_capacity: int = 65536,
+        canonical_limit: int = DEFAULT_CANONICAL_LIMIT,
+        processes: int | None = None,
+    ) -> None:
+        self._cache = EngineCache(
+            plan_capacity=plan_capacity,
+            count_capacity=count_capacity,
+            canonical_limit=canonical_limit,
+        )
+        self.processes = processes
+        self.plans_compiled = 0
+        self.counts_executed = 0
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan_for(self, pattern: Graph) -> CountPlan:
+        """The compiled plan for ``pattern`` (cached by canonical form)."""
+        key = self._cache.pattern_key(pattern)
+        plan = self._cache.lookup_plan(key)
+        if plan is None:
+            plan = compile_plan(pattern)
+            self.plans_compiled += 1
+            self._cache.store_plan(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def _pattern_id(
+        self,
+        pattern: Graph,
+        allowed: Mapping[Vertex, frozenset] | None,
+    ) -> tuple:
+        # Unrestricted counts are isomorphism-invariant, so canonical keys
+        # let relabelled patterns share plans and counts.  An ``allowed``
+        # restriction is expressed in the pattern's own labels: two
+        # isomorphic patterns with the same restriction mean different
+        # things, and the compiled plan (which bakes in pattern vertices
+        # for the restriction lookup) is label-bound — so restricted
+        # counts key on the exact labelled pattern.
+        if allowed is None:
+            return self._cache.pattern_key(pattern)
+        return ("label", pattern.edge_fingerprint())
+
+    def count(
+        self,
+        pattern: Graph,
+        target: Graph,
+        allowed: Mapping[Vertex, frozenset] | None = None,
+    ) -> int:
+        """``|Hom(pattern, target)|`` (restricted by ``allowed``), cached."""
+        pattern_id = self._pattern_id(pattern, allowed)
+        key = (pattern_id, target_key(target), restriction_key(allowed))
+        cached = self._cache.lookup_count(key)
+        if cached is not None:
+            return cached
+        plan = self._cache.lookup_plan(pattern_id)
+        if plan is None:
+            plan = compile_plan(pattern)
+            self.plans_compiled += 1
+            self._cache.store_plan(pattern_id, plan)
+        value = plan.execute(target, allowed=allowed)
+        self.counts_executed += 1
+        self._cache.store_count(key, value)
+        return value
+
+    def cached_count(
+        self,
+        pattern: Graph,
+        target: Graph,
+        allowed: Mapping[Vertex, frozenset] | None = None,
+    ) -> int | None:
+        """The cached count, or ``None`` — never computes anything."""
+        key = (
+            self._pattern_id(pattern, allowed),
+            target_key(target),
+            restriction_key(allowed),
+        )
+        return self._cache.lookup_count(key)
+
+    def hom_vector(
+        self, patterns: Sequence[Graph], target: Graph,
+    ) -> tuple[int, ...]:
+        """The hom-count profile of ``target`` over ``patterns``."""
+        return tuple(self.count(pattern, target) for pattern in patterns)
+
+    def count_batch(
+        self,
+        patterns: Sequence[Graph],
+        targets: Sequence[Graph],
+        allowed: Mapping[Vertex, frozenset] | None = None,
+        processes: int | None = None,
+    ) -> list[list[int]]:
+        """``rows[i][j] = |Hom(patterns[i], targets[j])|`` with plan reuse."""
+        if processes is None:
+            processes = self.processes
+        return run_batch(
+            self, patterns, targets, allowed=allowed, processes=processes,
+        )
+
+    def seed_counts(
+        self,
+        pattern: Graph,
+        targets: Sequence[Graph],
+        counts: Sequence[int],
+    ) -> None:
+        """Fold externally computed counts (e.g. pool results) into the cache."""
+        pattern_id = self._cache.pattern_key(pattern)
+        for target, value in zip(targets, counts):
+            key = (pattern_id, target_key(target), None)
+            self._cache.store_count(key, value)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def stats_summary(self) -> dict[str, int | float]:
+        summary = self._cache.stats.snapshot()
+        summary["plans_compiled"] = self.plans_compiled
+        summary["counts_executed"] = self.counts_executed
+        summary["plans_cached"] = len(self._cache.plans)
+        summary["counts_cached"] = len(self._cache.counts)
+        return summary
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()
+        self.plans_compiled = 0
+        self.counts_executed = 0
+
+    def clear(self) -> None:
+        """Drop all cached plans and counts (stats are kept)."""
+        self._cache.clear()
+
+
+_default_engine: HomEngine | None = None
+
+
+def default_engine() -> HomEngine:
+    """The process-wide engine behind ``count_homomorphisms(method='auto')``."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = HomEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: HomEngine | None) -> HomEngine | None:
+    """Swap the process-wide engine (pass ``None`` to reset lazily).
+
+    Returns the previous engine so callers can restore it — used by tests
+    and benchmarks that need a cold cache.
+    """
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

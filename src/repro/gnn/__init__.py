@@ -4,6 +4,8 @@ from repro.gnn.expressiveness import (
     InexpressivenessCertificate,
     demonstrate_inexpressiveness,
     gnn_can_count_answers,
+    hom_feature_map,
+    hom_features_indistinguishable,
     minimum_gnn_order,
 )
 from repro.gnn.model import OrderKGNN
@@ -13,5 +15,7 @@ __all__ = [
     "OrderKGNN",
     "demonstrate_inexpressiveness",
     "gnn_can_count_answers",
+    "hom_feature_map",
+    "hom_features_indistinguishable",
     "minimum_gnn_order",
 ]

@@ -24,10 +24,49 @@ from repro.core.witnesses import (
     cloned_pair,
 )
 from repro.core.wl_dimension import wl_dimension
+from repro.engine.engine import HomEngine, default_engine
 from repro.errors import WitnessError
 from repro.gnn.model import OrderKGNN
 from repro.graphs.graph import Graph
 from repro.queries.query import ConjunctiveQuery
+from repro.wl.hom_indistinguishability import bounded_treewidth_patterns
+
+
+def hom_feature_map(
+    graph: Graph,
+    order: int,
+    max_pattern_vertices: int = 4,
+    engine: HomEngine | None = None,
+) -> tuple[int, ...]:
+    """The hom-count features available to a fully refined order-``order``
+    GNN: counts from (connected) patterns of treewidth ≤ ``order``
+    (Lanzinger–Barceló), truncated at ``max_pattern_vertices``.
+
+    Evaluated through the engine, so the pattern family is compiled once
+    however many graphs are featurised.
+    """
+    engine = engine or default_engine()
+    patterns = bounded_treewidth_patterns(order, max_pattern_vertices)
+    return engine.hom_vector(patterns, graph)
+
+
+def hom_features_indistinguishable(
+    first: Graph,
+    second: Graph,
+    order: int,
+    max_pattern_vertices: int = 4,
+    engine: HomEngine | None = None,
+) -> bool:
+    """Do the two graphs share every order-``order`` hom-count feature?
+
+    A single two-target engine batch over the bounded pattern family;
+    equality here is the feature-level face of Proposition 3's claim that
+    order-``order`` GNNs cannot separate the pair.
+    """
+    engine = engine or default_engine()
+    patterns = bounded_treewidth_patterns(order, max_pattern_vertices)
+    rows = engine.count_batch(patterns, [first, second])
+    return all(row[0] == row[1] for row in rows)
 
 
 def minimum_gnn_order(query: ConjunctiveQuery) -> int:
@@ -53,6 +92,9 @@ class InexpressivenessCertificate:
     count_first: int
     count_second: int
     gnn_indistinguishable: bool
+    # Engine-verified agreement on all order-level hom-count features
+    # (None when the cross-check was not requested).
+    hom_features_agree: bool | None = None
 
     @property
     def is_valid(self) -> bool:
@@ -66,6 +108,7 @@ def demonstrate_inexpressiveness(
     order: int | None = None,
     max_multiplicity: int = 2,
     check_gnn: bool = True,
+    check_hom_features: bool = False,
 ) -> InexpressivenessCertificate:
     """Build the counterexample for GNNs of order ``sew − 1`` (default).
 
@@ -73,6 +116,8 @@ def demonstrate_inexpressiveness(
     indistinguishability check simulates the order-``order`` GNN directly
     (feasible for order ≤ 2 on the witness sizes; pass ``check_gnn=False``
     to skip it and rely on Lemma 35's guarantee).
+    ``check_hom_features=True`` additionally verifies, via an engine batch,
+    that the pair agrees on every order-level hom-count feature.
     """
     dimension = wl_dimension(query)
     if order is None:
@@ -101,6 +146,12 @@ def demonstrate_inexpressiveness(
     else:
         indistinguishable = True  # guaranteed by Lemma 35 for order < sew
 
+    features_agree = (
+        hom_features_indistinguishable(first, second, order)
+        if check_hom_features
+        else None
+    )
+
     return InexpressivenessCertificate(
         query=witness.query,
         order=order,
@@ -109,4 +160,5 @@ def demonstrate_inexpressiveness(
         count_first=count_first,
         count_second=count_second,
         gnn_indistinguishable=indistinguishable,
+        hom_features_agree=features_agree,
     )

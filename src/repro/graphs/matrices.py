@@ -33,30 +33,65 @@ def adjacency_matrix(graph: Graph) -> "numpy.ndarray":
     return matrix
 
 
-def count_walks(graph: Graph, length: int) -> int:
-    """Number of walks with ``length`` edges = ``|Hom(P_{length+1}, G)|``."""
+# Entries of A^k are bounded by n^k; keep int64 only while that bound fits
+# comfortably below 2^63 (one bit spared for the final sum/trace reduction).
+_INT64_SAFE_BITS = 62
+
+
+def _needs_exact_dtype(n: int, power: int) -> bool:
+    """Can ``sum()``/``trace()`` of ``A^power`` exceed the int64 range?
+
+    Walk counts are bounded by ``n · (n-1)^power`` (``n`` starts, at most
+    ``n-1`` continuations per step); with ``b = bit_length(n-1)`` that is
+    below ``2^((power+1)·b)``, so staying within ``(power+1)·b <= 62``
+    keeps every intermediate *and* the final reduction inside int64.
+    """
+    if n == 0 or power == 0:
+        return False
+    return (power + 1) * max(n - 1, 1).bit_length() > _INT64_SAFE_BITS
+
+
+def _exact_matrix_power(matrix: "numpy.ndarray", power: int) -> "numpy.ndarray":
+    """``matrix ** power`` without silent int64 wraparound.
+
+    ``numpy.linalg.matrix_power`` on ``int64`` overflows silently once the
+    walk counts exceed 2^63 (large graphs, long walks).  When the a-priori
+    bound may not fit, the computation switches to ``dtype=object`` —
+    Python big integers, exact at any size.
+    """
     import numpy
 
+    if _needs_exact_dtype(int(matrix.shape[0]), power):
+        matrix = matrix.astype(object)
+    return numpy.linalg.matrix_power(matrix, power)
+
+
+def count_walks(graph: Graph, length: int) -> int:
+    """Number of walks with ``length`` edges = ``|Hom(P_{length+1}, G)|``."""
     if length < 0:
         raise ValueError("length must be non-negative")
     if graph.num_vertices() == 0:
         return 0
-    matrix = adjacency_matrix(graph)
-    power = numpy.linalg.matrix_power(matrix, length)
+    power = _exact_matrix_power(adjacency_matrix(graph), length)
     return int(power.sum())
 
 
 def count_closed_walks(graph: Graph, length: int) -> int:
-    """Number of closed walks of ``length`` edges = ``|Hom(C_length, G)|``
-    for ``length ≥ 3``."""
+    """Number of closed walks of ``length`` edges = ``|Hom(C_length, G)|``.
+
+    Requires ``length >= 3``: cycles on fewer than three vertices do not
+    exist, so shorter "closed walk" traces (``trace(A) = 0``,
+    ``trace(A²) = 2|E|``) never equal a cycle homomorphism count.
+    """
     import numpy
 
-    if length < 1:
-        raise ValueError("length must be positive")
+    if length < 3:
+        raise ValueError(
+            "closed-walk counts require length >= 3 (C_k needs k >= 3)",
+        )
     if graph.num_vertices() == 0:
         return 0
-    matrix = adjacency_matrix(graph)
-    power = numpy.linalg.matrix_power(matrix, length)
+    power = _exact_matrix_power(adjacency_matrix(graph), length)
     return int(numpy.trace(power))
 
 
@@ -66,10 +101,12 @@ def walk_profile(graph: Graph, max_length: int) -> tuple[int, ...]:
 
 
 def closed_walk_profile(graph: Graph, max_length: int) -> tuple[int, ...]:
-    """``(closed walks of length 1..max_length)`` — equivalently the power
-    sums of the adjacency spectrum; constant on 2-WL-equivalent graphs."""
+    """``(closed walks of length 3..max_length)`` — power sums of the
+    adjacency spectrum from the first informative length onwards; constant
+    on 2-WL-equivalent graphs.  (Lengths 1 and 2 are fixed at ``0`` and
+    ``2|E|`` and carry no extra information.)"""
     return tuple(
-        count_closed_walks(graph, length) for length in range(1, max_length + 1)
+        count_closed_walks(graph, length) for length in range(3, max_length + 1)
     )
 
 

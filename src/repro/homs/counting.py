@@ -1,10 +1,13 @@
 """Unified homomorphism-counting entry point.
 
 ``count_homomorphisms`` dispatches between the brute-force backtracking
-counter and the treewidth DP.  The DP wins whenever the pattern has small
-treewidth relative to its size; the brute-force search wins on tiny patterns
-because it avoids the decomposition overhead.  The crossover is measured in
-``benchmarks/bench_ablation_homs.py``.
+counter, the treewidth DP, and — for ``method='auto'`` — the
+:class:`~repro.engine.engine.HomEngine`, which compiles each pattern once
+(matrix closed form, DP instruction tape, or brute force, chosen by a
+treewidth-aware cost model) and caches both plans and finished counts.
+
+The explicit ``'brute'``/``'dp'`` methods bypass the engine entirely; they
+are the uncached reference backends the engine is tested against.
 """
 
 from __future__ import annotations
@@ -16,10 +19,6 @@ from repro.homs.brute_force import count_homomorphisms_brute
 from repro.homs.treewidth_dp import count_homomorphisms_dp
 
 Method = Literal["auto", "brute", "dp"]
-
-# Patterns at or below this many vertices are counted by backtracking when
-# method='auto'; above it the treewidth DP takes over.
-_AUTO_BRUTE_LIMIT = 5
 
 
 def count_homomorphisms(
@@ -34,7 +33,12 @@ def count_homomorphisms(
     ----------
     method:
         ``'brute'`` forces backtracking, ``'dp'`` forces the treewidth DP,
-        ``'auto'`` (default) picks by pattern size.
+        ``'auto'`` (default) delegates to the shared
+        :class:`~repro.engine.engine.HomEngine`: the backend is chosen by a
+        greedy-treewidth cost model (dense small patterns go to brute
+        force, sparse large ones to the DP, paths/cycles to closed-form
+        linear algebra) and repeated calls reuse compiled plans and cached
+        counts.
     allowed:
         Optional per-pattern-vertex candidate sets (colour restrictions).
     """
@@ -44,9 +48,11 @@ def count_homomorphisms(
         return count_homomorphisms_dp(pattern, target, allowed=allowed)
     if method != "auto":
         raise ValueError(f"unknown method {method!r}")
-    if pattern.num_vertices() <= _AUTO_BRUTE_LIMIT:
-        return count_homomorphisms_brute(pattern, target, allowed=allowed)
-    return count_homomorphisms_dp(pattern, target, allowed=allowed)
+    # Imported lazily: repro.engine pulls in the treewidth stack, and the
+    # homs package must stay importable from its own submodules.
+    from repro.engine.engine import default_engine
+
+    return default_engine().count(pattern, target, allowed=allowed)
 
 
 def hom_vector(
@@ -57,6 +63,12 @@ def hom_vector(
     """The homomorphism-count profile of ``target`` over ``patterns``.
 
     Profiles over graph classes are how homomorphism indistinguishability
-    (Section 5.1) is decided in practice.
+    (Section 5.1) is decided in practice.  ``method='auto'`` evaluates the
+    profile through the engine, so the pattern family is compiled once per
+    process however many targets are profiled.
     """
+    if method == "auto":
+        from repro.engine.engine import default_engine
+
+        return default_engine().hom_vector(patterns, target)
     return tuple(count_homomorphisms(p, target, method=method) for p in patterns)

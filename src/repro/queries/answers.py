@@ -181,9 +181,29 @@ def hom_count_of_ell_copy(
     ell: int,
     method: str = "auto",
 ) -> int:
-    """``p_ℓ = |Hom(F_ℓ(H, X), G)|``."""
+    """``p_ℓ = |Hom(F_ℓ(H, X), G)|``.
+
+    With ``method='auto'`` this rides the engine: ``F_ℓ`` is rebuilt per
+    call but carries identical labels, so its compiled plan and any
+    previously computed ``p_ℓ`` for the same target come from cache — the
+    interpolation solver probes the same prefix of power sums repeatedly.
+    """
     pattern, _ = ell_copy(query, ell)
     return count_homomorphisms(pattern, target, method=method)
+
+
+def power_sum_vector(
+    query: ConjunctiveQuery,
+    target: Graph,
+    max_ell: int,
+    method: str = "auto",
+) -> tuple[int, ...]:
+    """``(p_1, …, p_{max_ell})`` — the power-sum profile Lemma 22 consumes,
+    evaluated as one batch so every ``F_ℓ`` plan is compiled at most once."""
+    return tuple(
+        hom_count_of_ell_copy(query, target, ell, method=method)
+        for ell in range(1, max_ell + 1)
+    )
 
 
 def _hankel_rank(power_sums: list[int], dimension: int) -> int:

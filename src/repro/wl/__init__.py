@@ -13,6 +13,7 @@ from repro.wl.hom_indistinguishability import (
     distinguishing_pattern,
     hom_indistinguishable_up_to,
     hom_profile,
+    hom_profiles_batch,
 )
 from repro.wl.quotient_counting import (
     equitable_quotient,
@@ -50,6 +51,7 @@ __all__ = [
     "equitable_quotient",
     "hom_indistinguishable_up_to",
     "hom_profile",
+    "hom_profiles_batch",
     "k_wl_colouring",
     "k_wl_equivalent",
     "refinement_rounds",

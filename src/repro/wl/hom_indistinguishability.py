@@ -8,15 +8,20 @@ k-WL refinement algorithm: equality of homomorphism counts from all
 
 Connected patterns suffice because homomorphism counts are multiplicative
 over disjoint unions (used explicitly in Corollary 60's proof).
+
+All counting goes through the shared :class:`~repro.engine.engine.HomEngine`:
+the pattern family is compiled once per process, and because both graphs of
+an indistinguishability check are profiled over the same family, every
+pattern's plan is reused and repeat checks are pure cache hits.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.engine.engine import HomEngine, default_engine
 from repro.graphs.enumeration import all_connected_graphs_up_to_iso
 from repro.graphs.graph import Graph
-from repro.homs.counting import count_homomorphisms
 from repro.treewidth.exact import treewidth
 
 
@@ -41,13 +46,14 @@ def hom_indistinguishable_up_to(
     second: Graph,
     k: int,
     max_vertices: int,
+    engine: HomEngine | None = None,
 ) -> bool:
     """Do the graphs agree on hom counts from all tw ≤ k patterns of
     bounded size?  (Necessary condition for ``≅_k``; exact in the limit.)"""
-    for pattern in _bounded_treewidth_patterns(k, max_vertices):
-        if count_homomorphisms(pattern, first) != count_homomorphisms(pattern, second):
-            return False
-    return True
+    return (
+        distinguishing_pattern(first, second, k, max_vertices, engine=engine)
+        is None
+    )
 
 
 def distinguishing_pattern(
@@ -55,11 +61,13 @@ def distinguishing_pattern(
     second: Graph,
     k: int,
     max_vertices: int,
+    engine: HomEngine | None = None,
 ) -> Graph | None:
     """A concrete tw ≤ k pattern with different hom counts, if one exists
     within the size bound.  Useful for witness reports."""
+    engine = engine or default_engine()
     for pattern in _bounded_treewidth_patterns(k, max_vertices):
-        if count_homomorphisms(pattern, first) != count_homomorphisms(pattern, second):
+        if engine.count(pattern, first) != engine.count(pattern, second):
             return pattern
     return None
 
@@ -68,9 +76,30 @@ def hom_profile(
     graph: Graph,
     k: int,
     max_vertices: int,
+    engine: HomEngine | None = None,
 ) -> tuple[int, ...]:
     """The hom-count vector of ``graph`` over the bounded pattern family."""
-    return tuple(
-        count_homomorphisms(pattern, graph)
-        for pattern in _bounded_treewidth_patterns(k, max_vertices)
-    )
+    engine = engine or default_engine()
+    return engine.hom_vector(_bounded_treewidth_patterns(k, max_vertices), graph)
+
+
+def hom_profiles_batch(
+    graphs: list[Graph],
+    k: int,
+    max_vertices: int,
+    engine: HomEngine | None = None,
+    processes: int | None = None,
+) -> list[tuple[int, ...]]:
+    """Hom-count vectors for many graphs over the bounded pattern family.
+
+    The batched form of :func:`hom_profile`: one engine batch evaluates the
+    full ``patterns × graphs`` matrix with each pattern compiled once (and
+    optionally a worker pool), then the columns are the per-graph profiles.
+    """
+    engine = engine or default_engine()
+    patterns = _bounded_treewidth_patterns(k, max_vertices)
+    rows = engine.count_batch(patterns, graphs, processes=processes)
+    return [
+        tuple(rows[i][j] for i in range(len(patterns)))
+        for j in range(len(graphs))
+    ]

@@ -1,0 +1,132 @@
+"""Unit tests for the LRU caches, keys, and statistics."""
+
+from repro.engine import HomEngine, LRUCache
+from repro.engine.cache import (
+    EngineCache,
+    pattern_key,
+    restriction_key,
+    target_key,
+)
+from repro.graphs import cycle_graph, path_graph, random_graph
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("b", 0) == 0
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_rejects_nonpositive_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestKeys:
+    def test_isomorphic_small_patterns_share_keys(self):
+        first = cycle_graph(5)
+        second = first.relabelled({v: f"x{v}" for v in first.vertices()})
+        assert pattern_key(first) == pattern_key(second)
+
+    def test_non_isomorphic_patterns_differ(self):
+        assert pattern_key(path_graph(4)) != pattern_key(cycle_graph(4))
+
+    def test_large_patterns_use_label_keys(self):
+        first = cycle_graph(9)
+        second = first.relabelled({v: f"x{v}" for v in first.vertices()})
+        assert pattern_key(first)[0] == "label"
+        assert pattern_key(first) != pattern_key(second)
+
+    def test_target_key_tracks_mutation(self):
+        graph = random_graph(6, 0.5, seed=5)
+        before = target_key(graph)
+        mutated = graph.copy()
+        mutated.add_edge(graph.vertices()[0], "fresh")
+        assert target_key(mutated) != before
+
+    def test_restriction_key(self):
+        assert restriction_key(None) is None
+        a = restriction_key({0: frozenset({1, 2})})
+        b = restriction_key({0: frozenset({2, 1})})
+        c = restriction_key({0: frozenset({1})})
+        assert a == b
+        assert a != c
+
+
+class TestEngineCacheStats:
+    def test_plan_cache_shared_across_isomorphic_patterns(self):
+        engine = HomEngine()
+        target = random_graph(7, 0.5, seed=9)
+        pattern = cycle_graph(5)
+        relabelled = pattern.relabelled(
+            {v: f"y{v}" for v in pattern.vertices()},
+        )
+        engine.count(pattern, target)
+        engine.count(relabelled, target)
+        # One compilation serves both labelings; the second call is also a
+        # count-cache hit because the canonical keys coincide.
+        assert engine.plans_compiled == 1
+        assert engine.stats.count_hits == 1
+
+    def test_restricted_counts_do_not_share_canonical_keys(self):
+        # 'allowed' is expressed in pattern labels, so two isomorphic
+        # patterns with the same restriction mean different counts; the
+        # canonical plan/count sharing must not apply.
+        from repro.graphs import Graph, star_graph
+        from repro.homs import count_homomorphisms_brute
+
+        first = Graph(edges=[("a", "b"), ("b", "c")])   # centre b
+        second = Graph(edges=[("b", "a"), ("a", "c")])  # centre a
+        target = star_graph(3)
+        allowed = {"a": frozenset({"y"})}  # 'y' is the star's hub
+        engine = HomEngine()
+        for pattern in (first, second):
+            assert engine.count(pattern, target, allowed=allowed) == (
+                count_homomorphisms_brute(pattern, target, allowed=allowed)
+            )
+
+    def test_lru_bound_evicts_counts(self):
+        cache = EngineCache(plan_capacity=2, count_capacity=2)
+        for i in range(4):
+            cache.store_count(("k", i), i)
+        assert cache.stats.count_evictions == 2
+        assert len(cache.counts) == 2
+
+    def test_stats_reset(self):
+        engine = HomEngine()
+        engine.count(path_graph(3), random_graph(5, 0.4, seed=2))
+        assert engine.stats.count_requests > 0
+        engine.reset_stats()
+        assert engine.stats.count_requests == 0
+        assert engine.plans_compiled == 0
+
+    def test_clear_drops_plans_but_keeps_results_correct(self):
+        engine = HomEngine()
+        target = random_graph(6, 0.5, seed=3)
+        pattern = cycle_graph(4)
+        first = engine.count(pattern, target)
+        engine.clear()
+        assert engine.count(pattern, target) == first
+        assert engine.plans_compiled == 2  # recompiled after clear

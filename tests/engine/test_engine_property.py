@@ -1,0 +1,89 @@
+"""Property tests: the engine agrees with the brute-force oracle, and a
+warm cache is deterministic with zero recomputation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import HomEngine
+from repro.graphs import Graph
+from repro.homs import count_homomorphisms, count_homomorphisms_brute
+
+
+@st.composite
+def graphs(draw, max_vertices=6, min_vertices=0):
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    graph = Graph(vertices=range(n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    for edge in possible:
+        if draw(st.booleans()):
+            graph.add_edge(*edge)
+    return graph
+
+
+@given(pattern=graphs(max_vertices=5), target=graphs(max_vertices=6))
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_brute_oracle(pattern, target):
+    engine = HomEngine()
+    assert engine.count(pattern, target) == count_homomorphisms_brute(
+        pattern, target,
+    )
+
+
+@given(pattern=graphs(max_vertices=5, min_vertices=1), target=graphs(max_vertices=6))
+@settings(max_examples=40, deadline=None)
+def test_dispatcher_auto_matches_oracle(pattern, target):
+    # The default path every caller takes: auto → shared engine.
+    assert count_homomorphisms(pattern, target) == count_homomorphisms_brute(
+        pattern, target,
+    )
+
+
+@given(pattern=graphs(max_vertices=5), target=graphs(max_vertices=6))
+@settings(max_examples=40, deadline=None)
+def test_warm_cache_is_deterministic_and_free(pattern, target):
+    engine = HomEngine()
+    first = engine.count(pattern, target)
+    compiled = engine.plans_compiled
+    executed = engine.counts_executed
+    second = engine.count(pattern, target)
+    assert second == first
+    # Zero recomputation: no new plan, no plan execution, one cache hit.
+    assert engine.plans_compiled == compiled
+    assert engine.counts_executed == executed
+    assert engine.stats.count_hits == 1
+
+
+@given(
+    pattern=graphs(max_vertices=4, min_vertices=1),
+    target=graphs(max_vertices=5, min_vertices=1),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_engine_respects_restrictions(pattern, target, data):
+    target_pool = target.vertices()
+    allowed = {
+        v: frozenset(
+            data.draw(
+                st.sets(st.sampled_from(target_pool), max_size=len(target_pool)),
+                label=f"allowed[{v}]",
+            ),
+        )
+        for v in pattern.vertices()
+        if data.draw(st.booleans(), label=f"restrict[{v}]")
+    }
+    engine = HomEngine()
+    assert engine.count(pattern, target, allowed=allowed or None) == (
+        count_homomorphisms_brute(pattern, target, allowed=allowed or None)
+    )
+
+
+@given(targets=st.lists(graphs(max_vertices=5), min_size=1, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_batch_columns_match_single_counts(targets):
+    from repro.graphs import cycle_graph, path_graph
+
+    patterns = [path_graph(3), cycle_graph(3)]
+    engine = HomEngine()
+    rows = engine.count_batch(patterns, targets)
+    for i, pattern in enumerate(patterns):
+        for j, target in enumerate(targets):
+            assert rows[i][j] == count_homomorphisms_brute(pattern, target)

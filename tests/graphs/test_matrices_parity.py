@@ -54,8 +54,10 @@ class TestWalkCounting:
     def test_validation(self):
         with pytest.raises(ValueError):
             count_walks(path_graph(2), -1)
-        with pytest.raises(ValueError):
-            count_closed_walks(path_graph(2), 0)
+        # The documented contract: |Hom(C_k, G)| only exists for k >= 3.
+        for bad_length in (0, 1, 2):
+            with pytest.raises(ValueError):
+                count_closed_walks(path_graph(2), bad_length)
 
     def test_walk_profile_is_1wl_invariant_on_classic_pair(self):
         assert walk_profile(two_triangles(), 5) == walk_profile(six_cycle(), 5)
@@ -65,6 +67,53 @@ class TestWalkCounting:
         assert closed_walk_profile(two_triangles(), 4) != (
             closed_walk_profile(six_cycle(), 4)
         )
+
+    def test_closed_walk_profile_starts_at_three(self):
+        g = complete_graph(4)
+        profile = closed_walk_profile(g, 5)
+        assert len(profile) == 3  # lengths 3, 4, 5
+        assert profile[0] == count_closed_walks(g, 3)
+
+
+class TestExactArithmetic:
+    """Long walks on large graphs exceed int64; counts must stay exact."""
+
+    def test_long_walks_do_not_overflow(self):
+        # Walks of length k in K_n: n * (n-1)^k; 11^30 ≈ 10^31 >> 2^63.
+        assert count_walks(complete_graph(12), 30) == 12 * 11 ** 30
+
+    def test_long_closed_walks_do_not_overflow(self):
+        # trace(A^k) on K_n via the spectrum {n-1, (-1)^(n-1 times)}.
+        n, k = 12, 25
+        expected = (n - 1) ** k + (n - 1) * (-1) ** k
+        assert count_closed_walks(complete_graph(n), k) == expected
+
+    def test_guard_covers_sum_reduction(self):
+        from repro.graphs.matrices import _needs_exact_dtype
+
+        # K2049, 5 steps: every entry of A^5 fits int64 but the sum()
+        # (2049 * 2048^5 > 2^63) does not — the guard must fire.
+        assert _needs_exact_dtype(2049, 5)
+
+    def test_guard_soundness(self):
+        from repro.graphs.matrices import _needs_exact_dtype
+
+        # Whenever the guard keeps int64, the walk-count bound n*(n-1)^k
+        # (the largest reduction any caller performs) must fit in int64.
+        for n in (2, 3, 5, 12, 100, 1025, 2049, 4097):
+            for power in range(1, 64):
+                if not _needs_exact_dtype(n, power):
+                    assert n * (n - 1) ** power < 2 ** 63
+
+    def test_int64_fast_path_agrees_with_exact(self):
+        g = random_graph(8, 0.5, seed=64)
+        # Short walks fit comfortably in int64; the exact path must agree.
+        from repro.graphs.matrices import _exact_matrix_power, adjacency_matrix
+
+        matrix = adjacency_matrix(g)
+        fast = _exact_matrix_power(matrix, 5)
+        exact = _exact_matrix_power(matrix.astype(object), 5)
+        assert (fast == exact).all()
 
 
 class TestSpectra:

@@ -38,6 +38,43 @@ class TestDispatcher:
             ) == 2
 
 
+class TestAutoCrossover:
+    """method='auto' picks backends by treewidth, not a vertex cutoff."""
+
+    def test_dense_small_patterns_route_to_brute(self):
+        from repro.engine import select_backend
+        from repro.graphs import complete_graph
+
+        # K6/K7 exceed the old 5-vertex cutoff but tw + 1 = n: the DP
+        # would enumerate the same n_G^n states plus decomposition cost.
+        assert select_backend(complete_graph(6)) == "brute"
+        assert select_backend(complete_graph(7)) == "brute"
+
+    def test_sparse_patterns_route_to_dp(self):
+        from repro.engine import select_backend
+        from repro.graphs import star_graph
+
+        # A 5-vertex tree sat below the old cutoff and went to brute
+        # force; with tw = 1 the DP is the right backend at any size.
+        assert select_backend(star_graph(4)) == "dp"
+        assert select_backend(grid_graph(2, 4)) == "dp"
+
+    def test_paths_and_cycles_route_to_closed_form(self):
+        from repro.engine import select_backend
+
+        assert select_backend(path_graph(6)) == "matrix"
+        assert select_backend(cycle_graph(7)) == "matrix"
+
+    def test_auto_agrees_on_dense_large_pattern(self):
+        from repro.graphs import complete_graph
+
+        pattern = complete_graph(6)
+        target = random_graph(7, 0.8, seed=75)
+        assert count_homomorphisms(pattern, target, method="auto") == (
+            count_homomorphisms_brute(pattern, target)
+        )
+
+
 class TestHomVector:
     def test_profile_matches_individual_counts(self):
         patterns = [path_graph(2), path_graph(3), cycle_graph(3)]

@@ -148,7 +148,27 @@ class TestCliExtended:
             "--graph6", to_graph6(cycle_graph(5)),
         ])
         assert code == 0
-        assert "|Ans|  15" in capsys.readouterr().out
+        assert "|Ans| 15" in capsys.readouterr().out
+
+    def test_count_batch(self, capsys):
+        code = main([
+            "count", "q(x1, x2) :- E(x1, y), E(x2, y)",
+            "--n", "6", "--seed", "2", "--batch", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.count("|Ans|") == 3
+        assert "engine:" in output
+
+    def test_engine_stats_command(self, capsys):
+        code = main([
+            "engine-stats", "--tw", "1", "--max-pattern-vertices", "4",
+            "--targets", "3", "--n", "6",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "plan kinds" in output
+        assert "count_hit_rate" in output
 
     def test_union_command(self, capsys):
         code = main([

@@ -1,0 +1,144 @@
+"""Benchmark — the counting service vs sequential cold calls.
+
+The service's claim: coalescing identical in-flight requests and sharing
+one warm engine across all workers turns heavy repetitive traffic into a
+handful of real computations.  The baseline is the pre-service reality —
+every request constructs its own in-process state and pays compilation
+and execution from scratch (exactly what callers did before `repro.serve`
+existed).
+
+Workload: ``REPEATS`` copies each of a few distinct (pattern, target)
+requests, i.e. the hot-key traffic shape the scheduler coalesces.  The
+service path submits them **concurrently** through a started
+:class:`RequestScheduler` into one shared engine; the baseline runs them
+sequentially on fresh engines.
+
+Acceptance gate: the service must beat the sequential-cold baseline by
+>= 3x.  ``python benchmarks/bench_service.py`` asserts it (and CI runs
+exactly that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from _tables import print_table
+from repro.engine import HomEngine
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_graph
+from repro.service.scheduler import RequestScheduler
+
+REPEATS = 8
+
+
+def request_mix():
+    """(name, pattern, target) — each repeated REPEATS times (hot keys)."""
+    hosts = [random_graph(15, 0.3, seed=500 + i) for i in range(2)]
+    return [
+        ("grid2x3@h0", grid_graph(2, 3), hosts[0]),
+        ("grid2x3@h1", grid_graph(2, 3), hosts[1]),
+        ("C8@h0", cycle_graph(8), hosts[0]),
+        ("P7@h1", path_graph(7), hosts[1]),
+    ]
+
+
+def sequential_cold(requests) -> list[int]:
+    """Every request pays compilation + execution on a private engine."""
+    return [
+        HomEngine().count(pattern, target) for _, pattern, target in requests
+    ]
+
+
+def service_concurrent(requests, workers: int = 4) -> tuple[list[int], dict]:
+    """All requests in flight at once against one shared warm engine."""
+    engine = HomEngine()
+
+    async def main():
+        scheduler = RequestScheduler(workers=workers, max_queue=len(requests))
+        await scheduler.start()
+        try:
+            results = await asyncio.gather(*[
+                scheduler.submit(
+                    name,
+                    lambda pattern=pattern, target=target: engine.count(
+                        pattern, target,
+                    ),
+                )
+                for name, pattern, target in requests
+            ])
+        finally:
+            await scheduler.stop()
+        return results, scheduler.stats.snapshot()
+
+    return asyncio.run(main())
+
+
+def run_experiment() -> None:
+    # Pay numpy's lazy import outside the timed regions.
+    from repro.graphs.matrices import count_walks
+
+    count_walks(random_graph(3, 0.5, seed=1), 2)
+
+    mix = request_mix()
+    requests = mix * REPEATS
+
+    start = time.perf_counter()
+    expected = sequential_cold(requests)
+    cold_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    got, stats = service_concurrent(requests)
+    service_time = time.perf_counter() - start
+
+    assert got == expected
+
+    rows = [
+        ["requests", len(requests)],
+        ["distinct keys", len(mix)],
+        ["sequential cold", f"{cold_time * 1000:.1f} ms"],
+        ["service (coalesce + warm)", f"{service_time * 1000:.1f} ms"],
+        ["jobs executed", stats["executed"]],
+        ["jobs coalesced", stats["coalesced"]],
+        ["throughput gain", f"{cold_time / service_time:.1f}x"],
+    ]
+    print_table(
+        f"Service vs sequential cold calls — {len(mix)} hot keys x {REPEATS}",
+        ["metric", "value"],
+        rows,
+    )
+    speedup = cold_time / service_time
+    print(f"\noverall speedup: {speedup:.1f}x (gate: >= 3x)")
+    assert speedup >= 3.0, f"service speedup {speedup:.2f}x below the 3x gate"
+
+
+@pytest.mark.parametrize("index", range(len(request_mix())))
+def test_bench_sequential_cold(benchmark, index):
+    name, pattern, target = request_mix()[index]
+    result = benchmark(lambda: HomEngine().count(pattern, target))
+    assert result >= 0
+
+
+def test_bench_service_hot_traffic(benchmark):
+    mix = request_mix()
+    requests = mix * REPEATS
+
+    def hot_pass():
+        results, _ = service_concurrent(requests)
+        return results
+
+    result = benchmark(hot_pass)
+    assert len(result) == len(requests)
+
+
+def test_service_results_match_cold_baseline():
+    mix = request_mix()
+    requests = mix * REPEATS
+    got, stats = service_concurrent(requests)
+    assert got == sequential_cold(requests)
+    assert stats["executed"] + stats["coalesced"] == len(requests)
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -4,17 +4,20 @@ Examples
 --------
 ::
 
-    repro analyze "q(x1, x2) :- E(x1, y), E(x2, y)"
+    repro analyze "q(x1, x2) :- E(x1, y), E(x2, y)" --json
     repro wl-dim  "q(x1, x2, x3) :- E(x1, y), E(x2, y), E(x3, y)"
     repro witness "q(x1, x2) :- E(x1, y), E(x2, y)" --max-multiplicity 2
     repro count   "q(x1, x2) :- E(x1, y), E(x2, y)" --batch 10 --interpolate
-    repro engine-stats --targets 16 --n 10
+    repro engine-stats --targets 16 --n 10 --persistent /tmp/repro-cache
     repro dominating --n 8 --p 0.4 --k 2 --seed 7
+    repro serve --port 8765 --data-dir /tmp/repro-cache
+    repro client --port 8765 count-answers "q(x1, x2) :- E(x1, y), E(x2, y)" --target hosts
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.dominating import (
@@ -30,6 +33,11 @@ from repro.queries.parser import format_query, parse_query
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.service.wire import analyze_payload
+
+        print(json.dumps(analyze_payload(args.query), indent=2))
+        return 0
     query = parse_query(args.query)
     print(format_query(query, style="logic"))
     for key, value in analyse_query(query).items():
@@ -38,6 +46,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_wl_dim(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.service.wire import wl_dim_payload
+
+        print(json.dumps(wl_dim_payload(args.query), indent=2))
+        return 0
     query = parse_query(args.query)
     print(wl_dimension(query))
     return 0
@@ -98,6 +111,27 @@ def _cmd_count(args: argparse.Namespace) -> int:
     else:
         hosts = [random_graph(args.n, args.p, seed=args.seed)]
 
+    if args.json:
+        from repro.engine import default_engine
+        from repro.service.wire import count_answers_payload
+
+        # One host emits exactly the payload shape `POST /count-answers`
+        # returns; a batch wraps those payloads with the engine report.
+        results = [count_answers_payload(args.query, host) for host in hosts]
+        if len(results) == 1:
+            print(json.dumps(results[0], indent=2))
+        else:
+            print(json.dumps(
+                {
+                    "kind": "count-answers-batch",
+                    "query": args.query,
+                    "results": results,
+                    "engine": default_engine().stats_summary(),
+                },
+                indent=2,
+            ))
+        return 0
+
     # Batch mode always exercises the engine-backed hom-count route
     # (Lemma-22 interpolation) so the cache statistics describe real work.
     engine_route = (args.interpolate or len(hosts) > 1) and not query.is_boolean()
@@ -134,7 +168,12 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         random_graph(args.n, args.p, seed=args.seed + i)
         for i in range(args.targets)
     ]
-    engine = HomEngine(processes=args.processes)
+    store = None
+    if args.persistent:
+        from repro.service.store import PersistentStore
+
+        store = PersistentStore(args.persistent)
+    engine = HomEngine(processes=args.processes, store=store)
 
     start = time.perf_counter()
     engine.count_batch(patterns, targets)
@@ -157,7 +196,67 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
     print(f"cold batch      {cold * 1000:.1f} ms")
     print(f"warm batch      {warm * 1000:.1f} ms (served from count cache)")
     for key, value in sorted(engine.stats_summary().items()):
-        print(f"  {key:18s} {value}")
+        print(f"  {key:24s} {value}")
+    if store is not None:
+        print("persistent tier")
+        for key, value in sorted(store.summary().items()):
+            print(f"  {key:24s} {value}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        max_queue=args.queue,
+    )
+
+
+def _client_target(args: argparse.Namespace):
+    from repro.service.client import ServiceError
+
+    if args.target:
+        return args.target
+    if args.graph6:
+        return {"graph6": args.graph6}
+    raise ServiceError("pass --target NAME or --graph6 GRAPH6 for the target")
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    action = args.action
+    if action == "stats":
+        payload = client.stats()
+    elif action == "health":
+        payload = client.health()
+    elif action == "wl-dim":
+        payload = client.wl_dim(args.query)
+    elif action == "analyze":
+        payload = client.analyze(args.query)
+    elif action == "register":
+        from repro.graphs.io import from_graph6
+
+        if args.graph6:
+            graph = from_graph6(args.graph6)
+        else:
+            graph = random_graph(args.n, args.p, seed=args.seed)
+        payload = client.register_graph(args.name, graph, shards=args.shards)
+    elif action == "count":
+        from repro.graphs.io import from_graph6
+
+        pattern = from_graph6(args.pattern_graph6)
+        payload = client.count(pattern, _client_target(args))
+    elif action == "count-answers":
+        payload = client.count_answers(args.query, _client_target(args))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise AssertionError(f"unknown client action {action!r}")
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -186,12 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    json_help = "emit the machine-readable payload the service API returns"
+
     analyze = sub.add_parser("analyze", help="structural report for a query")
     analyze.add_argument("query", help="datalog or logic style query text")
+    analyze.add_argument("--json", action="store_true", help=json_help)
     analyze.set_defaults(func=_cmd_analyze)
 
     wl_dim = sub.add_parser("wl-dim", help="print the WL-dimension")
     wl_dim.add_argument("query")
+    wl_dim.add_argument("--json", action="store_true", help=json_help)
     wl_dim.set_defaults(func=_cmd_wl_dim)
 
     witness = sub.add_parser(
@@ -222,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also recover the count from |Hom(F_ell)| (Lemma 22)",
     )
+    count.add_argument("--json", action="store_true", help=json_help)
     count.set_defaults(func=_cmd_count)
 
     engine_stats = sub.add_parser(
@@ -238,7 +342,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None,
         help="evaluate the batch on a multiprocessing pool",
     )
+    engine_stats.add_argument(
+        "--persistent", metavar="DIR", default=None,
+        help="back the engine with an on-disk cache tier at DIR and "
+        "report it (run twice to see a warm restart)",
+    )
     engine_stats.set_defaults(func=_cmd_engine_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the counting service (HTTP/JSON, stdlib only)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="directory for the persistent plan/count cache tier",
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--queue", type=int, default=256,
+        help="bounded request queue size (backpressure beyond it)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="query a running counting service",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8765)
+    client_sub = client.add_subparsers(dest="action", required=True)
+    client_sub.add_parser("stats")
+    client_sub.add_parser("health")
+    for name in ("wl-dim", "analyze"):
+        action = client_sub.add_parser(name)
+        action.add_argument("query")
+    register = client_sub.add_parser("register")
+    register.add_argument("--name", required=True)
+    register.add_argument("--graph6", help="dataset as a graph6 string")
+    register.add_argument("--n", type=int, default=12)
+    register.add_argument("--p", type=float, default=0.3)
+    register.add_argument("--seed", type=int, default=0)
+    register.add_argument("--shards", type=int, default=1)
+    client_count = client_sub.add_parser("count")
+    client_count.add_argument("--pattern-graph6", required=True)
+    client_count.add_argument("--target", help="registered dataset name")
+    client_count.add_argument("--graph6", help="inline target as graph6")
+    client_answers = client_sub.add_parser("count-answers")
+    client_answers.add_argument("query")
+    client_answers.add_argument("--target", help="registered dataset name")
+    client_answers.add_argument("--graph6", help="inline target as graph6")
+    client.set_defaults(func=_cmd_client)
 
     union = sub.add_parser(
         "union", help="analyse a union of CQs (disjuncts separated by ';')",

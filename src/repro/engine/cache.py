@@ -12,6 +12,17 @@ Both are bounded LRU maps; hit/miss/eviction counters feed the
 ``repro engine-stats`` CLI and the determinism tests (a warm second pass
 must recompute nothing).
 
+Every cache operation is guarded by a re-entrant lock, so one
+:class:`EngineCache` (and therefore one engine) can be shared by the
+service's worker threads without corrupting entries or statistics.
+
+An optional **persistent store** (duck-typed; see
+:class:`repro.service.store.PersistentStore`) sits *under* the LRU tier:
+in-memory misses consult the store before reporting ``None``, and every
+write goes through to it, so compiled plans and finished counts survive
+process restarts.  The store keeps its own :class:`CacheStats`; the memory
+counters here are unchanged by its presence.
+
 Canonicalisation is individualisation–refinement and therefore exponential
 on highly symmetric graphs, so patterns above ``canonical_limit`` vertices
 fall back to the label-level :meth:`~repro.graphs.graph.Graph.edge_fingerprint`
@@ -20,6 +31,7 @@ fall back to the label-level :meth:`~repro.graphs.graph.Graph.edge_fingerprint`
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Mapping
@@ -142,6 +154,7 @@ class EngineCache:
         plan_capacity: int = 512,
         count_capacity: int = 65536,
         canonical_limit: int = DEFAULT_CANONICAL_LIMIT,
+        store=None,
     ) -> None:
         self.canonical_limit = canonical_limit
         self.plans = LRUCache(plan_capacity)
@@ -151,46 +164,78 @@ class EngineCache:
         # pattern object against many targets canonicalises it once.
         self._canonical_keys = LRUCache(4 * plan_capacity)
         self.stats = CacheStats()
+        # Persistent tier: any object with load_plan/save_plan and
+        # load_count/save_count taking the same keys the LRUs use.
+        self.store = store
+        self._lock = threading.RLock()
 
     def pattern_key(self, pattern: Graph) -> tuple:
         if pattern.num_vertices() > self.canonical_limit:
             return ("label", pattern.edge_fingerprint())
         fingerprint = pattern.edge_fingerprint()
-        key = self._canonical_keys.get(fingerprint)
+        with self._lock:
+            key = self._canonical_keys.get(fingerprint)
         if key is None:
             key = ("canon", canonical_form(pattern))
-            self._canonical_keys.put(fingerprint, key)
+            with self._lock:
+                self._canonical_keys.put(fingerprint, key)
         return key
 
     def lookup_plan(self, key: tuple):
-        plan = self.plans.get(key)
-        if plan is None:
+        with self._lock:
+            plan = self.plans.get(key)
+            if plan is not None:
+                self.stats.plan_hits += 1
+                return plan
             self.stats.plan_misses += 1
-        else:
-            self.stats.plan_hits += 1
-        return plan
+        if self.store is not None:
+            plan = self.store.load_plan(key)
+            if plan is not None:
+                with self._lock:
+                    before = self.plans.evictions
+                    self.plans.put(key, plan)
+                    self.stats.plan_evictions += self.plans.evictions - before
+                return plan
+        return None
 
     def store_plan(self, key: tuple, plan) -> None:
-        before = self.plans.evictions
-        self.plans.put(key, plan)
-        self.stats.plan_evictions += self.plans.evictions - before
+        with self._lock:
+            before = self.plans.evictions
+            self.plans.put(key, plan)
+            self.stats.plan_evictions += self.plans.evictions - before
+        if self.store is not None:
+            self.store.save_plan(key, plan)
 
     def lookup_count(self, key: tuple) -> int | None:
-        value = self.counts.get(key)
-        if value is None:
+        with self._lock:
+            value = self.counts.get(key)
+            if value is not None:
+                self.stats.count_hits += 1
+                return value
             self.stats.count_misses += 1
-        else:
-            self.stats.count_hits += 1
-        return value
+        if self.store is not None:
+            value = self.store.load_count(key)
+            if value is not None:
+                with self._lock:
+                    before = self.counts.evictions
+                    self.counts.put(key, value)
+                    self.stats.count_evictions += self.counts.evictions - before
+                return value
+        return None
 
     def store_count(self, key: tuple, value: int) -> None:
-        before = self.counts.evictions
-        self.counts.put(key, value)
-        self.stats.count_evictions += self.counts.evictions - before
+        with self._lock:
+            before = self.counts.evictions
+            self.counts.put(key, value)
+            self.stats.count_evictions += self.counts.evictions - before
+        if self.store is not None:
+            self.store.save_count(key, value)
 
     def clear(self) -> None:
-        self.plans.clear()
-        self.counts.clear()
+        with self._lock:
+            self.plans.clear()
+            self.counts.clear()
 
     def reset_stats(self) -> None:
-        self.stats.reset()
+        with self._lock:
+            self.stats.reset()

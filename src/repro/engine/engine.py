@@ -13,10 +13,17 @@ A module-level default engine backs ``count_homomorphisms(method='auto')``
 so every existing call site transparently gains plan reuse and caching;
 code with special lifetime requirements (benchmarks, tests measuring cold
 behaviour) constructs private instances.
+
+Engines are thread-safe: the cache tier locks every operation and the
+work counters are updated under a lock, so the counting service's worker
+pool shares one engine.  Concurrent misses on the same key may both
+compute (the result is identical either way); the caches and statistics
+never corrupt.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Sequence
 
 from repro.engine.batch import run_batch
@@ -40,15 +47,31 @@ class HomEngine:
         count_capacity: int = 65536,
         canonical_limit: int = DEFAULT_CANONICAL_LIMIT,
         processes: int | None = None,
+        store=None,
     ) -> None:
         self._cache = EngineCache(
             plan_capacity=plan_capacity,
             count_capacity=count_capacity,
             canonical_limit=canonical_limit,
+            store=store,
         )
         self.processes = processes
         self.plans_compiled = 0
         self.counts_executed = 0
+        self._counter_lock = threading.Lock()
+
+    @property
+    def store(self):
+        """The persistent tier under the LRUs, or ``None``."""
+        return self._cache.store
+
+    def _note_plan_compiled(self) -> None:
+        with self._counter_lock:
+            self.plans_compiled += 1
+
+    def _note_count_executed(self) -> None:
+        with self._counter_lock:
+            self.counts_executed += 1
 
     # ------------------------------------------------------------------
     # planning
@@ -59,7 +82,7 @@ class HomEngine:
         plan = self._cache.lookup_plan(key)
         if plan is None:
             plan = compile_plan(pattern)
-            self.plans_compiled += 1
+            self._note_plan_compiled()
             self._cache.store_plan(key, plan)
         return plan
 
@@ -87,20 +110,27 @@ class HomEngine:
         pattern: Graph,
         target: Graph,
         allowed: Mapping[Vertex, frozenset] | None = None,
+        target_id: tuple | None = None,
     ) -> int:
-        """``|Hom(pattern, target)|`` (restricted by ``allowed``), cached."""
+        """``|Hom(pattern, target)|`` (restricted by ``allowed``), cached.
+
+        ``target_id`` short-circuits the target fingerprint with a
+        precomputed key (the dataset registry stores one per dataset).
+        """
         pattern_id = self._pattern_id(pattern, allowed)
-        key = (pattern_id, target_key(target), restriction_key(allowed))
+        if target_id is None:
+            target_id = target_key(target)
+        key = (pattern_id, target_id, restriction_key(allowed))
         cached = self._cache.lookup_count(key)
         if cached is not None:
             return cached
         plan = self._cache.lookup_plan(pattern_id)
         if plan is None:
             plan = compile_plan(pattern)
-            self.plans_compiled += 1
+            self._note_plan_compiled()
             self._cache.store_plan(pattern_id, plan)
         value = plan.execute(target, allowed=allowed)
-        self.counts_executed += 1
+        self._note_count_executed()
         self._cache.store_count(key, value)
         return value
 
@@ -109,11 +139,12 @@ class HomEngine:
         pattern: Graph,
         target: Graph,
         allowed: Mapping[Vertex, frozenset] | None = None,
+        target_id: tuple | None = None,
     ) -> int | None:
         """The cached count, or ``None`` — never computes anything."""
         key = (
             self._pattern_id(pattern, allowed),
-            target_key(target),
+            target_id if target_id is not None else target_key(target),
             restriction_key(allowed),
         )
         return self._cache.lookup_count(key)
@@ -163,12 +194,16 @@ class HomEngine:
         summary["counts_executed"] = self.counts_executed
         summary["plans_cached"] = len(self._cache.plans)
         summary["counts_cached"] = len(self._cache.counts)
+        if self._cache.store is not None:
+            for key, value in self._cache.store.stats.snapshot().items():
+                summary[f"persistent_{key}"] = value
         return summary
 
     def reset_stats(self) -> None:
         self._cache.reset_stats()
-        self.plans_compiled = 0
-        self.counts_executed = 0
+        with self._counter_lock:
+            self.plans_compiled = 0
+            self.counts_executed = 0
 
     def clear(self) -> None:
         """Drop all cached plans and counts (stats are kept)."""

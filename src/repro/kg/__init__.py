@@ -7,9 +7,16 @@ from repro.kg.kgraph import (
     kg_colour_refinement,
     kg_wl_1_equivalent,
 )
+from repro.kg.engine_bridge import (
+    KgEncoding,
+    count_kg_answers_engine,
+    count_kg_homomorphisms_engine,
+    encode_kg,
+)
 from repro.kg.queries import (
     KgQuery,
     count_kg_answers,
+    count_kg_answers_brute,
     enumerate_kg_answers,
     kg_extension_graph,
     kg_extension_width,
@@ -17,10 +24,15 @@ from repro.kg.queries import (
 )
 
 __all__ = [
+    "KgEncoding",
     "KgQuery",
     "KnowledgeGraph",
     "count_kg_answers",
+    "count_kg_answers_brute",
+    "count_kg_answers_engine",
     "count_kg_homomorphisms",
+    "count_kg_homomorphisms_engine",
+    "encode_kg",
     "enumerate_kg_answers",
     "enumerate_kg_homomorphisms",
     "kg_colour_refinement",

@@ -1,0 +1,184 @@
+"""Knowledge-graph counting through the engine's colour-restricted path.
+
+``enumerate_kg_homomorphisms`` is a plain backtracker: no plan reuse, no
+count caching, every request pays full price.  This module reduces KG
+homomorphism counting to *ordinary* graph homomorphism counting with
+``allowed`` candidate restrictions — the exact machinery
+:mod:`repro.homs.colored` and the engine's plans already optimise and
+cache — so KG requests ride the same plan/count caches (including the
+service's persistent tier) as plain-graph queries.
+
+The reduction encodes each directed labelled triple ``(s, l, t)`` as an
+undirected gadget path ``s — a — b — t`` with fresh midpoints ``a``/``b``
+per triple, in both the pattern and the target; ``allowed`` then confines
+
+* encoded KG vertices to label-compatible encoded KG vertices,
+* each ``a``-midpoint to target ``a``-midpoints of triples with the same
+  edge label (likewise ``b``).
+
+For a pattern triple gadget mapped under such a restricted homomorphism,
+the ``a — b`` edge forces both midpoints onto the *same* target triple
+(the only ``a``/``b`` pair adjacent in the target encoding), and the outer
+edges then force ``s`` onto that triple's source and ``t`` onto its target
+— direction and edge label are both enforced.  Conversely every KG
+homomorphism extends uniquely to the midpoints, so the restricted counts
+agree exactly.  Treewidth is preserved up to the subdivision (never
+increased beyond ``max(tw, 1)``), so plan quality carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Mapping
+
+from repro.graphs.graph import Graph
+from repro.kg.kgraph import KnowledgeGraph, Vertex
+
+_EMPTY: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class KgEncoding:
+    """A knowledge graph compiled into gadget-encoded plain-graph form."""
+
+    kg: KnowledgeGraph
+    graph: Graph
+    # label -> encoded KG vertices carrying it; None keys are vertices
+    # without a label (matched only by wildcard pattern vertices).
+    vertex_pools: Mapping
+    all_vertices: frozenset
+    # edge label -> encoded "a"/"b" midpoints of triples carrying it.
+    head_pools: Mapping
+    tail_pools: Mapping
+
+    def vertex_pool(self, label) -> frozenset:
+        """Images allowed for a pattern vertex labelled ``label``."""
+        if label is None:
+            return self.all_vertices
+        return self.vertex_pools.get(label, _EMPTY)
+
+
+def encode_kg(kg: KnowledgeGraph) -> KgEncoding:
+    """Compile ``kg`` into its gadget encoding (do this once per dataset)."""
+    graph = Graph()
+    vertex_pools: dict = {}
+    head_pools: dict = {}
+    tail_pools: dict = {}
+    for vertex in kg.vertices():
+        encoded = ("v", vertex)
+        graph.add_vertex(encoded)
+        label = kg.vertex_label(vertex)
+        vertex_pools.setdefault(label, set()).add(encoded)
+    for source, label, target in kg.triples():
+        head = ("a", source, label, target)
+        tail = ("b", source, label, target)
+        graph.add_edge(("v", source), head)
+        graph.add_edge(head, tail)
+        graph.add_edge(tail, ("v", target))
+        head_pools.setdefault(label, set()).add(head)
+        tail_pools.setdefault(label, set()).add(tail)
+    all_vertices = frozenset(
+        encoded for pool in vertex_pools.values() for encoded in pool
+    )
+    return KgEncoding(
+        kg=kg,
+        graph=graph,
+        vertex_pools={k: frozenset(v) for k, v in vertex_pools.items()},
+        all_vertices=all_vertices,
+        head_pools={k: frozenset(v) for k, v in head_pools.items()},
+        tail_pools={k: frozenset(v) for k, v in tail_pools.items()},
+    )
+
+
+def kg_allowed(
+    pattern: KgEncoding,
+    target: KgEncoding,
+    fixed: Mapping[Vertex, Vertex] | None = None,
+) -> dict:
+    """The ``allowed`` restriction realising KG semantics on the encodings.
+
+    ``fixed`` pins pattern KG vertices to target KG vertices (used for
+    answer extendability probes); a pinned image that violates the vertex
+    label yields an empty pool, hence count zero — matching the brute
+    semantics.
+    """
+    allowed: dict = {}
+    kg = pattern.kg
+    for vertex in kg.vertices():
+        pool = target.vertex_pool(kg.vertex_label(vertex))
+        if fixed is not None and vertex in fixed:
+            image = ("v", fixed[vertex])
+            pool = frozenset({image}) if image in pool else _EMPTY
+        allowed[("v", vertex)] = pool
+    for source, label, edge_target in kg.triples():
+        allowed[("a", source, label, edge_target)] = target.head_pools.get(
+            label, _EMPTY,
+        )
+        allowed[("b", source, label, edge_target)] = target.tail_pools.get(
+            label, _EMPTY,
+        )
+    return allowed
+
+
+def count_kg_homomorphisms_engine(
+    pattern: KnowledgeGraph | KgEncoding,
+    target: KnowledgeGraph | KgEncoding,
+    fixed: Mapping[Vertex, Vertex] | None = None,
+    engine=None,
+) -> int:
+    """``|Hom(pattern, target)|`` for knowledge graphs, via the engine.
+
+    Accepts raw graphs or precomputed :class:`KgEncoding` objects (the
+    dataset registry passes the latter, so per-request encoding cost is
+    zero for registered datasets).
+    """
+    if engine is None:
+        from repro.engine import default_engine
+
+        engine = default_engine()
+    if not isinstance(pattern, KgEncoding):
+        pattern = encode_kg(pattern)
+    if not isinstance(target, KgEncoding):
+        target = encode_kg(target)
+    allowed = kg_allowed(pattern, target, fixed=fixed)
+    return engine.count(pattern.graph, target.graph, allowed=allowed)
+
+
+def count_kg_answers_engine(query, target, engine=None) -> int:
+    """``|Ans((P, X), target)|`` with every extendability probe served by
+    the engine's cached colour-restricted path.
+
+    The encoded pattern is compiled once; each candidate assignment of the
+    free variables becomes one restricted count (cached individually, so
+    repeats of the same request are pure cache hits).
+    """
+    pattern_encoding = encode_kg(query.pattern)
+    target_encoding = target if isinstance(target, KgEncoding) else encode_kg(target)
+    free = sorted(query.free_variables, key=repr)
+    if not free:
+        count = count_kg_homomorphisms_engine(
+            pattern_encoding, target_encoding, engine=engine,
+        )
+        return 1 if count > 0 else 0
+
+    # Enumerate only label-compatible images for each free variable.
+    kg = query.pattern
+    target_kg = target_encoding.kg
+    domains = []
+    for variable in free:
+        wanted = kg.vertex_label(variable)
+        domains.append([
+            w for w in target_kg.vertices()
+            if wanted is None or target_kg.vertex_label(w) == wanted
+        ])
+
+    total = 0
+    for images in product(*domains):
+        assignment = dict(zip(free, images))
+        extensions = count_kg_homomorphisms_engine(
+            pattern_encoding, target_encoding, fixed=assignment, engine=engine,
+        )
+        if extensions > 0:
+            total += 1
+    return total

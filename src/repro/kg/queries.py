@@ -73,8 +73,32 @@ def enumerate_kg_answers(
             break
 
 
-def count_kg_answers(query: KgQuery, target: KnowledgeGraph) -> int:
+def count_kg_answers_brute(query: KgQuery, target: KnowledgeGraph) -> int:
+    """Reference implementation: enumerate answers by backtracking."""
     return sum(1 for _ in enumerate_kg_answers(query, target))
+
+
+def count_kg_answers(
+    query: KgQuery,
+    target: KnowledgeGraph,
+    method: str = "engine",
+    engine=None,
+) -> int:
+    """``|Ans((P, X), target)|`` for a KG conjunctive query.
+
+    ``method='engine'`` (the default) routes every extendability probe
+    through the engine's colour-restricted homomorphism path
+    (:mod:`repro.kg.engine_bridge`), so repeated queries against the same
+    target are served from the plan/count caches; ``method='brute'`` is
+    the enumeration reference the tests compare against.
+    """
+    if method == "brute":
+        return count_kg_answers_brute(query, target)
+    if method != "engine":
+        raise QueryError(f"unknown KG counting method {method!r}")
+    from repro.kg.engine_bridge import count_kg_answers_engine
+
+    return count_kg_answers_engine(query, target, engine=engine)
 
 
 def kg_extension_graph(query: KgQuery):

@@ -1,0 +1,48 @@
+"""repro.service — a concurrent counting service over the engine.
+
+The subsystem that turns the compile-once :class:`~repro.engine.HomEngine`
+into something you can *serve*:
+
+* :mod:`repro.service.registry` — datasets (host graphs / knowledge
+  graphs) registered once by name, preprocessed for the request path;
+* :mod:`repro.service.store` — the persistent on-disk cache tier under
+  the engine's in-memory LRUs (plans + counts survive restarts);
+* :mod:`repro.service.scheduler` — bounded queue, worker pool, and
+  coalescing of identical in-flight requests;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  HTTP/JSON API (``repro serve``) and its stdlib Python client
+  (``repro client``);
+* :mod:`repro.service.wire` — JSON codecs and the payload shapes shared
+  with the CLI's ``--json`` mode.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.registry import Dataset, DatasetRegistry, RegistryError
+from repro.service.scheduler import RequestScheduler, SchedulerStats
+from repro.service.server import (
+    BackgroundServer,
+    CountingService,
+    ServiceServer,
+    run_server,
+)
+from repro.service.store import PersistentStore, stable_key_digest
+from repro.service.wire import WireError, graph_from_spec, graph_to_spec
+
+__all__ = [
+    "BackgroundServer",
+    "CountingService",
+    "Dataset",
+    "DatasetRegistry",
+    "PersistentStore",
+    "RegistryError",
+    "RequestScheduler",
+    "SchedulerStats",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "WireError",
+    "graph_from_spec",
+    "graph_to_spec",
+    "run_server",
+    "stable_key_digest",
+]

@@ -1,0 +1,145 @@
+"""A stdlib Python client for the counting service.
+
+Wraps ``http.client`` (blocking, connection-per-request — the server
+answers ``Connection: close``) around the wire format of
+:mod:`repro.service.wire`.  Accepts rich objects (``Graph``,
+``KnowledgeGraph``, ``KgQuery``) or raw spec dicts interchangeably.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.service.wire import graph_to_spec, kg_query_to_spec, kg_to_spec
+
+
+class ServiceError(ReproError):
+    """An error response (or transport failure) from the counting service."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _as_graph_spec(value) -> dict:
+    if isinstance(value, Graph):
+        return graph_to_spec(value)
+    if isinstance(value, Mapping):
+        return dict(value)
+    raise ServiceError(f"expected a Graph or a graph spec, got {type(value).__name__}")
+
+
+def _as_target(value):
+    """Dataset name, graph/KG object, or raw spec — as sent on the wire."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Graph):
+        return graph_to_spec(value)
+    if isinstance(value, Mapping):
+        return dict(value)
+    if hasattr(value, "triples"):
+        return kg_to_spec(value)
+    raise ServiceError(f"cannot encode target {type(value).__name__}")
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout,
+        )
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {error}",
+            ) from error
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(data) if data else {}
+        except ValueError as error:
+            raise ServiceError(f"non-JSON response: {error}", status) from error
+        if status != 200:
+            raise ServiceError(
+                decoded.get("error", f"HTTP {status}"), status,
+            )
+        return decoded
+
+    def _post(self, path: str, payload: dict) -> dict:
+        return self.request("POST", path, payload)
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def datasets(self) -> list[dict]:
+        return self.request("GET", "/datasets")["datasets"]
+
+    def register_graph(self, name: str, graph, shards: int = 1) -> dict:
+        payload = {"name": name, "graph": _as_graph_spec(graph)}
+        if shards > 1:
+            payload["shards"] = shards
+        return self._post("/register-dataset", payload)["dataset"]
+
+    def register_kg(self, name: str, kg) -> dict:
+        spec = kg_to_spec(kg) if hasattr(kg, "triples") else dict(kg)
+        return self._post("/register-dataset", {"name": name, "kg": spec})["dataset"]
+
+    def count(self, pattern, target) -> dict:
+        """``|Hom(pattern, target)|``; target is a dataset name or a graph."""
+        return self._post(
+            "/count",
+            {"pattern": _as_graph_spec(pattern), "target": _as_target(target)},
+        )
+
+    def count_answers(self, query: str, target) -> dict:
+        """Answers of a parsed CQ on a dataset name or inline graph."""
+        return self._post(
+            "/count-answers", {"query": query, "target": _as_target(target)},
+        )
+
+    def count_kg_answers(self, kg_query, target) -> dict:
+        """Answers of a KG conjunctive query on a KG dataset or inline KG."""
+        spec = (
+            kg_query_to_spec(kg_query)
+            if hasattr(kg_query, "free_variables")
+            else dict(kg_query)
+        )
+        return self._post(
+            "/count-answers", {"kg_query": spec, "target": _as_target(target)},
+        )
+
+    def wl_dim(self, query: str) -> dict:
+        return self._post("/wl-dim", {"query": query})
+
+    def analyze(self, query: str) -> dict:
+        return self._post("/analyze", {"query": query})

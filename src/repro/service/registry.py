@@ -1,0 +1,162 @@
+"""The dataset registry: register hosts once, serve them forever.
+
+A *dataset* is a named host graph (or knowledge graph) a client registers
+once; every subsequent request refers to it by name.  Registration does
+the per-target work the per-request path should never repeat:
+
+* the engine's **target cache key** (an O(n + m) fingerprint) is computed
+  once and passed to :meth:`HomEngine.count` as ``target_id``;
+* graph datasets are optionally split into **component shards** — the
+  connected components grouped into ``k`` buckets — so a count request
+  for a *connected* pattern fans out over the shards through the engine's
+  batch path and sums (homomorphisms of a connected pattern land inside a
+  single component, so the sum is exact);
+* knowledge graphs are **gadget-encoded** up front
+  (:func:`repro.kg.engine_bridge.encode_kg`), so KG answer requests pay
+  zero per-request encoding cost.
+
+The registry is lock-guarded: registrations and lookups may arrive from
+any server worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.engine.cache import target_key
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+
+
+class RegistryError(ReproError):
+    """Unknown dataset name, wrong dataset kind, or a bad payload.
+
+    Re-registering a name *replaces* the dataset (registration is
+    idempotent for identical content — the common
+    register-after-restart pattern); request coalescing keys on the
+    dataset's content token, never on the name alone, so a replacement
+    can never serve counts computed against the old graph.
+    """
+
+
+@dataclass
+class Dataset:
+    """One registered host with its precomputed request-path artefacts."""
+
+    name: str
+    kind: str  # "graph" | "kg"
+    graph: Graph | None = None
+    target_id: tuple | None = None
+    shards: list[Graph] = field(default_factory=list)
+    shard_ids: list[tuple] = field(default_factory=list)
+    kg: object | None = None
+    kg_encoding: object | None = None
+    # Content-derived identity used in coalescing keys, so replacing a
+    # dataset under the same name never joins in-flight work on the old
+    # content.
+    content_token: object = None
+
+    def summary(self) -> dict:
+        if self.kind == "kg":
+            return {
+                "name": self.name,
+                "kind": "kg",
+                "vertices": self.kg.num_vertices(),
+                "triples": self.kg.num_triples(),
+            }
+        return {
+            "name": self.name,
+            "kind": "graph",
+            "vertices": self.graph.num_vertices(),
+            "edges": self.graph.num_edges(),
+            "shards": len(self.shards),
+        }
+
+
+def component_shards(graph: Graph, shards: int) -> list[Graph]:
+    """Group the connected components of ``graph`` into at most ``shards``
+    induced subgraphs of balanced vertex count (largest-first greedy)."""
+    components = sorted(graph.connected_components(), key=len, reverse=True)
+    shards = max(1, min(shards, len(components)))
+    if shards == 1:
+        return [graph]
+    buckets: list[set] = [set() for _ in range(shards)]
+    for component in components:
+        smallest = min(buckets, key=len)
+        smallest |= component
+    return [graph.induced_subgraph(bucket) for bucket in buckets if bucket]
+
+
+class DatasetRegistry:
+    """Thread-safe name → :class:`Dataset` map."""
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, Dataset] = {}
+        self._lock = threading.Lock()
+
+    def register_graph(
+        self, name: str, graph: Graph, shards: int = 1,
+    ) -> Dataset:
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
+        shard_graphs = component_shards(graph, shards) if shards > 1 else [graph]
+        target_id = target_key(graph)
+        dataset = Dataset(
+            name=name,
+            kind="graph",
+            graph=graph,
+            target_id=target_id,
+            shards=shard_graphs,
+            shard_ids=[target_key(shard) for shard in shard_graphs],
+            content_token=(target_id, len(shard_graphs)),
+        )
+        with self._lock:
+            self._datasets[name] = dataset
+        return dataset
+
+    def register_kg(self, name: str, kg) -> Dataset:
+        from repro.kg.engine_bridge import encode_kg
+
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
+        from repro.service.store import stable_key_digest
+        from repro.service.wire import kg_to_spec
+
+        dataset = Dataset(name=name, kind="kg")
+        dataset.kg = kg
+        dataset.kg_encoding = encode_kg(kg)
+        # Label-complete identity: the gadget graph alone would not see
+        # vertex-label changes (labels live in the allowed pools).
+        dataset.content_token = stable_key_digest(kg_to_spec(kg))
+        with self._lock:
+            self._datasets[name] = dataset
+        return dataset
+
+    def get(self, name: str, kind: str | None = None) -> Dataset:
+        with self._lock:
+            dataset = self._datasets.get(name)
+        if dataset is None:
+            raise RegistryError(f"unknown dataset {name!r}")
+        if kind is not None and dataset.kind != kind:
+            raise RegistryError(
+                f"dataset {name!r} is a {dataset.kind} dataset, not {kind}",
+            )
+        return dataset
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._datasets)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._datasets
+
+    def summary(self) -> list[dict]:
+        with self._lock:
+            datasets = list(self._datasets.values())
+        return [dataset.summary() for dataset in sorted(datasets, key=lambda d: d.name)]

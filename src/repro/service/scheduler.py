@@ -1,0 +1,170 @@
+"""Request scheduling: bounded queue, worker pool, request coalescing.
+
+The service's unit of work is a *keyed job*: a canonical request key plus
+a zero-argument callable producing the answer.  The scheduler guarantees
+
+* **coalescing** — identical in-flight requests share one computation:
+  the second ``submit`` of a key awaits the first key's future instead of
+  enqueueing new work (heavy traffic on a hot (pattern, target) pair costs
+  one count, not N);
+* **bounded queueing** — ``submit`` applies backpressure once ``max_queue``
+  jobs are waiting (the HTTP handler simply awaits; clients see latency,
+  the process never sees an unbounded queue);
+* **limited concurrency** — ``workers`` asyncio consumers execute jobs on
+  a thread pool of the same size, so at most ``workers`` counts run at
+  once and the engine's lock-guarded caches are shared safely.
+
+Everything is stdlib asyncio; the scheduler owns its executor and is
+started/stopped with the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class SchedulerStats:
+    """Counters for one :class:`RequestScheduler`."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    executed: int = 0
+    failed: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def coalesce_rate(self) -> float:
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "failed": self.failed,
+            "max_queue_depth": self.max_queue_depth,
+            "coalesce_rate": round(self.coalesce_rate, 4),
+        }
+
+
+class RequestScheduler:
+    """A coalescing, bounded, concurrency-limited job scheduler."""
+
+    def __init__(self, workers: int = 4, max_queue: int = 256) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.stats = SchedulerStats()
+        self._queue: asyncio.Queue | None = None
+        self._inflight: dict = {}
+        self._tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._tasks:
+            return
+        self._queue = asyncio.Queue(self.max_queue)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._tasks = [
+            asyncio.create_task(self._worker()) for _ in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        # Jobs still queued (or whose worker died mid-flight) must not
+        # leave their waiters hanging on futures nobody will resolve.
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, _, future = self._queue.get_nowait()
+                if not future.done():
+                    future.cancel()
+        for future in self._inflight.values():
+            if not future.done():
+                future.cancel()
+        self._queue = None
+        self._inflight.clear()
+
+    @property
+    def running(self) -> bool:
+        return bool(self._tasks)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, key, fn: Callable[[], object]):
+        """Run ``fn`` (or join the identical in-flight request) and return
+        its result.  ``key`` must canonically identify the work."""
+        if self._queue is None:
+            raise RuntimeError("scheduler is not running")
+        self.stats.submitted += 1
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats.coalesced += 1
+            # shield: one cancelled waiter must not cancel the shared job.
+            return await asyncio.shield(future)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            await self._queue.put((key, fn, future))
+        except BaseException:
+            # The enqueue never happened; cancel the future so waiters that
+            # already coalesced onto it are released rather than hung.
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.cancel()
+            raise
+        depth = self._queue.qsize()
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        return await asyncio.shield(future)
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            key, fn, future = await self._queue.get()
+            try:
+                value = await loop.run_in_executor(self._executor, fn)
+            except asyncio.CancelledError:
+                if not future.done():
+                    future.cancel()
+                raise
+            except Exception as error:
+                self.stats.failed += 1
+                if not future.done():
+                    future.set_exception(error)
+                # The traceback is delivered to every waiter; nothing to
+                # log here and the worker stays alive.
+                future.exception()
+            else:
+                self.stats.executed += 1
+                if not future.done():
+                    future.set_result(value)
+            finally:
+                self._inflight.pop(key, None)
+                self._queue.task_done()

@@ -1,0 +1,512 @@
+"""The counting service: HTTP/JSON API over a shared engine.
+
+Layers (top to bottom):
+
+* :class:`ServiceServer` / :class:`BackgroundServer` — a minimal
+  HTTP/1.1 loop on ``asyncio.start_server`` (stdlib only: parse request
+  line + headers, read ``Content-Length`` body, answer JSON, close);
+* :class:`CountingService` — the operations: ``count``,
+  ``count-answers`` (CQ and KG), ``wl-dim``, ``analyze``,
+  ``register-dataset``, ``stats``; every counting operation goes through
+  the :class:`~repro.service.scheduler.RequestScheduler` under a
+  canonical request key, so identical concurrent requests coalesce;
+* one :class:`~repro.engine.HomEngine` shared by all workers (its caches
+  are lock-guarded), optionally backed by a
+  :class:`~repro.service.store.PersistentStore` so plans and counts
+  survive restarts.
+
+The service installs its engine as the process-wide default
+(:func:`repro.engine.set_default_engine`), so library paths reached from
+request handlers — Lemma-22 interpolation in particular — ride the same
+caches.  ``BackgroundServer.stop()`` restores the previous default.
+
+Routes
+------
+``POST /count``            ``{"pattern": graphspec, "target": name|graphspec}``
+``POST /count-answers``    ``{"query": text, "target": name|graphspec}`` or
+                           ``{"kg_query": kgqueryspec, "target": name|kgspec}``
+``POST /wl-dim``           ``{"query": text}``
+``POST /analyze``          ``{"query": text}``
+``POST /register-dataset`` ``{"name": str, "graph": graphspec, "shards": int}``
+                           or ``{"name": str, "kg": kgspec}``
+``GET  /stats``, ``GET /datasets``, ``GET /health``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+
+from repro.engine import HomEngine, set_default_engine
+from repro.errors import ReproError
+from repro.service.registry import DatasetRegistry, RegistryError
+from repro.service.scheduler import RequestScheduler
+from repro.service.store import PersistentStore, stable_key_digest
+from repro.service.wire import (
+    WireError,
+    analyze_payload,
+    count_answers_payload,
+    count_payload,
+    graph_from_spec,
+    graph_summary,
+    kg_from_spec,
+    kg_query_from_spec,
+    kg_query_to_spec,
+    kg_to_spec,
+    wl_dim_payload,
+)
+
+_MAX_BODY = 32 * 1024 * 1024
+
+
+def _require(body: dict, field: str):
+    if field not in body:
+        raise WireError(f"request is missing the {field!r} field")
+    return body[field]
+
+
+class CountingService:
+    """The request handlers behind the HTTP routes (transport-agnostic)."""
+
+    def __init__(
+        self,
+        data_dir: str | None = None,
+        workers: int = 4,
+        max_queue: int = 256,
+        engine: HomEngine | None = None,
+        install_default_engine: bool = True,
+    ) -> None:
+        if engine is not None and data_dir is not None:
+            raise ValueError("pass either an engine or a data_dir, not both")
+        if engine is None:
+            self.store = PersistentStore(data_dir) if data_dir else None
+            engine = HomEngine(store=self.store)
+        else:
+            self.store = engine.store
+        self.engine = engine
+        self.registry = DatasetRegistry()
+        self.scheduler = RequestScheduler(workers=workers, max_queue=max_queue)
+        self.request_counts: dict[str, int] = {}
+        self._routes = {
+            ("POST", "/count"): self._op_count,
+            ("POST", "/count-answers"): self._op_count_answers,
+            ("POST", "/wl-dim"): self._op_wl_dim,
+            ("POST", "/analyze"): self._op_analyze,
+            ("POST", "/register-dataset"): self._op_register,
+            ("GET", "/stats"): self._op_stats,
+            ("GET", "/datasets"): self._op_datasets,
+            ("GET", "/health"): self._op_health,
+        }
+        self._previous_default: tuple | None = None
+        if install_default_engine:
+            self._previous_default = (set_default_engine(self.engine),)
+
+    def restore_default_engine(self) -> None:
+        """Undo the ``set_default_engine`` performed at construction."""
+        if self._previous_default is not None:
+            set_default_engine(self._previous_default[0])
+            self._previous_default = None
+
+    def close(self) -> None:
+        """Release held resources (the persistent store's append handle)."""
+        if self.store is not None:
+            self.store.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def handle(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+        route = (method.upper(), path.rstrip("/") or "/")
+        handler = self._routes.get(route)
+        if handler is None:
+            return 404, {"error": f"no route {method.upper()} {path}"}
+        self.request_counts[route[1]] = self.request_counts.get(route[1], 0) + 1
+        try:
+            return 200, await handler(body)
+        except RegistryError as error:
+            return 404, {"error": str(error)}
+        except ReproError as error:
+            return 400, {"error": str(error)}
+
+    # ------------------------------------------------------------------
+    # target resolution
+    # ------------------------------------------------------------------
+    def _resolve_graph_target(self, target):
+        """``(host graph or None, dataset or None, coalescing token, display name)``.
+
+        The token is derived from the dataset *content*, not its name, so
+        re-registering a name with a different graph never joins in-flight
+        work computed against the old content.
+        """
+        if isinstance(target, str):
+            dataset = self.registry.get(target, kind="graph")
+            return dataset.graph, dataset, ("dataset", dataset.content_token), target
+        if target is None:
+            raise WireError("request is missing the 'target' field")
+        host = graph_from_spec(target)
+        return host, None, ("inline", host.edge_fingerprint()), graph_summary(host)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _op_count(self, body: dict) -> dict:
+        pattern = graph_from_spec(_require(body, "pattern"))
+        host, dataset, token, target_name = self._resolve_graph_target(
+            body.get("target"),
+        )
+        engine = self.engine
+        shard_count = 1
+        if (
+            dataset is not None
+            and len(dataset.shards) > 1
+            and pattern.num_vertices() > 0
+            and pattern.is_connected()
+        ):
+            # Connected patterns sum over component shards exactly.
+            shards, shard_ids = dataset.shards, dataset.shard_ids
+            shard_count = len(shards)
+
+            def fn() -> tuple[int, str]:
+                count = sum(
+                    engine.count(pattern, shard, target_id=shard_id)
+                    for shard, shard_id in zip(shards, shard_ids)
+                )
+                return count, engine.plan_for(pattern).describe()
+        else:
+            target_id = dataset.target_id if dataset is not None else None
+
+            def fn() -> tuple[int, str]:
+                count = engine.count(pattern, host, target_id=target_id)
+                # describe() may compile/unpickle on a persistent-tier count
+                # hit; keep that on the worker, off the event loop.
+                return count, engine.plan_for(pattern).describe()
+
+        key = ("count", pattern.edge_fingerprint(), token)
+        count, plan = await self.scheduler.submit(key, fn)
+        return count_payload(
+            count, pattern, target_name, plan=plan, shards=shard_count,
+        )
+
+    async def _op_count_answers(self, body: dict) -> dict:
+        if "kg_query" in body:
+            return await self._op_count_kg_answers(body)
+        from repro.queries.parser import format_query, parse_query
+
+        text = _require(body, "query")
+        query = parse_query(text)  # validate before scheduling
+        host, _, token, target_name = self._resolve_graph_target(
+            body.get("target"),
+        )
+        key = ("count-answers", format_query(query, style="logic"), token)
+        payload = await self.scheduler.submit(
+            key,
+            lambda: count_answers_payload(text, host, target_name=target_name),
+        )
+        # Coalesced waiters share the first submitter's payload; re-echo
+        # *this* caller's raw query text (the logic form is canonical).
+        if payload.get("query") != text or payload.get("target") != target_name:
+            payload = {**payload, "query": text, "target": target_name}
+        return payload
+
+    async def _op_count_kg_answers(self, body: dict) -> dict:
+        from repro.kg.engine_bridge import count_kg_answers_engine, encode_kg
+
+        query = kg_query_from_spec(_require(body, "kg_query"))
+        target = body.get("target")
+        if isinstance(target, str):
+            dataset = self.registry.get(target, kind="kg")
+            encoding, token, target_name = (
+                dataset.kg_encoding, ("dataset", dataset.content_token), target,
+            )
+        elif target is not None:
+            kg = kg_from_spec(target)
+            encoding = encode_kg(kg)
+            token = ("inline", stable_key_digest(kg_to_spec(kg)))
+            target_name = {
+                "vertices": kg.num_vertices(), "triples": kg.num_triples(),
+            }
+        else:
+            raise WireError("request is missing the 'target' field")
+        engine = self.engine
+        key = (
+            "kg-count-answers",
+            stable_key_digest(kg_query_to_spec(query)),
+            token,
+        )
+        count = await self.scheduler.submit(
+            key,
+            lambda: count_kg_answers_engine(query, encoding, engine=engine),
+        )
+        return {
+            "kind": "count-answers",
+            "kg_query": kg_query_to_spec(query),
+            "target": target_name,
+            "count": count,
+            "method": "kg-engine",
+        }
+
+    async def _op_wl_dim(self, body: dict) -> dict:
+        text = _require(body, "query")
+        payload = await self.scheduler.submit(
+            ("wl-dim", text.strip()), lambda: wl_dim_payload(text),
+        )
+        if payload.get("query") != text:  # coalesced onto another's payload
+            payload = {**payload, "query": text}
+        return payload
+
+    async def _op_analyze(self, body: dict) -> dict:
+        text = _require(body, "query")
+        payload = await self.scheduler.submit(
+            ("analyze", text.strip()), lambda: analyze_payload(text),
+        )
+        if payload.get("query") != text:
+            payload = {**payload, "query": text}
+        return payload
+
+    async def _op_register(self, body: dict) -> dict:
+        name = _require(body, "name")
+        if not isinstance(name, str) or not name:
+            raise WireError("dataset name must be a non-empty string")
+        if "kg" in body:
+            dataset = self.registry.register_kg(name, kg_from_spec(body["kg"]))
+        elif "graph" in body:
+            shards = body.get("shards", 1)
+            if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+                raise WireError(f"'shards' must be a positive integer, got {shards!r}")
+            dataset = self.registry.register_graph(
+                name, graph_from_spec(body["graph"]), shards=shards,
+            )
+        else:
+            raise WireError("register-dataset needs a 'graph' or 'kg' spec")
+        return {"kind": "register-dataset", "dataset": dataset.summary()}
+
+    async def _op_stats(self, body: dict) -> dict:
+        return self.stats_payload()
+
+    async def _op_datasets(self, body: dict) -> dict:
+        return {"kind": "datasets", "datasets": self.registry.summary()}
+
+    async def _op_health(self, body: dict) -> dict:
+        return {"kind": "health", "status": "ok"}
+
+    def stats_payload(self) -> dict:
+        return {
+            "kind": "stats",
+            "engine": self.engine.stats_summary(),
+            "scheduler": self.scheduler.stats.snapshot(),
+            "datasets": self.registry.summary(),
+            "persistent": (
+                self.store.summary() if self.store is not None else None
+            ),
+            "requests": dict(self.request_counts),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class ServiceServer:
+    """Bind a :class:`CountingService` to a TCP port (asyncio, HTTP/1.1)."""
+
+    def __init__(
+        self,
+        service: CountingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        await self.service.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.scheduler.stop()
+        self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+            data = json.dumps(payload).encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+                status, "Internal Server Error",
+            )
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii") + data,
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader,
+    ) -> tuple[int, dict]:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                return 400, {"error": "malformed request line"}
+            method, path = parts[0], parts[1]
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > _MAX_BODY:
+                return 400, {"error": "request body too large"}
+            raw = await reader.readexactly(length) if length else b""
+            body = json.loads(raw) if raw else {}
+            if not isinstance(body, dict):
+                return 400, {"error": "request body must be a JSON object"}
+        except (ValueError, UnicodeDecodeError) as error:
+            return 400, {"error": f"bad request: {error}"}
+        try:
+            return await self.service.handle(method, path, body)
+        except Exception as error:  # noqa: BLE001 - served as a 500, not a crash
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    data_dir: str | None = None,
+    workers: int = 4,
+    max_queue: int = 256,
+    announce=print,
+) -> int:
+    """Blocking entry point behind ``repro serve``."""
+
+    async def main() -> None:
+        service = CountingService(
+            data_dir=data_dir, workers=workers, max_queue=max_queue,
+        )
+        server = ServiceServer(service, host=host, port=port)
+        await server.start()
+        announce(
+            f"repro service listening on http://{host}:{server.port}"
+            + (f" (persistent cache: {data_dir})" if data_dir else ""),
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"error: cannot bind {host}:{port}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+class BackgroundServer:
+    """Run a service in a daemon thread — the e2e tests', demo's, and
+    benchmarks' harness.  Context-manager friendly:
+
+    >>> with BackgroundServer() as server:          # doctest: +SKIP
+    ...     client = ServiceClient(port=server.port)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **service_kwargs) -> None:
+        self.host = host
+        self.port = port
+        self.service: CountingService | None = None
+        self._service_kwargs = service_kwargs
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-server", daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise TimeoutError("service did not start within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        if self.service is not None:
+            self.service.restore_default_engine()
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        service = CountingService(**self._service_kwargs)
+        server = ServiceServer(service, host=self.host, port=self.port)
+        try:
+            await server.start()
+        except BaseException as error:
+            service.restore_default_engine()
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.service = service
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()

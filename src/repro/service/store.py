@@ -1,0 +1,203 @@
+"""The persistent cache tier under the engine's in-memory LRUs.
+
+:class:`PersistentStore` keeps compiled plans and finished counts on disk,
+keyed by the *same* canonical keys the :class:`~repro.engine.cache.EngineCache`
+uses, so a restarted service serves warm traffic with zero recompilation:
+
+* **counts** live in an append-only ``counts.jsonl`` (one ``{"key", "value"}``
+  object per line, last write wins), loaded into an index at open;
+* **plans** are pickled individually under ``plans/<digest>.pkl`` and written
+  atomically (temp file + ``os.replace``).
+
+Cache keys contain frozensets, whose iteration order is not stable across
+processes (string hashing is salted), so keys are digested through a
+recursive *sorted* serialisation before touching the filesystem — the same
+logical key always lands on the same digest, in every process.
+
+The store keeps its own :class:`~repro.engine.cache.CacheStats` (evictions
+stay zero — nothing is ever evicted from disk), so ``repro engine-stats
+--persistent`` and the service ``stats`` endpoint report the tier with the
+exact vocabulary used for the memory tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import threading
+
+from repro.engine.cache import CacheStats, LRUCache
+
+_COUNTS_FILE = "counts.jsonl"
+_PLANS_DIR = "plans"
+
+
+def stable_key_digest(key) -> str:
+    """A process-independent hex digest of a cache key.
+
+    Frozensets are serialised in sorted element order, so the digest does
+    not depend on hash randomisation; everything else serialises by type
+    name + ``repr``.
+    """
+    return hashlib.sha256(_stable_repr(key).encode("utf-8")).hexdigest()
+
+
+def _stable_repr(obj) -> str:
+    if isinstance(obj, (frozenset, set)):
+        return "{" + ",".join(sorted(_stable_repr(x) for x in obj)) + "}"
+    if isinstance(obj, tuple):
+        return "(" + ",".join(_stable_repr(x) for x in obj) + ")"
+    if isinstance(obj, list):
+        return "[" + ",".join(_stable_repr(x) for x in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted(
+            f"{_stable_repr(k)}:{_stable_repr(v)}" for k, v in obj.items()
+        )
+        return "dict{" + ",".join(items) + "}"
+    return f"{type(obj).__name__}:{obj!r}"
+
+
+class PersistentStore:
+    """On-disk plan + count storage implementing the engine's store protocol
+    (``load_plan`` / ``save_plan`` / ``load_count`` / ``save_count``)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._plans_path = os.path.join(self.path, _PLANS_DIR)
+        os.makedirs(self._plans_path, exist_ok=True)
+        self._counts_path = os.path.join(self.path, _COUNTS_FILE)
+        self.stats = CacheStats()
+        # One lock for the in-memory state (counts index, digest memo,
+        # stats, append handle); plan pickling I/O deliberately runs
+        # outside it — os.replace gives per-file atomicity, so a slow
+        # disk round-trip must not serialize the worker pool's in-memory
+        # count lookups.
+        self._lock = threading.RLock()
+        self._counts: dict[str, int] = {}
+        # Keys embed full target fingerprints; memoise their digests so
+        # repeated traffic on the same (pattern, target) pays the O(n+m)
+        # serialisation once.
+        self._digests = LRUCache(65536)
+        self._load_counts()
+        # One long-lived append handle: save_count is on the hot path of
+        # every cold engine.count, so per-write open/close is avoided.
+        self._counts_handle = open(self._counts_path, "a", encoding="utf-8")
+
+    def _load_counts(self) -> None:
+        if not os.path.exists(self._counts_path):
+            return
+        with open(self._counts_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._counts[record["key"]] = int(record["value"])
+                except (ValueError, KeyError, TypeError):
+                    # A torn final line (crashed writer) is not fatal; the
+                    # entry is simply recomputed and re-appended.
+                    continue
+
+    def _digest(self, key) -> str:
+        with self._lock:
+            cached = self._digests.get(key)
+            if cached is not None:
+                return cached
+        digest = stable_key_digest(key)
+        with self._lock:
+            self._digests.put(key, digest)
+        return digest
+
+    # ------------------------------------------------------------------
+    # engine store protocol
+    # ------------------------------------------------------------------
+    def load_count(self, key) -> int | None:
+        digest = self._digest(key)
+        with self._lock:
+            value = self._counts.get(digest)
+            if value is None:
+                self.stats.count_misses += 1
+            else:
+                self.stats.count_hits += 1
+            return value
+
+    def save_count(self, key, value: int) -> None:
+        digest = self._digest(key)
+        with self._lock:
+            if self._counts.get(digest) == value:
+                return
+            self._counts[digest] = value
+            if self._counts_handle.closed:  # reopened after close()
+                self._counts_handle = open(
+                    self._counts_path, "a", encoding="utf-8",
+                )
+            self._counts_handle.write(
+                json.dumps({"key": digest, "value": value}) + "\n",
+            )
+            self._counts_handle.flush()
+
+    def close(self) -> None:
+        """Release the append handle (reopened on demand if written again)."""
+        with self._lock:
+            if not self._counts_handle.closed:
+                self._counts_handle.close()
+
+    def load_plan(self, key):
+        digest = self._digest(key)
+        plan_path = os.path.join(self._plans_path, f"{digest}.pkl")
+        try:
+            with open(plan_path, "rb") as handle:
+                plan = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            with self._lock:
+                self.stats.plan_misses += 1
+            return None
+        with self._lock:
+            self.stats.plan_hits += 1
+        return plan
+
+    def save_plan(self, key, plan) -> None:
+        digest = self._digest(key)
+        plan_path = os.path.join(self._plans_path, f"{digest}.pkl")
+        if os.path.exists(plan_path):
+            return
+        temp_path = f"{plan_path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(temp_path, "wb") as handle:
+                pickle.dump(plan, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, plan_path)
+        except (OSError, pickle.PickleError):
+            # Unpicklable exotic plan or a full disk: persistence is an
+            # optimisation, never a correctness dependency.
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def counts_stored(self) -> int:
+        with self._lock:
+            return len(self._counts)
+
+    def plans_stored(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self._plans_path)
+                if name.endswith(".pkl")
+            )
+        except OSError:
+            return 0
+
+    def summary(self) -> dict[str, int | float | str]:
+        report: dict[str, int | float | str] = {
+            "path": self.path,
+            "counts_stored": self.counts_stored(),
+            "plans_stored": self.plans_stored(),
+        }
+        report.update(self.stats.snapshot())
+        return report

@@ -1,0 +1,194 @@
+"""Wire format: JSON graph/query codecs and response payload builders.
+
+One module defines how graphs, knowledge graphs, and queries travel over
+the service's JSON API — and builds the response payloads — so the HTTP
+server, the Python client, and the CLI's ``--json`` mode all speak exactly
+the same shapes (CLI/service parity is an acceptance criterion and is
+asserted by the tests).
+
+Graph specs
+    ``{"graph6": "..."}`` — compact, vertices become ``0..n-1``; or
+    ``{"vertices": [...], "edges": [[u, v], ...]}`` with JSON-scalar labels.
+
+Knowledge-graph specs
+    ``{"vertices": [[name, label], ...], "triples": [[s, l, t], ...]}``
+    (vertex list form, not an object, so integer names survive the trip).
+
+KG query specs
+    a KG spec plus ``"free": [names]``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.graphs.graph import Graph
+from repro.graphs.io import from_graph6, to_graph6
+
+
+class WireError(ReproError):
+    """Malformed request payload or an unencodable object."""
+
+
+# ----------------------------------------------------------------------
+# graph codecs
+# ----------------------------------------------------------------------
+def graph_from_spec(spec) -> Graph:
+    """Decode a graph spec (``graph6`` or ``vertices``/``edges`` form)."""
+    if not isinstance(spec, Mapping):
+        raise WireError(f"graph spec must be an object, got {type(spec).__name__}")
+    if "graph6" in spec:
+        if not isinstance(spec["graph6"], str):
+            raise WireError(f"'graph6' must be a string, got {spec['graph6']!r}")
+        return from_graph6(spec["graph6"])
+    if "edges" not in spec and "vertices" not in spec:
+        raise WireError("graph spec needs 'graph6' or 'vertices'/'edges'")
+    graph = Graph(vertices=spec.get("vertices", ()))
+    for edge in spec.get("edges", ()):
+        if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+            raise WireError(f"edge must be a pair, got {edge!r}")
+        graph.add_edge(edge[0], edge[1])
+    return graph
+
+
+def graph_to_spec(graph: Graph) -> dict:
+    """Encode a graph for the wire (graph6 when it fits, else edge list)."""
+    if graph.num_vertices() <= 62:
+        return {"graph6": to_graph6(graph)}
+    vertices = graph.vertices()
+    if not all(isinstance(v, (str, int, float, bool)) for v in vertices):
+        raise WireError(
+            "graphs over 62 vertices need JSON-scalar vertex labels",
+        )
+    return {
+        "vertices": vertices,
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+
+
+def graph_summary(graph: Graph) -> dict:
+    return {"vertices": graph.num_vertices(), "edges": graph.num_edges()}
+
+
+# ----------------------------------------------------------------------
+# knowledge-graph codecs
+# ----------------------------------------------------------------------
+def kg_from_spec(spec):
+    from repro.kg.kgraph import KnowledgeGraph
+
+    if not isinstance(spec, Mapping):
+        raise WireError("knowledge-graph spec must be an object")
+    kg = KnowledgeGraph()
+    for entry in spec.get("vertices", ()):
+        if isinstance(entry, (list, tuple)) and len(entry) == 2:
+            kg.add_vertex(entry[0], entry[1])
+        else:
+            kg.add_vertex(entry)
+    for triple in spec.get("triples", ()):
+        if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+            raise WireError(f"triple must be [source, label, target], got {triple!r}")
+        kg.add_edge(triple[0], triple[1], triple[2])
+    return kg
+
+
+def kg_to_spec(kg) -> dict:
+    return {
+        "vertices": [[v, kg.vertex_label(v)] for v in kg.vertices()],
+        "triples": [list(t) for t in kg.triples()],
+    }
+
+
+def kg_query_from_spec(spec):
+    from repro.kg.queries import KgQuery
+
+    pattern = kg_from_spec(spec)
+    free = spec.get("free", ())
+    if not isinstance(free, (list, tuple)):
+        raise WireError("'free' must be a list of vertex names")
+    for variable in free:
+        pattern.add_vertex(variable)
+    return KgQuery(pattern, free)
+
+
+def kg_query_to_spec(query) -> dict:
+    spec = kg_to_spec(query.pattern)
+    spec["free"] = sorted(query.free_variables, key=repr)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# response payloads (shared by the server and the CLI's --json mode)
+# ----------------------------------------------------------------------
+def analyze_payload(query_text: str) -> dict:
+    from repro.core.wl_dimension import analyse_query
+    from repro.queries.parser import format_query, parse_query
+
+    query = parse_query(query_text)
+    return {
+        "kind": "analyze",
+        "query": query_text,
+        "logic": format_query(query, style="logic"),
+        "analysis": analyse_query(query),
+    }
+
+
+def wl_dim_payload(query_text: str) -> dict:
+    from repro.core.wl_dimension import wl_dimension
+    from repro.queries.parser import format_query, parse_query
+
+    query = parse_query(query_text)
+    return {
+        "kind": "wl-dim",
+        "query": query_text,
+        "logic": format_query(query, style="logic"),
+        "wl_dimension": wl_dimension(query),
+    }
+
+
+def count_answers_payload(
+    query_text: str,
+    host: Graph,
+    target_name: str | None = None,
+) -> dict:
+    """Count the answers to a parsed CQ on ``host`` via the engine-backed
+    route (Lemma-22 interpolation; Boolean queries fall back to the direct
+    check, whose answer is 0 or 1)."""
+    from repro.queries.answers import (
+        count_answers,
+        count_answers_by_interpolation,
+    )
+    from repro.queries.parser import format_query, parse_query
+
+    query = parse_query(query_text)
+    if query.is_boolean():
+        count = count_answers(query, host)
+        method = "direct"
+    else:
+        count = count_answers_by_interpolation(query, host)
+        method = "interpolation"
+    return {
+        "kind": "count-answers",
+        "query": query_text,
+        "logic": format_query(query, style="logic"),
+        "target": target_name if target_name is not None else graph_summary(host),
+        "count": count,
+        "method": method,
+    }
+
+
+def count_payload(
+    count: int,
+    pattern: Graph,
+    target_name,
+    plan: str | None = None,
+    shards: int = 1,
+) -> dict:
+    return {
+        "kind": "count",
+        "pattern": graph_summary(pattern),
+        "target": target_name,
+        "count": count,
+        "plan": plan,
+        "shards": shards,
+    }

@@ -1,0 +1,149 @@
+"""The KG → engine reduction: gadget encoding equals brute enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import HomEngine
+from repro.kg import (
+    KgQuery,
+    KnowledgeGraph,
+    count_kg_answers,
+    count_kg_answers_brute,
+    count_kg_answers_engine,
+    count_kg_homomorphisms,
+    count_kg_homomorphisms_engine,
+    encode_kg,
+    kg_query_from_triples,
+)
+
+
+def random_kg(rng, num_vertices, num_triples, labelled=True):
+    labels = [None, "P", "Q"] if labelled else [None]
+    edge_labels = ["r", "s"]
+    kg = KnowledgeGraph(
+        vertices={i: rng.choice(labels) for i in range(num_vertices)},
+    )
+    for _ in range(num_triples):
+        if num_vertices < 2:
+            break
+        source, target = rng.sample(range(num_vertices), 2)
+        kg.add_edge(source, rng.choice(edge_labels), target)
+    return kg
+
+
+class TestEncoding:
+    def test_gadget_shape(self):
+        kg = KnowledgeGraph(triples=[("a", "r", "b")])
+        encoding = encode_kg(kg)
+        # 2 KG vertices + 2 midpoints, 3 gadget edges
+        assert encoding.graph.num_vertices() == 4
+        assert encoding.graph.num_edges() == 3
+        assert encoding.all_vertices == frozenset({("v", "a"), ("v", "b")})
+        assert encoding.head_pools["r"] == frozenset({("a", "a", "r", "b")})
+
+    def test_direction_is_enforced(self):
+        forward = KnowledgeGraph(triples=[("a", "r", "b")])
+        pattern = KnowledgeGraph(triples=[("x", "r", "y")])
+        # one hom forward; the reversed pattern edge has none
+        assert count_kg_homomorphisms_engine(pattern, forward, engine=HomEngine()) == 1
+        backward = KnowledgeGraph(triples=[("y", "r", "x")])
+        assert (
+            count_kg_homomorphisms_engine(
+                backward, forward, fixed={"y": "b", "x": "a"}, engine=HomEngine(),
+            )
+            == 0
+        )
+
+    def test_edge_labels_are_enforced(self):
+        target = KnowledgeGraph(triples=[("a", "r", "b")])
+        wrong_label = KnowledgeGraph(triples=[("x", "s", "y")])
+        assert count_kg_homomorphisms_engine(wrong_label, target, engine=HomEngine()) == 0
+
+    def test_vertex_labels_are_enforced(self):
+        target = KnowledgeGraph(
+            vertices={"a": "P", "b": "Q"}, triples=[("a", "r", "b")],
+        )
+        pattern = KnowledgeGraph(
+            vertices={"x": "Q", "y": "Q"}, triples=[("x", "r", "y")],
+        )
+        assert count_kg_homomorphisms_engine(pattern, target, engine=HomEngine()) == 0
+        wildcard = KnowledgeGraph(
+            vertices={"x": None, "y": "Q"}, triples=[("x", "r", "y")],
+        )
+        assert count_kg_homomorphisms_engine(wildcard, target, engine=HomEngine()) == 1
+
+
+class TestAgainstBrute:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_hom_counts_match(self, seed):
+        rng = random.Random(seed)
+        target = random_kg(rng, rng.randint(2, 6), rng.randint(0, 8))
+        pattern = random_kg(rng, rng.randint(1, 3), rng.randint(0, 3))
+        assert (
+            count_kg_homomorphisms_engine(pattern, target, engine=HomEngine())
+            == count_kg_homomorphisms(pattern, target)
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_answer_counts_match(self, seed):
+        rng = random.Random(100 + seed)
+        target = random_kg(rng, rng.randint(2, 5), rng.randint(0, 6))
+        pattern = random_kg(rng, rng.randint(1, 3), rng.randint(0, 3))
+        free = rng.sample(pattern.vertices(), rng.randint(0, pattern.num_vertices()))
+        query = KgQuery(pattern, free)
+        assert (
+            count_kg_answers_engine(query, target, engine=HomEngine())
+            == count_kg_answers_brute(query, target)
+        )
+
+    def test_fixed_assignments_match(self):
+        rng = random.Random(77)
+        target = random_kg(rng, 5, 7)
+        pattern = random_kg(rng, 3, 3)
+        fixed_vertex = pattern.vertices()[0]
+        for image in target.vertices():
+            fixed = {fixed_vertex: image}
+            assert (
+                count_kg_homomorphisms_engine(
+                    pattern, target, fixed=fixed, engine=HomEngine(),
+                )
+                == count_kg_homomorphisms(pattern, target, fixed=fixed)
+            )
+
+
+class TestDefaultRoute:
+    def test_count_kg_answers_default_is_engine(self):
+        kg = KnowledgeGraph(
+            vertices={"u1": "User", "u2": "User", "m": "Item"},
+            triples=[("u1", "likes", "m"), ("u2", "likes", "m")],
+        )
+        query = kg_query_from_triples(
+            [("x", "likes", "z"), ("y", "likes", "z")], ["x", "y"],
+        )
+        assert count_kg_answers(query, kg) == count_kg_answers(query, kg, method="brute")
+
+    def test_unknown_method_rejected(self):
+        from repro.errors import QueryError
+
+        kg = KnowledgeGraph(triples=[("a", "r", "b")])
+        query = kg_query_from_triples([("x", "r", "y")], ["x"])
+        with pytest.raises(QueryError):
+            count_kg_answers(query, kg, method="quantum")
+
+    def test_repeated_queries_are_cache_hits(self):
+        engine = HomEngine()
+        kg = KnowledgeGraph(
+            vertices={i: "P" for i in range(4)},
+            triples=[(0, "r", 1), (1, "r", 2), (2, "r", 3), (0, "r", 3)],
+        )
+        query = kg_query_from_triples([("x", "r", "y")], ["x"])
+        first = count_kg_answers_engine(query, kg, engine=engine)
+        compiled = engine.plans_compiled
+        executed = engine.counts_executed
+        second = count_kg_answers_engine(query, kg, engine=engine)
+        assert first == second
+        assert engine.plans_compiled == compiled
+        assert engine.counts_executed == executed  # pure count-cache hits

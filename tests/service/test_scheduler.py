@@ -1,0 +1,149 @@
+"""Scheduler semantics: coalescing, bounded queue, error propagation."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service.scheduler import RequestScheduler
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_execution(self):
+        async def scenario():
+            scheduler = RequestScheduler(workers=2, max_queue=16)
+            await scheduler.start()
+            calls = []
+            release = threading.Event()
+
+            def slow_job():
+                calls.append(1)
+                release.wait(timeout=5.0)
+                return 42
+
+            tasks = [
+                asyncio.create_task(scheduler.submit("hot-key", slow_job))
+                for _ in range(10)
+            ]
+            await asyncio.sleep(0.1)  # let everyone reach the scheduler
+            release.set()
+            results = await asyncio.gather(*tasks)
+            stats = scheduler.stats
+            await scheduler.stop()
+            return results, len(calls), stats
+
+        results, executions, stats = run(scenario())
+        assert results == [42] * 10
+        assert executions == 1
+        assert stats.submitted == 10
+        assert stats.coalesced == 9
+        assert stats.executed == 1
+
+    def test_distinct_keys_all_execute(self):
+        async def scenario():
+            scheduler = RequestScheduler(workers=3, max_queue=16)
+            await scheduler.start()
+            results = await asyncio.gather(*[
+                scheduler.submit(("key", i), lambda i=i: i * i)
+                for i in range(8)
+            ])
+            stats = scheduler.stats
+            await scheduler.stop()
+            return results, stats
+
+        results, stats = run(scenario())
+        assert results == [i * i for i in range(8)]
+        assert stats.executed == 8
+        assert stats.coalesced == 0
+
+    def test_key_reusable_after_completion(self):
+        """Coalescing merges only *in-flight* duplicates; a finished key
+        runs again (and is then typically a cache hit at the engine)."""
+        async def scenario():
+            scheduler = RequestScheduler(workers=1, max_queue=4)
+            await scheduler.start()
+            first = await scheduler.submit("k", lambda: 1)
+            second = await scheduler.submit("k", lambda: 2)
+            stats = scheduler.stats
+            await scheduler.stop()
+            return first, second, stats
+
+        first, second, stats = run(scenario())
+        assert (first, second) == (1, 2)
+        assert stats.executed == 2
+        assert stats.coalesced == 0
+
+
+class TestFailuresAndLimits:
+    def test_exceptions_propagate_to_every_waiter(self):
+        async def scenario():
+            scheduler = RequestScheduler(workers=2, max_queue=8)
+            await scheduler.start()
+
+            def boom():
+                time.sleep(0.05)
+                raise ValueError("engine exploded")
+
+            tasks = [
+                asyncio.create_task(scheduler.submit("bad", boom))
+                for _ in range(3)
+            ]
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            stats = scheduler.stats
+            await scheduler.stop()
+            return outcomes, stats
+
+        outcomes, stats = run(scenario())
+        assert all(isinstance(o, ValueError) for o in outcomes)
+        assert stats.failed == 1
+        # a failure does not wedge the worker
+        assert stats.executed == 0
+
+    def test_worker_survives_failure(self):
+        async def scenario():
+            scheduler = RequestScheduler(workers=1, max_queue=8)
+            await scheduler.start()
+            with pytest.raises(RuntimeError):
+                await scheduler.submit("a", self._raise_runtime)
+            value = await scheduler.submit("b", lambda: "alive")
+            await scheduler.stop()
+            return value
+
+        assert run(scenario()) == "alive"
+
+    @staticmethod
+    def _raise_runtime():
+        raise RuntimeError("first job fails")
+
+    def test_bounded_queue_applies_backpressure(self):
+        """With a 1-slot queue and 1 worker, many distinct jobs still all
+        complete — submission just waits for space."""
+        async def scenario():
+            scheduler = RequestScheduler(workers=1, max_queue=1)
+            await scheduler.start()
+            results = await asyncio.gather(*[
+                scheduler.submit(i, lambda i=i: i) for i in range(12)
+            ])
+            stats = scheduler.stats
+            await scheduler.stop()
+            return results, stats
+
+        results, stats = run(scenario())
+        assert results == list(range(12))
+        assert stats.executed == 12
+        assert stats.max_queue_depth <= 1
+
+    def test_submit_requires_running_scheduler(self):
+        async def scenario():
+            scheduler = RequestScheduler()
+            with pytest.raises(RuntimeError):
+                await scheduler.submit("k", lambda: 1)
+
+        run(scenario())

@@ -1,0 +1,133 @@
+"""The persistent cache tier: digests, round-trips, warm restarts."""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import HomEngine
+from repro.engine.cache import pattern_key, restriction_key, target_key
+from repro.graphs import cycle_graph, path_graph, random_graph
+from repro.service.store import PersistentStore, stable_key_digest
+
+
+class TestStableDigest:
+    def test_frozenset_order_independent(self):
+        key_a = frozenset({("x", 1), ("y", 2), ("z", 3)})
+        key_b = frozenset([("z", 3), ("x", 1), ("y", 2)])
+        assert stable_key_digest(key_a) == stable_key_digest(key_b)
+
+    def test_distinguishes_types(self):
+        assert stable_key_digest((1,)) != stable_key_digest(("1",))
+        assert stable_key_digest([1, 2]) != stable_key_digest((1, 2))
+
+    def test_real_cache_keys(self):
+        graph = random_graph(8, 0.4, seed=1)
+        key = (pattern_key(cycle_graph(5)), target_key(graph), restriction_key(None))
+        assert stable_key_digest(key) == stable_key_digest(key)
+        other = (pattern_key(cycle_graph(6)), target_key(graph), restriction_key(None))
+        assert stable_key_digest(key) != stable_key_digest(other)
+
+    def test_digest_survives_reserialisation(self):
+        # Rebuilding the logically identical key from scratch (fresh
+        # frozensets, fresh tuples) must land on the same digest.
+        first = target_key(random_graph(9, 0.5, seed=3))
+        second = target_key(random_graph(9, 0.5, seed=3))
+        assert stable_key_digest(first) == stable_key_digest(second)
+
+
+class TestPersistentStore:
+    def test_count_round_trip(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        key = ("k", frozenset({1, 2, 3}))
+        assert store.load_count(key) is None
+        store.save_count(key, 42)
+        assert store.load_count(key) == 42
+        # a second store on the same directory sees the entry
+        reopened = PersistentStore(tmp_path)
+        assert reopened.load_count(key) == 42
+        assert reopened.stats.count_hits == 1
+
+    def test_plan_round_trip(self, tmp_path):
+        from repro.engine.plans import compile_plan
+
+        store = PersistentStore(tmp_path)
+        key = ("plan-key",)
+        assert store.load_plan(key) is None
+        plan = compile_plan(path_graph(4))
+        store.save_plan(key, plan)
+        loaded = PersistentStore(tmp_path).load_plan(key)
+        host = random_graph(7, 0.5, seed=2)
+        assert loaded.execute(host) == plan.execute(host)
+
+    def test_torn_count_line_tolerated(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.save_count(("a",), 7)
+        with open(os.path.join(store.path, "counts.jsonl"), "a") as handle:
+            handle.write('{"key": "trunc')  # simulated crash mid-write
+        reopened = PersistentStore(tmp_path)
+        assert reopened.load_count(("a",)) == 7
+
+    def test_summary_is_cachestats_compatible(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.save_count(("a",), 1)
+        store.load_count(("a",))
+        store.load_count(("b",))
+        report = store.summary()
+        # same vocabulary as CacheStats.snapshot()
+        for field in (
+            "plan_hits", "plan_misses", "count_hits", "count_misses",
+            "count_requests", "count_hit_rate",
+        ):
+            assert field in report
+        assert report["count_hits"] == 1
+        assert report["count_misses"] == 1
+        assert report["counts_stored"] == 1
+
+
+class TestEngineWithStore:
+    def test_warm_restart_zero_recompute(self, tmp_path):
+        """Write, 'restart' (fresh engine, same dir), warm hit, zero work."""
+        pattern = cycle_graph(6)
+        hosts = [random_graph(10, 0.35, seed=40 + i) for i in range(4)]
+
+        cold = HomEngine(store=PersistentStore(tmp_path))
+        expected = [cold.count(pattern, host) for host in hosts]
+        assert cold.plans_compiled == 1
+        assert cold.counts_executed == len(hosts)
+
+        warm = HomEngine(store=PersistentStore(tmp_path))
+        got = [warm.count(pattern, host) for host in hosts]
+        assert got == expected
+        assert warm.plans_compiled == 0
+        assert warm.counts_executed == 0
+        summary = warm.stats_summary()
+        assert summary["persistent_count_hits"] == len(hosts)
+
+    def test_plan_tier_survives_without_counts(self, tmp_path):
+        """A NEW target with a KNOWN pattern recomputes the count but not
+        the plan — the plan arrives from disk."""
+        pattern = path_graph(6)
+        first = HomEngine(store=PersistentStore(tmp_path))
+        first.count(pattern, random_graph(9, 0.4, seed=1))
+        assert first.plans_compiled == 1
+
+        second = HomEngine(store=PersistentStore(tmp_path))
+        fresh_host = random_graph(9, 0.4, seed=2)
+        value = second.count(pattern, fresh_host)
+        assert value == HomEngine().count(pattern, fresh_host)
+        assert second.plans_compiled == 0
+        assert second.counts_executed == 1
+        assert second.stats_summary()["persistent_plan_hits"] == 1
+
+    def test_restricted_counts_round_trip(self, tmp_path):
+        pattern = path_graph(3)
+        host = random_graph(8, 0.5, seed=9)
+        allowed = {
+            v: frozenset(w for w in host.vertices() if isinstance(w, int) and w % 2 == 0)
+            for v in pattern.vertices()
+        }
+        first = HomEngine(store=PersistentStore(tmp_path))
+        value = first.count(pattern, host, allowed=allowed)
+        second = HomEngine(store=PersistentStore(tmp_path))
+        assert second.count(pattern, host, allowed=allowed) == value
+        assert second.counts_executed == 0

@@ -1,0 +1,103 @@
+"""Hammer one engine from many threads; counts must match the oracle and
+the cache statistics must stay arithmetically consistent."""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine import HomEngine
+from repro.graphs import cycle_graph, path_graph, random_graph, star_graph
+from repro.homs.brute_force import count_homomorphisms_brute
+
+
+def _workload():
+    patterns = [path_graph(3), path_graph(4), cycle_graph(4), star_graph(3)]
+    targets = [random_graph(8, 0.4, seed=70 + i) for i in range(6)]
+    pairs = [(p, t) for p in patterns for t in targets]
+    oracle = {
+        index: count_homomorphisms_brute(pattern, target)
+        for index, (pattern, target) in enumerate(pairs)
+    }
+    return pairs, oracle
+
+
+class TestThreadSafety:
+    def test_concurrent_counts_match_oracle(self):
+        pairs, oracle = _workload()
+        engine = HomEngine()
+        jobs = list(range(len(pairs))) * 8  # every pair, from many threads
+        rng = random.Random(5)
+        rng.shuffle(jobs)
+        results: dict[int, set] = {index: set() for index in oracle}
+        barrier = threading.Barrier(8)
+
+        def run(chunk) -> None:
+            barrier.wait()  # maximise contention on the cold caches
+            for index in chunk:
+                pattern, target = pairs[index]
+                results[index].add(engine.count(pattern, target))
+
+        chunks = [jobs[i::8] for i in range(8)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(run, chunks))
+
+        for index, values in results.items():
+            assert values == {oracle[index]}, f"pair {index} diverged: {values}"
+
+    def test_stats_consistent_under_contention(self):
+        pairs, oracle = _workload()
+        engine = HomEngine()
+        total_calls = len(pairs) * 8
+
+        def run(index) -> int:
+            pattern, target = pairs[index % len(pairs)]
+            return engine.count(pattern, target)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(run, range(total_calls)))
+
+        stats = engine.stats_summary()
+        # Every call probes the count cache exactly once.
+        assert stats["count_requests"] == total_calls
+        assert stats["count_hits"] + stats["count_misses"] == total_calls
+        # Plan probes happen only on count-cache misses.
+        assert stats["plan_requests"] == stats["count_misses"]
+        # Racing threads may compile a plan twice, but never more than one
+        # compilation per plan-cache miss, and at least one per pattern.
+        assert 4 <= stats["plans_compiled"] <= stats["plan_misses"]
+        assert stats["counts_executed"] == stats["count_misses"]
+
+    def test_concurrent_restricted_and_batch_calls(self):
+        engine = HomEngine()
+        pattern = path_graph(3)
+        targets = [random_graph(7, 0.5, seed=90 + i) for i in range(4)]
+        allowed = {
+            v: frozenset(range(0, 7, 2)) for v in pattern.vertices()
+        }
+        expected_plain = [
+            count_homomorphisms_brute(pattern, t) for t in targets
+        ]
+        expected_restricted = [
+            count_homomorphisms_brute(pattern, t, allowed=allowed)
+            for t in targets
+        ]
+
+        def plain() -> list[int]:
+            (row,) = engine.count_batch([pattern], targets)
+            return row
+
+        def restricted() -> list[int]:
+            return [
+                engine.count(pattern, t, allowed=allowed) for t in targets
+            ]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [
+                pool.submit(plain) if i % 2 == 0 else pool.submit(restricted)
+                for i in range(12)
+            ]
+            for i, future in enumerate(futures):
+                expected = expected_plain if i % 2 == 0 else expected_restricted
+                assert future.result() == expected

@@ -182,3 +182,151 @@ class TestCliExtended:
     def test_union_mismatched_free_variables(self, capsys):
         code = main(["union", "q(x) :- E(x, y) ; q(a, b) :- E(a, b)"])
         assert code == 2
+
+
+class TestCliJson:
+    """--json output must match the service API payload shapes exactly."""
+
+    def test_wl_dim_json(self, capsys):
+        import json
+
+        code = main(["wl-dim", "q(x1, x2) :- E(x1, y), E(x2, y)", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "wl-dim"
+        assert payload["wl_dimension"] == 2
+
+    def test_analyze_json(self, capsys):
+        import json
+
+        code = main(["analyze", "q(x1) :- E(x1, y)", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "analyze"
+        assert payload["analysis"]["wl_dimension"] == 1
+
+    def test_count_json_single_host(self, capsys):
+        import json
+
+        code = main([
+            "count", "q(x1, x2) :- E(x1, y), E(x2, y)",
+            "--n", "7", "--seed", "3", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "count-answers"
+        assert payload["count"] == 25
+        assert payload["method"] == "interpolation"
+
+    def test_count_json_batch(self, capsys):
+        import json
+
+        code = main([
+            "count", "q(x1, x2) :- E(x1, y), E(x2, y)",
+            "--n", "6", "--seed", "2", "--batch", "3", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "count-answers-batch"
+        assert len(payload["results"]) == 3
+        assert "engine" in payload
+
+    def test_cli_payload_matches_service_payload(self, capsys):
+        """True CLI/service parity: the `--json` stdout of the CLI equals
+        the HTTP response of the service for the same query and host."""
+        import json
+
+        from repro.engine import set_default_engine
+        from repro.graphs import random_graph
+        from repro.graphs.io import to_graph6
+        from repro.service import BackgroundServer, ServiceClient
+
+        text = "q(x1, x2) :- E(x1, y), E(x2, y)"
+        host = random_graph(7, 0.4, seed=3)
+
+        assert main(["count", text, "--graph6", to_graph6(host), "--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+
+        try:
+            with BackgroundServer(workers=1) as server:
+                service_payload = ServiceClient(port=server.port).count_answers(
+                    text, host,
+                )
+        finally:
+            set_default_engine(None)
+        assert cli_payload == service_payload
+
+        assert main(["wl-dim", text, "--json"]) == 0
+        cli_wl = json.loads(capsys.readouterr().out)
+        try:
+            with BackgroundServer(workers=1) as server:
+                service_wl = ServiceClient(port=server.port).wl_dim(text)
+        finally:
+            set_default_engine(None)
+        assert cli_wl == service_wl
+
+    def test_engine_stats_persistent(self, capsys, tmp_path):
+        args = [
+            "engine-stats", "--tw", "1", "--max-pattern-vertices", "4",
+            "--targets", "3", "--n", "6", "--persistent", str(tmp_path / "tier"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "persistent tier" in cold
+        assert "counts_stored" in cold
+        # second run on the same directory starts warm
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        compiled = [
+            line for line in warm.splitlines() if "plans_compiled" in line
+        ]
+        assert compiled and compiled[0].split()[-1] == "0"
+
+
+class TestCliServeClient:
+    def test_client_against_background_server(self, capsys):
+        import json
+
+        from repro.engine import set_default_engine
+        from repro.graphs import cycle_graph
+        from repro.graphs.io import to_graph6
+        from repro.service import BackgroundServer
+
+        try:
+            with BackgroundServer(workers=2) as server:
+                port = str(server.port)
+                assert main(["client", "--port", port, "health"]) == 0
+                assert json.loads(capsys.readouterr().out)["status"] == "ok"
+
+                assert main([
+                    "client", "--port", port, "register", "--name", "hosts",
+                    "--n", "10", "--p", "0.4", "--seed", "2",
+                ]) == 0
+                assert json.loads(capsys.readouterr().out)["vertices"] == 10
+
+                assert main([
+                    "client", "--port", port, "count",
+                    "--pattern-graph6", to_graph6(cycle_graph(4)),
+                    "--target", "hosts",
+                ]) == 0
+                count_payload = json.loads(capsys.readouterr().out)
+                assert count_payload["kind"] == "count"
+                assert count_payload["count"] > 0
+
+                assert main([
+                    "client", "--port", port, "count-answers",
+                    "q(x1, x2) :- E(x1, y), E(x2, y)", "--target", "hosts",
+                ]) == 0
+                answers = json.loads(capsys.readouterr().out)
+                assert answers["kind"] == "count-answers"
+
+                assert main(["client", "--port", port, "stats"]) == 0
+                stats = json.loads(capsys.readouterr().out)
+                assert stats["engine"]["count_requests"] >= 1
+        finally:
+            set_default_engine(None)
+
+    def test_client_unreachable_server_reports_error(self, capsys):
+        code = main(["client", "--port", "1", "health"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -204,6 +204,77 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_generator_graph(args: argparse.Namespace):
+    from repro.graphs import complete_graph, cycle_graph, grid_graph, path_graph
+
+    if args.generator == "random":
+        return random_graph(args.n, args.p, seed=args.seed)
+    if args.generator == "cycle":
+        return cycle_graph(args.n)
+    if args.generator == "path":
+        return path_graph(args.n)
+    if args.generator == "complete":
+        return complete_graph(args.n)
+    if args.generator == "grid":
+        side = max(2, int(round(args.n ** 0.5)))
+        return grid_graph(side, side)
+    raise AssertionError(f"unknown generator {args.generator!r}")
+
+
+def _cmd_encode_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.graphs.indexed import IndexedGraph, graph_memory_footprint
+
+    graph = _make_generator_graph(args)
+    if args.rich_labels:
+        graph = graph.relabelled(
+            {
+                v: (("w", v), frozenset({hash(v) % 5, "tag"}))
+                for v in graph.vertices()
+            },
+        )
+
+    start = time.perf_counter()
+    indexed = IndexedGraph.from_graph(graph)
+    encode_time = time.perf_counter() - start
+    start = time.perf_counter()
+    indexed.bitsets()
+    indexed.degree_sequence()
+    indexed.connected_components()
+    invariant_time = time.perf_counter() - start
+
+    graph_bytes = graph_memory_footprint(graph)
+    indexed_bytes = indexed.memory_footprint()
+    payload = {
+        "kind": "encode-stats",
+        "generator": args.generator,
+        "vertices": graph.num_vertices(),
+        "edges": graph.num_edges(),
+        "rich_labels": bool(args.rich_labels),
+        "encode_ms": round(encode_time * 1000, 3),
+        "invariants_ms": round(invariant_time * 1000, 3),
+        "graph_bytes": graph_bytes,
+        "indexed_bytes": indexed_bytes,
+        "bytes_ratio": round(indexed_bytes / graph_bytes, 3) if graph_bytes else None,
+        "structural_digest": indexed.structural_digest(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{args.generator} graph: n={payload['vertices']} m={payload['edges']}"
+        f"{' (rich labels)' if args.rich_labels else ''}",
+    )
+    print(f"  encode (CSR + codec)     {payload['encode_ms']:.3f} ms")
+    print(f"  invariants (bitsets &c)  {payload['invariants_ms']:.3f} ms")
+    print(f"  Graph adjacency bytes    {graph_bytes}")
+    print(f"  IndexedGraph bytes       {indexed_bytes}")
+    print(f"  indexed / dict-of-sets   {payload['bytes_ratio']}")
+    print(f"  structural digest        {payload['structural_digest'][:16]}…")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_server
 
@@ -348,6 +419,26 @@ def build_parser() -> argparse.ArgumentParser:
         "report it (run twice to see a warm restart)",
     )
     engine_stats.set_defaults(func=_cmd_engine_stats)
+
+    encode_stats = sub.add_parser(
+        "encode-stats",
+        help="report IndexedGraph encode time + memory vs the dict-of-sets Graph",
+    )
+    encode_stats.add_argument(
+        "--generator",
+        choices=("random", "cycle", "path", "grid", "complete"),
+        default="random",
+    )
+    encode_stats.add_argument("--n", type=int, default=200)
+    encode_stats.add_argument("--p", type=float, default=0.1)
+    encode_stats.add_argument("--seed", type=int, default=0)
+    encode_stats.add_argument(
+        "--rich-labels",
+        action="store_true",
+        help="relabel vertices with CFI-style structured labels first",
+    )
+    encode_stats.add_argument("--json", action="store_true", help=json_help)
+    encode_stats.set_defaults(func=_cmd_encode_stats)
 
     serve = sub.add_parser(
         "serve", help="run the counting service (HTTP/JSON, stdlib only)",

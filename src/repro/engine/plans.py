@@ -111,7 +111,11 @@ class MatrixPlan(CountPlan):
 
 # One instruction per nice-tree node, in postorder.  All pattern-side index
 # arithmetic (`bag_order`, `.index(...)` calls) is resolved at compile time;
-# execution only touches target vertices.
+# execution only touches target vertex *indices*: the target is encoded
+# once per graph value (``Graph.to_indexed`` caches), DP keys are int
+# tuples, and candidate images come from neighbourhood-bitset
+# intersections.  Bags are ordered by pattern codec index — a total order,
+# unlike the seed's ``repr``-sort, which could collide.
 _LEAF = 0
 _INTRODUCE = 1
 _FORGET = 2
@@ -136,8 +140,9 @@ class DPPlan(CountPlan):
     def execute(self, target, allowed=None):
         if target.num_vertices() == 0:
             return 0
-        target_vertices = target.vertices()
-        has_edge = target.has_edge
+        indexed_target = target.to_indexed()
+        target_bits = indexed_target.bitsets()
+        full_pool = (1 << indexed_target.n) - 1
         stack: list[dict[tuple, int]] = []
 
         for instruction in self.instructions:
@@ -148,22 +153,24 @@ class DPPlan(CountPlan):
                 _, vertex, position, neighbour_positions = instruction
                 child = stack.pop()
                 if allowed is not None and vertex in allowed:
-                    images = [
-                        w for w in target_vertices if w in allowed[vertex]
-                    ]
+                    base_pool = indexed_target.codec.encode_mask(
+                        allowed[vertex],
+                    )
                 else:
-                    images = target_vertices
+                    base_pool = full_pool
                 table: dict[tuple, int] = {}
                 for key, count in child.items():
-                    for image in images:
-                        if all(
-                            has_edge(key[pos], image)
-                            for pos in neighbour_positions
-                        ):
-                            new_key = (
-                                key[:position] + (image,) + key[position:]
-                            )
-                            table[new_key] = table.get(new_key, 0) + count
+                    pool = base_pool
+                    for pos in neighbour_positions:
+                        pool &= target_bits[key[pos]]
+                    while pool:
+                        low_bit = pool & -pool
+                        pool ^= low_bit
+                        image = low_bit.bit_length() - 1
+                        new_key = (
+                            key[:position] + (image,) + key[position:]
+                        )
+                        table[new_key] = table.get(new_key, 0) + count
                 stack.append(table)
             elif op == _FORGET:
                 _, drop = instruction
@@ -195,28 +202,35 @@ class DPPlan(CountPlan):
         )
 
 
-def _bag_order(bag: frozenset) -> list[Vertex]:
-    return sorted(bag, key=repr)
-
-
 def _compile_instructions(pattern: Graph, root: NiceNode) -> list[tuple]:
+    indexed_pattern = pattern.to_indexed()
+    encode = indexed_pattern.codec.encode
+    pattern_adjacency = indexed_pattern.adjacency_lists()
+
+    def bag_order(bag: frozenset) -> list[int]:
+        return sorted(encode(v) for v in bag)
+
     instructions: list[tuple] = []
     for node in root.iter_postorder():
         if node.kind == "leaf":
             instructions.append((_LEAF,))
         elif node.kind == "introduce":
-            child_order = _bag_order(node.children[0].bag)
-            position = _bag_order(node.bag).index(node.vertex)
+            child_order = bag_order(node.children[0].bag)
+            vertex_index = encode(node.vertex)
+            position = bag_order(node.bag).index(vertex_index)
+            child_bag_indices = set(child_order)
             neighbour_positions = tuple(
                 child_order.index(u)
-                for u in pattern.neighbours(node.vertex)
-                if u in node.children[0].bag
+                for u in pattern_adjacency[vertex_index]
+                if u in child_bag_indices
             )
+            # The label rides along for ``allowed`` lookups at execute
+            # time; all positional arithmetic is already index-space.
             instructions.append(
                 (_INTRODUCE, node.vertex, position, neighbour_positions),
             )
         elif node.kind == "forget":
-            drop = _bag_order(node.children[0].bag).index(node.vertex)
+            drop = bag_order(node.children[0].bag).index(encode(node.vertex))
             instructions.append((_FORGET, drop))
         elif node.kind == "join":
             instructions.append((_JOIN,))

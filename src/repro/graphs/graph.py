@@ -10,6 +10,14 @@ vertex type is deliberately generic.
 The class is mutable during construction (``add_vertex`` / ``add_edge``) but
 the analysis code treats graphs as values; helpers that need a modified graph
 copy first (:meth:`Graph.copy`).
+
+Hot-path callers (homomorphism counting, colour refinement, k-WL, the
+engine's DP plans) should not iterate this dict-of-sets structure directly:
+:meth:`Graph.to_indexed` compiles the graph once into a frozen
+:class:`~repro.graphs.indexed.IndexedGraph` — CSR adjacency over vertices
+``0..n-1`` with neighbourhood bitsets — and caches it on the graph, so the
+encode cost is amortised across every compute layer.  Labels stay at the
+boundary; indices do the work.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ class Graph:
     2
     """
 
-    __slots__ = ("_adjacency",)
+    __slots__ = ("_adjacency", "_indexed")
 
     def __init__(
         self,
@@ -52,6 +60,7 @@ class Graph:
         edges: Iterable[Iterable[Vertex]] = (),
     ) -> None:
         self._adjacency: dict[Vertex, set[Vertex]] = {}
+        self._indexed = None
         for vertex in vertices:
             self.add_vertex(vertex)
         for edge in edges:
@@ -63,6 +72,7 @@ class Graph:
     # ------------------------------------------------------------------
     def add_vertex(self, vertex: Vertex) -> None:
         """Add ``vertex`` if not already present."""
+        self._indexed = None
         self._adjacency.setdefault(vertex, set())
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
@@ -81,11 +91,13 @@ class Graph:
             self._adjacency[v].remove(u)
         except KeyError as exc:
             raise GraphError(f"edge {{{u!r}, {v!r}}} not in graph") from exc
+        self._indexed = None
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all incident edges; raise if absent."""
         if vertex not in self._adjacency:
             raise GraphError(f"vertex {vertex!r} not in graph")
+        self._indexed = None
         for neighbour in self._adjacency[vertex]:
             self._adjacency[neighbour].discard(vertex)
         del self._adjacency[vertex]
@@ -122,7 +134,11 @@ class Graph:
         return u in self._adjacency and v in self._adjacency[u]
 
     def neighbours(self, vertex: Vertex) -> frozenset:
-        """The open neighbourhood ``N(v)``."""
+        """The open neighbourhood ``N(v)``.
+
+        Allocates a fresh ``frozenset`` per call; loops that scan many
+        neighbourhoods should run over :meth:`to_indexed` instead.
+        """
         if vertex not in self._adjacency:
             raise GraphError(f"vertex {vertex!r} not in graph")
         return frozenset(self._adjacency[vertex])
@@ -135,7 +151,11 @@ class Graph:
         return frozenset(result)
 
     def degree(self, vertex: Vertex) -> int:
-        return len(self.neighbours(vertex))
+        """``|N(v)|`` — O(1), no neighbourhood allocation."""
+        try:
+            return len(self._adjacency[vertex])
+        except KeyError as exc:
+            raise GraphError(f"vertex {vertex!r} not in graph") from exc
 
     def num_vertices(self) -> int:
         return len(self._adjacency)
@@ -243,6 +263,18 @@ class Graph:
     def __repr__(self) -> str:
         return f"Graph(n={self.num_vertices()}, m={self.num_edges()})"
 
+    # Pickling (persistent plan store): ship only the adjacency — the
+    # indexed encoding is a cache and is rebuilt on demand after loading.
+    def __getstate__(self):
+        return self._adjacency
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # default slots-protocol payload
+            _, slots = state
+            state = slots["_adjacency"]
+        self._adjacency = state
+        self._indexed = None
+
     def edge_fingerprint(self) -> frozenset:
         """A hashable, label-level identity for the graph."""
         return frozenset(
@@ -270,3 +302,29 @@ class Graph:
     def adjacency_dict(self) -> dict[Vertex, frozenset]:
         """A read-only snapshot of the adjacency structure."""
         return {v: frozenset(adj) for v, adj in self._adjacency.items()}
+
+    def adjacency_view(self) -> Mapping[Vertex, set]:
+        """The live adjacency mapping — zero-copy, for encoders only.
+
+        Callers must not mutate the returned structure; use the public
+        construction methods instead (they invalidate the indexed cache).
+        """
+        return self._adjacency
+
+    def to_indexed(self):
+        """The :class:`~repro.graphs.indexed.IndexedGraph` compilation of
+        this graph — vertices ``0..n-1`` in insertion order, CSR adjacency,
+        cached bitsets and invariants.
+
+        The encoding is computed once and cached on the graph (mutating the
+        graph invalidates it), so the cost is amortised across all compute
+        layers: the engine, the homomorphism counters, and the WL stack all
+        share one encode per graph value.
+        """
+        cached = self._indexed
+        if cached is None:
+            from repro.graphs.indexed import IndexedGraph
+
+            cached = IndexedGraph.from_graph(self)
+            self._indexed = cached
+        return cached

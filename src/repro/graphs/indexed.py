@@ -1,0 +1,329 @@
+"""The integer-indexed graph kernel.
+
+:class:`Graph` speaks the paper's language — vertices are arbitrary
+hashable labels such as CFI pairs ``(w, frozenset(S))`` or ℓ-copy pairs
+``(y, i)`` — but every hot inner loop (homomorphism DP tables, colour
+refinement, k-WL tuple colourings, backtracking candidate pools) only
+needs *identity* and *adjacency*.  :class:`IndexedGraph` compiles a graph
+once into a compact representation the compute layers share:
+
+* vertices are ``0 .. n-1`` in the :class:`Graph`'s insertion order;
+* adjacency is CSR-style (``offsets``/``targets`` as ``array('q')``),
+  neighbours sorted ascending, so ``degree`` is O(1) and neighbour scans
+  are cache-friendly;
+* lazily cached invariants: per-vertex **neighbourhood bitsets** (Python
+  big-ints, one bit per vertex — an O(n/64)-word intersection replaces a
+  ``frozenset`` intersection of rich labels), the sorted degree sequence,
+  connected components, and a structural digest;
+* a :class:`LabelCodec` keeps the original labels at the boundary:
+  ``Graph.to_indexed()`` encodes once (and caches on the graph),
+  :meth:`IndexedGraph.to_graph` decodes back losslessly.
+
+The intended architecture is *labels at the boundary, indices inside*:
+public APIs accept and return labels, while everything between — search
+orders, DP table keys, partition arrays, candidate pools — lives in index
+space.  See README "Architecture".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from sys import getsizeof
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Sequence
+
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.graph import Graph
+
+Vertex = Hashable
+
+
+class LabelCodec:
+    """A frozen bijection between hashable vertex labels and ``0..n-1``.
+
+    The index of a label is its position in the originating graph's
+    insertion order, so ``Graph.vertices()[i]`` and ``codec.labels[i]``
+    always agree.
+    """
+
+    __slots__ = ("labels", "_index")
+
+    def __init__(self, labels: Iterable[Vertex]) -> None:
+        self.labels: tuple = tuple(labels)
+        self._index: dict = {label: i for i, label in enumerate(self.labels)}
+        if len(self._index) != len(self.labels):
+            raise GraphError("codec labels must be distinct")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, label: Vertex) -> bool:
+        return label in self._index
+
+    def encode(self, label: Vertex) -> int:
+        """The index of ``label``; raises :class:`GraphError` if unknown."""
+        try:
+            return self._index[label]
+        except KeyError as exc:
+            raise GraphError(f"vertex {label!r} not in graph") from exc
+
+    def encode_or_none(self, label: Vertex) -> int | None:
+        """The index of ``label``, or ``None`` — never raises."""
+        try:
+            return self._index.get(label)
+        except TypeError:  # unhashable probe
+            return None
+
+    def decode(self, index: int) -> Vertex:
+        return self.labels[index]
+
+    def encode_mask(self, labels: Iterable[Vertex]) -> int:
+        """A bitset of the indices of the known labels in ``labels``
+        (unknown labels are skipped — they cannot be images/vertices)."""
+        index = self._index
+        mask = 0
+        for label in labels:
+            i = index.get(label)
+            if i is not None:
+                mask |= 1 << i
+        return mask
+
+
+class IndexedGraph:
+    """A frozen, integer-indexed snapshot of a :class:`Graph`.
+
+    Construct via :meth:`Graph.to_indexed` (cached on the graph) or
+    :meth:`IndexedGraph.from_graph`.  All invariants are cached on first
+    use; the object itself is immutable.
+    """
+
+    __slots__ = (
+        "n",
+        "offsets",
+        "targets",
+        "codec",
+        "_adjacency_lists",
+        "_bitsets",
+        "_degree_sequence",
+        "_components",
+        "_digest",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        offsets: array,
+        targets: array,
+        codec: LabelCodec,
+    ) -> None:
+        self.n = n
+        self.offsets = offsets
+        self.targets = targets
+        self.codec = codec
+        self._adjacency_lists: tuple[tuple[int, ...], ...] | None = None
+        self._bitsets: tuple[int, ...] | None = None
+        self._degree_sequence: tuple[int, ...] | None = None
+        self._components: tuple[tuple[int, ...], ...] | None = None
+        self._digest: str | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: "Graph") -> "IndexedGraph":
+        """Encode ``graph`` (vertices in insertion order)."""
+        adjacency = graph.adjacency_view()
+        codec = LabelCodec(adjacency)
+        index = codec._index
+        n = len(codec)
+        offsets = array("q", bytes(8 * (n + 1)))
+        targets = array("q")
+        position = 0
+        for i, label in enumerate(codec.labels):
+            row = sorted(index[u] for u in adjacency[label])
+            targets.extend(row)
+            position += len(row)
+            offsets[i + 1] = position
+        return cls(n, offsets, targets, codec)
+
+    @classmethod
+    def from_neighbour_lists(
+        cls,
+        neighbour_lists: Sequence[Sequence[int]],
+        labels: Sequence[Vertex] | None = None,
+    ) -> "IndexedGraph":
+        """Build directly from per-vertex sorted neighbour index lists.
+
+        ``labels`` defaults to the indices themselves.  Used for derived
+        graphs that never existed in label space (e.g. disjoint unions
+        inside WL equivalence checks).
+        """
+        n = len(neighbour_lists)
+        codec = LabelCodec(range(n) if labels is None else labels)
+        offsets = array("q", bytes(8 * (n + 1)))
+        targets = array("q")
+        position = 0
+        for i, row in enumerate(neighbour_lists):
+            targets.extend(row)
+            position += len(row)
+            offsets[i + 1] = position
+        return cls(n, offsets, targets, codec)
+
+    def to_graph(self) -> "Graph":
+        """Decode back to a label-space :class:`Graph` (lossless)."""
+        from repro.graphs.graph import Graph
+
+        labels = self.codec.labels
+        graph = Graph(vertices=labels)
+        for u, v in self.edges():
+            graph.add_edge(labels[u], labels[v])
+        return graph
+
+    @staticmethod
+    def disjoint_union(first: "IndexedGraph", second: "IndexedGraph") -> "IndexedGraph":
+        """The disjoint union with ``second``'s indices shifted by
+        ``first.n`` — pure index space, labels are the shifted indices."""
+        shift = first.n
+        rows = list(first.adjacency_lists())
+        rows.extend(
+            tuple(u + shift for u in row) for row in second.adjacency_lists()
+        )
+        return IndexedGraph.from_neighbour_lists(rows)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def num_vertices(self) -> int:
+        return self.n
+
+    def num_edges(self) -> int:
+        return len(self.targets) // 2
+
+    def degree(self, vertex: int) -> int:
+        """O(1): the CSR row width."""
+        return self.offsets[vertex + 1] - self.offsets[vertex]
+
+    def neighbours(self, vertex: int) -> tuple[int, ...]:
+        """Sorted neighbour indices of ``vertex``."""
+        return self.adjacency_lists()[vertex]
+
+    def adjacency_lists(self) -> tuple[tuple[int, ...], ...]:
+        """Per-vertex sorted neighbour tuples (cached; the fastest
+        structure for Python-level scans)."""
+        cached = self._adjacency_lists
+        if cached is None:
+            offsets, targets = self.offsets, self.targets
+            cached = tuple(
+                tuple(targets[offsets[i]:offsets[i + 1]]) for i in range(self.n)
+            )
+            self._adjacency_lists = cached
+        return cached
+
+    def bitsets(self) -> tuple[int, ...]:
+        """Per-vertex neighbourhood bitsets: bit ``w`` of ``bitsets()[v]``
+        is set iff ``{v, w}`` is an edge.  Python big-ints, so any ``n``
+        works; intersections cost O(n/64) words."""
+        cached = self._bitsets
+        if cached is None:
+            rows = []
+            for row in self.adjacency_lists():
+                bits = 0
+                for w in row:
+                    bits |= 1 << w
+                rows.append(bits)
+            cached = tuple(rows)
+            self._bitsets = cached
+        return cached
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool((self.bitsets()[u] >> v) & 1)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Each edge once, as ``(u, v)`` with ``u < v``."""
+        offsets, targets = self.offsets, self.targets
+        for u in range(self.n):
+            for position in range(offsets[u], offsets[u + 1]):
+                v = targets[position]
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # cached invariants
+    # ------------------------------------------------------------------
+    def degree_sequence(self) -> tuple[int, ...]:
+        """Sorted (descending) degree sequence."""
+        cached = self._degree_sequence
+        if cached is None:
+            offsets = self.offsets
+            cached = tuple(
+                sorted(
+                    (offsets[i + 1] - offsets[i] for i in range(self.n)),
+                    reverse=True,
+                ),
+            )
+            self._degree_sequence = cached
+        return cached
+
+    def connected_components(self) -> tuple[tuple[int, ...], ...]:
+        """Vertex index sets of the connected components (sorted tuples)."""
+        cached = self._components
+        if cached is None:
+            adjacency = self.adjacency_lists()
+            seen = bytearray(self.n)
+            components: list[tuple[int, ...]] = []
+            for root in range(self.n):
+                if seen[root]:
+                    continue
+                seen[root] = 1
+                component = [root]
+                frontier = [root]
+                while frontier:
+                    current = frontier.pop()
+                    for neighbour in adjacency[current]:
+                        if not seen[neighbour]:
+                            seen[neighbour] = 1
+                            component.append(neighbour)
+                            frontier.append(neighbour)
+                components.append(tuple(sorted(component)))
+            cached = tuple(components)
+            self._components = cached
+        return cached
+
+    def structural_digest(self) -> str:
+        """SHA-256 over ``(n, CSR arrays)`` — a label-independent identity
+        of the indexed structure (equal for equally-indexed graphs)."""
+        cached = self._digest
+        if cached is None:
+            hasher = hashlib.sha256()
+            hasher.update(str(self.n).encode())
+            hasher.update(self.offsets.tobytes())
+            hasher.update(self.targets.tobytes())
+            cached = hasher.hexdigest()
+            self._digest = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def memory_footprint(self) -> int:
+        """Approximate bytes held by the index structures (CSR arrays +
+        codec; cached invariants excluded — they are optional extras)."""
+        total = getsizeof(self.offsets) + getsizeof(self.targets)
+        total += getsizeof(self.codec.labels) + getsizeof(self.codec._index)
+        return total
+
+    def __repr__(self) -> str:
+        return f"IndexedGraph(n={self.n}, m={self.num_edges()})"
+
+
+def graph_memory_footprint(graph: "Graph") -> int:
+    """Approximate bytes held by a :class:`Graph`'s dict-of-sets adjacency
+    (dict + per-vertex sets; label payloads themselves excluded, matching
+    :meth:`IndexedGraph.memory_footprint` which also shares the labels)."""
+    adjacency = graph.adjacency_view()
+    total = getsizeof(adjacency)
+    for neighbours in adjacency.values():
+        total += getsizeof(neighbours)
+    return total

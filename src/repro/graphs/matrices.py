@@ -21,15 +21,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def adjacency_matrix(graph: Graph) -> "numpy.ndarray":
-    """Dense 0/1 adjacency matrix in insertion order of the vertices."""
+    """Dense 0/1 adjacency matrix in insertion order of the vertices.
+
+    Built from the cached :class:`~repro.graphs.indexed.IndexedGraph`
+    encoding (index order *is* insertion order), so no label is hashed
+    here however rich the vertex labels are.
+    """
     import numpy
 
-    vertices = graph.vertices()
-    index = {v: i for i, v in enumerate(vertices)}
-    matrix = numpy.zeros((len(vertices), len(vertices)), dtype=numpy.int64)
-    for u, v in graph.edges():
-        matrix[index[u]][index[v]] = 1
-        matrix[index[v]][index[u]] = 1
+    indexed = graph.to_indexed()
+    n = indexed.n
+    matrix = numpy.zeros((n, n), dtype=numpy.int64)
+    offsets, targets = indexed.offsets, indexed.targets
+    for u in range(n):
+        for position in range(offsets[u], offsets[u + 1]):
+            matrix[u][targets[position]] = 1
     return matrix
 
 

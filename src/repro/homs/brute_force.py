@@ -7,6 +7,13 @@ It supports two extras that the paper's constructions need everywhere:
   answer-set semantics, Definition 8);
 * ``allowed`` — per-pattern-vertex candidate restrictions (used for
   colour-prescribed and τ-restricted homomorphisms, Definitions 30/48).
+
+The public API speaks labels; the search itself runs entirely in index
+space over :class:`~repro.graphs.indexed.IndexedGraph`: candidate pools
+are neighbourhood-bitset intersections (one big-int AND per assigned
+neighbour instead of a ``frozenset`` intersection of rich labels), and
+candidates are visited in ascending codec-index order — a total order that
+cannot collide, unlike the ``repr``-sort the seed used.
 """
 
 from __future__ import annotations
@@ -14,31 +21,110 @@ from __future__ import annotations
 from typing import Iterator, Mapping
 
 from repro.graphs.graph import Graph, Vertex
+from repro.graphs.indexed import IndexedGraph
 
 Assignment = dict[Vertex, Vertex]
 
 
-def _variable_order(pattern: Graph, fixed: Mapping[Vertex, Vertex]) -> list[Vertex]:
-    """Order unassigned pattern vertices for search: stay connected to the
-    assigned region, preferring high-degree vertices (fail-first)."""
-    assigned = set(fixed)
-    remaining = [v for v in pattern.vertices() if v not in assigned]
-    order: list[Vertex] = []
+def _search_order(pattern: IndexedGraph, assigned: set[int]) -> list[int]:
+    """Order unassigned pattern indices for search: stay connected to the
+    assigned region, preferring high-degree vertices (fail-first); ties
+    break on the index itself (labels never enter the comparison)."""
+    adjacency = pattern.adjacency_lists()
+    remaining = [v for v in range(pattern.n) if v not in assigned]
     frontier_scores = {
-        v: sum(1 for u in pattern.neighbours(v) if u in assigned) for v in remaining
+        v: sum(1 for u in adjacency[v] if u in assigned) for v in remaining
     }
+    order: list[int] = []
     remaining_set = set(remaining)
     while remaining_set:
         vertex = max(
             remaining_set,
-            key=lambda v: (frontier_scores[v], pattern.degree(v), repr(v)),
+            key=lambda v: (frontier_scores[v], len(adjacency[v]), v),
         )
         order.append(vertex)
         remaining_set.remove(vertex)
-        for u in pattern.neighbours(vertex):
+        for u in adjacency[vertex]:
             if u in remaining_set:
                 frontier_scores[u] += 1
     return order
+
+
+class _Search:
+    """A validated, index-space homomorphism search problem."""
+
+    __slots__ = (
+        "pattern",
+        "target",
+        "fixed",
+        "order",
+        "pinned",
+        "pools",
+    )
+
+    def __init__(self, pattern, target, fixed, order, pinned, pools):
+        self.pattern = pattern
+        self.target = target
+        self.fixed = fixed          # pattern index -> target index
+        self.order = order          # search order of free pattern indices
+        self.pinned = pinned        # per position: already-assigned neighbours
+        self.pools = pools          # per position: static candidate bitset
+
+
+def _prepare(
+    pattern: Graph,
+    target: Graph,
+    fixed: Mapping[Vertex, Vertex] | None,
+    allowed: Mapping[Vertex, frozenset] | None,
+) -> _Search | None:
+    """Encode the problem; ``None`` means "no homomorphisms exist"."""
+    fixed = dict(fixed or {})
+    for v, image in fixed.items():
+        if not target.has_vertex(image):
+            return None
+        if allowed is not None and v in allowed and image not in allowed[v]:
+            return None
+
+    indexed_pattern = pattern.to_indexed()
+    indexed_target = target.to_indexed()
+    pattern_codec = indexed_pattern.codec
+    target_codec = indexed_target.codec
+
+    # encode() raises GraphError for fixed vertices outside the pattern —
+    # the same contract the label-space search had.
+    fixed_indices = {
+        pattern_codec.encode(v): target_codec.encode(image)
+        for v, image in fixed.items()
+    }
+    pattern_adjacency = indexed_pattern.adjacency_lists()
+    target_bits = indexed_target.bitsets()
+    for v, image in fixed_indices.items():
+        for u in pattern_adjacency[v]:
+            if u in fixed_indices and not (target_bits[image] >> fixed_indices[u]) & 1:
+                return None
+
+    full_pool = (1 << indexed_target.n) - 1
+    order = _search_order(indexed_pattern, set(fixed_indices))
+    pools = [full_pool] * len(order)
+    if allowed is not None:
+        for label, pool in allowed.items():
+            v = pattern_codec.encode_or_none(label)
+            if v is None:
+                continue
+            try:
+                position = order.index(v)
+            except ValueError:
+                continue
+            pools[position] = target_codec.encode_mask(pool)
+
+    pinned: list[tuple[int, ...]] = []
+    assigned = set(fixed_indices)
+    for v in order:
+        pinned.append(tuple(u for u in pattern_adjacency[v] if u in assigned))
+        assigned.add(v)
+    return _Search(
+        indexed_pattern, indexed_target, fixed_indices, order, pinned, pools,
+    )
 
 
 def enumerate_homomorphisms(
@@ -51,46 +137,36 @@ def enumerate_homomorphisms(
 
     ``allowed[v]`` (when present) restricts the image of pattern vertex
     ``v``.  The ``fixed`` assignment is validated against pattern edges and
-    ``allowed`` before the search starts.
+    ``allowed`` before the search starts.  Yielded assignments are
+    label-space dicts; the search itself never touches labels.
     """
-    fixed = dict(fixed or {})
-    for v, image in fixed.items():
-        if not target.has_vertex(image):
-            return
-        if allowed is not None and v in allowed and image not in allowed[v]:
-            return
-    for v in fixed:
-        for u in pattern.neighbours(v):
-            if u in fixed and not target.has_edge(fixed[v], fixed[u]):
-                return
+    search = _prepare(pattern, target, fixed, allowed)
+    if search is None:
+        return
+    pattern_labels = search.pattern.codec.labels
+    target_labels = search.target.codec.labels
+    target_bits = search.target.bitsets()
+    order, pinned, pools = search.order, search.pinned, search.pools
+    depth = len(order)
+    assignment: dict[int, int] = dict(search.fixed)
 
-    order = _variable_order(pattern, fixed)
-    assignment: Assignment = dict(fixed)
-    target_vertices = target.vertices()
-
-    def candidates(vertex: Vertex) -> Iterator[Vertex]:
-        assigned_neighbours = [
-            assignment[u] for u in pattern.neighbours(vertex) if u in assignment
-        ]
-        if assigned_neighbours:
-            pool = set(target.neighbours(assigned_neighbours[0]))
-            for image in assigned_neighbours[1:]:
-                pool &= target.neighbours(image)
-        else:
-            pool = set(target_vertices)
-        if allowed is not None and vertex in allowed:
-            pool &= allowed[vertex]
-        return iter(sorted(pool, key=repr))
-
-    def extend(index: int) -> Iterator[Assignment]:
-        if index == len(order):
-            yield dict(assignment)
+    def extend(position: int) -> Iterator[Assignment]:
+        if position == depth:
+            yield {
+                pattern_labels[v]: target_labels[image]
+                for v, image in assignment.items()
+            }
             return
-        vertex = order[index]
-        for image in candidates(vertex):
-            assignment[vertex] = image
-            yield from extend(index + 1)
-            del assignment[vertex]
+        vertex = order[position]
+        pool = pools[position]
+        for u in pinned[position]:
+            pool &= target_bits[assignment[u]]
+        while pool:
+            low_bit = pool & -pool
+            pool ^= low_bit
+            assignment[vertex] = low_bit.bit_length() - 1
+            yield from extend(position + 1)
+        assignment.pop(vertex, None)
 
     yield from extend(0)
 
@@ -101,8 +177,38 @@ def count_homomorphisms_brute(
     fixed: Mapping[Vertex, Vertex] | None = None,
     allowed: Mapping[Vertex, frozenset] | None = None,
 ) -> int:
-    """``|Hom(pattern, target)|`` (restricted), by exhaustive backtracking."""
-    return sum(1 for _ in enumerate_homomorphisms(pattern, target, fixed, allowed))
+    """``|Hom(pattern, target)|`` (restricted), by exhaustive backtracking.
+
+    Pure index-space counting: no assignment dicts are materialised.
+    """
+    search = _prepare(pattern, target, fixed, allowed)
+    if search is None:
+        return 0
+    target_bits = search.target.bitsets()
+    order, pinned, pools = search.order, search.pinned, search.pools
+    depth = len(order)
+    images = [0] * search.pattern.n
+    for v, image in search.fixed.items():
+        images[v] = image
+
+    def count_from(position: int) -> int:
+        if position == depth:
+            return 1
+        pool = pools[position]
+        for u in pinned[position]:
+            pool &= target_bits[images[u]]
+        if position == depth - 1:
+            return pool.bit_count()
+        vertex = order[position]
+        total = 0
+        while pool:
+            low_bit = pool & -pool
+            pool ^= low_bit
+            images[vertex] = low_bit.bit_length() - 1
+            total += count_from(position + 1)
+        return total
+
+    return count_from(0)
 
 
 def exists_homomorphism(
@@ -112,6 +218,29 @@ def exists_homomorphism(
     allowed: Mapping[Vertex, frozenset] | None = None,
 ) -> bool:
     """Does any homomorphism extending ``fixed`` exist?"""
-    for _ in enumerate_homomorphisms(pattern, target, fixed, allowed):
-        return True
-    return False
+    search = _prepare(pattern, target, fixed, allowed)
+    if search is None:
+        return False
+    target_bits = search.target.bitsets()
+    order, pinned, pools = search.order, search.pinned, search.pools
+    depth = len(order)
+    images = [0] * search.pattern.n
+    for v, image in search.fixed.items():
+        images[v] = image
+
+    def search_from(position: int) -> bool:
+        if position == depth:
+            return True
+        pool = pools[position]
+        for u in pinned[position]:
+            pool &= target_bits[images[u]]
+        vertex = order[position]
+        while pool:
+            low_bit = pool & -pool
+            pool ^= low_bit
+            images[vertex] = low_bit.bit_length() - 1
+            if search_from(position + 1):
+                return True
+        return False
+
+    return search_from(0)

@@ -9,6 +9,14 @@ decidable via them.
 Supports the same ``allowed`` restriction as the brute-force counter, so
 colour-prescribed homomorphism counts (Definitions 30/48) inherit the
 treewidth-parameterised running time.
+
+DP tables are keyed by tuples of *target indices* (the
+:class:`~repro.graphs.indexed.IndexedGraph` encoding), bags are ordered by
+*pattern index* — a total order, unlike the seed's ``repr``-sort, which
+could collide when two labels shared a ``repr`` — and edge checks are
+neighbourhood-bitset intersections.  For a pattern compiled once and
+executed many times, use :class:`repro.engine.plans.DPPlan` instead; this
+module is the uncached reference backend.
 """
 
 from __future__ import annotations
@@ -20,12 +28,8 @@ from repro.treewidth.exact import optimal_tree_decomposition
 from repro.treewidth.nice import NiceNode, nice_tree_decomposition
 
 # A DP table maps "bag assignment" keys to counts.  Keys are tuples of
-# images, ordered by the repr-sorted bag vertices of the node.
+# target indices, ordered by the pattern indices of the node's bag.
 _Table = dict[tuple, int]
-
-
-def _bag_order(bag: frozenset) -> list[Vertex]:
-    return sorted(bag, key=repr)
 
 
 def count_homomorphisms_dp(
@@ -48,12 +52,20 @@ def count_homomorphisms_dp(
         decomposition = optimal_tree_decomposition(pattern)
         root = nice_tree_decomposition(decomposition)
 
-    target_vertices = target.vertices()
+    indexed_pattern = pattern.to_indexed()
+    indexed_target = target.to_indexed()
+    encode = indexed_pattern.codec.encode
+    pattern_adjacency = indexed_pattern.adjacency_lists()
+    target_bits = indexed_target.bitsets()
+    full_pool = (1 << indexed_target.n) - 1
 
-    def images_for(vertex: Vertex) -> list[Vertex]:
+    def bag_order(bag: frozenset) -> list[int]:
+        return sorted(encode(v) for v in bag)
+
+    def pool_for(vertex: Vertex) -> int:
         if allowed is not None and vertex in allowed:
-            return [w for w in target_vertices if w in allowed[vertex]]
-        return target_vertices
+            return indexed_target.codec.encode_mask(allowed[vertex])
+        return full_pool
 
     tables: dict[int, _Table] = {}
 
@@ -63,30 +75,31 @@ def count_homomorphisms_dp(
         elif node.kind == "introduce":
             child = node.children[0]
             child_table = tables.pop(id(child))
-            child_order = _bag_order(child.bag)
-            order = _bag_order(node.bag)
-            vertex = node.vertex
-            vertex_position = order.index(vertex)
+            child_order = bag_order(child.bag)
+            vertex_index = encode(node.vertex)
+            position = bag_order(node.bag).index(vertex_index)
+            child_bag_indices = set(child_order)
             neighbour_positions = [
                 child_order.index(u)
-                for u in pattern.neighbours(vertex)
-                if u in child.bag
+                for u in pattern_adjacency[vertex_index]
+                if u in child_bag_indices
             ]
-            candidate_images = images_for(vertex)
+            base_pool = pool_for(node.vertex)
             table = {}
             for key, count in child_table.items():
-                for image in candidate_images:
-                    if all(
-                        target.has_edge(key[pos], image)
-                        for pos in neighbour_positions
-                    ):
-                        new_key = key[:vertex_position] + (image,) + key[vertex_position:]
-                        table[new_key] = table.get(new_key, 0) + count
+                pool = base_pool
+                for neighbour_position in neighbour_positions:
+                    pool &= target_bits[key[neighbour_position]]
+                while pool:
+                    low_bit = pool & -pool
+                    pool ^= low_bit
+                    image = low_bit.bit_length() - 1
+                    new_key = key[:position] + (image,) + key[position:]
+                    table[new_key] = table.get(new_key, 0) + count
         elif node.kind == "forget":
             child = node.children[0]
             child_table = tables.pop(id(child))
-            child_order = _bag_order(child.bag)
-            drop = child_order.index(node.vertex)
+            drop = bag_order(child.bag).index(encode(node.vertex))
             table = {}
             for key, count in child_table.items():
                 new_key = key[:drop] + key[drop + 1:]

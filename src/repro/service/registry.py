@@ -6,6 +6,9 @@ the per-target work the per-request path should never repeat:
 
 * the engine's **target cache key** (an O(n + m) fingerprint) is computed
   once and passed to :meth:`HomEngine.count` as ``target_id``;
+* the dataset (and each shard) is **pre-encoded** to an
+  :class:`~repro.graphs.indexed.IndexedGraph` — bitsets included — so the
+  engine's index-space plans never pay the encode on the request path;
 * graph datasets are optionally split into **component shards** — the
   connected components grouped into ``k`` buckets — so a count request
   for a *connected* pattern fans out over the shards through the engine's
@@ -102,6 +105,12 @@ class DatasetRegistry:
             raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
         shard_graphs = component_shards(graph, shards) if shards > 1 else [graph]
         target_id = target_key(graph)
+        # Encode once at registration: to_indexed() pins the IndexedGraph
+        # on each served Graph object (bitsets warmed), so no request ever
+        # re-encodes the dataset.
+        graph.to_indexed().bitsets()
+        for shard in shard_graphs:
+            shard.to_indexed().bitsets()
         dataset = Dataset(
             name=name,
             kind="graph",

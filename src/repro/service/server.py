@@ -222,8 +222,16 @@ class CountingService:
             )
         elif target is not None:
             kg = kg_from_spec(target)
-            encoding = encode_kg(kg)
-            token = ("inline", stable_key_digest(kg_to_spec(kg)))
+
+            # Gadget encoding + content digest are CPU-bound; keep them off
+            # the event loop so concurrent requests stay responsive.
+            def encode_inline():
+                return encode_kg(kg), stable_key_digest(kg_to_spec(kg))
+
+            encoding, digest = await asyncio.get_running_loop().run_in_executor(
+                None, encode_inline,
+            )
+            token = ("inline", digest)
             target_name = {
                 "vertices": kg.num_vertices(), "triples": kg.num_triples(),
             }
@@ -269,17 +277,26 @@ class CountingService:
         name = _require(body, "name")
         if not isinstance(name, str) or not name:
             raise WireError("dataset name must be a non-empty string")
+        # Registration is the heaviest non-counting operation (spec
+        # decoding, sharding, IndexedGraph pre-encoding, KG gadget
+        # encoding); run it on the executor so the event loop keeps
+        # serving health checks and completed counts meanwhile.  The
+        # registry is lock-guarded, so worker-thread writes are safe.
         if "kg" in body:
-            dataset = self.registry.register_kg(name, kg_from_spec(body["kg"]))
+            def build():
+                return self.registry.register_kg(name, kg_from_spec(body["kg"]))
         elif "graph" in body:
             shards = body.get("shards", 1)
             if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
                 raise WireError(f"'shards' must be a positive integer, got {shards!r}")
-            dataset = self.registry.register_graph(
-                name, graph_from_spec(body["graph"]), shards=shards,
-            )
+
+            def build():
+                return self.registry.register_graph(
+                    name, graph_from_spec(body["graph"]), shards=shards,
+                )
         else:
             raise WireError("register-dataset needs a 'graph' or 'kg' spec")
+        dataset = await asyncio.get_running_loop().run_in_executor(None, build)
         return {"kind": "register-dataset", "dataset": dataset.summary()}
 
     async def _op_stats(self, body: dict) -> dict:

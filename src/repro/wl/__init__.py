@@ -31,6 +31,7 @@ from repro.wl.refinement import (
     ColourInterner,
     colour_histogram,
     colour_refinement,
+    indexed_colour_partition,
     refinement_rounds,
     wl_1_equivalent,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "hom_indistinguishable_up_to",
     "hom_profile",
     "hom_profiles_batch",
+    "indexed_colour_partition",
     "k_wl_colouring",
     "k_wl_equivalent",
     "refinement_rounds",

@@ -13,38 +13,75 @@ over the tree: for each tree vertex, a vector indexed by the classes of
 ``G`` giving the number of homomorphisms of its subtree that put it in
 each class; children fold in through the quotient matrix.  Tests verify it
 against the vertex-level counters and across 1-WL-equivalent pairs.
+
+The quotient itself is extracted in index space: the worklist partition
+refinement of :mod:`repro.wl.refinement` produces the stable class array,
+and one CSR scan of a representative per class yields the degree matrix —
+no label hashing, no per-round ``frozenset`` rebuilds.  Class order is
+first-vertex order (deterministic for a given graph); the counts are
+order-invariant.
 """
 
 from __future__ import annotations
 
 from repro.errors import GraphError
-from repro.graphs.graph import Graph, Vertex
-from repro.wl.equitable import coarsest_equitable_partition, partition_parameters
+from repro.graphs.graph import Graph
+from repro.wl.refinement import indexed_colour_partition
 
 Quotient = tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]
 
 
 def equitable_quotient(graph: Graph) -> Quotient:
     """``(sizes, D)`` of the coarsest equitable partition of ``graph``."""
-    partition = coarsest_equitable_partition(graph)
-    return partition_parameters(graph, partition)
+    indexed = graph.to_indexed()
+    partition = indexed_colour_partition(indexed)
+    # Densify class ids in first-vertex order and collect sizes +
+    # representatives in one pass.
+    renaming: dict[int, int] = {}
+    sizes: list[int] = []
+    representatives: list[int] = []
+    for vertex, class_id in enumerate(partition):
+        dense = renaming.get(class_id)
+        if dense is None:
+            renaming[class_id] = len(sizes)
+            sizes.append(1)
+            representatives.append(vertex)
+        else:
+            sizes[dense] += 1
+    num_classes = len(sizes)
+    adjacency = indexed.adjacency_lists()
+    degree_matrix = []
+    for representative in representatives:
+        counts = [0] * num_classes
+        for u in adjacency[representative]:
+            counts[renaming[partition[u]]] += 1
+        degree_matrix.append(tuple(counts))
+    return tuple(sizes), tuple(degree_matrix)
 
 
-def _root_tree(tree: Graph) -> tuple[Vertex, dict[Vertex, list[Vertex]]]:
-    root = tree.vertices()[0]
-    children: dict[Vertex, list[Vertex]] = {v: [] for v in tree.vertices()}
-    seen = {root}
-    frontier = [root]
+def _rooted_children(tree: Graph) -> tuple[list[list[int]], list[int]]:
+    """Root the indexed tree at index 0; children lists plus a postorder."""
+    indexed = tree.to_indexed()
+    adjacency = indexed.adjacency_lists()
+    children: list[list[int]] = [[] for _ in range(indexed.n)]
+    seen = bytearray(indexed.n)
+    seen[0] = 1
+    reached = 1
+    postorder: list[int] = []
+    frontier = [0]
     while frontier:
         current = frontier.pop()
-        for neighbour in tree.neighbours(current):
-            if neighbour not in seen:
-                seen.add(neighbour)
+        postorder.append(current)
+        for neighbour in adjacency[current]:
+            if not seen[neighbour]:
+                seen[neighbour] = 1
+                reached += 1
                 children[current].append(neighbour)
                 frontier.append(neighbour)
-    if len(seen) != tree.num_vertices():
+    if reached != indexed.n:
         raise GraphError("pattern must be connected")
-    return root, children
+    postorder.reverse()
+    return children, postorder
 
 
 def tree_hom_count_from_quotient(tree: Graph, quotient: Quotient) -> int:
@@ -62,26 +99,25 @@ def tree_hom_count_from_quotient(tree: Graph, quotient: Quotient) -> int:
     if num_classes == 0:
         return 0
 
-    root, children = _root_tree(tree)
+    children, postorder = _rooted_children(tree)
+    class_range = range(num_classes)
 
-    def subtree_vector(vertex: Vertex) -> list[int]:
-        """entry i = #homs of the subtree at ``vertex`` mapping it into a
-        *fixed* host vertex of class i."""
+    # vectors[v][i] = #homs of the subtree at v mapping v into a *fixed*
+    # host vertex of class i; children fold in through the quotient matrix.
+    vectors: dict[int, list[int]] = {}
+    for vertex in postorder:
         vector = [1] * num_classes
         for child in children[vertex]:
-            child_vector = subtree_vector(child)
-            folded = [
-                sum(
-                    degrees[i][j] * child_vector[j]
-                    for j in range(num_classes)
-                )
-                for i in range(num_classes)
+            child_vector = vectors.pop(child)
+            vector = [
+                vector[i]
+                * sum(degrees[i][j] * child_vector[j] for j in class_range)
+                for i in class_range
             ]
-            vector = [a * b for a, b in zip(vector, folded)]
-        return vector
+        vectors[vertex] = vector
 
-    root_vector = subtree_vector(root)
-    return sum(sizes[i] * root_vector[i] for i in range(num_classes))
+    root_vector = vectors[0]
+    return sum(sizes[i] * root_vector[i] for i in class_range)
 
 
 def tree_hom_count_via_quotient(tree: Graph, host: Graph) -> int:

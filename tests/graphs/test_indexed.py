@@ -1,0 +1,335 @@
+"""Property-based suite for the integer-indexed graph kernel.
+
+Two families of guarantees:
+
+* ``Graph ↔ IndexedGraph`` round-trips preserve vertices, edges, and the
+  cached invariants (degree sequence, components, adjacency);
+* the compute layers rewired through the kernel — homomorphism counts,
+  1-WL partitions, k-WL equivalence verdicts — agree with label-space
+  *seed oracles* (the dict-of-sets algorithms the kernel replaced,
+  embedded below) on randomized graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import Graph, IndexedGraph, random_graph
+from repro.graphs.indexed import LabelCodec, graph_memory_footprint
+from repro.homs import count_homomorphisms_brute, count_homomorphisms_dp
+from repro.wl import colour_refinement, k_wl_equivalent, wl_1_equivalent
+
+import pytest
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def _rich_label(i: int):
+    """CFI-style structured labels: the vertex type the paper uses."""
+    return (("w", i), frozenset({i % 3, "tag"}))
+
+
+@st.composite
+def graphs(draw, max_vertices=7, rich=False):
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    labels = [_rich_label(i) if rich else i for i in range(n)]
+    graph = Graph(vertices=labels)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(labels[i], labels[j])
+    return graph
+
+
+# ----------------------------------------------------------------------
+# seed oracles (dict-of-sets, label space — the pre-kernel algorithms)
+# ----------------------------------------------------------------------
+def oracle_count_homomorphisms(pattern: Graph, target: Graph) -> int:
+    """Exhaustive label-space enumeration, no ordering heuristics."""
+    pattern_vertices = pattern.vertices()
+    target_vertices = target.vertices()
+    if not pattern_vertices:
+        return 1
+    count = 0
+    assignment: dict = {}
+
+    def extend(position: int) -> None:
+        nonlocal count
+        if position == len(pattern_vertices):
+            count += 1
+            return
+        v = pattern_vertices[position]
+        for image in target_vertices:
+            ok = True
+            for u in pattern.neighbours(v):
+                if u in assignment and not target.has_edge(assignment[u], image):
+                    ok = False
+                    break
+            if ok:
+                assignment[v] = image
+                extend(position + 1)
+                del assignment[v]
+
+    extend(0)
+    return count
+
+
+def oracle_stable_partition(graph: Graph) -> set[frozenset]:
+    """Seed synchronous colour refinement, as a partition of the labels."""
+    palette: dict = {}
+
+    def intern(signature):
+        if signature not in palette:
+            palette[signature] = len(palette)
+        return palette[signature]
+
+    colours = {v: intern("uniform") for v in graph.vertices()}
+    for _ in range(max(graph.num_vertices(), 1)):
+        num_classes = len(set(colours.values()))
+        colours = {
+            v: intern(
+                (colours[v], tuple(sorted(colours[u] for u in graph.neighbours(v)))),
+            )
+            for v in graph.vertices()
+        }
+        if len(set(colours.values())) == num_classes:
+            break
+    blocks: dict = {}
+    for v, colour in colours.items():
+        blocks.setdefault(colour, set()).add(v)
+    return {frozenset(block) for block in blocks.values()}
+
+
+def _partition(colours: dict) -> set[frozenset]:
+    blocks: dict = {}
+    for v, colour in colours.items():
+        blocks.setdefault(colour, set()).add(v)
+    return {frozenset(block) for block in blocks.values()}
+
+
+# ----------------------------------------------------------------------
+# round-trips and invariants
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(rich=True))
+    def test_round_trip_preserves_graph(self, graph):
+        assert graph.to_indexed().to_graph() == graph
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_codec_is_insertion_order(self, graph):
+        indexed = graph.to_indexed()
+        assert list(indexed.codec.labels) == graph.vertices()
+        for i, label in enumerate(indexed.codec.labels):
+            assert indexed.codec.encode(label) == i
+            assert indexed.codec.decode(i) == label
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(rich=True))
+    def test_invariants_agree(self, graph):
+        indexed = graph.to_indexed()
+        labels = indexed.codec.labels
+        assert indexed.num_vertices() == graph.num_vertices()
+        assert indexed.num_edges() == graph.num_edges()
+        assert indexed.degree_sequence() == graph.degree_sequence()
+        for i, label in enumerate(labels):
+            assert indexed.degree(i) == graph.degree(label)
+            assert {labels[u] for u in indexed.neighbours(i)} == graph.neighbours(label)
+        components = {
+            frozenset(labels[i] for i in component)
+            for component in indexed.connected_components()
+        }
+        assert components == set(graph.connected_components())
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs())
+    def test_bitsets_match_adjacency(self, graph):
+        indexed = graph.to_indexed()
+        bitsets = indexed.bitsets()
+        for u in range(indexed.n):
+            for v in range(indexed.n):
+                assert bool((bitsets[u] >> v) & 1) == graph.has_edge(
+                    indexed.codec.labels[u], indexed.codec.labels[v],
+                )
+
+    def test_digest_is_label_independent(self):
+        graph = random_graph(9, 0.4, seed=2)
+        relabelled = graph.relabelled({v: ("x", v) for v in graph.vertices()})
+        assert (
+            graph.to_indexed().structural_digest()
+            == relabelled.to_indexed().structural_digest()
+        )
+
+    def test_cache_and_invalidation(self):
+        graph = random_graph(6, 0.5, seed=1)
+        first = graph.to_indexed()
+        assert graph.to_indexed() is first
+        graph.add_edge("fresh", 0)
+        second = graph.to_indexed()
+        assert second is not first
+        assert second.n == first.n + 1
+
+    def test_codec_rejects_unknown_label(self):
+        codec = LabelCodec(["a", "b"])
+        with pytest.raises(GraphError):
+            codec.encode("missing")
+        assert codec.encode_or_none("missing") is None
+        assert codec.encode_or_none([]) is None  # unhashable probe
+
+    def test_memory_footprint_reported(self):
+        graph = random_graph(30, 0.2, seed=3)
+        assert graph.to_indexed().memory_footprint() > 0
+        assert graph_memory_footprint(graph) > 0
+
+
+# ----------------------------------------------------------------------
+# compute layers: indexed path vs seed oracle
+# ----------------------------------------------------------------------
+class TestComputeAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_vertices=4, rich=True), graphs(max_vertices=5))
+    def test_hom_counts_match_oracle(self, pattern, target):
+        expected = oracle_count_homomorphisms(pattern, target)
+        assert count_homomorphisms_brute(pattern, target) == expected
+        assert count_homomorphisms_dp(pattern, target) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_vertices=7, rich=True))
+    def test_wl_partition_matches_oracle(self, graph):
+        assert _partition(colour_refinement(graph)) == oracle_stable_partition(graph)
+
+    def test_wl_equivalence_verdicts_match_oracle(self):
+        rng = random.Random(7)
+        for trial in range(40):
+            n = rng.randint(1, 8)
+            first = random_graph(n, rng.choice([0.2, 0.5]), seed=trial)
+            if trial % 2:
+                second = random_graph(n, 0.5, seed=trial + 100)
+            else:
+                second = first.relabelled(
+                    {v: _rich_label(v) for v in first.vertices()},
+                )
+            seed_verdict = oracle_wl_1_equivalent(first, second)
+            assert wl_1_equivalent(first, second) == seed_verdict, trial
+
+    def test_k_wl_verdicts_match_oracle(self):
+        rng = random.Random(3)
+        for trial in range(12):
+            n = rng.randint(1, 5)
+            first = random_graph(n, 0.5, seed=trial)
+            if trial % 2:
+                second = random_graph(n, 0.5, seed=trial + 50)
+            else:
+                second = first.relabelled(
+                    {v: _rich_label(v) for v in first.vertices()},
+                )
+            for k in (2, 3):
+                assert k_wl_equivalent(first, second, k) == oracle_k_wl_equivalent(
+                    first, second, k,
+                ), (trial, k)
+
+
+def oracle_wl_1_equivalent(first: Graph, second: Graph) -> bool:
+    """Seed lockstep shared-palette refinement."""
+    if first.num_vertices() != second.num_vertices():
+        return False
+    palette: dict = {}
+
+    def intern(signature):
+        if signature not in palette:
+            palette[signature] = len(palette)
+        return palette[signature]
+
+    colours_a = {v: intern("uniform") for v in first.vertices()}
+    colours_b = {v: intern("uniform") for v in second.vertices()}
+
+    def refine(graph, colours):
+        return {
+            v: intern(
+                (colours[v], tuple(sorted(colours[u] for u in graph.neighbours(v)))),
+            )
+            for v in graph.vertices()
+        }
+
+    def histogram(colours):
+        result: dict = {}
+        for colour in colours.values():
+            result[colour] = result.get(colour, 0) + 1
+        return result
+
+    if histogram(colours_a) != histogram(colours_b):
+        return False
+    for _ in range(max(first.num_vertices(), 1)):
+        num_classes = len(set(colours_a.values()) | set(colours_b.values()))
+        colours_a = refine(first, colours_a)
+        colours_b = refine(second, colours_b)
+        if histogram(colours_a) != histogram(colours_b):
+            return False
+        if len(set(colours_a.values()) | set(colours_b.values())) == num_classes:
+            break
+    return True
+
+
+def oracle_k_wl_equivalent(first: Graph, second: Graph, k: int) -> bool:
+    """Seed folklore k-WL over label tuples with a shared palette."""
+    from itertools import product
+
+    if first.num_vertices() != second.num_vertices():
+        return False
+    if first.num_edges() != second.num_edges():
+        return False
+    palette: dict = {}
+
+    def intern(signature):
+        if signature not in palette:
+            palette[signature] = len(palette)
+        return palette[signature]
+
+    def atomic(graph, t):
+        bits = []
+        for i in range(k):
+            for j in range(i + 1, k):
+                bits.append((t[i] == t[j], graph.has_edge(t[i], t[j])))
+        return tuple(bits)
+
+    def initial(graph):
+        return {
+            t: intern(("atomic", atomic(graph, t)))
+            for t in product(graph.vertices(), repeat=k)
+        }
+
+    def refine(graph, colours):
+        vertices = graph.vertices()
+        updated = {}
+        for t in colours:
+            neighbourhood = sorted(
+                tuple(colours[t[:i] + (w,) + t[i + 1:]] for i in range(k))
+                for w in vertices
+            )
+            updated[t] = intern((colours[t], tuple(neighbourhood)))
+        return updated
+
+    def histogram(colours):
+        result: dict = {}
+        for colour in colours.values():
+            result[colour] = result.get(colour, 0) + 1
+        return result
+
+    colours_a = initial(first)
+    colours_b = initial(second)
+    if histogram(colours_a) != histogram(colours_b):
+        return False
+    for _ in range(max(len(colours_a), 1)):
+        num_classes = len(set(colours_a.values()) | set(colours_b.values()))
+        colours_a = refine(first, colours_a)
+        colours_b = refine(second, colours_b)
+        if histogram(colours_a) != histogram(colours_b):
+            return False
+        if len(set(colours_a.values()) | set(colours_b.values())) == num_classes:
+            break
+    return True

@@ -1,0 +1,94 @@
+"""Regression tests for ``repr``-sort fragility.
+
+The seed ordered DP bags and brute-force candidate pools by ``repr`` of
+the vertex labels.  Two distinct labels with equal ``repr`` then compared
+equal under the sort key, so the bag order of equal bags could disagree
+between DP nodes and corrupt table keys.  The indexed kernel orders by
+codec index — a genuine total order — so counts must be correct however
+degenerate the labels' ``repr`` is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.plans import compile_dp_plan, compile_plan
+from repro.graphs import Graph, cycle_graph, path_graph, random_graph
+from repro.homs import (
+    count_homomorphisms_brute,
+    count_homomorphisms_dp,
+    enumerate_homomorphisms,
+)
+
+
+class CollidingLabel:
+    """Distinct, hashable labels whose ``repr`` (and ``str``) collide."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __repr__(self):
+        return "<label>"
+
+    def __hash__(self):
+        return hash(("colliding", self.key))
+
+    def __eq__(self, other):
+        return isinstance(other, CollidingLabel) and self.key == other.key
+
+
+def _with_colliding_labels(graph: Graph) -> tuple[Graph, dict]:
+    mapping = {v: CollidingLabel(v) for v in graph.vertices()}
+    return graph.relabelled(mapping), mapping
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_counts_immune_to_repr_collisions(seed):
+    pattern = path_graph(5) if seed % 2 else cycle_graph(4)
+    target = random_graph(7, 0.5, seed=seed)
+    colliding_pattern, _ = _with_colliding_labels(pattern)
+    colliding_target, _ = _with_colliding_labels(target)
+
+    expected = count_homomorphisms_brute(pattern, target)
+    assert count_homomorphisms_brute(colliding_pattern, colliding_target) == expected
+    assert count_homomorphisms_dp(colliding_pattern, colliding_target) == expected
+
+
+def test_dp_plan_bags_ordered_by_index_not_repr():
+    pattern, _ = _with_colliding_labels(random_graph(6, 0.5, seed=9))
+    target = random_graph(8, 0.4, seed=10)
+    colliding_target, _ = _with_colliding_labels(target)
+    plan = compile_dp_plan(pattern)
+    reference = count_homomorphisms_brute(pattern, colliding_target)
+    assert plan.execute(colliding_target) == reference
+    assert compile_plan(pattern).execute(colliding_target) == reference
+
+
+def test_enumeration_yields_label_space_assignments():
+    pattern, pattern_map = _with_colliding_labels(path_graph(3))
+    target, _ = _with_colliding_labels(cycle_graph(5))
+    homs = list(enumerate_homomorphisms(pattern, target))
+    assert len(homs) == count_homomorphisms_brute(pattern, target)
+    for hom in homs:
+        assert set(hom) == set(pattern_map.values())
+        for u, v in pattern.edges():
+            assert target.has_edge(hom[u], hom[v])
+
+
+def test_restrictions_with_colliding_labels():
+    pattern, pattern_map = _with_colliding_labels(path_graph(3))
+    target, target_map = _with_colliding_labels(cycle_graph(6))
+    anchor = pattern_map[0]
+    image = target_map[0]
+    restricted = count_homomorphisms_brute(
+        pattern, target, fixed={anchor: image},
+    )
+    allowed = {anchor: frozenset({image})}
+    assert (
+        count_homomorphisms_brute(pattern, target, allowed=allowed) == restricted
+    )
+    assert count_homomorphisms_dp(pattern, target, allowed=allowed) == restricted
+    # C6 is vertex-transitive: every anchor takes an equal share.
+    assert restricted * 6 == count_homomorphisms_brute(pattern, target)

@@ -127,6 +127,28 @@ class TestCli:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_encode_stats_command(self, capsys):
+        code = main([
+            "encode-stats", "--generator", "cycle", "--n", "24", "--rich-labels",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "encode (CSR + codec)" in output
+        assert "IndexedGraph bytes" in output
+
+    def test_encode_stats_json(self, capsys):
+        import json
+
+        code = main([
+            "encode-stats", "--generator", "random", "--n", "20", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "encode-stats"
+        assert payload["vertices"] == 20
+        assert payload["indexed_bytes"] > 0
+        assert len(payload["structural_digest"]) == 64
+
 
 class TestCliExtended:
     def test_count_command(self, capsys):

@@ -18,6 +18,9 @@ Public API highlights
 ``HomEngine`` / ``default_engine``
     the batched, cached, multi-backend homomorphism-count engine behind
     ``count_homomorphisms(method='auto')``.
+``DynamicGraph`` / ``MaintainedCount`` / ``MaintainedAnswerCount``
+    incremental maintenance of homomorphism and answer counts over
+    mutating targets (versioned updates, delta counting, rollback).
 """
 
 from repro.cfi import cfi_graph, cfi_pair, clone_colour_blocks
@@ -33,6 +36,13 @@ from repro.core import (
     verify_lower_bound,
     wl_dimension,
     wl_dimension_upper_bound,
+)
+from repro.dynamic import (
+    DynamicGraph,
+    DynamicKnowledgeGraph,
+    MaintainedAnswerCount,
+    MaintainedCount,
+    UpdateBatch,
 )
 from repro.engine import HomEngine, default_engine
 from repro.gnn import OrderKGNN, gnn_can_count_answers, minimum_gnn_order
@@ -54,8 +64,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ConjunctiveQuery",
+    "DynamicGraph",
+    "DynamicKnowledgeGraph",
     "Graph",
     "HomEngine",
+    "MaintainedAnswerCount",
+    "MaintainedCount",
+    "UpdateBatch",
     "OrderKGNN",
     "QuantumQuery",
     "analyse_query",

@@ -157,6 +157,43 @@ def _cmd_count(args: argparse.Namespace) -> int:
     return status
 
 
+def _run_dynamic_workload(engine, args) -> dict:
+    """The ``engine-stats`` dynamic segment: maintain the workload's
+    low-treewidth patterns over a mutating copy of one target and report
+    the shared version/delta statistics payload."""
+    import random as random_module
+
+    from repro.dynamic import DynamicGraph, MaintainedCount
+    from repro.service.wire import dynamic_stats_payload
+    from repro.wl.hom_indistinguishability import bounded_treewidth_patterns
+
+    rng = random_module.Random(args.seed)
+    dynamic = DynamicGraph(random_graph(args.n, args.p, seed=args.seed))
+    patterns = bounded_treewidth_patterns(args.tw, args.max_pattern_vertices)
+    handles = [
+        MaintainedCount(pattern, dynamic, engine=engine)
+        for pattern in patterns
+    ]
+    vertices = list(dynamic.graph.vertices())
+    for _ in range(args.dynamic_batches):
+        graph = dynamic.graph
+        add_edges, remove_edges = [], []
+        seen = set()
+        for _ in range(3):
+            u, v = rng.sample(vertices, 2)
+            key = frozenset((u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            (remove_edges if graph.has_edge(u, v) else add_edges).append((u, v))
+        dynamic.apply(add_edges=add_edges, remove_edges=remove_edges)
+    dynamic.rollback()
+    payload = dynamic_stats_payload(dynamic.stats)
+    payload["version"] = dynamic.version
+    payload["maintained_counts"] = len(handles)
+    return payload
+
+
 def _cmd_engine_stats(args: argparse.Namespace) -> int:
     import time
 
@@ -187,6 +224,26 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         kind = engine.plan_for(pattern).kind
         kinds[kind] = kinds.get(kind, 0) + 1
 
+    dynamic_payload = None
+    if args.dynamic_batches > 0:
+        dynamic_payload = _run_dynamic_workload(engine, args)
+
+    if args.json:
+        print(json.dumps(
+            {
+                "kind": "engine-stats",
+                "patterns": len(patterns),
+                "targets": len(targets),
+                "plan_kinds": kinds,
+                "cold_ms": round(cold * 1000, 3),
+                "warm_ms": round(warm * 1000, 3),
+                "engine": engine.stats_summary(),
+                "dynamic": dynamic_payload,
+            },
+            indent=2,
+        ))
+        return 0
+
     print(
         f"workload        {len(patterns)} patterns "
         f"(tw<={args.tw}, <={args.max_pattern_vertices} vertices) x "
@@ -201,6 +258,14 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         print("persistent tier")
         for key, value in sorted(store.summary().items()):
             print(f"  {key:24s} {value}")
+    if dynamic_payload is not None:
+        print(
+            f"dynamic workload ({args.dynamic_batches} batches + rollback, "
+            f"{dynamic_payload['maintained_counts']} maintained counts)",
+        )
+        for key, value in sorted(dynamic_payload.items()):
+            if key != "kind":
+                print(f"  {key:24s} {value}")
     return 0
 
 
@@ -331,6 +396,112 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coerce_vertex(token: str):
+    """CLI vertex names: integers when they parse (graph6 datasets use
+    0..n-1), strings otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _split_pair(option: str, value: str) -> list:
+    parts = [part.strip() for part in value.split(",")]
+    if len(parts) != 2 or not all(parts):
+        raise ReproError(f"--{option} expects 'u,v', got {value!r}")
+    return [_coerce_vertex(part) for part in parts]
+
+
+def _split_triple(option: str, value: str) -> list:
+    parts = [part.strip() for part in value.split(",")]
+    if len(parts) != 3 or not all(parts):
+        raise ReproError(f"--{option} expects 'source,label,target', got {value!r}")
+    return [_coerce_vertex(parts[0]), parts[1], _coerce_vertex(parts[2])]
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``repro update``: advance a registered dataset on a running
+    service; ``--json`` emits the exact ``POST /target-update`` payload."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    add_edges = [_split_pair("add-edge", v) for v in args.add_edge]
+    remove_edges = [_split_pair("remove-edge", v) for v in args.remove_edge]
+    add_triples = [_split_triple("add-triple", v) for v in args.add_triple]
+    remove_triples = [
+        _split_triple("remove-triple", v) for v in args.remove_triple
+    ]
+    add_vertices = [_coerce_vertex(v) for v in args.add_vertex]
+    remove_vertices = [_coerce_vertex(v) for v in args.remove_vertex]
+    if not any((add_edges, remove_edges, add_vertices, remove_vertices,
+                add_triples, remove_triples)):
+        raise ServiceError(
+            "pass at least one --add-edge/--remove-edge/--add-vertex/"
+            "--remove-vertex (graphs) or --add-triple/--remove-triple (KGs)",
+        )
+    payload = client.target_update(
+        args.target,
+        add_edges=add_edges,
+        remove_edges=remove_edges,
+        add_vertices=add_vertices,
+        remove_vertices=remove_vertices,
+        add_triples=add_triples,
+        remove_triples=remove_triples,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    applied = payload["applied"]
+    print(f"dataset {payload['target']} -> version {payload['version']} "
+          f"({'patched' if payload['patched'] else 'recompiled'})")
+    print("  applied      " + ", ".join(f"{k}={v}" for k, v in applied.items()))
+    dynamic = payload["dynamic"]
+    print(f"  patch ratio  {dynamic['patch_ratio']} "
+          f"({dynamic['index_patches']} patches / "
+          f"{dynamic['index_recompiles']} recompiles)")
+    print(f"  delta ratio  {dynamic['delta_ratio']} "
+          f"({dynamic['deltas_applied']} deltas / "
+          f"{dynamic['delta_fallbacks']} fallback recomputes)")
+    for subscription in payload["subscriptions"]:
+        print(f"  {subscription['id']:16s} {subscription['maintains']:14s} "
+              f"value {subscription['value']}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: poll the service's maintained subscriptions and
+    print values as versions advance."""
+    import time
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    previous: dict[str, tuple] = {}
+    ticks = 0
+    while True:
+        payloads = client.subscriptions()
+        if args.target:
+            payloads = [p for p in payloads if p["target"] == args.target]
+        if args.json:
+            print(json.dumps(
+                {"kind": "watch", "tick": ticks, "subscriptions": payloads},
+            ))
+        else:
+            for payload in payloads:
+                key = payload["id"]
+                state = (payload["version"], payload["value"])
+                if previous.get(key) != state:
+                    marker = "*" if key in previous else "+"
+                    print(f"{marker} {payload['target']}/{key} "
+                          f"[{payload['maintains']}] version {state[0]} "
+                          f"value {state[1]}")
+                    previous[key] = state
+        ticks += 1
+        if args.count and ticks >= args.count:
+            return 0
+        time.sleep(args.interval)
+
+
 def _cmd_union(args: argparse.Namespace) -> int:
     from repro.core.quantum import union_to_quantum
     from repro.queries.parser import parse_union_query
@@ -418,6 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="back the engine with an on-disk cache tier at DIR and "
         "report it (run twice to see a warm restart)",
     )
+    engine_stats.add_argument(
+        "--dynamic-batches", type=int, default=4, metavar="N",
+        help="also run N update batches (+ one rollback) with maintained "
+        "counts and report version/delta statistics (0 disables)",
+    )
+    engine_stats.add_argument("--json", action="store_true", help=json_help)
     engine_stats.set_defaults(func=_cmd_engine_stats)
 
     encode_stats = sub.add_parser(
@@ -483,6 +660,52 @@ def build_parser() -> argparse.ArgumentParser:
     client_answers.add_argument("--target", help="registered dataset name")
     client_answers.add_argument("--graph6", help="inline target as graph6")
     client.set_defaults(func=_cmd_client)
+
+    update = sub.add_parser(
+        "update",
+        help="apply an update batch to a registered dataset on a running "
+        "service (advances its version, refreshes maintained counts)",
+    )
+    update.add_argument("--host", default="127.0.0.1")
+    update.add_argument("--port", type=int, default=8765)
+    update.add_argument("--target", required=True, help="registered dataset name")
+    update.add_argument(
+        "--add-edge", action="append", default=[], metavar="U,V",
+    )
+    update.add_argument(
+        "--remove-edge", action="append", default=[], metavar="U,V",
+    )
+    update.add_argument(
+        "--add-vertex", action="append", default=[], metavar="V",
+    )
+    update.add_argument(
+        "--remove-vertex", action="append", default=[], metavar="V",
+    )
+    update.add_argument(
+        "--add-triple", action="append", default=[], metavar="S,L,T",
+        help="KG datasets: add the triple (source, label, target)",
+    )
+    update.add_argument(
+        "--remove-triple", action="append", default=[], metavar="S,L,T",
+    )
+    update.add_argument("--json", action="store_true", help=json_help)
+    update.set_defaults(func=_cmd_update)
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll a running service's maintained subscriptions and print "
+        "values as target versions advance",
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8765)
+    watch.add_argument("--target", default=None, help="filter to one dataset")
+    watch.add_argument("--interval", type=float, default=2.0)
+    watch.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="stop after N polls (0 = run until interrupted)",
+    )
+    watch.add_argument("--json", action="store_true", help=json_help)
+    watch.set_defaults(func=_cmd_watch)
 
     union = sub.add_parser(
         "union", help="analyse a union of CQs (disjuncts separated by ';')",

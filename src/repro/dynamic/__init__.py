@@ -1,0 +1,57 @@
+"""repro.dynamic — incremental maintenance over mutating targets.
+
+The static pipeline treats targets as frozen values; this subsystem makes
+them *streams of versions* while keeping every count exact:
+
+* :mod:`repro.dynamic.graph` — :class:`DynamicGraph`: batched updates,
+  immutable per-version snapshots, incremental CSR/bitset index patching
+  (vertex removals recompile), rolling content digests that serve as
+  version-aware engine cache keys, journal + rollback;
+* :mod:`repro.dynamic.delta` — exact count deltas by telescoping
+  single-edge steps and inclusion–exclusion over pattern edges pinned
+  onto the changed target edge, executed as tiny pinned bitset searches;
+* :mod:`repro.dynamic.maintained` — :class:`MaintainedCount` /
+  :class:`MaintainedAnswerCount` handles that subscribe a pattern or CQ
+  to a dynamic target and stay current across versions (answer counts
+  interpolate over maintained power sums, Lemma 22);
+* :mod:`repro.dynamic.kg` — :class:`DynamicKnowledgeGraph` with an
+  incrementally patched gadget encoding and
+  :class:`MaintainedKgAnswerCount` (version-cached engine recomputes).
+"""
+
+from repro.dynamic.delta import (
+    DeltaPlan,
+    batch_delta,
+    compile_delta_plan,
+    homs_touching_edge,
+)
+from repro.dynamic.graph import (
+    DynamicGraph,
+    DynamicStats,
+    GraphVersion,
+    UpdateBatch,
+    patch_indexed,
+)
+from repro.dynamic.kg import (
+    DynamicKnowledgeGraph,
+    KgVersion,
+    MaintainedKgAnswerCount,
+)
+from repro.dynamic.maintained import MaintainedAnswerCount, MaintainedCount
+
+__all__ = [
+    "DeltaPlan",
+    "DynamicGraph",
+    "DynamicKnowledgeGraph",
+    "DynamicStats",
+    "GraphVersion",
+    "KgVersion",
+    "MaintainedAnswerCount",
+    "MaintainedCount",
+    "MaintainedKgAnswerCount",
+    "UpdateBatch",
+    "batch_delta",
+    "compile_delta_plan",
+    "homs_touching_edge",
+    "patch_indexed",
+]

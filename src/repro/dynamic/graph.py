@@ -1,0 +1,593 @@
+"""Versioned target graphs with incremental index maintenance.
+
+Every other layer of the library treats a target :class:`Graph` as a
+frozen value: one ``add_edge`` invalidates its cached
+:class:`~repro.graphs.indexed.IndexedGraph`, changes its cache
+fingerprint, and forces the next count to re-encode and recompute from
+scratch.  :class:`DynamicGraph` makes mutation a first-class, *versioned*
+operation instead:
+
+* updates arrive as batched :class:`UpdateBatch` objects;
+  :meth:`DynamicGraph.apply` produces a **new immutable version** — a
+  fresh ``Graph`` value plus its :class:`IndexedGraph` — while readers of
+  older versions keep consistent snapshots;
+* the new version's index is **patched** from the previous one (rows and
+  neighbourhood bitsets of untouched vertices are shared, the label codec
+  is extended in place) instead of recompiled via ``to_indexed()``;
+  vertex removals change the index space and fall back to a full
+  recompile — the patch/recompile split is reported in
+  :class:`DynamicStats`;
+* each version carries a **rolling content digest**, so
+  :attr:`DynamicGraph.target_id` is a valid engine cache key *per
+  version*: advancing the target never invalidates counts cached for
+  earlier versions, and :meth:`rollback` makes the previous version's
+  cache entries hot again instead of recomputing;
+* an update **journal** records per-version provenance (digest, applied
+  batch summary) and subscribed handles
+  (:class:`~repro.dynamic.maintained.MaintainedCount`) are refreshed
+  inside :meth:`apply`, so their values stay current across versions.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.indexed import IndexedGraph, LabelCodec
+
+DEFAULT_HISTORY_LIMIT = 8
+
+# Provenance (journal entries, handle provenance) is bounded so a
+# long-running update stream cannot grow memory without limit.
+DEFAULT_JOURNAL_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A batch of target mutations, applied as one atomic version step.
+
+    Operations are applied in field order (vertex adds, edge adds, edge
+    removals, vertex removals); within a batch the *net* effect against
+    the previous version is what delta counting and the rolling digest
+    see, so an edge added and removed in the same batch is a no-op.
+    """
+
+    add_vertices: tuple = ()
+    add_edges: tuple = ()
+    remove_edges: tuple = ()
+    remove_vertices: tuple = ()
+
+    @classmethod
+    def build(
+        cls,
+        add_vertices: Iterable[Vertex] = (),
+        add_edges: Iterable[Iterable[Vertex]] = (),
+        remove_edges: Iterable[Iterable[Vertex]] = (),
+        remove_vertices: Iterable[Vertex] = (),
+    ) -> "UpdateBatch":
+        return cls(
+            add_vertices=tuple(add_vertices),
+            add_edges=tuple((u, v) for u, v in add_edges),
+            remove_edges=tuple((u, v) for u, v in remove_edges),
+            remove_vertices=tuple(remove_vertices),
+        )
+
+    def is_empty(self) -> bool:
+        return not (
+            self.add_vertices
+            or self.add_edges
+            or self.remove_edges
+            or self.remove_vertices
+        )
+
+
+@dataclass
+class DynamicStats:
+    """Counters for one update stream (shared with its maintained handles).
+
+    ``index_patches``/``index_recompiles`` split how each new version's
+    :class:`IndexedGraph` was built; ``deltas_applied``/
+    ``delta_fallbacks`` split how subscribed counts were refreshed
+    (incremental delta vs full recompute through the engine).
+    """
+
+    updates_applied: int = 0
+    rollbacks: int = 0
+    index_patches: int = 0
+    index_recompiles: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+    vertices_added: int = 0
+    vertices_removed: int = 0
+    deltas_applied: int = 0
+    delta_fallbacks: int = 0
+    initial_computes: int = 0
+
+    @property
+    def patch_ratio(self) -> float:
+        total = self.index_patches + self.index_recompiles
+        return self.index_patches / total if total else 0.0
+
+    @property
+    def delta_ratio(self) -> float:
+        total = self.deltas_applied + self.delta_fallbacks
+        return self.deltas_applied / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {
+            "updates_applied": self.updates_applied,
+            "rollbacks": self.rollbacks,
+            "index_patches": self.index_patches,
+            "index_recompiles": self.index_recompiles,
+            "patch_ratio": round(self.patch_ratio, 4),
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "vertices_added": self.vertices_added,
+            "vertices_removed": self.vertices_removed,
+            "deltas_applied": self.deltas_applied,
+            "delta_fallbacks": self.delta_fallbacks,
+            "delta_ratio": round(self.delta_ratio, 4),
+            "initial_computes": self.initial_computes,
+        }
+
+
+@dataclass(frozen=True)
+class GraphVersion:
+    """One immutable version of a dynamic target.
+
+    ``graph`` and ``indexed`` are never mutated after construction;
+    in-flight readers (engine counts scheduled before a later ``apply``)
+    stay consistent.  ``net_*`` fields describe the change *from the
+    previous version* in label space.
+    """
+
+    version: int
+    graph: Graph
+    indexed: IndexedGraph
+    digest: str
+    # The engine cache key for this exact version's content.  Version 0
+    # uses the ordinary label fingerprint, so counts against a freshly
+    # registered dynamic target share cache entries with inline requests
+    # for the same graph; later versions key on the rolling digest.
+    target_id: tuple = ()
+    net_added_edges: tuple = ()
+    net_removed_edges: tuple = ()
+    net_added_vertices: tuple = ()
+    net_removed_vertices: tuple = ()
+    patched: bool = True
+
+    def applied_summary(self) -> dict[str, int]:
+        return {
+            "edges_added": len(self.net_added_edges),
+            "edges_removed": len(self.net_removed_edges),
+            "vertices_added": len(self.net_added_vertices),
+            "vertices_removed": len(self.net_removed_vertices),
+        }
+
+
+@dataclass
+class JournalEntry:
+    """Light provenance record (the journal keeps the most recent
+    ``DEFAULT_JOURNAL_LIMIT`` entries; version snapshots themselves are
+    bounded by the much smaller ``history_limit``)."""
+
+    version: int
+    digest: str
+    applied: dict[str, int] = field(default_factory=dict)
+    patched: bool = True
+
+
+class _VersionKeyInterner:
+    """Process-global interning of version identities.
+
+    A version's identity is its *exact* content history: the base graph's
+    label-level fingerprint plus the chain of net update batches, with
+    real label objects (frozensets of labels/edges) as the interning key
+    — never a serialised form, so distinct labels can never collide the
+    way ``repr``-derived digests could (the collision class PR 3
+    eliminated).  Interned ids are short monotonically increasing tokens:
+    equal histories (same process) always re-intern to the same id —
+    rollback-then-reapply and parallel streams over the same base share
+    cache entries — while the backing map is LRU-bounded; an evicted
+    entry re-interns to a *fresh* id, which can only miss a cache hit,
+    never alias two different versions.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        from repro.engine.cache import LRUCache
+
+        self._keys = LRUCache(capacity)
+        self._counter = count(1)
+        self._lock = threading.Lock()
+
+    def intern(self, parent, fingerprint) -> str:
+        key = (parent, fingerprint)
+        with self._lock:
+            ident = self._keys.get(key)
+            if ident is None:
+                ident = f"v{next(self._counter)}"
+                self._keys.put(key, ident)
+            return ident
+
+
+_INTERNER = _VersionKeyInterner()
+
+
+def _base_digest(graph: Graph) -> str:
+    """Identity of a version-0 graph (exact, label-level)."""
+    return _INTERNER.intern("base", graph.edge_fingerprint())
+
+
+def _batch_fingerprint(
+    added_edges, removed_edges, added_vertices, removed_vertices,
+) -> tuple:
+    """The exact (hashable, label-level) identity of a net batch."""
+    return (
+        frozenset(frozenset(edge) for edge in added_edges),
+        frozenset(frozenset(edge) for edge in removed_edges),
+        frozenset(added_vertices),
+        frozenset(removed_vertices),
+    )
+
+
+def _advance_digest(
+    previous: str,
+    added_edges,
+    removed_edges,
+    added_vertices,
+    removed_vertices,
+) -> str:
+    """Next version identity: same parent + same net batch ⇒ same id."""
+    return _INTERNER.intern(
+        previous,
+        _batch_fingerprint(
+            added_edges, removed_edges, added_vertices, removed_vertices,
+        ),
+    )
+
+
+def _extended_codec(old: LabelCodec, new_labels: Iterable[Vertex]) -> LabelCodec:
+    """``old`` plus ``new_labels`` appended — built without re-hashing the
+    existing labels (a plain dict copy reuses stored hashes)."""
+    codec = LabelCodec.__new__(LabelCodec)
+    labels = list(old.labels)
+    index = dict(old._index)
+    for label in new_labels:
+        index[label] = len(labels)
+        labels.append(label)
+    codec.labels = tuple(labels)
+    codec._index = index
+    if len(index) != len(codec.labels):
+        raise GraphError("extended codec labels must be distinct")
+    return codec
+
+
+def patch_indexed(
+    old: IndexedGraph,
+    graph: Graph,
+    touched: set,
+    added_labels: Iterable[Vertex],
+) -> IndexedGraph:
+    """Build ``graph``'s :class:`IndexedGraph` by patching ``old``.
+
+    Preconditions (enforced by :meth:`DynamicGraph.apply`): ``graph``
+    contains every vertex of ``old`` in the same insertion order, followed
+    by ``added_labels``; only vertices in ``touched`` (plus the new ones)
+    have different neighbourhoods.  Rows and bitsets of untouched vertices
+    are shared with ``old`` — the expensive part of ``to_indexed()`` (per
+    -vertex sorting, label hashing, big-int bitset construction) is paid
+    only for the touched fringe.
+    """
+    codec = _extended_codec(old.codec, added_labels)
+    index = codec._index
+    n = len(codec)
+    adjacency = graph.adjacency_view()
+    old_rows = old.adjacency_lists()
+    old_bits = old.bitsets()
+
+    rows: list[tuple[int, ...]] = []
+    bits: list[int] = []
+    for i in range(old.n):
+        label = codec.labels[i]
+        if label in touched:
+            row = tuple(sorted(index[u] for u in adjacency[label]))
+            rows.append(row)
+            mask = 0
+            for w in row:
+                mask |= 1 << w
+            bits.append(mask)
+        else:
+            rows.append(old_rows[i])
+            bits.append(old_bits[i])
+    for i in range(old.n, n):
+        row = tuple(sorted(index[u] for u in adjacency[codec.labels[i]]))
+        rows.append(row)
+        mask = 0
+        for w in row:
+            mask |= 1 << w
+        bits.append(mask)
+
+    offsets = array("q", bytes(8 * (n + 1)))
+    targets = array("q")
+    position = 0
+    for i, row in enumerate(rows):
+        targets.extend(row)
+        position += len(row)
+        offsets[i + 1] = position
+    patched = IndexedGraph(n, offsets, targets, codec)
+    patched._adjacency_lists = tuple(rows)
+    patched._bitsets = tuple(bits)
+    return patched
+
+
+class DynamicGraph:
+    """A versioned wrapper over :class:`Graph` with an update journal.
+
+    >>> dyn = DynamicGraph(Graph(edges=[(0, 1), (1, 2)]))
+    >>> record = dyn.apply(UpdateBatch.build(add_edges=[(0, 2)]))
+    >>> (record.version, dyn.graph.num_edges())
+    (1, 3)
+
+    Thread-safe: :meth:`apply`/:meth:`rollback` serialise under one lock
+    and version snapshots are immutable, so a reader holding a
+    :class:`GraphVersion` never observes a half-applied batch.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+        stats: DynamicStats | None = None,
+    ) -> None:
+        if history_limit < 2:
+            raise ValueError("history_limit must keep at least two versions")
+        base = graph.copy()
+        base.to_indexed().bitsets()
+        self.history_limit = history_limit
+        self.stats = stats if stats is not None else DynamicStats()
+        self._lock = threading.RLock()
+        self._handles: list = []
+        from repro.engine.cache import target_key
+
+        root = GraphVersion(
+            version=0,
+            graph=base,
+            indexed=base.to_indexed(),
+            digest=_base_digest(base),
+            target_id=target_key(base),
+        )
+        self._versions: list[GraphVersion] = [root]
+        self.journal: deque[JournalEntry] = deque(
+            [JournalEntry(version=0, digest=root.digest)],
+            maxlen=DEFAULT_JOURNAL_LIMIT,
+        )
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    @property
+    def lock(self) -> threading.RLock:
+        """The re-entrant lock serialising writes; handles hold it to
+        read a version and its maintained values atomically."""
+        return self._lock
+
+    @property
+    def version(self) -> int:
+        return self._versions[-1].version
+
+    @property
+    def graph(self) -> Graph:
+        return self._versions[-1].graph
+
+    @property
+    def indexed(self) -> IndexedGraph:
+        return self._versions[-1].indexed
+
+    @property
+    def digest(self) -> str:
+        return self._versions[-1].digest
+
+    @property
+    def target_id(self) -> tuple:
+        return self._versions[-1].target_id
+
+    def snapshot(self) -> GraphVersion:
+        """The current version record (immutable, safe across updates)."""
+        with self._lock:
+            return self._versions[-1]
+
+    def version_record(self, version: int) -> GraphVersion | None:
+        """The retained record for ``version``, or ``None`` if trimmed."""
+        with self._lock:
+            for record in self._versions:
+                if record.version == version:
+                    return record
+        return None
+
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices()
+
+    def num_edges(self) -> int:
+        return self.graph.num_edges()
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, handle) -> None:
+        """Register a maintained handle; it is refreshed inside every
+        :meth:`apply`/:meth:`rollback` (in subscription order)."""
+        with self._lock:
+            if handle not in self._handles:
+                self._handles.append(handle)
+
+    def unsubscribe(self, handle) -> None:
+        with self._lock:
+            if handle in self._handles:
+                self._handles.remove(handle)
+
+    @property
+    def handles(self) -> tuple:
+        with self._lock:
+            return tuple(self._handles)
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def apply(self, batch: UpdateBatch | None = None, **kwargs) -> GraphVersion:
+        """Apply one batch, producing (and returning) the next version.
+
+        Accepts either an :class:`UpdateBatch` or its keyword form
+        (``add_edges=[(u, v), …]``, …).  Raises
+        :class:`~repro.errors.GraphError` — with no version produced — if
+        any operation is invalid (removing an absent edge, a self-loop).
+        """
+        if batch is None:
+            batch = UpdateBatch.build(**kwargs)
+        elif kwargs:
+            raise TypeError("pass an UpdateBatch or keywords, not both")
+        with self._lock:
+            old = self._versions[-1]
+            new_graph = old.graph.copy()
+            touched: set = set()
+            for vertex in batch.add_vertices:
+                new_graph.add_vertex(vertex)
+            for u, v in batch.add_edges:
+                new_graph.add_edge(u, v)
+                touched.add(u)
+                touched.add(v)
+            for u, v in batch.remove_edges:
+                new_graph.remove_edge(u, v)
+                touched.add(u)
+                touched.add(v)
+            for vertex in batch.remove_vertices:
+                touched.update(new_graph.neighbours(vertex))
+                new_graph.remove_vertex(vertex)
+                touched.discard(vertex)
+
+            old_graph = old.graph
+            # Computed from the graphs, not the batch: add_edge adds its
+            # endpoints implicitly, and new labels must extend the codec in
+            # the new graph's insertion order.
+            net_added_vertices = tuple(
+                v for v in new_graph if not old_graph.has_vertex(v)
+            )
+            net_removed_vertices = tuple(
+                v for v in batch.remove_vertices if old_graph.has_vertex(v)
+                and not new_graph.has_vertex(v)
+            )
+            seen: set = set()
+            net_added_edges: list = []
+            net_removed_edges: list = []
+            for u, v in (*batch.add_edges, *batch.remove_edges):
+                key = frozenset((u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                before = old_graph.has_edge(u, v)
+                after = new_graph.has_edge(u, v)
+                if after and not before:
+                    net_added_edges.append((u, v))
+                elif before and not after:
+                    net_removed_edges.append((u, v))
+            # Removing a vertex removes its incident edges implicitly.
+            for vertex in net_removed_vertices:
+                for u in old_graph.neighbours(vertex):
+                    key = frozenset((vertex, u))
+                    if key not in seen:
+                        seen.add(key)
+                        net_removed_edges.append((vertex, u))
+
+            if net_removed_vertices:
+                # The index space shrinks and shifts: recompile.
+                indexed = new_graph.to_indexed()
+                indexed.bitsets()
+                patched = False
+                self.stats.index_recompiles += 1
+            else:
+                indexed = patch_indexed(
+                    old.indexed, new_graph, touched, net_added_vertices,
+                )
+                new_graph.adopt_indexed(indexed)
+                patched = True
+                self.stats.index_patches += 1
+
+            digest = _advance_digest(
+                old.digest,
+                net_added_edges,
+                net_removed_edges,
+                net_added_vertices,
+                net_removed_vertices,
+            )
+            record = GraphVersion(
+                version=old.version + 1,
+                graph=new_graph,
+                indexed=indexed,
+                digest=digest,
+                target_id=("dyn", digest),
+                net_added_edges=tuple(net_added_edges),
+                net_removed_edges=tuple(net_removed_edges),
+                net_added_vertices=net_added_vertices,
+                net_removed_vertices=net_removed_vertices,
+                patched=patched,
+            )
+            self._versions.append(record)
+            if len(self._versions) > self.history_limit:
+                del self._versions[0]
+            self.journal.append(
+                JournalEntry(
+                    version=record.version,
+                    digest=record.digest,
+                    applied=record.applied_summary(),
+                    patched=patched,
+                ),
+            )
+            self.stats.updates_applied += 1
+            self.stats.edges_added += len(net_added_edges)
+            self.stats.edges_removed += len(net_removed_edges)
+            self.stats.vertices_added += len(net_added_vertices)
+            self.stats.vertices_removed += len(net_removed_vertices)
+            for handle in list(self._handles):
+                handle._on_apply(old, record)
+            return record
+
+    def rollback(self) -> GraphVersion:
+        """Revert to the previous retained version.
+
+        Old-version cache entries (keyed by that version's
+        :attr:`GraphVersion.target_id`) become hot again, and subscribed
+        handles restore their values from provenance instead of
+        recomputing.
+        """
+        with self._lock:
+            if len(self._versions) < 2:
+                raise GraphError(
+                    "no retained version to roll back to "
+                    f"(history_limit={self.history_limit})",
+                )
+            dropped = self._versions.pop()
+            restored = self._versions[-1]
+            self.journal.append(
+                JournalEntry(
+                    version=restored.version,
+                    digest=restored.digest,
+                    applied={"rolled_back_from": dropped.version},
+                    patched=True,
+                ),
+            )
+            self.stats.rollbacks += 1
+            for handle in list(self._handles):
+                handle._on_rollback(dropped, restored)
+            return restored
+
+    def __repr__(self) -> str:
+        current = self._versions[-1]
+        return (
+            f"DynamicGraph(version={current.version}, "
+            f"n={current.graph.num_vertices()}, m={current.graph.num_edges()})"
+        )

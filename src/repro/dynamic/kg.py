@@ -1,0 +1,443 @@
+"""Dynamic knowledge graphs: versioned triples with maintained answers.
+
+A knowledge graph reaches the engine through its gadget encoding
+(:mod:`repro.kg.engine_bridge`): each triple ``(s, l, t)`` becomes a path
+``s — a — b — t`` in a plain target graph, with ``allowed`` pools
+enforcing labels.  :class:`DynamicKnowledgeGraph` keeps that encoding
+live under updates by driving a :class:`~repro.dynamic.graph.DynamicGraph`
+over the gadget graph:
+
+* **adding** a triple appends two fresh midpoints and three edges — a
+  pure index *patch* (the append-heavy / streaming-KG case never
+  recompiles);
+* **removing** a triple deletes its midpoints, which shrinks the index
+  space and recompiles (reported honestly in the shared
+  :class:`~repro.dynamic.graph.DynamicStats`);
+* label pools are versioned alongside, so each version exposes a
+  complete :class:`~repro.kg.engine_bridge.KgEncoding`.
+
+:class:`MaintainedKgAnswerCount` keeps ``|Ans((P, X), ·)|`` current.  KG
+answer counting is a *threshold* over per-assignment extension counts —
+not a linear functional of homomorphism counts — so it cannot ride the
+edge-delta path; instead every refresh recomputes through the engine
+with the version's ``target_id``, which makes the underlying restricted
+counts cacheable per version: repeated versions (and rollback) are pure
+cache hits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dynamic.graph import (
+    DEFAULT_HISTORY_LIMIT,
+    DynamicGraph,
+    DynamicStats,
+    GraphVersion,
+    UpdateBatch,
+)
+from repro.dynamic.maintained import PROVENANCE_LIMIT
+from repro.errors import GraphError
+from repro.kg.engine_bridge import KgEncoding, count_kg_answers_engine
+from repro.kg.kgraph import KnowledgeGraph
+
+_EMPTY: frozenset = frozenset()
+
+
+def _copy_kg(kg: KnowledgeGraph) -> KnowledgeGraph:
+    return KnowledgeGraph(
+        vertices={v: kg.vertex_label(v) for v in kg.vertices()},
+        triples=kg.triples(),
+    )
+
+
+@dataclass(frozen=True)
+class KgVersion:
+    """One immutable version of a dynamic knowledge graph.
+
+    ``net_*`` fields describe the change from the previous version in
+    *triple/vertex* terms — the gadget-level bookkeeping stays inside
+    ``graph_record``.
+    """
+
+    version: int
+    kg: KnowledgeGraph
+    encoding: KgEncoding
+    graph_record: GraphVersion
+    net_added_triples: tuple = ()
+    net_removed_triples: tuple = ()
+    net_added_vertices: tuple = ()
+
+    @property
+    def digest(self) -> str:
+        return self.graph_record.digest
+
+    @property
+    def target_id(self) -> tuple:
+        return self.graph_record.target_id
+
+    @property
+    def patched(self) -> bool:
+        return self.graph_record.patched
+
+    def applied_summary(self) -> dict[str, int]:
+        return {
+            "triples_added": len(self.net_added_triples),
+            "triples_removed": len(self.net_removed_triples),
+            "vertices_added": len(self.net_added_vertices),
+        }
+
+
+class DynamicKnowledgeGraph:
+    """A versioned knowledge graph with an incrementally patched gadget
+    encoding and subscription support."""
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
+        from repro.kg.engine_bridge import encode_kg
+
+        base = _copy_kg(kg)
+        encoding = encode_kg(base)
+        self._stream = DynamicGraph(encoding.graph, history_limit=history_limit)
+        # The stream copied the gadget graph; re-point the encoding at the
+        # stream's own version-0 graph so engine counts see the (warm,
+        # adopt_indexed-patched) per-version values.
+        root = KgVersion(
+            version=0,
+            kg=base,
+            encoding=KgEncoding(
+                kg=base,
+                graph=self._stream.graph,
+                vertex_pools=dict(encoding.vertex_pools),
+                all_vertices=encoding.all_vertices,
+                head_pools=dict(encoding.head_pools),
+                tail_pools=dict(encoding.tail_pools),
+            ),
+            graph_record=self._stream.snapshot(),
+        )
+        self._versions: list[KgVersion] = [root]
+        self._handles: list = []
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> DynamicStats:
+        return self._stream.stats
+
+    @property
+    def history_limit(self) -> int:
+        return self._stream.history_limit
+
+    @property
+    def lock(self):
+        return self._stream.lock
+
+    @property
+    def version(self) -> int:
+        return self._versions[-1].version
+
+    @property
+    def kg(self) -> KnowledgeGraph:
+        return self._versions[-1].kg
+
+    @property
+    def encoding(self) -> KgEncoding:
+        return self._versions[-1].encoding
+
+    @property
+    def digest(self) -> str:
+        return self._versions[-1].digest
+
+    @property
+    def target_id(self) -> tuple:
+        return self._versions[-1].target_id
+
+    @property
+    def journal(self):
+        return self._stream.journal
+
+    def snapshot(self) -> KgVersion:
+        with self.lock:
+            return self._versions[-1]
+
+    def subscribe(self, handle) -> None:
+        with self.lock:
+            if handle not in self._handles:
+                self._handles.append(handle)
+
+    def unsubscribe(self, handle) -> None:
+        with self.lock:
+            if handle in self._handles:
+                self._handles.remove(handle)
+
+    @property
+    def handles(self) -> tuple:
+        with self.lock:
+            return tuple(self._handles)
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        add_vertices: Iterable = (),
+        add_triples: Iterable[tuple] = (),
+        remove_triples: Iterable[tuple] = (),
+    ) -> KgVersion:
+        """Apply one batch of KG updates, producing the next version.
+
+        ``add_vertices`` entries are ``(name, label)`` pairs or bare
+        names; triple endpoints are added (unlabelled) as needed, exactly
+        like :meth:`KnowledgeGraph.add_edge`.
+        """
+        with self.lock:
+            old = self._versions[-1]
+            new_kg = _copy_kg(old.kg)
+            for entry in add_vertices:
+                if isinstance(entry, tuple) and len(entry) == 2:
+                    new_kg.add_vertex(entry[0], entry[1])
+                else:
+                    new_kg.add_vertex(entry)
+            for source, label, target in add_triples:
+                new_kg.add_edge(source, label, target)
+            removed = []
+            for source, label, target in remove_triples:
+                if not new_kg.has_edge(source, label, target):
+                    raise GraphError(
+                        f"triple ({source!r}, {label!r}, {target!r}) "
+                        "not in knowledge graph",
+                    )
+                removed.append((source, label, target))
+            if removed:
+                keep = set(removed)
+                new_kg = KnowledgeGraph(
+                    vertices={
+                        v: new_kg.vertex_label(v) for v in new_kg.vertices()
+                    },
+                    triples=[
+                        t for t in new_kg.triples() if t not in keep
+                    ],
+                )
+
+            # Translate the *net* effect to a gadget-graph batch: a triple
+            # added and removed in the same batch never had gadget
+            # midpoints, so only removals of previously existing triples
+            # reach the stream (same no-op contract as UpdateBatch).
+            old_names = set(old.kg.vertices())
+            gadget_add_vertices = [
+                ("v", name)
+                for name in new_kg.vertices()
+                if name not in old_names
+            ]
+            net_added_triples = []
+            gadget_add_edges = []
+            for source, label, target in new_kg.triples():
+                if old.kg.has_edge(source, label, target):
+                    continue
+                net_added_triples.append((source, label, target))
+                head = ("a", source, label, target)
+                tail = ("b", source, label, target)
+                gadget_add_edges.extend(
+                    [
+                        (("v", source), head),
+                        (head, tail),
+                        (tail, ("v", target)),
+                    ],
+                )
+            net_removed_triples = [
+                triple for triple in removed if old.kg.has_edge(*triple)
+            ]
+            gadget_remove_vertices = []
+            for source, label, target in net_removed_triples:
+                gadget_remove_vertices.append(("a", source, label, target))
+                gadget_remove_vertices.append(("b", source, label, target))
+
+            record = self._stream.apply(
+                UpdateBatch.build(
+                    add_vertices=gadget_add_vertices,
+                    add_edges=gadget_add_edges,
+                    remove_vertices=gadget_remove_vertices,
+                ),
+            )
+
+            version = KgVersion(
+                version=old.version + 1,
+                kg=new_kg,
+                encoding=self._rebuild_pools(old.encoding, new_kg, record),
+                graph_record=record,
+                net_added_triples=tuple(net_added_triples),
+                net_removed_triples=tuple(net_removed_triples),
+                net_added_vertices=tuple(
+                    name for name in new_kg.vertices() if name not in old_names
+                ),
+            )
+            self._versions.append(version)
+            if len(self._versions) > self.history_limit:
+                del self._versions[0]
+            for handle in list(self._handles):
+                handle._on_apply(old, version)
+            return version
+
+    def _rebuild_pools(
+        self,
+        old_encoding: KgEncoding,
+        new_kg: KnowledgeGraph,
+        record: GraphVersion,
+    ) -> KgEncoding:
+        """Patch the label pools to the new version (only changed labels
+        get a fresh frozenset)."""
+        vertex_pools = dict(old_encoding.vertex_pools)
+        head_pools = dict(old_encoding.head_pools)
+        tail_pools = dict(old_encoding.tail_pools)
+        touched_vertex_labels: set = set()
+        touched_edge_labels: set = set()
+        for vertex in record.net_added_vertices:
+            if vertex[0] == "v":
+                touched_vertex_labels.add(new_kg.vertex_label(vertex[1]))
+            else:
+                touched_edge_labels.add(vertex[2])
+        for vertex in record.net_removed_vertices:
+            # Only gadget midpoints are ever removed (triple removal).
+            touched_edge_labels.add(vertex[2])
+        for label in touched_vertex_labels:
+            vertex_pools[label] = frozenset(
+                ("v", name)
+                for name in new_kg.vertices()
+                if new_kg.vertex_label(name) == label
+            )
+        for label in touched_edge_labels:
+            heads = frozenset(
+                ("a", s, l, t)
+                for s, l, t in new_kg.triples()
+                if l == label
+            )
+            tails = frozenset(
+                ("b", s, l, t)
+                for s, l, t in new_kg.triples()
+                if l == label
+            )
+            if heads:
+                head_pools[label] = heads
+                tail_pools[label] = tails
+            else:
+                head_pools.pop(label, None)
+                tail_pools.pop(label, None)
+        all_vertices = frozenset(
+            encoded for pool in vertex_pools.values() for encoded in pool
+        )
+        return KgEncoding(
+            kg=new_kg,
+            graph=record.graph,
+            vertex_pools=vertex_pools,
+            all_vertices=all_vertices,
+            head_pools=head_pools,
+            tail_pools=tail_pools,
+        )
+
+    def rollback(self) -> KgVersion:
+        """Revert to the previous retained version (gadget stream and
+        pools together); subscribed handles restore from provenance."""
+        with self.lock:
+            if len(self._versions) < 2:
+                raise GraphError(
+                    "no retained version to roll back to "
+                    f"(history_limit={self.history_limit})",
+                )
+            dropped = self._versions.pop()
+            self._stream.rollback()
+            restored = self._versions[-1]
+            for handle in list(self._handles):
+                handle._on_rollback(dropped, restored)
+            return restored
+
+    def __repr__(self) -> str:
+        current = self._versions[-1]
+        return (
+            f"DynamicKnowledgeGraph(version={current.version}, "
+            f"n={current.kg.num_vertices()}, "
+            f"triples={current.kg.num_triples()})"
+        )
+
+
+class MaintainedKgAnswerCount:
+    """``|Ans((P, X), ·)|`` kept current over a
+    :class:`DynamicKnowledgeGraph`.
+
+    Refreshes recompute through the engine under the version's
+    ``target_id`` (KG answer counting thresholds per-assignment extension
+    counts, so there is no linear delta to apply); provenance per digest
+    makes rollback and repeated versions pure lookups.
+    """
+
+    kind = "kg-answer-count"
+
+    def __init__(self, query, dkg: DynamicKnowledgeGraph, engine=None) -> None:
+        if engine is None:
+            from repro.engine import default_engine
+
+            engine = default_engine()
+        self.query = query
+        self.dkg = dkg
+        self.engine = engine
+        self._values: dict[str, tuple[int, int]] = {}
+        self.provenance: deque = deque(maxlen=PROVENANCE_LIMIT)
+        with dkg.lock:
+            version = dkg.snapshot()
+            self._refresh(version)
+            dkg.subscribe(self)
+
+    def _refresh(self, version: KgVersion) -> int:
+        cached = self._values.get(version.digest)
+        if cached is not None:
+            self._current = cached[1]
+            return cached[1]
+        value = count_kg_answers_engine(
+            self.query,
+            version.encoding,
+            engine=self.engine,
+            target_id=version.target_id,
+        )
+        self._values[version.digest] = (version.version, value)
+        while len(self._values) > self.dkg.history_limit + 2:
+            oldest = next(iter(self._values))
+            del self._values[oldest]
+        self.provenance.append(
+            {
+                "version": version.version,
+                "digest": version.digest,
+                "value": value,
+            },
+        )
+        self._current = value
+        return value
+
+    def _on_apply(self, old: KgVersion, new: KgVersion) -> None:
+        self._refresh(new)
+
+    def _on_rollback(self, dropped: KgVersion, restored: KgVersion) -> None:
+        self._refresh(restored)
+
+    @property
+    def version(self) -> int:
+        return self.dkg.version
+
+    @property
+    def value(self) -> int:
+        with self.dkg.lock:
+            return self._refresh(self.dkg.snapshot())
+
+    def close(self) -> None:
+        self.dkg.unsubscribe(self)
+
+    def summary(self) -> dict:
+        return {
+            "kind": self.kind,
+            "version": self.version,
+            "value": self.value,
+        }

@@ -103,9 +103,19 @@ class Graph:
         del self._adjacency[vertex]
 
     def copy(self) -> "Graph":
-        """An independent deep copy of the adjacency structure."""
+        """An independent deep copy of the adjacency structure.
+
+        The cached :meth:`to_indexed` encoding is *shared* with the copy:
+        :class:`~repro.graphs.indexed.IndexedGraph` is immutable and both
+        graphs currently encode to the same value, so the copy starts warm
+        instead of paying a re-encode.  Sharing is safe because every
+        mutator on either graph clears only its *own* ``_indexed`` slot —
+        the other graph keeps the (still correct) snapshot.  The
+        copy-then-mutate regression suite pins this down.
+        """
         clone = Graph()
         clone._adjacency = {v: set(adj) for v, adj in self._adjacency.items()}
+        clone._indexed = self._indexed
         return clone
 
     # ------------------------------------------------------------------
@@ -328,3 +338,19 @@ class Graph:
             cached = IndexedGraph.from_graph(self)
             self._indexed = cached
         return cached
+
+    def adopt_indexed(self, indexed) -> None:
+        """Seed the :meth:`to_indexed` cache with an externally built
+        encoding (the dynamic layer patches the previous version's index
+        instead of recompiling).
+
+        ``indexed`` must encode exactly this graph — vertices in insertion
+        order, every edge present.  Cheap shape invariants are verified
+        here; the dynamic layer's property tests assert full agreement.
+        """
+        if indexed.n != self.num_vertices() or indexed.num_edges() != self.num_edges():
+            raise GraphError(
+                f"adopted index has shape (n={indexed.n}, m={indexed.num_edges()}), "
+                f"graph has (n={self.num_vertices()}, m={self.num_edges()})",
+            )
+        self._indexed = indexed

@@ -126,12 +126,16 @@ def count_kg_homomorphisms_engine(
     target: KnowledgeGraph | KgEncoding,
     fixed: Mapping[Vertex, Vertex] | None = None,
     engine=None,
+    target_id: tuple | None = None,
 ) -> int:
     """``|Hom(pattern, target)|`` for knowledge graphs, via the engine.
 
     Accepts raw graphs or precomputed :class:`KgEncoding` objects (the
     dataset registry passes the latter, so per-request encoding cost is
-    zero for registered datasets).
+    zero for registered datasets).  ``target_id`` short-circuits the
+    gadget graph's cache fingerprint with a precomputed key — the dynamic
+    layer passes its per-version digest so counts stay cached per target
+    version.
     """
     if engine is None:
         from repro.engine import default_engine
@@ -142,10 +146,12 @@ def count_kg_homomorphisms_engine(
     if not isinstance(target, KgEncoding):
         target = encode_kg(target)
     allowed = kg_allowed(pattern, target, fixed=fixed)
-    return engine.count(pattern.graph, target.graph, allowed=allowed)
+    return engine.count(
+        pattern.graph, target.graph, allowed=allowed, target_id=target_id,
+    )
 
 
-def count_kg_answers_engine(query, target, engine=None) -> int:
+def count_kg_answers_engine(query, target, engine=None, target_id=None) -> int:
     """``|Ans((P, X), target)|`` with every extendability probe served by
     the engine's cached colour-restricted path.
 
@@ -159,6 +165,7 @@ def count_kg_answers_engine(query, target, engine=None) -> int:
     if not free:
         count = count_kg_homomorphisms_engine(
             pattern_encoding, target_encoding, engine=engine,
+            target_id=target_id,
         )
         return 1 if count > 0 else 0
 
@@ -178,6 +185,7 @@ def count_kg_answers_engine(query, target, engine=None) -> int:
         assignment = dict(zip(free, images))
         extensions = count_kg_homomorphisms_engine(
             pattern_encoding, target_encoding, fixed=assignment, engine=engine,
+            target_id=target_id,
         )
         if extensions > 0:
             total += 1

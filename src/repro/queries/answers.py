@@ -222,16 +222,8 @@ def count_answers_by_interpolation(
 ) -> int:
     """``|Ans|`` from homomorphism counts of ℓ-copies alone (Lemma 22).
 
-    Writes ``p_ℓ = Σ_i m_i x_i^ℓ`` with distinct extension sizes ``x_i ≥ 1``
-    and multiplicities ``m_i ≥ 1``, then:
-
-    1. find ``d`` = number of distinct sizes via exact Hankel rank;
-    2. recover the sizes as the integer roots of the Prony polynomial;
-    3. solve a Vandermonde system for the multiplicities;
-    4. ``|Ans| = Σ_i m_i``.
-
-    Every step is exact rational arithmetic.  ``max_distinct`` caps step 1
-    (default: a bound implied by ``p_1``).
+    The solver half lives in :func:`count_answers_from_power_sums`; this
+    wrapper feeds it the engine-backed power sums of ``(query, target)``.
     """
     if query.is_full():
         # No existential variables: answers are homomorphisms.
@@ -241,8 +233,34 @@ def count_answers_by_interpolation(
             "interpolation requires at least one free variable; Boolean "
             "queries reduce to homomorphism existence",
         )
+    return count_answers_from_power_sums(
+        lambda ell: hom_count_of_ell_copy(query, target, ell, method=method),
+        max_distinct=max_distinct,
+    )
 
-    p1 = hom_count_of_ell_copy(query, target, 1, method=method)
+
+def count_answers_from_power_sums(
+    fetch,
+    max_distinct: int | None = None,
+) -> int:
+    """``|Ans|`` from the power sums ``p_ℓ`` alone (Lemma 22, solver half).
+
+    ``fetch(ℓ)`` must return ``p_ℓ = |Hom(F_ℓ(H, X), G)| = Σ_σ |Ext(σ)|^ℓ``;
+    it is called for ``ℓ = 1, 2, …`` as needed.  Writes
+    ``p_ℓ = Σ_i m_i x_i^ℓ`` with distinct extension sizes ``x_i ≥ 1`` and
+    multiplicities ``m_i ≥ 1``, then:
+
+    1. find ``d`` = number of distinct sizes via exact Hankel rank;
+    2. recover the sizes as the integer roots of the Prony polynomial;
+    3. solve a Vandermonde system for the multiplicities;
+    4. ``|Ans| = Σ_i m_i``.
+
+    Every step is exact rational arithmetic.  ``max_distinct`` caps step 1
+    (default: a bound implied by ``p_1``).  Decoupling the solver from the
+    power-sum source lets the dynamic layer interpolate over *maintained*
+    homomorphism counts instead of fresh ones.
+    """
+    p1 = fetch(1)
     if p1 == 0:
         return 0
     # Each answer contributes x_i >= 1 to p1, so there are at most p1
@@ -253,11 +271,7 @@ def count_answers_by_interpolation(
 
     def extend_to(length: int) -> None:
         while len(power_sums) < length:
-            power_sums.append(
-                hom_count_of_ell_copy(
-                    query, target, len(power_sums) + 1, method=method,
-                ),
-            )
+            power_sums.append(fetch(len(power_sums) + 1))
 
     distinct = None
     for d in range(1, cap + 1):

@@ -4,7 +4,10 @@ The subsystem that turns the compile-once :class:`~repro.engine.HomEngine`
 into something you can *serve*:
 
 * :mod:`repro.service.registry` — datasets (host graphs / knowledge
-  graphs) registered once by name, preprocessed for the request path;
+  graphs) registered once by name, preprocessed for the request path and
+  *versioned*: ``POST /target-update`` advances a dataset through its
+  :mod:`repro.dynamic` stream and refreshes subscribed maintained counts
+  (``POST /subscribe`` / ``GET /subscriptions``);
 * :mod:`repro.service.store` — the persistent on-disk cache tier under
   the engine's in-memory LRUs (plans + counts survive restarts);
 * :mod:`repro.service.scheduler` — bounded queue, worker pool, and

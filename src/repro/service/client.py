@@ -143,3 +143,62 @@ class ServiceClient:
 
     def analyze(self, query: str) -> dict:
         return self._post("/analyze", {"query": query})
+
+    # ------------------------------------------------------------------
+    # dynamic targets
+    # ------------------------------------------------------------------
+    def target_update(
+        self,
+        name: str,
+        add_edges=(),
+        remove_edges=(),
+        add_vertices=(),
+        remove_vertices=(),
+        add_triples=(),
+        remove_triples=(),
+    ) -> dict:
+        """Advance a registered dataset's version by one update batch
+        (edge/vertex fields for graph datasets, triple fields for KGs)."""
+        payload: dict = {"target": name}
+        for field, values in (
+            ("add_edges", add_edges),
+            ("remove_edges", remove_edges),
+            ("add_vertices", add_vertices),
+            ("remove_vertices", remove_vertices),
+            ("add_triples", add_triples),
+            ("remove_triples", remove_triples),
+        ):
+            values = [list(v) if isinstance(v, (list, tuple)) else v for v in values]
+            if values:
+                payload[field] = values
+        return self._post("/target-update", payload)
+
+    def subscribe(
+        self,
+        name: str,
+        pattern=None,
+        query: str | None = None,
+        kg_query=None,
+        subscription_id: str | None = None,
+    ) -> dict:
+        """Create a maintained count on dataset ``name`` (exactly one of
+        ``pattern`` / ``query`` / ``kg_query``); returns its payload."""
+        payload: dict = {"target": name}
+        if subscription_id is not None:
+            payload["id"] = subscription_id
+        if pattern is not None:
+            payload["pattern"] = _as_graph_spec(pattern)
+        elif query is not None:
+            payload["query"] = query
+        elif kg_query is not None:
+            payload["kg_query"] = (
+                kg_query_to_spec(kg_query)
+                if hasattr(kg_query, "free_variables")
+                else dict(kg_query)
+            )
+        else:
+            raise ServiceError("pass a pattern, query, or kg_query to subscribe")
+        return self._post("/subscribe", payload)["subscription"]
+
+    def subscriptions(self) -> list[dict]:
+        return self.request("GET", "/subscriptions")["subscriptions"]

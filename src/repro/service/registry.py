@@ -27,6 +27,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.dynamic.graph import DynamicGraph, GraphVersion, UpdateBatch
+from repro.dynamic.kg import DynamicKnowledgeGraph, KgVersion
 from repro.engine.cache import target_key
 from repro.errors import ReproError
 from repro.graphs.graph import Graph
@@ -43,37 +45,107 @@ class RegistryError(ReproError):
     """
 
 
+@dataclass(frozen=True)
+class ServingState:
+    """The request-path view of one dataset *version* — immutable, so a
+    request reads it with a single attribute load and can never pair one
+    version's graph with another version's cache key, however the update
+    thread interleaves.  Fields describe exactly one version: ``graph``,
+    ``target_id``, the component shards (graph datasets), or ``kg`` +
+    ``kg_encoding`` (KG datasets), plus the coalescing ``content_token``.
+    """
+
+    version: int = 0
+    graph: Graph | None = None
+    target_id: tuple | None = None
+    shards: tuple = ()
+    shard_ids: tuple = ()
+    kg: object | None = None
+    kg_encoding: object | None = None
+    content_token: object = None
+
+
 @dataclass
 class Dataset:
-    """One registered host with its precomputed request-path artefacts."""
+    """One registered host with its precomputed request-path artefacts.
+
+    Every dataset is *dynamic*: graph datasets wrap a
+    :class:`~repro.dynamic.graph.DynamicGraph`, KG datasets a
+    :class:`~repro.dynamic.kg.DynamicKnowledgeGraph`.  The current
+    version's request-path view lives in one :class:`ServingState` that
+    updates swap with a single (atomic) reference write; request
+    handlers read ``dataset.serving`` once and work off that snapshot.
+    The convenience properties below read the *current* snapshot — fine
+    for reporting, but multi-field request paths must hold one
+    ``serving`` reference.
+    """
 
     name: str
     kind: str  # "graph" | "kg"
-    graph: Graph | None = None
-    target_id: tuple | None = None
-    shards: list[Graph] = field(default_factory=list)
-    shard_ids: list[tuple] = field(default_factory=list)
-    kg: object | None = None
-    kg_encoding: object | None = None
-    # Content-derived identity used in coalescing keys, so replacing a
-    # dataset under the same name never joins in-flight work on the old
-    # content.
-    content_token: object = None
+    shards_requested: int = 1
+    dynamic: DynamicGraph | None = None
+    dynamic_kg: DynamicKnowledgeGraph | None = None
+    serving: ServingState = field(default_factory=ServingState)
+    # Maintained handles subscribed through the service, by id.
+    subscriptions: dict = field(default_factory=dict)
+
+    @property
+    def graph(self) -> Graph | None:
+        return self.serving.graph
+
+    @property
+    def target_id(self) -> tuple | None:
+        return self.serving.target_id
+
+    @property
+    def shards(self) -> tuple:
+        return self.serving.shards
+
+    @property
+    def shard_ids(self) -> tuple:
+        return self.serving.shard_ids
+
+    @property
+    def kg(self):
+        return self.serving.kg
+
+    @property
+    def kg_encoding(self):
+        return self.serving.kg_encoding
+
+    @property
+    def content_token(self):
+        return self.serving.content_token
+
+    @property
+    def version(self) -> int:
+        return self.serving.version
+
+    @property
+    def stats(self):
+        if self.kind == "kg":
+            return self.dynamic_kg.stats
+        return self.dynamic.stats
 
     def summary(self) -> dict:
+        serving = self.serving
         if self.kind == "kg":
             return {
                 "name": self.name,
                 "kind": "kg",
-                "vertices": self.kg.num_vertices(),
-                "triples": self.kg.num_triples(),
+                "vertices": serving.kg.num_vertices(),
+                "triples": serving.kg.num_triples(),
+                "version": serving.version,
+                "subscriptions": len(self.subscriptions),
             }
         return {
             "name": self.name,
             "kind": "graph",
-            "vertices": self.graph.num_vertices(),
-            "edges": self.graph.num_edges(),
-            "shards": len(self.shards),
+            "vertices": serving.graph.num_vertices(),
+            "edges": serving.graph.num_edges(),
+            "shards": len(serving.shards),
+            "version": serving.version,
+            "subscriptions": len(self.subscriptions),
         }
 
 
@@ -103,44 +175,100 @@ class DatasetRegistry:
     ) -> Dataset:
         if not name or not isinstance(name, str):
             raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
-        shard_graphs = component_shards(graph, shards) if shards > 1 else [graph]
-        target_id = target_key(graph)
-        # Encode once at registration: to_indexed() pins the IndexedGraph
-        # on each served Graph object (bitsets warmed), so no request ever
-        # re-encodes the dataset.
-        graph.to_indexed().bitsets()
-        for shard in shard_graphs:
-            shard.to_indexed().bitsets()
         dataset = Dataset(
             name=name,
             kind="graph",
-            graph=graph,
-            target_id=target_id,
-            shards=shard_graphs,
-            shard_ids=[target_key(shard) for shard in shard_graphs],
-            content_token=(target_id, len(shard_graphs)),
+            dynamic=DynamicGraph(graph),
+            shards_requested=shards,
         )
+        self._refresh_graph_fields(dataset, dataset.dynamic.snapshot())
         with self._lock:
             self._datasets[name] = dataset
         return dataset
 
-    def register_kg(self, name: str, kg) -> Dataset:
-        from repro.kg.engine_bridge import encode_kg
+    def _refresh_graph_fields(
+        self, dataset: Dataset, record: GraphVersion,
+    ) -> None:
+        """Swap the serving state to ``record``'s snapshot (one atomic
+        reference write — request handlers reading ``dataset.serving``
+        see either the old version or the new one, never a mix).
 
+        The served graph carries its (patched or recompiled) index
+        already — ``DynamicGraph`` warms it per version — so no request
+        ever re-encodes the dataset.  Component shards are rebuilt per
+        version (component structure may change under updates).
+        """
+        served = record.graph
+        if dataset.shards_requested > 1:
+            shard_graphs = tuple(
+                component_shards(served, dataset.shards_requested),
+            )
+            for shard in shard_graphs:
+                shard.to_indexed().bitsets()
+            shard_ids = tuple(target_key(shard) for shard in shard_graphs)
+        else:
+            shard_graphs = (served,)
+            shard_ids = (record.target_id,)
+        dataset.serving = ServingState(
+            version=record.version,
+            graph=served,
+            target_id=record.target_id,
+            shards=shard_graphs,
+            shard_ids=shard_ids,
+            content_token=(record.target_id, len(shard_graphs)),
+        )
+
+    def update_graph(
+        self, name: str, batch: UpdateBatch,
+    ) -> tuple[Dataset, GraphVersion]:
+        """Advance a graph dataset's version by one update batch."""
+        dataset = self.get(name, kind="graph")
+        with dataset.dynamic.lock:
+            record = dataset.dynamic.apply(batch)
+            self._refresh_graph_fields(dataset, record)
+        return dataset, record
+
+    def register_kg(self, name: str, kg) -> Dataset:
         if not name or not isinstance(name, str):
             raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
+        dataset = Dataset(name=name, kind="kg", dynamic_kg=DynamicKnowledgeGraph(kg))
+        self._refresh_kg_fields(dataset, dataset.dynamic_kg.snapshot())
+        with self._lock:
+            self._datasets[name] = dataset
+        return dataset
+
+    def _refresh_kg_fields(self, dataset: Dataset, version: KgVersion) -> None:
         from repro.service.store import stable_key_digest
         from repro.service.wire import kg_to_spec
 
-        dataset = Dataset(name=name, kind="kg")
-        dataset.kg = kg
-        dataset.kg_encoding = encode_kg(kg)
-        # Label-complete identity: the gadget graph alone would not see
-        # vertex-label changes (labels live in the allowed pools).
-        dataset.content_token = stable_key_digest(kg_to_spec(kg))
-        with self._lock:
-            self._datasets[name] = dataset
-        return dataset
+        dataset.serving = ServingState(
+            version=version.version,
+            kg=version.kg,
+            kg_encoding=version.encoding,
+            target_id=version.target_id,
+            # Label-complete identity: the gadget graph digest alone would
+            # not see vertex-label differences between separately
+            # registered KGs (labels live in the allowed pools).
+            content_token=stable_key_digest(kg_to_spec(version.kg)),
+        )
+
+    def update_kg(
+        self,
+        name: str,
+        add_vertices=(),
+        add_triples=(),
+        remove_triples=(),
+    ) -> tuple[Dataset, KgVersion]:
+        """Advance a KG dataset's version by one update batch."""
+        dataset = self.get(name, kind="kg")
+        with dataset.dynamic_kg.lock:
+            version = dataset.dynamic_kg.apply(
+                add_vertices=add_vertices,
+                add_triples=add_triples,
+                remove_triples=remove_triples,
+            )
+            self._refresh_kg_fields(dataset, version)
+        return dataset, version
 
     def get(self, name: str, kind: str | None = None) -> Dataset:
         with self._lock:

@@ -55,6 +55,10 @@ from repro.service.wire import (
     kg_query_from_spec,
     kg_query_to_spec,
     kg_to_spec,
+    kg_update_from_spec,
+    subscription_payload,
+    target_update_payload,
+    update_batch_from_spec,
     wl_dim_payload,
 )
 
@@ -95,10 +99,18 @@ class CountingService:
             ("POST", "/wl-dim"): self._op_wl_dim,
             ("POST", "/analyze"): self._op_analyze,
             ("POST", "/register-dataset"): self._op_register,
+            ("POST", "/target-update"): self._op_target_update,
+            ("POST", "/subscribe"): self._op_subscribe,
+            ("GET", "/subscriptions"): self._op_subscriptions,
             ("GET", "/stats"): self._op_stats,
             ("GET", "/datasets"): self._op_datasets,
             ("GET", "/health"): self._op_health,
         }
+        # Updates and subscription creations are stateful: each submission
+        # gets a unique scheduler key (never coalesced); per-dataset
+        # serialisation happens on the dynamic graph's lock.
+        self._sequence = 0
+        self._sequence_lock = threading.Lock()
         self._previous_default: tuple | None = None
         if install_default_engine:
             self._previous_default = (set_default_engine(self.engine),)
@@ -134,15 +146,25 @@ class CountingService:
     # target resolution
     # ------------------------------------------------------------------
     def _resolve_graph_target(self, target):
-        """``(host graph or None, dataset or None, coalescing token, display name)``.
+        """``(host graph or None, serving state or None, coalescing token,
+        display name)``.
 
-        The token is derived from the dataset *content*, not its name, so
-        re-registering a name with a different graph never joins in-flight
-        work computed against the old content.
+        For a registered dataset the ``ServingState`` is read with a
+        single attribute load — one immutable version snapshot, so a
+        concurrent ``target-update`` can never pair this request's graph
+        with another version's cache key.  The token is derived from the
+        dataset *content*, not its name, so re-registering a name with a
+        different graph never joins in-flight work computed against the
+        old content.
         """
         if isinstance(target, str):
-            dataset = self.registry.get(target, kind="graph")
-            return dataset.graph, dataset, ("dataset", dataset.content_token), target
+            serving = self.registry.get(target, kind="graph").serving
+            return (
+                serving.graph,
+                serving,
+                ("dataset", serving.content_token),
+                target,
+            )
         if target is None:
             raise WireError("request is missing the 'target' field")
         host = graph_from_spec(target)
@@ -153,19 +175,19 @@ class CountingService:
     # ------------------------------------------------------------------
     async def _op_count(self, body: dict) -> dict:
         pattern = graph_from_spec(_require(body, "pattern"))
-        host, dataset, token, target_name = self._resolve_graph_target(
+        host, serving, token, target_name = self._resolve_graph_target(
             body.get("target"),
         )
         engine = self.engine
         shard_count = 1
         if (
-            dataset is not None
-            and len(dataset.shards) > 1
+            serving is not None
+            and len(serving.shards) > 1
             and pattern.num_vertices() > 0
             and pattern.is_connected()
         ):
             # Connected patterns sum over component shards exactly.
-            shards, shard_ids = dataset.shards, dataset.shard_ids
+            shards, shard_ids = serving.shards, serving.shard_ids
             shard_count = len(shards)
 
             def fn() -> tuple[int, str]:
@@ -175,7 +197,7 @@ class CountingService:
                 )
                 return count, engine.plan_for(pattern).describe()
         else:
-            target_id = dataset.target_id if dataset is not None else None
+            target_id = serving.target_id if serving is not None else None
 
             def fn() -> tuple[int, str]:
                 count = engine.count(pattern, host, target_id=target_id)
@@ -216,10 +238,13 @@ class CountingService:
         query = kg_query_from_spec(_require(body, "kg_query"))
         target = body.get("target")
         if isinstance(target, str):
-            dataset = self.registry.get(target, kind="kg")
+            # One snapshot read: encoding and coalescing token always
+            # describe the same dataset version.
+            serving = self.registry.get(target, kind="kg").serving
             encoding, token, target_name = (
-                dataset.kg_encoding, ("dataset", dataset.content_token), target,
+                serving.kg_encoding, ("dataset", serving.content_token), target,
             )
+            target_id = serving.target_id
         elif target is not None:
             kg = kg_from_spec(target)
 
@@ -235,6 +260,7 @@ class CountingService:
             target_name = {
                 "vertices": kg.num_vertices(), "triples": kg.num_triples(),
             }
+            target_id = None
         else:
             raise WireError("request is missing the 'target' field")
         engine = self.engine
@@ -245,7 +271,9 @@ class CountingService:
         )
         count = await self.scheduler.submit(
             key,
-            lambda: count_kg_answers_engine(query, encoding, engine=engine),
+            lambda: count_kg_answers_engine(
+                query, encoding, engine=engine, target_id=target_id,
+            ),
         )
         return {
             "kind": "count-answers",
@@ -299,6 +327,148 @@ class CountingService:
         dataset = await asyncio.get_running_loop().run_in_executor(None, build)
         return {"kind": "register-dataset", "dataset": dataset.summary()}
 
+    # ------------------------------------------------------------------
+    # dynamic targets
+    # ------------------------------------------------------------------
+    def _next_sequence(self) -> int:
+        with self._sequence_lock:
+            self._sequence += 1
+            return self._sequence
+
+    def _subscription_payloads(self, dataset) -> list[dict]:
+        """Payloads for every subscription of ``dataset``.
+
+        Reading a handle's value may trigger a lazy (engine-backed)
+        refresh, so callers must run this on a worker/executor thread —
+        never on the event loop.
+        """
+        return [
+            subscription_payload(subscription_id, dataset.name, handle)
+            for subscription_id, handle in sorted(dataset.subscriptions.items())
+        ]
+
+    async def _op_target_update(self, body: dict) -> dict:
+        """Advance a registered dataset's version by one update batch.
+
+        The batch is applied — and every subscribed maintained count
+        refreshed (delta or fallback recompute) and serialised into the
+        response — on a scheduler worker, so updates queue behind
+        counting traffic under the same backpressure, and heavy
+        refreshes never block the event loop.
+        """
+        name = _require(body, "target")
+        if not isinstance(name, str):
+            raise WireError("'target' must be a registered dataset name")
+        dataset = self.registry.get(name)  # validate before scheduling
+        if dataset.kind == "kg":
+            updates = kg_update_from_spec(body)
+
+            def fn() -> dict:
+                updated, version = self.registry.update_kg(name, **updates)
+                return target_update_payload(
+                    name,
+                    version.version,
+                    version.applied_summary(),
+                    version.patched,
+                    updated.stats,
+                    self._subscription_payloads(updated),
+                )
+        else:
+            batch = update_batch_from_spec(body)
+
+            def fn() -> dict:
+                updated, record = self.registry.update_graph(name, batch)
+                return target_update_payload(
+                    name,
+                    record.version,
+                    record.applied_summary(),
+                    record.patched,
+                    updated.stats,
+                    self._subscription_payloads(updated),
+                )
+
+        key = ("target-update", name, self._next_sequence())
+        return await self.scheduler.submit(key, fn)
+
+    async def _op_subscribe(self, body: dict) -> dict:
+        """Create a maintained count for a registered dataset.
+
+        ``{"target": name, "pattern": graphspec}`` maintains a
+        homomorphism count; ``{"target": name, "query": text}`` a CQ
+        answer count; ``{"target": name, "kg_query": spec}`` a KG answer
+        count.  The handle refreshes on every ``target-update``.
+        """
+        from repro.dynamic.kg import MaintainedKgAnswerCount
+        from repro.dynamic.maintained import (
+            MaintainedAnswerCount,
+            MaintainedCount,
+        )
+
+        name = _require(body, "target")
+        if not isinstance(name, str):
+            raise WireError("'target' must be a registered dataset name")
+        subscription_id = body.get("id")
+        if subscription_id is None:
+            subscription_id = f"sub-{self._next_sequence()}"
+        if not isinstance(subscription_id, str) or not subscription_id:
+            raise WireError("subscription 'id' must be a non-empty string")
+        engine = self.engine
+        if "kg_query" in body:
+            dataset = self.registry.get(name, kind="kg")
+            query = kg_query_from_spec(body["kg_query"])
+
+            def fn():
+                return MaintainedKgAnswerCount(
+                    query, dataset.dynamic_kg, engine=engine,
+                )
+        elif "query" in body:
+            from repro.queries.parser import parse_query
+
+            dataset = self.registry.get(name, kind="graph")
+            query = parse_query(body["query"])
+
+            def fn():
+                return MaintainedAnswerCount(
+                    query, dataset.dynamic, engine=engine,
+                )
+        elif "pattern" in body:
+            dataset = self.registry.get(name, kind="graph")
+            pattern = graph_from_spec(body["pattern"])
+
+            def fn():
+                return MaintainedCount(pattern, dataset.dynamic, engine=engine)
+        else:
+            raise WireError(
+                "subscribe needs a 'pattern', 'query', or 'kg_query' field",
+            )
+
+        def create_and_register() -> dict:
+            handle = fn()
+            previous = dataset.subscriptions.get(subscription_id)
+            if previous is not None:
+                previous.close()
+            dataset.subscriptions[subscription_id] = handle
+            return subscription_payload(subscription_id, name, handle)
+
+        key = ("subscribe", name, self._next_sequence())
+        payload = await self.scheduler.submit(key, create_and_register)
+        return {"kind": "subscribe", "subscription": payload}
+
+    async def _op_subscriptions(self, body: dict) -> dict:
+        # Handle values may lazily recompute: keep them off the event loop.
+        def collect() -> list[dict]:
+            payloads: list[dict] = []
+            for name in self.registry.names():
+                payloads.extend(
+                    self._subscription_payloads(self.registry.get(name)),
+                )
+            return payloads
+
+        payloads = await asyncio.get_running_loop().run_in_executor(
+            None, collect,
+        )
+        return {"kind": "subscriptions", "subscriptions": payloads}
+
     async def _op_stats(self, body: dict) -> dict:
         return self.stats_payload()
 
@@ -309,11 +479,17 @@ class CountingService:
         return {"kind": "health", "status": "ok"}
 
     def stats_payload(self) -> dict:
+        from repro.service.wire import dynamic_stats_payload
+
         return {
             "kind": "stats",
             "engine": self.engine.stats_summary(),
             "scheduler": self.scheduler.stats.snapshot(),
             "datasets": self.registry.summary(),
+            "dynamic": {
+                name: dynamic_stats_payload(self.registry.get(name).stats)
+                for name in self.registry.names()
+            },
             "persistent": (
                 self.store.summary() if self.store is not None else None
             ),

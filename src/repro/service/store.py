@@ -22,41 +22,18 @@ exact vocabulary used for the memory tier.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pickle
 import threading
 
 from repro.engine.cache import CacheStats, LRUCache
+from repro.utils import stable_key_digest
+
+__all__ = ["PersistentStore", "stable_key_digest"]
 
 _COUNTS_FILE = "counts.jsonl"
 _PLANS_DIR = "plans"
-
-
-def stable_key_digest(key) -> str:
-    """A process-independent hex digest of a cache key.
-
-    Frozensets are serialised in sorted element order, so the digest does
-    not depend on hash randomisation; everything else serialises by type
-    name + ``repr``.
-    """
-    return hashlib.sha256(_stable_repr(key).encode("utf-8")).hexdigest()
-
-
-def _stable_repr(obj) -> str:
-    if isinstance(obj, (frozenset, set)):
-        return "{" + ",".join(sorted(_stable_repr(x) for x in obj)) + "}"
-    if isinstance(obj, tuple):
-        return "(" + ",".join(_stable_repr(x) for x in obj) + ")"
-    if isinstance(obj, list):
-        return "[" + ",".join(_stable_repr(x) for x in obj) + "]"
-    if isinstance(obj, dict):
-        items = sorted(
-            f"{_stable_repr(k)}:{_stable_repr(v)}" for k, v in obj.items()
-        )
-        return "dict{" + ",".join(items) + "}"
-    return f"{type(obj).__name__}:{obj!r}"
 
 
 class PersistentStore:

@@ -118,6 +118,70 @@ def kg_query_to_spec(query) -> dict:
 
 
 # ----------------------------------------------------------------------
+# dynamic-update codecs
+# ----------------------------------------------------------------------
+def update_batch_from_spec(spec) -> "UpdateBatch":
+    """Decode a graph update batch (``add_edges``/``remove_edges``/
+    ``add_vertices``/``remove_vertices`` lists)."""
+    from repro.dynamic.graph import UpdateBatch
+
+    if not isinstance(spec, Mapping):
+        raise WireError("update spec must be an object")
+    for key in ("add_edges", "remove_edges"):
+        for edge in spec.get(key, ()):
+            if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+                raise WireError(f"{key!r} entries must be pairs, got {edge!r}")
+    for key in ("add_vertices", "remove_vertices"):
+        if not isinstance(spec.get(key, []), (list, tuple)):
+            raise WireError(f"{key!r} must be a list of vertex names")
+    batch = UpdateBatch.build(
+        add_vertices=spec.get("add_vertices", ()),
+        add_edges=spec.get("add_edges", ()),
+        remove_edges=spec.get("remove_edges", ()),
+        remove_vertices=spec.get("remove_vertices", ()),
+    )
+    if batch.is_empty():
+        raise WireError(
+            "update batch is empty: pass add_edges / remove_edges / "
+            "add_vertices / remove_vertices (or add_triples / "
+            "remove_triples for a KG dataset)",
+        )
+    return batch
+
+
+def kg_update_from_spec(spec) -> dict:
+    """Decode a KG update batch into ``DynamicKnowledgeGraph.apply``
+    keywords (``add_vertices`` entries are ``[name, label]`` or names)."""
+    if not isinstance(spec, Mapping):
+        raise WireError("update spec must be an object")
+    add_vertices = []
+    for entry in spec.get("add_vertices", ()):
+        if isinstance(entry, (list, tuple)) and len(entry) == 2:
+            add_vertices.append((entry[0], entry[1]))
+        else:
+            add_vertices.append(entry)
+    triples = {"add_triples": [], "remove_triples": []}
+    for key, bucket in triples.items():
+        for triple in spec.get(key, ()):
+            if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+                raise WireError(
+                    f"{key!r} entries must be [source, label, target], "
+                    f"got {triple!r}",
+                )
+            bucket.append(tuple(triple))
+    if not (add_vertices or triples["add_triples"] or triples["remove_triples"]):
+        raise WireError(
+            "KG update batch is empty: pass add_vertices / add_triples / "
+            "remove_triples",
+        )
+    return {
+        "add_vertices": add_vertices,
+        "add_triples": triples["add_triples"],
+        "remove_triples": triples["remove_triples"],
+    }
+
+
+# ----------------------------------------------------------------------
 # response payloads (shared by the server and the CLI's --json mode)
 # ----------------------------------------------------------------------
 def analyze_payload(query_text: str) -> dict:
@@ -191,4 +255,47 @@ def count_payload(
         "count": count,
         "plan": plan,
         "shards": shards,
+    }
+
+
+def dynamic_stats_payload(stats) -> dict:
+    """The version/delta statistics block (``DynamicStats.snapshot()``
+    shape) shared by ``POST /target-update``, ``GET /stats``,
+    ``repro update --json`` and ``repro engine-stats``."""
+    return {"kind": "dynamic-stats", **stats.snapshot()}
+
+
+def subscription_payload(subscription_id: str, target_name: str, handle) -> dict:
+    """One maintained subscription: its identity plus the handle's
+    current ``summary()`` (version, value, …; the handle kind moves to
+    ``maintains``)."""
+    summary = dict(handle.summary())
+    maintains = summary.pop("kind", "hom-count")
+    return {
+        "kind": "subscription",
+        "id": subscription_id,
+        "target": target_name,
+        "maintains": maintains,
+        **summary,
+    }
+
+
+def target_update_payload(
+    name: str,
+    version: int,
+    applied: dict,
+    patched: bool,
+    stats,
+    subscriptions: list[dict],
+) -> dict:
+    """The ``POST /target-update`` response (also emitted verbatim by
+    ``repro update --json``)."""
+    return {
+        "kind": "target-update",
+        "target": name,
+        "version": version,
+        "applied": applied,
+        "patched": patched,
+        "dynamic": dynamic_stats_payload(stats),
+        "subscriptions": subscriptions,
     }

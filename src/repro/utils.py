@@ -1,18 +1,48 @@
-"""Small shared utilities: exact linear algebra, partitions, multisets.
+"""Small shared utilities: exact linear algebra, partitions, multisets,
+stable digests.
 
-These helpers are deliberately dependency-light (``fractions`` from the
-standard library only) because several callers — most importantly the
-interpolation argument of Lemma 22 — require *exact* arithmetic: the linear
-systems involved are Vandermonde/Hankel systems whose entries grow quickly,
-and floating point would silently corrupt answer counts.
+These helpers are deliberately dependency-light (``fractions`` and
+``hashlib`` from the standard library only) because several callers — most
+importantly the interpolation argument of Lemma 22 — require *exact*
+arithmetic: the linear systems involved are Vandermonde/Hankel systems
+whose entries grow quickly, and floating point would silently corrupt
+answer counts.
 """
 
 from __future__ import annotations
 
+import hashlib
 from fractions import Fraction
 from itertools import combinations
 from math import factorial
 from typing import Iterable, Iterator, Sequence
+
+
+def stable_key_digest(key) -> str:
+    """A process-independent hex digest of a structured cache key.
+
+    Frozensets are serialised in sorted element order, so the digest does
+    not depend on hash randomisation; everything else serialises by type
+    name + ``repr``.  Shared by the persistent store (on-disk keys must
+    survive restarts) and the dynamic layer (version digests feed cache
+    keys that may reach the persistent tier).
+    """
+    return hashlib.sha256(_stable_repr(key).encode("utf-8")).hexdigest()
+
+
+def _stable_repr(obj) -> str:
+    if isinstance(obj, (frozenset, set)):
+        return "{" + ",".join(sorted(_stable_repr(x) for x in obj)) + "}"
+    if isinstance(obj, tuple):
+        return "(" + ",".join(_stable_repr(x) for x in obj) + ")"
+    if isinstance(obj, list):
+        return "[" + ",".join(_stable_repr(x) for x in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted(
+            f"{_stable_repr(k)}:{_stable_repr(v)}" for k, v in obj.items()
+        )
+        return "dict{" + ",".join(items) + "}"
+    return f"{type(obj).__name__}:{obj!r}"
 
 
 def solve_linear_system_exact(

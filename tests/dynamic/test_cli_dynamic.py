@@ -1,0 +1,146 @@
+"""CLI coverage for the dynamic verbs: update, watch, engine-stats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import set_default_engine
+from repro.graphs import path_graph, random_graph
+from repro.homs.brute_force import count_homomorphisms_brute
+from repro.service import BackgroundServer, ServiceClient
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_engine():
+    yield
+    set_default_engine(None)
+
+
+@pytest.fixture
+def server():
+    with BackgroundServer(workers=2, max_queue=32) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+class TestUpdateCommand:
+    def test_update_json_emits_the_service_payload(self, capsys, server, client):
+        host = random_graph(10, 0.3, seed=41)
+        client.register_graph("hosts", host)
+        client.subscribe("hosts", pattern=path_graph(3), subscription_id="p3")
+        drop_u, drop_v = host.edges()[0]
+        add_u, add_v = next(
+            (u, v)
+            for u in host.vertices() for v in host.vertices()
+            if u != v and not host.has_edge(u, v)
+        )
+        code = main([
+            "update", "--port", str(server.port), "--target", "hosts",
+            "--add-edge", f"{add_u},{add_v}",
+            "--remove-edge", f"{drop_u},{drop_v}", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "target-update"
+        assert payload["target"] == "hosts"
+        assert payload["version"] == 1
+        assert payload["dynamic"]["kind"] == "dynamic-stats"
+        assert set(payload["applied"]) == {
+            "edges_added", "edges_removed", "vertices_added", "vertices_removed",
+        }
+        mutated = host.copy()
+        mutated.add_edge(add_u, add_v)
+        mutated.remove_edge(drop_u, drop_v)
+        (entry,) = payload["subscriptions"]
+        assert entry["value"] == count_homomorphisms_brute(path_graph(3), mutated)
+
+    def test_update_human_output(self, capsys, server, client):
+        client.register_graph("hosts", random_graph(8, 0.3, seed=42))
+        code = main([
+            "update", "--port", str(server.port), "--target", "hosts",
+            "--add-vertex", "extra",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "version 1" in out and "patch ratio" in out
+
+    def test_update_without_operations_errors(self, capsys, server, client):
+        client.register_graph("hosts", random_graph(8, 0.3, seed=43))
+        code = main([
+            "update", "--port", str(server.port), "--target", "hosts",
+        ])
+        assert code == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_update_unknown_dataset_reports_service_error(self, capsys, server):
+        code = main([
+            "update", "--port", str(server.port), "--target", "nope",
+            "--add-edge", "0,1",
+        ])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_watch_json_tick(self, capsys, server, client):
+        client.register_graph("hosts", random_graph(8, 0.3, seed=44))
+        client.subscribe("hosts", pattern=path_graph(2), subscription_id="edges")
+        code = main([
+            "watch", "--port", str(server.port), "--count", "2",
+            "--interval", "0.01", "--json",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "watch" and first["tick"] == 0
+        assert first["subscriptions"][0]["id"] == "edges"
+
+    def test_watch_human_output_prints_changes_once(self, capsys, server, client):
+        client.register_graph("hosts", random_graph(8, 0.3, seed=45))
+        client.subscribe("hosts", pattern=path_graph(2), subscription_id="edges")
+        code = main([
+            "watch", "--port", str(server.port), "--count", "2",
+            "--interval", "0.01",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # unchanged between the two polls: printed exactly once
+        assert out.count("hosts/edges") == 1
+
+
+class TestEngineStatsDynamic:
+    def test_engine_stats_reports_dynamic_block(self, capsys):
+        code = main([
+            "engine-stats", "--targets", "2", "--n", "8",
+            "--dynamic-batches", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamic workload" in out
+        assert "patch_ratio" in out and "deltas_applied" in out
+
+    def test_engine_stats_json_shape(self, capsys):
+        code = main([
+            "engine-stats", "--targets", "2", "--n", "8",
+            "--dynamic-batches", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "engine-stats"
+        dynamic = payload["dynamic"]
+        assert dynamic["kind"] == "dynamic-stats"
+        assert dynamic["updates_applied"] == 2
+        assert dynamic["rollbacks"] == 1
+        for field in (
+            "patch_ratio", "index_patches", "index_recompiles",
+            "deltas_applied", "delta_fallbacks", "delta_ratio",
+        ):
+            assert field in dynamic

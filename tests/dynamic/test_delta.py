@@ -1,0 +1,139 @@
+"""Delta counting: inclusion–exclusion terms vs brute-force oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dynamic.delta import (
+    batch_delta,
+    compile_delta_plan,
+    homs_touching_edge,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+from repro.homs.brute_force import (
+    count_homomorphisms_brute,
+    enumerate_homomorphisms,
+)
+
+
+def oracle_touching(pattern: Graph, target: Graph, u, v) -> int:
+    """Homomorphisms whose image uses target edge {u, v} — by full
+    enumeration and explicit image inspection."""
+    total = 0
+    edge = frozenset((u, v))
+    for hom in enumerate_homomorphisms(pattern, target):
+        if any(
+            frozenset((hom[a], hom[b])) == edge for a, b in pattern.edges()
+        ):
+            total += 1
+    return total
+
+
+def connected_patterns():
+    return [
+        path_graph(2),
+        path_graph(3),
+        path_graph(4),
+        cycle_graph(3),
+        cycle_graph(4),
+        cycle_graph(5),
+        star_graph(3),
+        complete_graph(4),
+        Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)]),  # triangle + tail
+    ]
+
+
+class TestCompile:
+    def test_no_edges_and_oversized_patterns_return_none(self):
+        assert compile_delta_plan(Graph(vertices=[0]).to_indexed()) is None
+        big = path_graph(13)  # 12 edges > MAX_DELTA_EDGES
+        assert compile_delta_plan(big.to_indexed()) is None
+
+    def test_terms_are_merged_and_signed(self):
+        plan = compile_delta_plan(path_graph(3).to_indexed())
+        assert plan is not None
+        assert all(term.coefficient != 0 for term in plan.terms)
+        # single-edge subsets contribute positive terms
+        assert any(term.coefficient > 0 for term in plan.terms)
+
+
+class TestHomsTouchingEdge:
+    @pytest.mark.parametrize(
+        "pattern", connected_patterns(),
+        ids=lambda g: f"n{g.num_vertices()}m{g.num_edges()}",
+    )
+    def test_matches_enumeration_oracle(self, pattern):
+        rng = random.Random(pattern.num_edges())
+        for seed in range(3):
+            target = random_graph(8, 0.45, seed=seed)
+            indexed = target.to_indexed()
+            bitsets = list(indexed.bitsets())
+            plan = compile_delta_plan(pattern.to_indexed())
+            edges = list(indexed.edges())
+            for x, y in rng.sample(edges, min(4, len(edges))):
+                expected = oracle_touching(
+                    pattern, target,
+                    indexed.codec.decode(x), indexed.codec.decode(y),
+                )
+                assert homs_touching_edge(plan, bitsets, x, y) == expected
+
+    def test_all_edges_of_a_cycle_cover_all_homs(self):
+        # every hom of a cycle uses some edge, so summing T over a
+        # single-edge graph's only edge equals the full count there
+        pattern = cycle_graph(4)
+        target = cycle_graph(4)
+        indexed = target.to_indexed()
+        plan = compile_delta_plan(pattern.to_indexed())
+        bitsets = list(indexed.bitsets())
+        # remove edges one at a time; the telescoped total must consume
+        # the entire hom count (no homs survive into the empty graph)
+        total = count_homomorphisms_brute(pattern, target)
+        removed = 0
+        for x, y in list(indexed.edges()):
+            removed += homs_touching_edge(plan, bitsets, x, y)
+            bitsets[x] &= ~(1 << y)
+            bitsets[y] &= ~(1 << x)
+        assert removed == total
+
+
+class TestBatchDelta:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_telescoped_batch_matches_full_recount(self, seed):
+        rng = random.Random(seed)
+        old = random_graph(9, 0.4, seed=seed)
+        new = old.copy()
+        vertices = list(old.vertices())
+        added, removed = [], []
+        for _ in range(4):
+            u, v = rng.sample(vertices, 2)
+            if new.has_edge(u, v):
+                new.remove_edge(u, v)
+                removed.append((u, v))
+            else:
+                new.add_edge(u, v)
+                added.append((u, v))
+        patterns = [path_graph(4), cycle_graph(3), star_graph(3)]
+        plans = [compile_delta_plan(p.to_indexed()) for p in patterns]
+        encode = old.to_indexed().codec.encode  # vertex set unchanged
+        bitsets = list(old.to_indexed().bitsets())
+        deltas = batch_delta(
+            plans,
+            bitsets,
+            [(encode(u), encode(v)) for u, v in removed],
+            [(encode(u), encode(v)) for u, v in added],
+        )
+        for pattern, delta in zip(patterns, deltas):
+            expected = count_homomorphisms_brute(pattern, new) - \
+                count_homomorphisms_brute(pattern, old)
+            assert delta == expected
+        # the replayed bitsets end exactly at the new graph
+        assert bitsets == list(new.to_indexed().bitsets())

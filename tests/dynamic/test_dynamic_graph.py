@@ -1,0 +1,189 @@
+"""DynamicGraph: versioning, incremental index patching, journal, rollback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import DynamicGraph, UpdateBatch
+from repro.errors import GraphError
+from repro.graphs import Graph, cycle_graph, random_graph
+from repro.graphs.indexed import IndexedGraph
+
+
+def assert_index_matches(dyn: DynamicGraph) -> None:
+    """The (patched) index must agree with a from-scratch encode."""
+    fresh = IndexedGraph.from_graph(dyn.graph)
+    assert dyn.indexed.codec.labels == fresh.codec.labels
+    assert dyn.indexed.adjacency_lists() == fresh.adjacency_lists()
+    assert dyn.indexed.bitsets() == fresh.bitsets()
+    assert dyn.indexed.structural_digest() == fresh.structural_digest()
+    assert dyn.graph.to_indexed() is dyn.indexed  # adopted, not recompiled
+
+
+class TestApply:
+    def test_apply_produces_new_immutable_version(self):
+        dyn = DynamicGraph(Graph(edges=[(0, 1), (1, 2)]))
+        old = dyn.snapshot()
+        record = dyn.apply(add_edges=[(0, 2)])
+        assert record.version == 1 and dyn.version == 1
+        assert old.graph.num_edges() == 2  # previous snapshot untouched
+        assert record.graph.num_edges() == 3
+        assert record.graph is not old.graph
+        assert_index_matches(dyn)
+
+    def test_net_effect_within_a_batch(self):
+        dyn = DynamicGraph(Graph(edges=[(0, 1), (1, 2)]))
+        record = dyn.apply(
+            add_edges=[(0, 2), (2, 0)],       # duplicate add
+            remove_edges=[(0, 1)],
+        )
+        assert record.net_added_edges == ((0, 2),)
+        assert record.net_removed_edges == ((0, 1),)
+        assert record.applied_summary()["edges_added"] == 1
+
+    def test_add_edge_implicitly_adds_vertices(self):
+        dyn = DynamicGraph(Graph(edges=[(0, 1)]))
+        record = dyn.apply(add_edges=[(1, "new")])
+        assert record.net_added_vertices == ("new",)
+        assert record.patched
+        assert_index_matches(dyn)
+
+    def test_vertex_removal_recompiles(self):
+        dyn = DynamicGraph(cycle_graph(5))
+        patched = dyn.apply(add_edges=[(0, 2)])
+        assert patched.patched and dyn.stats.index_patches == 1
+        recompiled = dyn.apply(remove_vertices=[3])
+        assert not recompiled.patched and dyn.stats.index_recompiles == 1
+        assert recompiled.net_removed_vertices == (3,)
+        # incident edges are reported as removed
+        assert {frozenset(e) for e in recompiled.net_removed_edges} == {
+            frozenset({3, 2}), frozenset({3, 4}),
+        }
+        assert_index_matches(dyn)
+        assert dyn.stats.patch_ratio == 0.5
+
+    def test_invalid_operation_leaves_no_version_behind(self):
+        dyn = DynamicGraph(cycle_graph(4))
+        with pytest.raises(GraphError):
+            dyn.apply(remove_edges=[(0, 2)])  # not an edge
+        with pytest.raises(GraphError):
+            dyn.apply(add_edges=[(1, 1)])  # self-loop
+        assert dyn.version == 0 and dyn.stats.updates_applied == 0
+
+    def test_patched_index_over_many_batches(self):
+        dyn = DynamicGraph(random_graph(14, 0.3, seed=9))
+        vertices = list(dyn.graph.vertices())
+        import random
+
+        rng = random.Random(1)
+        for _ in range(20):
+            graph = dyn.graph
+            add_edges, remove_edges = [], []
+            for _ in range(3):
+                u, v = rng.sample(vertices, 2)
+                (remove_edges if graph.has_edge(u, v) else add_edges).append((u, v))
+            add_edges = list({frozenset(e): e for e in add_edges}.values())
+            remove_edges = list({frozenset(e): e for e in remove_edges}.values())
+            dyn.apply(UpdateBatch.build(add_edges=add_edges, remove_edges=remove_edges))
+            assert_index_matches(dyn)
+        assert dyn.stats.index_patches == 20
+
+
+class TestDigests:
+    def test_same_history_same_digest(self):
+        base = random_graph(10, 0.3, seed=2)
+        first = DynamicGraph(base)
+        second = DynamicGraph(base.copy())
+        assert first.digest == second.digest
+        assert first.target_id == second.target_id
+        for dyn in (first, second):
+            dyn.apply(add_edges=[(0, 5)])
+            dyn.apply(remove_edges=[(0, 5)], add_vertices=["x"])
+        assert first.digest == second.digest
+        assert first.target_id == second.target_id
+
+    def test_version_zero_target_id_matches_inline_key(self):
+        from repro.engine.cache import target_key
+
+        base = random_graph(8, 0.4, seed=3)
+        dyn = DynamicGraph(base)
+        assert dyn.target_id == target_key(base)
+
+    def test_updates_change_the_target_id(self):
+        dyn = DynamicGraph(cycle_graph(6))
+        seen = {dyn.target_id}
+        for _ in range(3):
+            dyn.apply(add_vertices=[f"v{dyn.version}"])
+            assert dyn.target_id not in seen
+            seen.add(dyn.target_id)
+
+    def test_repr_colliding_labels_never_share_a_digest(self):
+        """Version identity is exact label content, not a serialised
+        form: distinct labels with identical repr (the collision class
+        the indexed kernel eliminated from DP bags) must yield distinct
+        version keys — a collision here would silently serve one
+        version's cached counts for the other."""
+
+        class Opaque:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __repr__(self):
+                return "L"  # deliberately collides
+
+            def __hash__(self):
+                return 0  # deliberately collides too
+
+            def __eq__(self, other):
+                return isinstance(other, Opaque) and self.tag == other.tag
+
+        a, b, c, d = (Opaque(t) for t in "abcd")
+        base = Graph(vertices=[a, b, c, d], edges=[(a, b), (b, c)])
+        first = DynamicGraph(base.copy())
+        second = DynamicGraph(base.copy())
+        assert first.digest == second.digest  # equal content interns equal
+        first.apply(add_edges=[(c, d)])
+        second.apply(add_edges=[(b, d)])
+        assert first.digest != second.digest
+        assert first.target_id != second.target_id
+
+
+class TestRollbackAndJournal:
+    def test_rollback_restores_previous_version(self):
+        dyn = DynamicGraph(cycle_graph(5))
+        original_digest = dyn.digest
+        dyn.apply(add_edges=[(0, 2)])
+        restored = dyn.rollback()
+        assert restored.version == 0
+        assert dyn.digest == original_digest
+        assert not dyn.graph.has_edge(0, 2)
+        assert dyn.stats.rollbacks == 1
+
+    def test_rollback_then_reapply_reuses_the_digest(self):
+        dyn = DynamicGraph(cycle_graph(5))
+        first = dyn.apply(add_edges=[(0, 2)])
+        dyn.rollback()
+        second = dyn.apply(add_edges=[(0, 2)])
+        assert first.digest == second.digest  # old cache entries stay hot
+
+    def test_rollback_beyond_history_fails(self):
+        dyn = DynamicGraph(cycle_graph(4))
+        with pytest.raises(GraphError):
+            dyn.rollback()
+
+    def test_history_limit_bounds_snapshots(self):
+        dyn = DynamicGraph(cycle_graph(4), history_limit=3)
+        for i in range(6):
+            dyn.apply(add_vertices=[f"v{i}"])
+        assert dyn.version_record(dyn.version - 2) is not None
+        assert dyn.version_record(0) is None  # trimmed
+        assert len(dyn.journal) == 7  # provenance is kept for everything
+
+    def test_journal_records_provenance(self):
+        dyn = DynamicGraph(cycle_graph(4))
+        dyn.apply(add_edges=[(0, 2)])
+        dyn.rollback()
+        kinds = [entry.applied for entry in dyn.journal]
+        assert kinds[0] == {}
+        assert kinds[1]["edges_added"] == 1
+        assert kinds[2] == {"rolled_back_from": 1}

@@ -1,0 +1,80 @@
+"""DynamicKnowledgeGraph unit tests: net batches, summaries, rollback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import DynamicKnowledgeGraph, MaintainedKgAnswerCount
+from repro.engine import HomEngine
+from repro.errors import GraphError
+from repro.kg import KnowledgeGraph, count_kg_answers_brute
+from repro.kg.queries import KgQuery
+
+
+def seed_kg() -> KnowledgeGraph:
+    return KnowledgeGraph(
+        vertices={"a": "person", "b": "person", "p": "paper"},
+        triples=[("a", "wrote", "p")],
+    )
+
+
+class TestApply:
+    def test_applied_summary_speaks_triples_not_gadgets(self):
+        dkg = DynamicKnowledgeGraph(seed_kg())
+        version = dkg.apply(
+            add_vertices=[("q", "paper")],
+            add_triples=[("b", "wrote", "q")],
+        )
+        # one triple, one vertex — not the 2 midpoints / 3 gadget edges
+        assert version.applied_summary() == {
+            "triples_added": 1,
+            "triples_removed": 0,
+            "vertices_added": 1,
+        }
+        assert version.patched  # append-only: index patched, not recompiled
+
+    def test_add_and_remove_same_triple_in_one_batch_is_a_noop(self):
+        dkg = DynamicKnowledgeGraph(seed_kg())
+        version = dkg.apply(
+            add_triples=[("b", "cites", "p")],
+            remove_triples=[("b", "cites", "p")],
+        )
+        assert version.applied_summary()["triples_added"] == 0
+        assert version.applied_summary()["triples_removed"] == 0
+        assert not dkg.kg.has_edge("b", "cites", "p")
+        assert dkg.stats.index_recompiles == 0
+
+    def test_removing_an_absent_triple_errors_cleanly(self):
+        dkg = DynamicKnowledgeGraph(seed_kg())
+        with pytest.raises(GraphError) as excinfo:
+            dkg.apply(remove_triples=[("b", "wrote", "p")])
+        assert "not in knowledge graph" in str(excinfo.value)
+        assert dkg.version == 0
+
+    def test_duplicate_triple_add_is_idempotent(self):
+        dkg = DynamicKnowledgeGraph(seed_kg())
+        version = dkg.apply(add_triples=[("a", "wrote", "p")])
+        assert version.applied_summary()["triples_added"] == 0
+        assert dkg.kg.num_triples() == 1
+
+
+class TestMaintainedHandle:
+    def test_value_tracks_updates_and_rollback(self):
+        engine = HomEngine()
+        dkg = DynamicKnowledgeGraph(seed_kg())
+        query = KgQuery(
+            KnowledgeGraph(
+                vertices={"X": "person", "P": "paper"},
+                triples=[("X", "wrote", "P")],
+            ),
+            ["X"],
+        )
+        handle = MaintainedKgAnswerCount(query, dkg, engine=engine)
+        assert handle.value == count_kg_answers_brute(query, dkg.kg) == 1
+        dkg.apply(
+            add_vertices=[("q", "paper")], add_triples=[("b", "wrote", "q")],
+        )
+        assert handle.value == count_kg_answers_brute(query, dkg.kg) == 2
+        dkg.rollback()
+        assert handle.value == 1
+        assert len(handle.provenance) >= 2

@@ -1,0 +1,218 @@
+"""Property suite: maintained counts == from-scratch counts, always.
+
+Hypothesis drives randomized insert/delete/vertex/rollback sequences
+against a :class:`DynamicGraph` while handles in every maintenance mode
+(``auto``/``delta``/``recompute``) stay subscribed; after every batch the
+maintained values must equal a from-scratch count on the current graph.
+Patterns include disconnected ones (with isolated vertices — the case a
+purely edge-wise delta would get wrong) and the KG layer is exercised
+against the brute KG answer oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import (
+    DynamicGraph,
+    DynamicKnowledgeGraph,
+    MaintainedAnswerCount,
+    MaintainedCount,
+    MaintainedKgAnswerCount,
+    UpdateBatch,
+)
+from repro.engine import HomEngine
+from repro.graphs import Graph, cycle_graph, path_graph, random_graph, star_graph
+from repro.homs.brute_force import count_homomorphisms_brute
+from repro.kg import KnowledgeGraph, count_kg_answers_brute
+from repro.kg.queries import KgQuery
+from repro.queries import count_answers, parse_query
+
+MAINTAINED_PATTERNS = [
+    path_graph(3),
+    cycle_graph(4),
+    star_graph(3),
+    Graph(vertices=["iso"]),                                  # single vertex
+    Graph(vertices=[0, 1, 2, 3, "iso"], edges=[(0, 1), (2, 3)]),  # disconnected + isolated
+    Graph(edges=[(0, 1), (1, 2), (2, 0), (3, 4)]),            # triangle ⊎ edge
+]
+
+step_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["edge", "vertex", "rollback"]),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def apply_step(dyn: DynamicGraph, kind: str, a: int, b: int) -> None:
+    graph = dyn.graph
+    if kind == "rollback":
+        try:
+            dyn.rollback()
+        except Exception:
+            dyn.apply(UpdateBatch())  # nothing to roll back: empty batch
+        return
+    if kind == "vertex":
+        label = ("v", a)
+        if graph.has_vertex(label):
+            dyn.apply(remove_vertices=[label])
+        else:
+            anchor = graph.vertices()[a % graph.num_vertices()]
+            dyn.apply(add_vertices=[label], add_edges=[(label, anchor)])
+        return
+    vertices = graph.vertices()
+    u = vertices[a % len(vertices)]
+    v = vertices[b % len(vertices)]
+    if u == v:
+        return
+    if graph.has_edge(u, v):
+        dyn.apply(remove_edges=[(u, v)])
+    else:
+        dyn.apply(add_edges=[(u, v)])
+
+
+class TestMaintainedCountProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps=step_strategy, seed=st.integers(min_value=0, max_value=5))
+    def test_matches_from_scratch_after_any_sequence(self, steps, seed):
+        engine = HomEngine()
+        dyn = DynamicGraph(random_graph(8, 0.35, seed=seed))
+        handles = [
+            MaintainedCount(pattern, dyn, engine=engine, mode=mode)
+            for pattern in MAINTAINED_PATTERNS
+            for mode in ("auto", "delta", "recompute")
+        ]
+        for kind, a, b in steps:
+            apply_step(dyn, kind, a, b)
+            graph = dyn.graph
+            for handle in handles:
+                expected = count_homomorphisms_brute(handle.pattern, graph)
+                assert handle.value == expected, (
+                    kind, handle.mode, handle.method,
+                )
+
+    def test_provenance_tracks_methods(self):
+        engine = HomEngine()
+        dyn = DynamicGraph(random_graph(8, 0.35, seed=1))
+        handle = MaintainedCount(path_graph(3), dyn, engine=engine, mode="delta")
+        dyn.apply(add_edges=[(0, 5)])
+        dyn.rollback()
+        methods = [entry["method"] for entry in handle.provenance]
+        assert methods[0] == "initial"
+        assert methods[1] == "delta"
+        assert methods[2] == "rollback"
+
+
+QUERIES = [
+    "q(x1, x2) :- E(x1, y), E(x2, y)",        # interpolation route
+    "q(x) :- E(x, y), E(y, z)",               # one free variable
+    "q() :- E(x, y), E(y, z), E(z, x)",       # Boolean
+    "q(x, y) :- E(x, y)",                     # full
+]
+
+
+class TestMaintainedAnswerCountProperty:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps=step_strategy, seed=st.integers(min_value=0, max_value=3))
+    def test_matches_count_answers(self, steps, seed):
+        engine = HomEngine()
+        dyn = DynamicGraph(random_graph(7, 0.35, seed=seed))
+        queries = [parse_query(text) for text in QUERIES]
+        handles = [
+            MaintainedAnswerCount(query, dyn, engine=engine)
+            for query in queries
+        ]
+        for kind, a, b in steps[:6]:
+            apply_step(dyn, kind, a, b)
+            graph = dyn.graph
+            for query, handle in zip(queries, handles):
+                assert handle.value == count_answers(query, graph)
+
+
+def seed_kg() -> KnowledgeGraph:
+    kg = KnowledgeGraph()
+    for name, label in [
+        ("a", "person"), ("b", "person"), ("p", "paper"), ("q", "paper"),
+    ]:
+        kg.add_vertex(name, label)
+    kg.add_edge("a", "wrote", "p")
+    kg.add_edge("b", "wrote", "q")
+    kg.add_edge("a", "cites", "q")
+    return kg
+
+
+def author_query() -> KgQuery:
+    pattern = KnowledgeGraph()
+    pattern.add_vertex("X", "person")
+    pattern.add_vertex("P", "paper")
+    pattern.add_edge("X", "wrote", "P")
+    return KgQuery(pattern, ["X"])
+
+
+kg_step_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "vertex", "rollback"]),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from(["wrote", "cites"]),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestMaintainedKgAnswerCountProperty:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps=kg_step_strategy)
+    def test_matches_brute_kg_answers(self, steps):
+        engine = HomEngine()
+        dkg = DynamicKnowledgeGraph(seed_kg())
+        query = author_query()
+        handle = MaintainedKgAnswerCount(query, dkg, engine=engine)
+        people = ["a", "b", "c", "d"]
+        papers = ["p", "q", "r", "s"]
+        for kind, i, j, label in steps:
+            kg = dkg.kg
+            source, target = people[i], papers[j]
+            if kind == "rollback":
+                try:
+                    dkg.rollback()
+                except Exception:
+                    pass
+            elif kind == "vertex":
+                if source not in set(kg.vertices()):
+                    dkg.apply(add_vertices=[(source, "person")])
+            elif kind == "add":
+                if not kg.has_edge(source, label, target):
+                    dkg.apply(
+                        add_vertices=[
+                            (name, kind_label)
+                            for name, kind_label in
+                            [(source, "person"), (target, "paper")]
+                            if name not in set(kg.vertices())
+                        ],
+                        add_triples=[(source, label, target)],
+                    )
+            else:
+                if kg.has_edge(source, label, target):
+                    dkg.apply(remove_triples=[(source, label, target)])
+            assert handle.value == count_kg_answers_brute(query, dkg.kg)
+            assert dkg.kg.num_triples() == dkg.encoding.kg.num_triples()

@@ -1,0 +1,157 @@
+"""End-to-end dynamic-target service tests over a loopback socket."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import set_default_engine
+from repro.graphs import cycle_graph, path_graph, random_graph, star_graph
+from repro.homs.brute_force import count_homomorphisms_brute
+from repro.kg import KnowledgeGraph, count_kg_answers_brute, kg_query_from_triples
+from repro.queries import count_answers, parse_query
+from repro.service import BackgroundServer, ServiceClient, ServiceError
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_engine():
+    yield
+    set_default_engine(None)
+
+
+@pytest.fixture
+def server():
+    with BackgroundServer(workers=2, max_queue=32) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+class TestTargetUpdate:
+    def test_update_advances_version_and_counts(self, client):
+        host = random_graph(10, 0.3, seed=31)
+        client.register_graph("hosts", host)
+        pattern = path_graph(4)
+        sub = client.subscribe("hosts", pattern=pattern, subscription_id="p4")
+        assert sub["id"] == "p4" and sub["maintains"] == "hom-count"
+        assert sub["value"] == count_homomorphisms_brute(pattern, host)
+
+        payload = client.target_update(
+            "hosts", add_edges=[[0, 5], [2, 7]], remove_edges=[[0, 1]],
+        )
+        assert payload["kind"] == "target-update"
+        assert payload["version"] == 1
+        assert payload["dynamic"]["kind"] == "dynamic-stats"
+        assert payload["dynamic"]["updates_applied"] == 1
+
+        mutated = host.copy()
+        for u, v in ((0, 5), (2, 7)):
+            if not mutated.has_edge(u, v):
+                mutated.add_edge(u, v)
+        mutated.remove_edge(0, 1)
+        (entry,) = payload["subscriptions"]
+        assert entry["value"] == count_homomorphisms_brute(pattern, mutated)
+        assert entry["version"] == 1
+
+        # counting against the updated dataset sees the new content
+        count = client.count(pattern, "hosts")
+        assert count["count"] == entry["value"]
+
+    def test_update_then_revert_serves_cached_counts(self, client, server):
+        host = random_graph(9, 0.35, seed=32)
+        client.register_graph("hosts", host)
+        pattern = cycle_graph(4)
+        before = client.count(pattern, "hosts")["count"]
+        client.target_update("hosts", add_edges=[[0, 4]])
+        client.target_update("hosts", remove_edges=[[0, 4]])
+        # content equals an earlier version only if the digests roll the
+        # same way; a fresh count must at least be correct
+        after = client.count(pattern, "hosts")["count"]
+        assert after == before
+
+    def test_answer_count_subscription_stays_current(self, client):
+        host = random_graph(9, 0.3, seed=33)
+        client.register_graph("hosts", host)
+        text = "q(x1, x2) :- E(x1, y), E(x2, y)"
+        sub = client.subscribe("hosts", query=text, subscription_id="q")
+        assert sub["maintains"] == "answer-count"
+        assert sub["value"] == count_answers(parse_query(text), host)
+        payload = client.target_update("hosts", add_edges=[[0, 3], [1, 4]])
+        mutated = host.copy()
+        for u, v in ((0, 3), (1, 4)):
+            if not mutated.has_edge(u, v):
+                mutated.add_edge(u, v)
+        (entry,) = payload["subscriptions"]
+        assert entry["value"] == count_answers(parse_query(text), mutated)
+
+    def test_kg_dataset_update_and_subscription(self, client):
+        kg = KnowledgeGraph()
+        for name, label in [("a", "person"), ("b", "person"), ("p", "paper")]:
+            kg.add_vertex(name, label)
+        kg.add_edge("a", "wrote", "p")
+        client.register_kg("papers", kg)
+        query = kg_query_from_triples(
+            [("X", "wrote", "P")],
+            free_variables=["X"],
+            vertex_labels={"X": "person", "P": "paper"},
+        )
+        sub = client.subscribe("papers", kg_query=query, subscription_id="authors")
+        assert sub["maintains"] == "kg-answer-count"
+        assert sub["value"] == 1
+
+        payload = client.target_update(
+            "papers",
+            add_vertices=[["q", "paper"]],
+            add_triples=[["b", "wrote", "q"]],
+        )
+        assert payload["version"] == 1
+        (entry,) = payload["subscriptions"]
+        mutated = KnowledgeGraph(
+            vertices={"a": "person", "b": "person", "p": "paper", "q": "paper"},
+            triples=[("a", "wrote", "p"), ("b", "wrote", "q")],
+        )
+        assert entry["value"] == count_kg_answers_brute(query, mutated) == 2
+
+        removal = client.target_update(
+            "papers", remove_triples=[["a", "wrote", "p"]],
+        )
+        (entry,) = removal["subscriptions"]
+        assert entry["value"] == 1
+        # triple removal shrinks the gadget index: recompile, honestly
+        assert removal["dynamic"]["index_recompiles"] >= 1
+
+    def test_stats_and_subscriptions_endpoints(self, client):
+        client.register_graph("g", cycle_graph(5))
+        client.subscribe("g", pattern=star_graph(2), subscription_id="s")
+        client.target_update("g", add_edges=[[0, 2]])
+        stats = client.stats()
+        assert stats["dynamic"]["g"]["updates_applied"] == 1
+        assert stats["datasets"][0]["version"] == 1
+        assert stats["datasets"][0]["subscriptions"] == 1
+        subs = client.subscriptions()
+        assert len(subs) == 1 and subs[0]["id"] == "s"
+
+    def test_error_paths(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.target_update("missing", add_edges=[[0, 1]])
+        assert excinfo.value.status == 404
+        client.register_graph("g", cycle_graph(4))
+        with pytest.raises(ServiceError):  # empty batch
+            client.target_update("g")
+        with pytest.raises(ServiceError):  # graph dataset, triple update
+            client.target_update("g", add_triples=[["a", "r", "b"]])
+        with pytest.raises(ServiceError):  # removing a non-edge
+            client.target_update("g", remove_edges=[[0, 2]])
+        with pytest.raises(ServiceError):  # subscribe without a body
+            client.subscribe("g")
+        assert client.stats()["dynamic"]["g"]["updates_applied"] == 0
+
+    def test_replacing_a_subscription_id_closes_the_old_handle(self, client):
+        client.register_graph("g", cycle_graph(5))
+        client.subscribe("g", pattern=path_graph(2), subscription_id="x")
+        client.subscribe("g", pattern=path_graph(3), subscription_id="x")
+        subs = client.subscriptions()
+        assert len(subs) == 1
+        assert subs[0]["pattern"]["vertices"] == 3

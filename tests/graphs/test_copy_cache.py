@@ -1,0 +1,142 @@
+"""Regression suite: ``Graph.copy()`` must never leak a stale index.
+
+``copy()`` shares the cached :class:`IndexedGraph` with the clone (it is
+immutable and both graphs encode equal at copy time); every mutator must
+then invalidate only its own graph's slot.  The stale-leak failure mode
+is subtle because an outdated index still *works* — counts are just
+silently wrong — so these tests compare against a from-scratch encode
+after every copy-then-mutate combination, including under different hash
+salts (iteration order of rich labels must not matter).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.graphs import Graph, random_graph
+from repro.graphs.indexed import IndexedGraph
+
+
+def rich(base: Graph) -> Graph:
+    """CFI-style structured labels — the worst case for accidental
+    iteration-order dependence."""
+    return base.relabelled(
+        {v: (("w", v), frozenset({v, "tag"})) for v in base.vertices()},
+    )
+
+
+def assert_index_fresh(graph: Graph) -> None:
+    """``to_indexed()`` must agree with a from-scratch encode."""
+    cached = graph.to_indexed()
+    fresh = IndexedGraph.from_graph(graph)
+    assert cached.codec.labels == fresh.codec.labels
+    assert cached.adjacency_lists() == fresh.adjacency_lists()
+    assert cached.bitsets() == fresh.bitsets()
+    assert cached.structural_digest() == fresh.structural_digest()
+
+
+class TestCopySharesCache:
+    def test_copy_shares_the_encoded_index(self):
+        graph = rich(random_graph(8, 0.4, seed=1))
+        encoded = graph.to_indexed()
+        clone = graph.copy()
+        assert clone.to_indexed() is encoded  # no re-encode
+
+    def test_copy_without_cache_stays_lazy(self):
+        graph = rich(random_graph(8, 0.4, seed=2))
+        clone = graph.copy()
+        assert_index_fresh(clone)
+        assert_index_fresh(graph)
+
+
+class TestCopyThenMutateNeverStale:
+    @pytest.mark.parametrize("mutate_clone", [True, False], ids=["clone", "original"])
+    @pytest.mark.parametrize(
+        "mutation",
+        ["add_edge", "remove_edge", "add_vertex", "remove_vertex"],
+    )
+    def test_every_mutator_invalidates_only_its_side(self, mutation, mutate_clone):
+        graph = rich(random_graph(9, 0.4, seed=3))
+        graph.to_indexed().bitsets()  # warm the shared cache
+        clone = graph.copy()
+        victim, bystander = (clone, graph) if mutate_clone else (graph, clone)
+
+        vertices = victim.vertices()
+        if mutation == "add_edge":
+            extra = ("fresh", frozenset({"new"}))
+            victim.add_edge(vertices[0], extra)
+        elif mutation == "remove_edge":
+            u, v = victim.edges()[0]
+            victim.remove_edge(u, v)
+        elif mutation == "add_vertex":
+            victim.add_vertex(("fresh", frozenset({"new"})))
+        else:
+            victim.remove_vertex(vertices[0])
+
+        assert_index_fresh(victim)
+        assert_index_fresh(bystander)
+        # The bystander still serves the shared snapshot (no re-encode),
+        # and it is still correct for the bystander's (unchanged) content.
+        assert victim.to_indexed() is not bystander.to_indexed()
+
+    def test_chained_copies(self):
+        graph = rich(random_graph(7, 0.5, seed=4))
+        graph.to_indexed()
+        first = graph.copy()
+        first.add_edge(first.vertices()[0], "chain-1")
+        second = first.copy()
+        second.remove_edge(*second.edges()[0])
+        for g in (graph, first, second):
+            assert_index_fresh(g)
+
+
+class TestHashRandomisation:
+    """The copy-then-mutate invariants must hold under any hash salt:
+    rich labels iterate in salt-dependent order, which is exactly how a
+    stale shared index would start disagreeing between processes."""
+
+    SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from tests.graphs.test_copy_cache import assert_index_fresh, rich
+from repro.graphs import random_graph
+
+graph = rich(random_graph(9, 0.45, seed=11))
+graph.to_indexed().bitsets()
+clone = graph.copy()
+clone.add_edge(clone.vertices()[0], ("fresh", frozenset({{"new"}})))
+clone.remove_edge(*clone.edges()[2])
+graph.remove_vertex(graph.vertices()[1])
+assert_index_fresh(clone)
+assert_index_fresh(graph)
+print(graph.to_indexed().structural_digest())
+print(clone.to_indexed().structural_digest())
+"""
+
+    @pytest.mark.parametrize("seed", ["0", "1", "31337"])
+    def test_fresh_under_hash_seed(self, seed):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo_root, "src"), repo_root]
+            + env.get("PYTHONPATH", "").split(os.pathsep),
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT.format(
+                src=os.path.join(repo_root, "src"),
+            )],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        digests = result.stdout.split()
+        assert len(digests) == 2 and digests[0] != digests[1]

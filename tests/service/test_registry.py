@@ -59,7 +59,12 @@ class TestRegistry:
         host = random_graph(10, 0.4, seed=5)
         dataset = registry.register_graph("hosts", host)
         assert dataset.target_id == target_key(host)
-        assert registry.get("hosts").graph is host
+        # The dataset owns a versioned copy: equal content, but the
+        # caller's graph can no longer mutate the served snapshot.
+        assert registry.get("hosts").graph == host
+        host.add_edge("fresh-a", "fresh-b")
+        assert registry.get("hosts").graph != host
+        assert registry.get("hosts").version == 0
         assert "hosts" in registry and len(registry) == 1
 
     def test_target_id_gives_identical_cache_entries(self):

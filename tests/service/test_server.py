@@ -46,6 +46,7 @@ class TestEndToEnd:
         assert dataset == {
             "name": "hosts", "kind": "graph",
             "vertices": 11, "edges": host.num_edges(), "shards": 1,
+            "version": 0, "subscriptions": 0,
         }
         pattern = cycle_graph(5)
         response = client.count(pattern, "hosts")

@@ -21,8 +21,28 @@ Public API highlights
 ``DynamicGraph`` / ``MaintainedCount`` / ``MaintainedAnswerCount``
     incremental maintenance of homomorphism and answer counts over
     mutating targets (versioned updates, delta counting, rollback).
+``Session`` / ``HomCountTask`` / ``AnswerCountTask`` / …
+    the one-API layer: typed, immutable task specs that run unchanged on
+    the in-process engine (``LocalExecutor``), the counting service
+    (``ServiceExecutor``), or live maintained handles
+    (``DynamicExecutor``), all returning a uniform ``Result``.
 """
 
+from repro.api import (
+    AnalyzeTask,
+    AnswerCountTask,
+    DynamicExecutor,
+    HomCountTask,
+    KgAnswerCountTask,
+    LocalExecutor,
+    Result,
+    ServiceExecutor,
+    Session,
+    Task,
+    TaskBatch,
+    WlDimensionTask,
+    default_session,
+)
 from repro.cfi import cfi_graph, cfi_pair, clone_colour_blocks
 from repro.core import (
     QuantumQuery,
@@ -63,14 +83,27 @@ from repro.wl import k_wl_equivalent, wl_1_equivalent
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyzeTask",
+    "AnswerCountTask",
     "ConjunctiveQuery",
+    "DynamicExecutor",
     "DynamicGraph",
     "DynamicKnowledgeGraph",
     "Graph",
+    "HomCountTask",
     "HomEngine",
+    "KgAnswerCountTask",
+    "LocalExecutor",
     "MaintainedAnswerCount",
     "MaintainedCount",
+    "Result",
+    "ServiceExecutor",
+    "Session",
+    "Task",
+    "TaskBatch",
     "UpdateBatch",
+    "WlDimensionTask",
+    "default_session",
     "OrderKGNN",
     "QuantumQuery",
     "analyse_query",

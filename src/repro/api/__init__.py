@@ -1,0 +1,58 @@
+"""repro.api — one Task/Session object model across every execution layer.
+
+The library grew four ways to ask the same question (direct functions,
+:class:`~repro.engine.HomEngine`, the counting service, maintained
+handles).  This package is the single declarative surface over all of
+them:
+
+* :mod:`repro.api.tasks` — typed, immutable specs
+  (:class:`HomCountTask`, :class:`AnswerCountTask`,
+  :class:`KgAnswerCountTask`, :class:`WlDimensionTask`,
+  :class:`AnalyzeTask`, :class:`TaskBatch`) with canonical cache keys
+  and wire payloads;
+* :mod:`repro.api.executors` — interchangeable execution contexts
+  (:class:`LocalExecutor`, :class:`ServiceExecutor`,
+  :class:`DynamicExecutor`);
+* :mod:`repro.api.session` — the :class:`Session` facade that resolves
+  specs once and runs them anywhere;
+* :mod:`repro.api.result` — the uniform :class:`Result` (value, backend,
+  cache/version provenance, timing, ``.explain()``).
+
+The wire codecs for specs and results live in :mod:`repro.service.wire`,
+so the CLI, HTTP server, and client all speak these exact objects.
+"""
+
+from repro.api.executors import (
+    DynamicExecutor,
+    Executor,
+    LocalExecutor,
+    ServiceExecutor,
+)
+from repro.api.result import Result
+from repro.api.session import Session, default_session
+from repro.api.tasks import (
+    AnalyzeTask,
+    AnswerCountTask,
+    HomCountTask,
+    KgAnswerCountTask,
+    Task,
+    TaskBatch,
+    WlDimensionTask,
+)
+
+__all__ = [
+    "AnalyzeTask",
+    "AnswerCountTask",
+    "DynamicExecutor",
+    "Executor",
+    "HomCountTask",
+    "KgAnswerCountTask",
+    "LocalExecutor",
+    "Result",
+    "ServiceExecutor",
+    "Session",
+    "Task",
+    "TaskBatch",
+    "WlDimensionTask",
+    "default_session",
+]

@@ -1,0 +1,544 @@
+"""Interchangeable executors: one task model, three execution contexts.
+
+* :class:`LocalExecutor` — runs specs in-process over a
+  :class:`~repro.engine.HomEngine` (plus the library's query machinery),
+  resolving dataset names through a
+  :class:`~repro.service.registry.DatasetRegistry` with the same
+  serving-state snapshot and component-shard fan-out discipline as the
+  HTTP server, which runs its routes on exactly this executor.
+* :class:`ServiceExecutor` — ships the canonical wire payload of a spec
+  to a running counting service (``POST /task``) and decodes the result.
+* :class:`DynamicExecutor` — binds each spec to a maintained handle
+  (:class:`~repro.dynamic.maintained.MaintainedCount` and friends), so
+  re-running the spec reads the live value at the target's *current*
+  version instead of recounting: the spec stays subscribed across
+  ``apply``/``rollback``.
+
+Executors memoise per-spec resolution (decoded patterns, parsed queries,
+target fingerprints, gadget encodings, maintained handles) keyed by the
+spec's canonical :meth:`~repro.api.tasks.Task.cache_key`, bounded by an
+LRU so long sessions stay flat in memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.api.result import Result
+from repro.api.tasks import (
+    AnalyzeTask,
+    AnswerCountTask,
+    HomCountTask,
+    KgAnswerCountTask,
+    Task,
+    TaskBatch,
+    WlDimensionTask,
+)
+from repro.errors import TaskError
+
+# Per-executor resolution memo bound; evicted entries are simply re-resolved
+# (and maintained handles re-subscribed) on next use.
+PREPARED_LIMIT = 512
+
+
+class _PreparedCache:
+    """A tiny lock-guarded LRU for per-task resolution state.
+
+    Executors are shared across server worker threads, so every
+    operation locks; the optional eviction hook lets the dynamic
+    executor close maintained handles it drops.
+    """
+
+    def __init__(self, limit: int = PREPARED_LIMIT, on_evict=None) -> None:
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._limit = limit
+        self._on_evict = on_evict
+        self._lock = threading.Lock()
+
+    def get(self, key: str):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, entry) -> None:
+        evicted = []
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._limit:
+                evicted.append(self._entries.popitem(last=False)[1])
+        if self._on_evict is not None:
+            for entry in evicted:
+                self._on_evict(entry)
+
+    def values(self):
+        with self._lock:
+            return list(self._entries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        if self._on_evict is not None:
+            for entry in entries:
+                self._on_evict(entry)
+
+
+class Executor:
+    """The executor protocol: ``run`` one spec, ``run_batch`` a container."""
+
+    name = "abstract"
+
+    def run(self, task: Task) -> Result:
+        raise NotImplementedError
+
+    def run_batch(self, batch: TaskBatch) -> list[Result]:
+        return [self.run(task) for task in batch]
+
+    def close(self) -> None:
+        """Release held resources (maintained handles, connections)."""
+
+    # ------------------------------------------------------------------
+    # shared pure computations (no target involved)
+    # ------------------------------------------------------------------
+    def _run_query_analysis(self, task: Task) -> Result:
+        from repro.core.wl_dimension import analyse_query, wl_dimension
+        from repro.queries.parser import format_query, parse_query
+
+        start = time.perf_counter()
+        query = parse_query(task.query)
+        logic = format_query(query, style="logic")
+        if isinstance(task, WlDimensionTask):
+            value: object = wl_dimension(query)
+        else:
+            value = analyse_query(query)
+        return Result(
+            kind=task.kind,
+            value=value,
+            executor=self.name,
+            backend="exact",
+            provenance={"query": task.query, "logic": logic},
+            elapsed_ms=(time.perf_counter() - start) * 1000,
+        )
+
+
+def _graph_summary(graph) -> dict:
+    # One source of truth with the wire payloads (imported lazily — the
+    # service package's __init__ pulls in the server, which imports us).
+    from repro.service.wire import graph_summary
+
+    return graph_summary(graph)
+
+
+def _kg_summary(kg) -> dict:
+    from repro.service.wire import kg_summary
+
+    return kg_summary(kg)
+
+
+class LocalExecutor(Executor):
+    """Run task specs in-process over a shared engine and registry.
+
+    ``engine=None`` resolves :func:`repro.engine.default_engine` *per
+    call*, so the executor honours ``set_default_engine`` swaps (tests
+    and the service install their own engines); pass an engine to pin
+    one.  ``registry`` resolves dataset-name targets; the HTTP server
+    passes its own so requests and the task route serve identical state.
+    """
+
+    name = "local"
+
+    def __init__(self, engine=None, registry=None) -> None:
+        self._engine = engine
+        if registry is None:
+            from repro.service.registry import DatasetRegistry
+
+            registry = DatasetRegistry()
+        self.registry = registry
+        self._prepared = _PreparedCache()
+
+    @property
+    def engine(self):
+        if self._engine is not None:
+            return self._engine
+        from repro.engine import default_engine
+
+        return default_engine()
+
+    # ------------------------------------------------------------------
+    # fast-path counting (ints, no Result) — the legacy shims ride these
+    # ------------------------------------------------------------------
+    def hom_count(self, pattern, target, target_id=None) -> int:
+        """``|Hom(pattern, target)|`` for an inline target graph."""
+        return self.engine.count(pattern, target, target_id=target_id)
+
+    def answer_count(self, query, target, method: str = "auto") -> int:
+        """``|Ans(query, target)|`` for a parsed query or query text."""
+        if isinstance(query, str):
+            from repro.queries.parser import parse_query
+
+            query = parse_query(query)
+        return self._answer_count_parsed(query, target, method)[0]
+
+    def kg_answer_count(self, query, target, target_id=None) -> int:
+        from repro.kg.engine_bridge import count_kg_answers_engine
+
+        return count_kg_answers_engine(
+            query, target, engine=self.engine, target_id=target_id,
+        )
+
+    def _answer_count_parsed(self, query, target, method: str) -> tuple[int, str]:
+        from repro.queries.answers import (
+            count_answers_by_interpolation,
+            count_answers_direct,
+        )
+
+        if method == "auto":
+            method = "direct" if query.is_boolean() else "interpolation"
+        if method == "direct":
+            return count_answers_direct(query, target), "direct"
+        return count_answers_by_interpolation(query, target), "interpolation"
+
+    # ------------------------------------------------------------------
+    # task execution
+    # ------------------------------------------------------------------
+    def run(self, task: Task) -> Result:
+        if isinstance(task, HomCountTask):
+            return self._run_hom_count(task)
+        if isinstance(task, AnswerCountTask):
+            return self._run_answer_count(task)
+        if isinstance(task, KgAnswerCountTask):
+            return self._run_kg_answer_count(task)
+        if isinstance(task, (WlDimensionTask, AnalyzeTask)):
+            return self._run_query_analysis(task)
+        if isinstance(task, TaskBatch):
+            raise TaskError("run a TaskBatch through run_batch()")
+        raise TaskError(f"cannot execute task kind {task.kind!r}")
+
+    def _serving(self, name: str, kind: str):
+        """One immutable serving-state snapshot for a named dataset."""
+        return self.registry.get(name, kind=kind).serving
+
+    def _run_hom_count(self, task: HomCountTask) -> Result:
+        engine = self.engine
+        start = time.perf_counter()
+        pattern = task.pattern
+        shard_count = 1
+        version = None
+        if isinstance(task.target, str):
+            serving = self._serving(task.target, "graph")
+            version = serving.version
+            target_name: object = task.target
+            if (
+                len(serving.shards) > 1
+                and pattern.num_vertices() > 0
+                and pattern.is_connected()
+            ):
+                # Connected patterns sum over component shards exactly.
+                shard_count = len(serving.shards)
+                value, cached = 0, True
+                for shard, shard_id in zip(serving.shards, serving.shard_ids):
+                    part, hit = engine.count_detailed(
+                        pattern, shard, target_id=shard_id,
+                    )
+                    value += part
+                    cached = cached and hit
+            else:
+                value, cached = engine.count_detailed(
+                    pattern, serving.graph, target_id=serving.target_id,
+                )
+        else:
+            target_name = _graph_summary(task.target)
+            target_id = self._prepared_target_id(task)
+            value, cached = engine.count_detailed(
+                pattern, task.target, target_id=target_id,
+            )
+        backend = engine.plan_for(pattern).describe()
+        return Result(
+            kind=task.kind,
+            value=value,
+            executor=self.name,
+            backend=backend,
+            cached=cached,
+            version=version,
+            provenance={
+                "pattern": _graph_summary(pattern),
+                "target": target_name,
+                "shards": shard_count,
+            },
+            elapsed_ms=(time.perf_counter() - start) * 1000,
+        )
+
+    def _prepared_target_id(self, task: HomCountTask) -> tuple:
+        """The inline target's engine cache key, fingerprinted once per spec."""
+        key = task.cache_key()
+        target_id = self._prepared.get(key)
+        if target_id is None:
+            from repro.engine.cache import target_key
+
+            target_id = target_key(task.target)
+            self._prepared.put(key, target_id)
+        return target_id
+
+    def _run_answer_count(self, task: AnswerCountTask) -> Result:
+        from repro.queries.parser import format_query
+
+        start = time.perf_counter()
+        query = task.parsed()
+        version = None
+        if isinstance(task.target, str):
+            serving = self._serving(task.target, "graph")
+            host, version, target_name = (
+                serving.graph, serving.version, task.target,
+            )
+        else:
+            host, target_name = task.target, _graph_summary(task.target)
+        value, method = self._answer_count_parsed(query, host, task.method)
+        return Result(
+            kind=task.kind,
+            value=value,
+            executor=self.name,
+            backend=method,
+            version=version,
+            provenance={
+                "query": task.query,
+                "logic": format_query(query, style="logic"),
+                "target": target_name,
+            },
+            elapsed_ms=(time.perf_counter() - start) * 1000,
+        )
+
+    def _run_kg_answer_count(self, task: KgAnswerCountTask) -> Result:
+        from repro.service.wire import kg_query_to_spec
+
+        start = time.perf_counter()
+        version = None
+        if isinstance(task.target, str):
+            serving = self._serving(task.target, "kg")
+            encoding, target_id = serving.kg_encoding, serving.target_id
+            version, target_name = serving.version, task.target
+        else:
+            encoding, target_id = self._prepared_kg_encoding(task)
+            target_name = _kg_summary(task.target)
+        value = self.kg_answer_count(task.query, encoding, target_id=target_id)
+        return Result(
+            kind=task.kind,
+            value=value,
+            executor=self.name,
+            backend="kg-engine",
+            version=version,
+            provenance={
+                "kg_query": kg_query_to_spec(task.query),
+                "target": target_name,
+            },
+            elapsed_ms=(time.perf_counter() - start) * 1000,
+        )
+
+    def _prepared_kg_encoding(self, task: KgAnswerCountTask):
+        """Gadget-encode an inline KG target once per spec."""
+        key = task.cache_key()
+        entry = self._prepared.get(key)
+        if entry is None:
+            from repro.engine.cache import target_key
+            from repro.kg.engine_bridge import encode_kg
+
+            encoding = encode_kg(task.target)
+            entry = (encoding, target_key(encoding.graph))
+            self._prepared.put(key, entry)
+        return entry
+
+
+class ServiceExecutor(Executor):
+    """Run task specs on a counting service over HTTP.
+
+    Wraps a :class:`~repro.service.client.ServiceClient`; every spec
+    travels as its canonical wire payload through ``POST /task`` and the
+    service's scheduler (coalescing, backpressure) applies as for any
+    other request.
+    """
+
+    name = "service"
+
+    def __init__(self, client=None, host: str = "127.0.0.1", port: int = 8765) -> None:
+        if client is None:
+            from repro.service.client import ServiceClient
+
+            client = ServiceClient(host=host, port=port)
+        self.client = client
+
+    def run(self, task: Task) -> Result:
+        from repro.service.wire import result_from_wire
+
+        payload = self.client.run_task(task)
+        return result_from_wire(payload).with_executor(self.name)
+
+    def run_batch(self, batch: TaskBatch) -> list[Result]:
+        from repro.service.wire import result_from_wire
+
+        payload = self.client.run_task(batch)
+        return [
+            result_from_wire(entry).with_executor(self.name)
+            for entry in payload["results"]
+        ]
+
+
+class DynamicExecutor(Executor):
+    """Bind task specs to maintained handles over dynamic targets.
+
+    The first ``run`` of a counting spec subscribes a maintained handle
+    (:class:`MaintainedCount` / :class:`MaintainedAnswerCount` /
+    :class:`MaintainedKgAnswerCount`); subsequent runs read the handle's
+    live value, so the spec tracks every ``apply``/``rollback`` of the
+    target.  Dataset names resolve through the shared registry (whose
+    datasets are dynamic streams already); inline graph/KG targets are
+    wrapped in private dynamic streams keyed by the spec, which makes
+    cross-executor equivalence checks uniform but snapshots the inline
+    value at bind time.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, engine=None, registry=None, mode: str = "auto") -> None:
+        self._engine = engine
+        if registry is None:
+            from repro.service.registry import DatasetRegistry
+
+            registry = DatasetRegistry()
+        self.registry = registry
+        self.mode = mode
+        self._handles = _PreparedCache(on_evict=self._close_handle)
+        self._bind_lock = threading.Lock()
+
+    @property
+    def engine(self):
+        if self._engine is not None:
+            return self._engine
+        from repro.engine import default_engine
+
+        return default_engine()
+
+    @staticmethod
+    def _close_handle(entry) -> None:
+        handle, _ = entry
+        handle.close()
+
+    def run(self, task: Task) -> Result:
+        if isinstance(task, (WlDimensionTask, AnalyzeTask)):
+            return self._run_query_analysis(task)
+        if isinstance(task, TaskBatch):
+            raise TaskError("run a TaskBatch through run_batch()")
+        if not isinstance(
+            task, (HomCountTask, AnswerCountTask, KgAnswerCountTask),
+        ):
+            raise TaskError(f"cannot execute task kind {task.kind!r}")
+        if isinstance(task, AnswerCountTask) and task.method != "auto":
+            # The maintained route is the only answer-count route here
+            # (all routes agree on values, Lemma 22); normalising the
+            # method keeps specs differing only in it on one shared
+            # handle instead of duplicating subscriptions.
+            task = AnswerCountTask(task.query, task.target)
+        start = time.perf_counter()
+        key = task.cache_key()
+        for _ in range(3):
+            entry = self._handle_for(task)
+            handle, target_name = entry
+            value = handle.value
+            # A concurrent bind may have LRU-evicted (and closed) this
+            # handle mid-read, in which case the value can miss updates
+            # applied since the close; re-check and rebind if the entry
+            # did not survive the read.  Each retry re-puts the entry as
+            # most-recently-used, so a second eviction needs the whole
+            # cache to churn again — three attempts in practice always
+            # settle, and the bound rules out a livelock under
+            # pathological spec churn.
+            if self._handles.get(key) is entry:
+                break
+        backend = getattr(handle, "method", "maintained")
+        return Result(
+            kind=task.kind,
+            value=value,
+            executor=self.name,
+            backend=f"maintained/{backend}",
+            version=handle.version,
+            provenance=self._provenance(task, target_name),
+            elapsed_ms=(time.perf_counter() - start) * 1000,
+        )
+
+    def _provenance(self, task: Task, target_name) -> dict:
+        if isinstance(task, HomCountTask):
+            return {
+                "pattern": _graph_summary(task.pattern),
+                "target": target_name,
+                "shards": 1,
+            }
+        if isinstance(task, AnswerCountTask):
+            from repro.queries.parser import format_query
+
+            return {
+                "query": task.query,
+                "logic": format_query(task.parsed(), style="logic"),
+                "target": target_name,
+            }
+        from repro.service.wire import kg_query_to_spec
+
+        return {"kg_query": kg_query_to_spec(task.query), "target": target_name}
+
+    def _handle_for(self, task: Task):
+        key = task.cache_key()
+        entry = self._handles.get(key)
+        if entry is None:
+            # Serialise creation: binding subscribes a maintained handle,
+            # and a lost race would leave an orphan subscription.
+            with self._bind_lock:
+                entry = self._handles.get(key)
+                if entry is None:
+                    entry = (self._bind(task), self._target_display(task))
+                    self._handles.put(key, entry)
+        return entry
+
+    def _target_display(self, task: Task):
+        if isinstance(task.target, str):
+            return task.target
+        if isinstance(task, KgAnswerCountTask):
+            return _kg_summary(task.target)
+        return _graph_summary(task.target)
+
+    def _bind(self, task: Task):
+        """Create the maintained handle a spec subscribes to."""
+        engine = self.engine
+        if isinstance(task, KgAnswerCountTask):
+            from repro.dynamic.kg import (
+                DynamicKnowledgeGraph,
+                MaintainedKgAnswerCount,
+            )
+
+            if isinstance(task.target, str):
+                stream = self.registry.get(task.target, kind="kg").dynamic_kg
+            else:
+                stream = DynamicKnowledgeGraph(task.target)
+            return MaintainedKgAnswerCount(task.query, stream, engine=engine)
+        from repro.dynamic.graph import DynamicGraph
+        from repro.dynamic.maintained import (
+            MaintainedAnswerCount,
+            MaintainedCount,
+        )
+
+        if isinstance(task.target, str):
+            stream = self.registry.get(task.target, kind="graph").dynamic
+        else:
+            stream = DynamicGraph(task.target)
+        if isinstance(task, HomCountTask):
+            return MaintainedCount(
+                task.pattern, stream, engine=engine, mode=self.mode,
+            )
+        return MaintainedAnswerCount(
+            task.parsed(), stream, engine=engine, mode=self.mode,
+        )
+
+    def close(self) -> None:
+        """Close every maintained handle this executor created."""
+        self._handles.clear()

@@ -1,0 +1,50 @@
+"""The uniform result object every executor returns.
+
+Whatever a task ran on — the in-process engine, the counting service over
+HTTP, or a dynamic maintained handle — the caller gets back one
+:class:`Result`: the value, which backend produced it, whether it came
+from cache, which target *version* it describes, timing, and a
+human-readable :meth:`Result.explain` plan introspection.
+
+``provenance`` carries the per-kind display fields (pattern/target
+summaries, the query's logic form, shard counts, version digests); the
+wire layer uses it to rebuild the exact legacy payload shapes, so the
+HTTP API did not change shape when the object model moved underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Result:
+    """One executed task: value plus execution provenance."""
+
+    kind: str                      # the task kind that produced it
+    value: object                  # int for counts, dict for analyze, ...
+    executor: str = "local"        # "local" | "service" | "dynamic"
+    backend: str | None = None     # plan description or counting method
+    cached: bool | None = None     # True/False when known, None otherwise
+    version: int | None = None     # dataset version (versioned targets only)
+    provenance: Mapping = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+
+    def with_executor(self, executor: str) -> "Result":
+        return replace(self, executor=executor)
+
+    def explain(self) -> str:
+        """A multi-line, human-readable account of how the value was made."""
+        lines = [f"{self.kind}: {self.value!r}"]
+        lines.append(f"  executor   {self.executor}")
+        if self.backend is not None:
+            lines.append(f"  backend    {self.backend}")
+        if self.cached is not None:
+            lines.append(f"  cached     {self.cached}")
+        if self.version is not None:
+            lines.append(f"  version    {self.version}")
+        for key in sorted(self.provenance):
+            lines.append(f"  {key:10s} {self.provenance[key]!r}")
+        lines.append(f"  elapsed    {self.elapsed_ms:.3f} ms")
+        return "\n".join(lines)

@@ -518,12 +518,17 @@ def _cmd_union(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "The Weisfeiler-Leman dimension of conjunctive queries "
             "(PODS 2024) — analysis tools"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

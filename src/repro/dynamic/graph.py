@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Iterable
 
-from repro.errors import GraphError
+from repro.errors import GraphError, UpdateError
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.indexed import IndexedGraph, LabelCodec
 
@@ -346,7 +346,7 @@ class DynamicGraph:
         stats: DynamicStats | None = None,
     ) -> None:
         if history_limit < 2:
-            raise ValueError("history_limit must keep at least two versions")
+            raise UpdateError("history_limit must keep at least two versions")
         base = graph.copy()
         base.to_indexed().bitsets()
         self.history_limit = history_limit
@@ -566,7 +566,7 @@ class DynamicGraph:
         """
         with self._lock:
             if len(self._versions) < 2:
-                raise GraphError(
+                raise UpdateError(
                     "no retained version to roll back to "
                     f"(history_limit={self.history_limit})",
                 )

@@ -39,7 +39,7 @@ from repro.dynamic.graph import (
     UpdateBatch,
 )
 from repro.dynamic.maintained import PROVENANCE_LIMIT
-from repro.errors import GraphError
+from repro.errors import UpdateError
 from repro.kg.engine_bridge import KgEncoding, count_kg_answers_engine
 from repro.kg.kgraph import KnowledgeGraph
 
@@ -209,7 +209,7 @@ class DynamicKnowledgeGraph:
             removed = []
             for source, label, target in remove_triples:
                 if not new_kg.has_edge(source, label, target):
-                    raise GraphError(
+                    raise UpdateError(
                         f"triple ({source!r}, {label!r}, {target!r}) "
                         "not in knowledge graph",
                     )
@@ -345,7 +345,7 @@ class DynamicKnowledgeGraph:
         pools together); subscribed handles restore from provenance."""
         with self.lock:
             if len(self._versions) < 2:
-                raise GraphError(
+                raise UpdateError(
                     "no retained version to roll back to "
                     f"(history_limit={self.history_limit})",
                 )

@@ -37,6 +37,7 @@ from repro.dynamic.delta import (
     estimate_recompute_cost,
 )
 from repro.dynamic.graph import DynamicGraph, GraphVersion
+from repro.errors import UpdateError
 from repro.graphs.graph import Graph
 
 Mode = Literal["auto", "delta", "recompute"]
@@ -90,7 +91,7 @@ class MaintainedCount:
 
             engine = default_engine()
         if mode not in ("auto", "delta", "recompute"):
-            raise ValueError(f"unknown maintenance mode {mode!r}")
+            raise UpdateError(f"unknown maintenance mode {mode!r}")
         self.pattern = pattern.copy()
         self.dynamic = dynamic
         self.engine = engine

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
+from repro.errors import EngineError
 from repro.graphs.canonical import canonical_form
 from repro.graphs.graph import Graph, Vertex
 
@@ -93,7 +94,7 @@ class LRUCache:
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
-            raise ValueError("cache maxsize must be positive")
+            raise EngineError("cache maxsize must be positive")
         self.maxsize = maxsize
         self.evictions = 0
         self._data: OrderedDict[Hashable, object] = OrderedDict()

@@ -117,13 +117,30 @@ class HomEngine:
         ``target_id`` short-circuits the target fingerprint with a
         precomputed key (the dataset registry stores one per dataset).
         """
+        return self.count_detailed(
+            pattern, target, allowed=allowed, target_id=target_id,
+        )[0]
+
+    def count_detailed(
+        self,
+        pattern: Graph,
+        target: Graph,
+        allowed: Mapping[Vertex, frozenset] | None = None,
+        target_id: tuple | None = None,
+    ) -> tuple[int, bool]:
+        """:meth:`count` plus cache provenance: ``(value, from_cache)``.
+
+        The task API's :class:`~repro.api.result.Result` reports the flag;
+        one call computes the cache key once, so provenance costs nothing
+        over a plain count.
+        """
         pattern_id = self._pattern_id(pattern, allowed)
         if target_id is None:
             target_id = target_key(target)
         key = (pattern_id, target_id, restriction_key(allowed))
         cached = self._cache.lookup_count(key)
         if cached is not None:
-            return cached
+            return cached, True
         plan = self._cache.lookup_plan(pattern_id)
         if plan is None:
             plan = compile_plan(pattern)
@@ -132,7 +149,7 @@ class HomEngine:
         value = plan.execute(target, allowed=allowed)
         self._note_count_executed()
         self._cache.store_count(key, value)
-        return value
+        return value, False
 
     def cached_count(
         self,

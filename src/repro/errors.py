@@ -3,6 +3,17 @@
 All library-raised errors derive from :class:`ReproError` so downstream users
 can catch a single base class.  More specific subclasses communicate which
 subsystem rejected the input.
+
+Every class carries a stable machine-readable ``code`` (kebab-case) that the
+counting service echoes in its structured HTTP error payloads
+(``{"kind": "error", "error": ..., "code": ...}``) and the client re-raises
+with.  Codes are part of the wire contract: they never change once shipped,
+even if the human-readable message does.
+
+:class:`EngineError` and :class:`UpdateError` additionally subclass the
+stdlib exception their call sites historically raised (``ValueError`` and
+:class:`GraphError` respectively), so pre-existing ``except`` clauses keep
+working.
 """
 
 from __future__ import annotations
@@ -11,26 +22,89 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
+    code = "repro-error"
+
 
 class GraphError(ReproError):
     """Invalid graph construction or graph operation (e.g. self-loops)."""
+
+    code = "bad-graph"
 
 
 class DecompositionError(ReproError):
     """A tree decomposition violates (T1), (T2) or (T3) of Definition 10."""
 
+    code = "bad-decomposition"
+
 
 class QueryError(ReproError):
     """Invalid conjunctive query (e.g. free variables not in the graph)."""
+
+    code = "bad-query"
 
 
 class ParseError(QueryError):
     """The textual query representation could not be parsed."""
 
+    code = "parse-error"
+
 
 class IntractableError(ReproError):
     """The requested exact computation exceeds the configured size limits."""
 
+    code = "intractable"
+
 
 class WitnessError(ReproError):
     """A lower-bound witness could not be constructed or verified."""
+
+    code = "witness-failed"
+
+
+class TaskError(ReproError):
+    """A task spec is malformed or not runnable on the chosen executor."""
+
+    code = "bad-task"
+
+
+class EngineError(ReproError, ValueError):
+    """Invalid engine configuration or counting request.
+
+    Subclasses ``ValueError`` because the engine/cache layer historically
+    raised that for bad limits and unknown methods.
+    """
+
+    code = "engine-error"
+
+
+class ServiceError(ReproError):
+    """An error response (or transport failure) from the counting service.
+
+    Raised by the client for non-200 responses (``status`` and ``code``
+    mirror the structured error payload) and by the service layer for
+    invalid configuration (``status`` 0).  Deliberately *not* a
+    ``ValueError`` subclass — transport failures dominate its use, and
+    making every unreachable-host error a ``ValueError`` would be wrong;
+    the scheduler/server config raises that historically threw
+    ``ValueError`` now throw this instead.
+    """
+
+    code = "service-error"
+
+    def __init__(self, message: str, status: int = 0, code: str | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        if code is not None:
+            self.code = code
+
+
+class UpdateError(GraphError, ValueError):
+    """A dynamic-target update or maintenance request was rejected.
+
+    Subclasses :class:`GraphError` (the dynamic layer historically raised
+    that for bad batches) and ``ValueError`` (the mode/limit validations
+    historically raised that), so pre-existing ``except`` clauses keep
+    working.
+    """
+
+    code = "update-rejected"

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Literal, Mapping
 
+from repro.errors import EngineError
 from repro.graphs.graph import Graph, Vertex
 from repro.homs.brute_force import count_homomorphisms_brute
 from repro.homs.treewidth_dp import count_homomorphisms_dp
@@ -47,12 +48,21 @@ def count_homomorphisms(
     if method == "dp":
         return count_homomorphisms_dp(pattern, target, allowed=allowed)
     if method != "auto":
-        raise ValueError(f"unknown method {method!r}")
-    # Imported lazily: repro.engine pulls in the treewidth stack, and the
-    # homs package must stay importable from its own submodules.
-    from repro.engine.engine import default_engine
+        raise EngineError(f"unknown method {method!r}")
+    if allowed is not None:
+        # Colour restrictions are label-bound engine internals; they stay
+        # below the task layer.  Imported lazily: repro.engine pulls in the
+        # treewidth stack, and the homs package must stay importable from
+        # its own submodules.
+        from repro.engine.engine import default_engine
 
-    return default_engine().count(pattern, target, allowed=allowed)
+        return default_engine().count(pattern, target, allowed=allowed)
+    # The unrestricted auto path is a thin shim over the task API, so this
+    # entry point, `Session.run(HomCountTask(...))`, the service, and the
+    # dynamic layer all share one execution route.
+    from repro.api.session import default_session
+
+    return default_session().run_hom_count(pattern, target)
 
 
 def hom_vector(

@@ -96,9 +96,16 @@ def count_kg_answers(
         return count_kg_answers_brute(query, target)
     if method != "engine":
         raise QueryError(f"unknown KG counting method {method!r}")
-    from repro.kg.engine_bridge import count_kg_answers_engine
+    if engine is not None:
+        from repro.kg.engine_bridge import count_kg_answers_engine
 
-    return count_kg_answers_engine(query, target, engine=engine)
+        return count_kg_answers_engine(query, target, engine=engine)
+    # Default engine: a thin shim over the task API, so this entry point,
+    # `Session.run(KgAnswerCountTask(...))`, and the service share one
+    # execution route.
+    from repro.api.session import default_session
+
+    return default_session().run_kg_answer_count(query, target)
 
 
 def kg_extension_graph(query: KgQuery):

@@ -77,9 +77,22 @@ def enumerate_answers(
             yield assignment
 
 
-def count_answers(query: ConjunctiveQuery, target: Graph) -> int:
-    """``|Ans((H, X), G)|`` by direct enumeration."""
+def count_answers_direct(query: ConjunctiveQuery, target: Graph) -> int:
+    """``|Ans((H, X), G)|`` by direct enumeration (the reference route)."""
     return sum(1 for _ in enumerate_answers(query, target))
+
+
+def count_answers(query: ConjunctiveQuery, target: Graph) -> int:
+    """``|Ans((H, X), G)|`` by direct enumeration.
+
+    A thin shim over the task API — equivalent to running
+    ``AnswerCountTask(query, target, method='direct')`` on the default
+    session — so this entry point, the service, and the dynamic layer all
+    share one execution route.
+    """
+    from repro.api.session import default_session
+
+    return default_session().run_answer_count(query, target, method="direct")
 
 
 def count_answers_by_projection(query: ConjunctiveQuery, target: Graph) -> int:

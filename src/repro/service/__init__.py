@@ -29,7 +29,17 @@ from repro.service.server import (
     run_server,
 )
 from repro.service.store import PersistentStore, stable_key_digest
-from repro.service.wire import WireError, graph_from_spec, graph_to_spec
+from repro.service.wire import (
+    WireError,
+    error_payload,
+    graph_from_spec,
+    graph_to_spec,
+    result_from_wire,
+    result_to_payload,
+    result_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
 
 __all__ = [
     "BackgroundServer",
@@ -44,8 +54,14 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "WireError",
+    "error_payload",
     "graph_from_spec",
     "graph_to_spec",
+    "result_from_wire",
+    "result_to_payload",
+    "result_to_wire",
     "run_server",
     "stable_key_digest",
+    "task_from_wire",
+    "task_to_wire",
 ]

@@ -2,8 +2,14 @@
 
 Wraps ``http.client`` (blocking, connection-per-request — the server
 answers ``Connection: close``) around the wire format of
-:mod:`repro.service.wire`.  Accepts rich objects (``Graph``,
-``KnowledgeGraph``, ``KgQuery``) or raw spec dicts interchangeably.
+:mod:`repro.service.wire`.  Every counting call constructs the canonical
+:mod:`repro.api.tasks` spec and sends its exact wire payload, so the
+client, the CLI, and the server all speak one encoding; rich objects
+(``Graph``, ``KnowledgeGraph``, ``KgQuery``) and raw spec dicts are
+accepted interchangeably.
+
+Error responses carry ``{"kind": "error", "error": msg, "code": code}``;
+the raised :class:`ServiceError` exposes both ``status`` and ``code``.
 """
 
 from __future__ import annotations
@@ -12,38 +18,30 @@ import http.client
 import json
 from typing import Mapping
 
-from repro.errors import ReproError
+from repro.errors import ServiceError
 from repro.graphs.graph import Graph
-from repro.service.wire import graph_to_spec, kg_query_to_spec, kg_to_spec
+from repro.service.wire import kg_to_spec, task_to_wire
+
+__all__ = ["ServiceClient", "ServiceError"]
 
 
-class ServiceError(ReproError):
-    """An error response (or transport failure) from the counting service."""
-
-    def __init__(self, message: str, status: int = 0) -> None:
-        super().__init__(message)
-        self.status = status
+def _as_task_target(value):
+    """Dataset name, rich object, or raw spec — as a task target."""
+    if isinstance(value, (str, Graph, Mapping)) or hasattr(value, "triples"):
+        return value
+    raise ServiceError(f"cannot encode target {type(value).__name__}")
 
 
 def _as_graph_spec(value) -> dict:
+    from repro.service.wire import graph_to_spec
+
     if isinstance(value, Graph):
         return graph_to_spec(value)
     if isinstance(value, Mapping):
         return dict(value)
-    raise ServiceError(f"expected a Graph or a graph spec, got {type(value).__name__}")
-
-
-def _as_target(value):
-    """Dataset name, graph/KG object, or raw spec — as sent on the wire."""
-    if isinstance(value, str):
-        return value
-    if isinstance(value, Graph):
-        return graph_to_spec(value)
-    if isinstance(value, Mapping):
-        return dict(value)
-    if hasattr(value, "triples"):
-        return kg_to_spec(value)
-    raise ServiceError(f"cannot encode target {type(value).__name__}")
+    raise ServiceError(
+        f"expected a Graph or a graph spec, got {type(value).__name__}",
+    )
 
 
 class ServiceClient:
@@ -85,12 +83,33 @@ class ServiceClient:
             raise ServiceError(f"non-JSON response: {error}", status) from error
         if status != 200:
             raise ServiceError(
-                decoded.get("error", f"HTTP {status}"), status,
+                decoded.get("error", f"HTTP {status}"),
+                status,
+                code=decoded.get("code"),
             )
         return decoded
 
     def _post(self, path: str, payload: dict) -> dict:
         return self.request("POST", path, payload)
+
+    def _post_task(self, path: str, factory) -> dict:
+        """Build the canonical spec and POST its exact wire payload.
+
+        Spec construction validates eagerly (queries parse, graph specs
+        decode); a rejected input raises the same 400-coded
+        :class:`ServiceError` the server would have answered with, just
+        without the round trip.
+        """
+        from repro.errors import ReproError
+
+        try:
+            task = factory() if callable(factory) else factory
+            payload = task_to_wire(task)
+        except ServiceError:
+            raise
+        except ReproError as error:
+            raise ServiceError(str(error), 400, code=error.code) from error
+        return self._post(path, payload)
 
     # ------------------------------------------------------------------
     # API
@@ -114,35 +133,50 @@ class ServiceClient:
         spec = kg_to_spec(kg) if hasattr(kg, "triples") else dict(kg)
         return self._post("/register-dataset", {"name": name, "kg": spec})["dataset"]
 
+    def run_task(self, task) -> dict:
+        """Run any canonical task spec through ``POST /task``.
+
+        Returns the full result payload (``result_from_wire`` decodes it
+        back into a :class:`~repro.api.result.Result`); batches return
+        ``{"kind": "result-batch", "results": [...]}``.
+        """
+        return self._post_task("/task", task)
+
     def count(self, pattern, target) -> dict:
         """``|Hom(pattern, target)|``; target is a dataset name or a graph."""
-        return self._post(
-            "/count",
-            {"pattern": _as_graph_spec(pattern), "target": _as_target(target)},
+        from repro.api.tasks import HomCountTask
+
+        return self._post_task(
+            "/count", lambda: HomCountTask(pattern, _as_task_target(target)),
         )
 
     def count_answers(self, query: str, target) -> dict:
         """Answers of a parsed CQ on a dataset name or inline graph."""
-        return self._post(
-            "/count-answers", {"query": query, "target": _as_target(target)},
+        from repro.api.tasks import AnswerCountTask
+
+        return self._post_task(
+            "/count-answers",
+            lambda: AnswerCountTask(query, _as_task_target(target)),
         )
 
     def count_kg_answers(self, kg_query, target) -> dict:
         """Answers of a KG conjunctive query on a KG dataset or inline KG."""
-        spec = (
-            kg_query_to_spec(kg_query)
-            if hasattr(kg_query, "free_variables")
-            else dict(kg_query)
-        )
-        return self._post(
-            "/count-answers", {"kg_query": spec, "target": _as_target(target)},
+        from repro.api.tasks import KgAnswerCountTask
+
+        return self._post_task(
+            "/count-answers",
+            lambda: KgAnswerCountTask(kg_query, _as_task_target(target)),
         )
 
     def wl_dim(self, query: str) -> dict:
-        return self._post("/wl-dim", {"query": query})
+        from repro.api.tasks import WlDimensionTask
+
+        return self._post_task("/wl-dim", lambda: WlDimensionTask(query))
 
     def analyze(self, query: str) -> dict:
-        return self._post("/analyze", {"query": query})
+        from repro.api.tasks import AnalyzeTask
+
+        return self._post_task("/analyze", lambda: AnalyzeTask(query))
 
     # ------------------------------------------------------------------
     # dynamic targets
@@ -183,6 +217,8 @@ class ServiceClient:
     ) -> dict:
         """Create a maintained count on dataset ``name`` (exactly one of
         ``pattern`` / ``query`` / ``kg_query``); returns its payload."""
+        from repro.service.wire import kg_query_to_spec
+
         payload: dict = {"target": name}
         if subscription_id is not None:
             payload["id"] = subscription_id

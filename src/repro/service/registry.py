@@ -44,6 +44,20 @@ class RegistryError(ReproError):
     can never serve counts computed against the old graph.
     """
 
+    code = "unknown-dataset"
+
+
+class DatasetKindError(RegistryError):
+    """The named dataset exists but is the wrong kind for the request."""
+
+    code = "wrong-dataset-kind"
+
+
+class DatasetNameError(RegistryError):
+    """Dataset names must be non-empty strings."""
+
+    code = "bad-dataset-name"
+
 
 @dataclass(frozen=True)
 class ServingState:
@@ -174,7 +188,9 @@ class DatasetRegistry:
         self, name: str, graph: Graph, shards: int = 1,
     ) -> Dataset:
         if not name or not isinstance(name, str):
-            raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
+            raise DatasetNameError(
+                f"dataset name must be a non-empty string, got {name!r}",
+            )
         dataset = Dataset(
             name=name,
             kind="graph",
@@ -230,7 +246,9 @@ class DatasetRegistry:
 
     def register_kg(self, name: str, kg) -> Dataset:
         if not name or not isinstance(name, str):
-            raise RegistryError(f"dataset name must be a non-empty string, got {name!r}")
+            raise DatasetNameError(
+                f"dataset name must be a non-empty string, got {name!r}",
+            )
         dataset = Dataset(name=name, kind="kg", dynamic_kg=DynamicKnowledgeGraph(kg))
         self._refresh_kg_fields(dataset, dataset.dynamic_kg.snapshot())
         with self._lock:
@@ -276,7 +294,7 @@ class DatasetRegistry:
         if dataset is None:
             raise RegistryError(f"unknown dataset {name!r}")
         if kind is not None and dataset.kind != kind:
-            raise RegistryError(
+            raise DatasetKindError(
                 f"dataset {name!r} is a {dataset.kind} dataset, not {kind}",
             )
         return dataset

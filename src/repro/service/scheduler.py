@@ -25,6 +25,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import ServiceError
+
 
 @dataclass
 class SchedulerStats:
@@ -56,9 +58,9 @@ class RequestScheduler:
 
     def __init__(self, workers: int = 4, max_queue: int = 256) -> None:
         if workers < 1:
-            raise ValueError("workers must be positive")
+            raise ServiceError("workers must be positive")
         if max_queue < 1:
-            raise ValueError("max_queue must be positive")
+            raise ServiceError("max_queue must be positive")
         self.workers = workers
         self.max_queue = max_queue
         self.stats = SchedulerStats()

@@ -5,11 +5,13 @@ Layers (top to bottom):
 * :class:`ServiceServer` / :class:`BackgroundServer` — a minimal
   HTTP/1.1 loop on ``asyncio.start_server`` (stdlib only: parse request
   line + headers, read ``Content-Length`` body, answer JSON, close);
-* :class:`CountingService` — the operations: ``count``,
-  ``count-answers`` (CQ and KG), ``wl-dim``, ``analyze``,
-  ``register-dataset``, ``stats``; every counting operation goes through
-  the :class:`~repro.service.scheduler.RequestScheduler` under a
-  canonical request key, so identical concurrent requests coalesce;
+* :class:`CountingService` — the operations.  Request bodies decode into
+  the canonical :mod:`repro.api.tasks` specs (the per-verb bodies *are*
+  the spec payloads minus the ``task`` discriminator) and execute on a
+  :class:`~repro.api.executors.LocalExecutor` bound to the service's
+  engine and registry; every counting operation goes through the
+  :class:`~repro.service.scheduler.RequestScheduler` under a canonical
+  request key, so identical concurrent requests coalesce;
 * one :class:`~repro.engine.HomEngine` shared by all workers (its caches
   are lock-guarded), optionally backed by a
   :class:`~repro.service.store.PersistentStore` so plans and counts
@@ -20,8 +22,14 @@ The service installs its engine as the process-wide default
 request handlers — Lemma-22 interpolation in particular — ride the same
 caches.  ``BackgroundServer.stop()`` restores the previous default.
 
+Errors travel as structured payloads: ``{"kind": "error", "error":
+message, "code": stable-code}`` with the code taken from the
+:mod:`repro.errors` hierarchy.
+
 Routes
 ------
+``POST /task``             any canonical task payload (``{"task": kind, ...}``),
+                           answered with the full result payload
 ``POST /count``            ``{"pattern": graphspec, "target": name|graphspec}``
 ``POST /count-answers``    ``{"query": text, "target": name|graphspec}`` or
                            ``{"kg_query": kgqueryspec, "target": name|kgspec}``
@@ -39,30 +47,36 @@ import json
 import sys
 import threading
 
+from repro.api.executors import LocalExecutor
+from repro.api.session import Session
+from repro.api.tasks import TaskBatch
 from repro.engine import HomEngine, set_default_engine
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.service.registry import DatasetRegistry, RegistryError
 from repro.service.scheduler import RequestScheduler
 from repro.service.store import PersistentStore, stable_key_digest
 from repro.service.wire import (
     WireError,
-    analyze_payload,
-    count_answers_payload,
-    count_payload,
+    error_payload,
     graph_from_spec,
-    graph_summary,
     kg_from_spec,
     kg_query_from_spec,
     kg_query_to_spec,
     kg_to_spec,
     kg_update_from_spec,
+    result_to_payload,
+    result_to_wire,
     subscription_payload,
     target_update_payload,
+    task_from_wire,
     update_batch_from_spec,
-    wl_dim_payload,
 )
 
 _MAX_BODY = 32 * 1024 * 1024
+
+
+def _bad_request(message: str) -> dict:
+    return {"kind": "error", "error": message, "code": "bad-request"}
 
 
 def _require(body: dict, field: str):
@@ -83,7 +97,7 @@ class CountingService:
         install_default_engine: bool = True,
     ) -> None:
         if engine is not None and data_dir is not None:
-            raise ValueError("pass either an engine or a data_dir, not both")
+            raise ServiceError("pass either an engine or a data_dir, not both")
         if engine is None:
             self.store = PersistentStore(data_dir) if data_dir else None
             engine = HomEngine(store=self.store)
@@ -91,9 +105,16 @@ class CountingService:
             self.store = engine.store
         self.engine = engine
         self.registry = DatasetRegistry()
+        # All counting routes execute their task specs on this session;
+        # the executor shares the service engine and registry, so the
+        # generic /task route and the per-verb routes serve identical state.
+        self.session = Session(
+            executor=LocalExecutor(engine=engine, registry=self.registry),
+        )
         self.scheduler = RequestScheduler(workers=workers, max_queue=max_queue)
         self.request_counts: dict[str, int] = {}
         self._routes = {
+            ("POST", "/task"): self._op_task,
             ("POST", "/count"): self._op_count,
             ("POST", "/count-answers"): self._op_count_answers,
             ("POST", "/wl-dim"): self._op_wl_dim,
@@ -133,172 +154,183 @@ class CountingService:
         route = (method.upper(), path.rstrip("/") or "/")
         handler = self._routes.get(route)
         if handler is None:
-            return 404, {"error": f"no route {method.upper()} {path}"}
+            return 404, {
+                "kind": "error",
+                "error": f"no route {method.upper()} {path}",
+                "code": "unknown-route",
+            }
         self.request_counts[route[1]] = self.request_counts.get(route[1], 0) + 1
         try:
             return 200, await handler(body)
         except RegistryError as error:
-            return 404, {"error": str(error)}
+            return 404, error_payload(error)
         except ReproError as error:
-            return 400, {"error": str(error)}
+            return 400, error_payload(error)
 
     # ------------------------------------------------------------------
-    # target resolution
+    # task resolution
     # ------------------------------------------------------------------
-    def _resolve_graph_target(self, target):
-        """``(host graph or None, serving state or None, coalescing token,
-        display name)``.
+    def _decode_task(self, kind: str, body: dict):
+        """Decode a per-verb request body into its canonical task spec.
 
-        For a registered dataset the ``ServingState`` is read with a
-        single attribute load — one immutable version snapshot, so a
-        concurrent ``target-update`` can never pair this request's graph
-        with another version's cache key.  The token is derived from the
-        dataset *content*, not its name, so re-registering a name with a
-        different graph never joins in-flight work computed against the
-        old content.
-        """
-        if isinstance(target, str):
-            serving = self.registry.get(target, kind="graph").serving
-            return (
-                serving.graph,
-                serving,
-                ("dataset", serving.content_token),
-                target,
-            )
-        if target is None:
+        The bodies *are* the canonical payloads of :func:`task_to_wire`
+        (clients send the ``task`` discriminator; legacy callers omit it
+        and the route supplies it here)."""
+        if "target" not in body and kind in (
+            "hom-count", "answer-count", "kg-answer-count",
+        ):
             raise WireError("request is missing the 'target' field")
-        host = graph_from_spec(target)
-        return host, None, ("inline", host.edge_fingerprint()), graph_summary(host)
+        return task_from_wire({**body, "task": kind})
+
+    def _target_token(self, task):
+        """The coalescing token of a task's target at admission time.
+
+        Derived from dataset *content* (one immutable serving-state
+        snapshot), not the name, so two names over different content
+        never share in-flight work.  The executor reads its own single
+        snapshot when the job actually runs — graph and cache key always
+        come from one version — so a coalesced waiter may receive a count
+        for a version *newer* than its admission token (committed while
+        the request was in flight), never a mix of versions.  Resolving
+        here also 404s unknown names before any work is scheduled."""
+        target = getattr(task, "target", None)
+        if target is None:
+            return None
+        if isinstance(target, str):
+            kind = "kg" if task.kind == "kg-answer-count" else "graph"
+            serving = self.registry.get(target, kind=kind).serving
+            return ("dataset", serving.content_token)
+        if hasattr(target, "triples"):
+            return ("inline", stable_key_digest(kg_to_spec(target)))
+        return ("inline", target.edge_fingerprint())
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
-    async def _op_count(self, body: dict) -> dict:
-        pattern = graph_from_spec(_require(body, "pattern"))
-        host, serving, token, target_name = self._resolve_graph_target(
-            body.get("target"),
-        )
-        engine = self.engine
-        shard_count = 1
-        if (
-            serving is not None
-            and len(serving.shards) > 1
-            and pattern.num_vertices() > 0
-            and pattern.is_connected()
-        ):
-            # Connected patterns sum over component shards exactly.
-            shards, shard_ids = serving.shards, serving.shard_ids
-            shard_count = len(shards)
+    async def _op_task(self, body: dict) -> dict:
+        """The generic route: any canonical task payload, full result out."""
 
-            def fn() -> tuple[int, str]:
-                count = sum(
-                    engine.count(pattern, shard, target_id=shard_id)
-                    for shard, shard_id in zip(shards, shard_ids)
+        # Decoding (graph specs, defensive copies, eager query parsing),
+        # token resolution, and the spec digest all do CPU work on inline
+        # targets — the whole admission step runs off the event loop.
+        # Member tokens also validate dataset names up front and keep
+        # batch keys content-accurate for coalescing.
+        def admission() -> tuple:
+            task = task_from_wire(body)
+            if isinstance(task, TaskBatch):
+                token: object = tuple(
+                    self._target_token(member) for member in task
                 )
-                return count, engine.plan_for(pattern).describe()
-        else:
-            target_id = serving.target_id if serving is not None else None
+            else:
+                token = self._target_token(task)
+            return task, task.cache_key(), token
 
-            def fn() -> tuple[int, str]:
-                count = engine.count(pattern, host, target_id=target_id)
-                # describe() may compile/unpickle on a persistent-tier count
-                # hit; keep that on the worker, off the event loop.
-                return count, engine.plan_for(pattern).describe()
-
-        key = ("count", pattern.edge_fingerprint(), token)
-        count, plan = await self.scheduler.submit(key, fn)
-        return count_payload(
-            count, pattern, target_name, plan=plan, shards=shard_count,
+        task, digest, token = await asyncio.get_running_loop().run_in_executor(
+            None, admission,
         )
+        if isinstance(task, TaskBatch):
+            results = await self.scheduler.submit(
+                ("task-batch", digest, token),
+                lambda: self.session.run_batch(task),
+            )
+            return {
+                "kind": "result-batch",
+                "results": [result_to_wire(result) for result in results],
+            }
+        result = await self.scheduler.submit(
+            ("task", digest, token), lambda: self.session.run(task),
+        )
+        return result_to_wire(result)
+
+    async def _op_count(self, body: dict) -> dict:
+        task = self._decode_task("hom-count", body)
+        token = self._target_token(task)
+        key = ("count", task.pattern.edge_fingerprint(), token)
+        # The executor resolves one serving-state snapshot per run (shard
+        # fan-out included) and plan describe() stays on the worker.
+        result = await self.scheduler.submit(
+            key, lambda: self.session.run(task),
+        )
+        payload = result_to_payload(result)
+        # Coalesced waiters share the first submitter's result; re-echo
+        # *this* caller's target name (tokens are content-derived, so two
+        # names over identical content may share one computation).
+        if isinstance(task.target, str) and payload["target"] != task.target:
+            payload = {**payload, "target": task.target}
+        return payload
 
     async def _op_count_answers(self, body: dict) -> dict:
         if "kg_query" in body:
             return await self._op_count_kg_answers(body)
-        from repro.queries.parser import format_query, parse_query
+        from repro.queries.parser import format_query
 
-        text = _require(body, "query")
-        query = parse_query(text)  # validate before scheduling
-        host, _, token, target_name = self._resolve_graph_target(
-            body.get("target"),
+        task = self._decode_task("answer-count", body)
+        token = self._target_token(task)
+        key = (
+            "count-answers",
+            format_query(task.parsed(), style="logic"),
+            task.method,
+            token,
         )
-        key = ("count-answers", format_query(query, style="logic"), token)
         payload = await self.scheduler.submit(
-            key,
-            lambda: count_answers_payload(text, host, target_name=target_name),
+            key, lambda: result_to_payload(self.session.run(task)),
         )
-        # Coalesced waiters share the first submitter's payload; re-echo
-        # *this* caller's raw query text (the logic form is canonical).
-        if payload.get("query") != text or payload.get("target") != target_name:
-            payload = {**payload, "query": text, "target": target_name}
+        # Re-echo *this* caller's raw query text and target name (the
+        # coalescing key uses the canonical logic form).
+        target_name = task.target if isinstance(task.target, str) else None
+        if payload.get("query") != task.query or (
+            target_name is not None and payload.get("target") != target_name
+        ):
+            payload = {**payload, "query": task.query}
+            if target_name is not None:
+                payload["target"] = target_name
         return payload
 
     async def _op_count_kg_answers(self, body: dict) -> dict:
-        from repro.kg.engine_bridge import count_kg_answers_engine, encode_kg
-
-        query = kg_query_from_spec(_require(body, "kg_query"))
-        target = body.get("target")
-        if isinstance(target, str):
-            # One snapshot read: encoding and coalescing token always
-            # describe the same dataset version.
-            serving = self.registry.get(target, kind="kg").serving
-            encoding, token, target_name = (
-                serving.kg_encoding, ("dataset", serving.content_token), target,
-            )
-            target_id = serving.target_id
-        elif target is not None:
-            kg = kg_from_spec(target)
-
-            # Gadget encoding + content digest are CPU-bound; keep them off
-            # the event loop so concurrent requests stay responsive.
-            def encode_inline():
-                return encode_kg(kg), stable_key_digest(kg_to_spec(kg))
-
-            encoding, digest = await asyncio.get_running_loop().run_in_executor(
-                None, encode_inline,
-            )
-            token = ("inline", digest)
-            target_name = {
-                "vertices": kg.num_vertices(), "triples": kg.num_triples(),
-            }
-            target_id = None
+        task = self._decode_task("kg-answer-count", body)
+        if isinstance(task.target, str):
+            token = self._target_token(task)
         else:
-            raise WireError("request is missing the 'target' field")
-        engine = self.engine
+            # The inline content digest is CPU-bound; keep it off the
+            # event loop so concurrent requests stay responsive.  (The
+            # gadget encoding itself happens on the worker, memoised per
+            # spec by the executor.)
+            token = (
+                "inline",
+                await asyncio.get_running_loop().run_in_executor(
+                    None, lambda: stable_key_digest(kg_to_spec(task.target)),
+                ),
+            )
         key = (
             "kg-count-answers",
-            stable_key_digest(kg_query_to_spec(query)),
+            stable_key_digest(kg_query_to_spec(task.query)),
             token,
         )
-        count = await self.scheduler.submit(
-            key,
-            lambda: count_kg_answers_engine(
-                query, encoding, engine=engine, target_id=target_id,
-            ),
+        payload = await self.scheduler.submit(
+            key, lambda: result_to_payload(self.session.run(task)),
         )
-        return {
-            "kind": "count-answers",
-            "kg_query": kg_query_to_spec(query),
-            "target": target_name,
-            "count": count,
-            "method": "kg-engine",
-        }
+        if isinstance(task.target, str) and payload["target"] != task.target:
+            payload = {**payload, "target": task.target}
+        return payload
 
     async def _op_wl_dim(self, body: dict) -> dict:
-        text = _require(body, "query")
+        task = self._decode_task("wl-dimension", body)
         payload = await self.scheduler.submit(
-            ("wl-dim", text.strip()), lambda: wl_dim_payload(text),
+            ("wl-dim", task.query.strip()),
+            lambda: result_to_payload(self.session.run(task)),
         )
-        if payload.get("query") != text:  # coalesced onto another's payload
-            payload = {**payload, "query": text}
+        if payload.get("query") != task.query:  # coalesced onto another's
+            payload = {**payload, "query": task.query}
         return payload
 
     async def _op_analyze(self, body: dict) -> dict:
-        text = _require(body, "query")
+        task = self._decode_task("analyze", body)
         payload = await self.scheduler.submit(
-            ("analyze", text.strip()), lambda: analyze_payload(text),
+            ("analyze", task.query.strip()),
+            lambda: result_to_payload(self.session.run(task)),
         )
-        if payload.get("query") != text:
-            payload = {**payload, "query": text}
+        if payload.get("query") != task.query:
+            payload = {**payload, "query": task.query}
         return payload
 
     async def _op_register(self, body: dict) -> dict:
@@ -570,7 +602,7 @@ class ServiceServer:
             request_line = await reader.readline()
             parts = request_line.decode("ascii", "replace").split()
             if len(parts) < 2:
-                return 400, {"error": "malformed request line"}
+                return 400, _bad_request("malformed request line")
             method, path = parts[0], parts[1]
             headers: dict[str, str] = {}
             while True:
@@ -581,17 +613,21 @@ class ServiceServer:
                 headers[name.strip().lower()] = value.strip()
             length = int(headers.get("content-length", "0") or "0")
             if length > _MAX_BODY:
-                return 400, {"error": "request body too large"}
+                return 400, _bad_request("request body too large")
             raw = await reader.readexactly(length) if length else b""
             body = json.loads(raw) if raw else {}
             if not isinstance(body, dict):
-                return 400, {"error": "request body must be a JSON object"}
+                return 400, _bad_request("request body must be a JSON object")
         except (ValueError, UnicodeDecodeError) as error:
-            return 400, {"error": f"bad request: {error}"}
+            return 400, _bad_request(f"bad request: {error}")
         try:
             return await self.service.handle(method, path, body)
         except Exception as error:  # noqa: BLE001 - served as a 500, not a crash
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 500, {
+                "kind": "error",
+                "error": f"{type(error).__name__}: {error}",
+                "code": "internal-error",
+            }
 
 
 def run_server(

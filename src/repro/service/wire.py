@@ -1,10 +1,18 @@
-"""Wire format: JSON graph/query codecs and response payload builders.
+"""Wire format: the (de)serialization of task specs and results.
 
-One module defines how graphs, knowledge graphs, and queries travel over
-the service's JSON API — and builds the response payloads — so the HTTP
-server, the Python client, and the CLI's ``--json`` mode all speak exactly
-the same shapes (CLI/service parity is an acceptance criterion and is
-asserted by the tests).
+One module defines how :mod:`repro.api.tasks` specs, their graph/query
+building blocks, and :class:`~repro.api.result.Result` objects travel
+over the service's JSON API — so the HTTP server, the Python client, and
+the CLI's ``--json`` mode all construct and consume the same canonical
+payloads (CLI/service parity is an acceptance criterion and is asserted
+by the tests).
+
+Task payloads
+    ``{"task": kind, ...}`` — :func:`task_to_wire` /
+    :func:`task_from_wire` round-trip byte-identically (canonical JSON),
+    and the per-verb request bodies (``POST /count`` etc.) are exactly
+    these payloads, so clients and the generic ``POST /task`` route share
+    one encoding.
 
 Graph specs
     ``{"graph6": "..."}`` — compact, vertices become ``0..n-1``; or
@@ -16,6 +24,12 @@ Knowledge-graph specs
 
 KG query specs
     a KG spec plus ``"free": [names]``.
+
+Results
+    :func:`result_to_wire` / :func:`result_from_wire` carry the full
+    :class:`~repro.api.result.Result`; :func:`result_to_payload` renders
+    the legacy per-verb response shapes (``count``, ``count-answers``,
+    ``wl-dim``, ``analyze``) from the same object.
 """
 
 from __future__ import annotations
@@ -29,6 +43,8 @@ from repro.graphs.io import from_graph6, to_graph6
 
 class WireError(ReproError):
     """Malformed request payload or an unencodable object."""
+
+    code = "bad-request"
 
 
 # ----------------------------------------------------------------------
@@ -71,6 +87,10 @@ def graph_summary(graph: Graph) -> dict:
     return {"vertices": graph.num_vertices(), "edges": graph.num_edges()}
 
 
+def kg_summary(kg) -> dict:
+    return {"vertices": kg.num_vertices(), "triples": kg.num_triples()}
+
+
 # ----------------------------------------------------------------------
 # knowledge-graph codecs
 # ----------------------------------------------------------------------
@@ -93,9 +113,16 @@ def kg_from_spec(spec):
 
 
 def kg_to_spec(kg) -> dict:
+    """Encode a knowledge graph canonically: vertices and triples in
+    sorted (repr) order, so content-identical KGs produce byte-identical
+    specs regardless of insertion history — the wire round-trip tests and
+    the registry's content tokens both rely on this."""
     return {
-        "vertices": [[v, kg.vertex_label(v)] for v in kg.vertices()],
-        "triples": [list(t) for t in kg.triples()],
+        "vertices": sorted(
+            ([v, kg.vertex_label(v)] for v in kg.vertices()),
+            key=lambda entry: repr(entry[0]),
+        ),
+        "triples": sorted((list(t) for t in kg.triples()), key=repr),
     }
 
 
@@ -182,32 +209,226 @@ def kg_update_from_spec(spec) -> dict:
 
 
 # ----------------------------------------------------------------------
+# task codecs (the canonical spec payloads)
+# ----------------------------------------------------------------------
+def target_to_spec(target):
+    """Dataset name, graph, or knowledge graph — as sent on the wire."""
+    if isinstance(target, str):
+        return target
+    if isinstance(target, Graph):
+        return graph_to_spec(target)
+    if hasattr(target, "triples"):
+        return kg_to_spec(target)
+    raise WireError(f"cannot encode target {type(target).__name__}")
+
+
+def task_to_wire(task) -> dict:
+    """The canonical JSON payload of a task spec.
+
+    These payloads double as the per-verb HTTP request bodies (the
+    ``task`` discriminator rides along harmlessly) and round-trip
+    byte-identically through :func:`task_from_wire`.
+    """
+    from repro.api.tasks import (
+        AnalyzeTask,
+        AnswerCountTask,
+        HomCountTask,
+        KgAnswerCountTask,
+        TaskBatch,
+        WlDimensionTask,
+    )
+
+    if isinstance(task, HomCountTask):
+        return {
+            "task": task.kind,
+            "pattern": graph_to_spec(task.pattern),
+            "target": target_to_spec(task.target),
+        }
+    if isinstance(task, AnswerCountTask):
+        payload = {
+            "task": task.kind,
+            "query": task.query,
+            "target": target_to_spec(task.target),
+        }
+        if task.method != "auto":
+            payload["method"] = task.method
+        return payload
+    if isinstance(task, KgAnswerCountTask):
+        return {
+            "task": task.kind,
+            "kg_query": kg_query_to_spec(task.query),
+            "target": target_to_spec(task.target),
+        }
+    if isinstance(task, (WlDimensionTask, AnalyzeTask)):
+        return {"task": task.kind, "query": task.query}
+    if isinstance(task, TaskBatch):
+        return {
+            "task": task.kind,
+            "tasks": [task_to_wire(member) for member in task.tasks],
+        }
+    raise WireError(f"cannot encode task {type(task).__name__}")
+
+
+def task_from_wire(payload):
+    """Decode a canonical task payload into its typed spec."""
+    from repro.api.tasks import (
+        AnalyzeTask,
+        AnswerCountTask,
+        HomCountTask,
+        KgAnswerCountTask,
+        TaskBatch,
+        WlDimensionTask,
+    )
+
+    if not isinstance(payload, Mapping):
+        raise WireError(
+            f"task payload must be an object, got {type(payload).__name__}",
+        )
+    kind = payload.get("task")
+    if kind == "hom-count":
+        return HomCountTask(
+            _field(payload, "pattern"), _field(payload, "target"),
+        )
+    if kind == "answer-count":
+        return AnswerCountTask(
+            _field(payload, "query"),
+            _field(payload, "target"),
+            method=payload.get("method", "auto"),
+        )
+    if kind == "kg-answer-count":
+        return KgAnswerCountTask(
+            _field(payload, "kg_query"), _field(payload, "target"),
+        )
+    if kind == "wl-dimension":
+        return WlDimensionTask(_field(payload, "query"))
+    if kind == "analyze":
+        return AnalyzeTask(_field(payload, "query"))
+    if kind == "batch":
+        members = _field(payload, "tasks")
+        if not isinstance(members, (list, tuple)):
+            raise WireError("'tasks' must be a list of task payloads")
+        return TaskBatch(task_from_wire(member) for member in members)
+    raise WireError(f"unknown task kind {kind!r}")
+
+
+def _field(payload: Mapping, name: str):
+    if name not in payload:
+        raise WireError(f"task payload is missing the {name!r} field")
+    return payload[name]
+
+
+# ----------------------------------------------------------------------
+# result codecs
+# ----------------------------------------------------------------------
+def result_to_wire(result) -> dict:
+    """The full :class:`~repro.api.result.Result` as a JSON payload
+    (the ``POST /task`` response shape)."""
+    return {
+        "kind": "result",
+        "task": result.kind,
+        "value": result.value,
+        "executor": result.executor,
+        "backend": result.backend,
+        "cached": result.cached,
+        "version": result.version,
+        "provenance": dict(result.provenance),
+        "elapsed_ms": round(result.elapsed_ms, 3),
+    }
+
+
+def result_from_wire(payload):
+    from repro.api.result import Result
+
+    if not isinstance(payload, Mapping) or payload.get("kind") != "result":
+        raise WireError("expected a result payload")
+    return Result(
+        kind=payload.get("task"),
+        value=payload.get("value"),
+        executor=payload.get("executor", "service"),
+        backend=payload.get("backend"),
+        cached=payload.get("cached"),
+        version=payload.get("version"),
+        provenance=dict(payload.get("provenance", {})),
+        elapsed_ms=payload.get("elapsed_ms", 0.0),
+    )
+
+
+def result_to_payload(result) -> dict:
+    """Render a result in the legacy per-verb response shape.
+
+    The HTTP API's response contract predates the task model; this is the
+    single place that maps the uniform :class:`Result` back onto it, so
+    the server routes and the CLI's ``--json`` mode stay byte-compatible.
+    """
+    provenance = result.provenance
+    if result.kind == "hom-count":
+        return {
+            "kind": "count",
+            "pattern": provenance["pattern"],
+            "target": provenance["target"],
+            "count": result.value,
+            "plan": result.backend,
+            "shards": provenance.get("shards", 1),
+        }
+    if result.kind == "answer-count":
+        return {
+            "kind": "count-answers",
+            "query": provenance["query"],
+            "logic": provenance["logic"],
+            "target": provenance["target"],
+            "count": result.value,
+            "method": result.backend,
+        }
+    if result.kind == "kg-answer-count":
+        return {
+            "kind": "count-answers",
+            "kg_query": provenance["kg_query"],
+            "target": provenance["target"],
+            "count": result.value,
+            "method": "kg-engine",
+        }
+    if result.kind == "wl-dimension":
+        return {
+            "kind": "wl-dim",
+            "query": provenance["query"],
+            "logic": provenance["logic"],
+            "wl_dimension": result.value,
+        }
+    if result.kind == "analyze":
+        return {
+            "kind": "analyze",
+            "query": provenance["query"],
+            "logic": provenance["logic"],
+            "analysis": result.value,
+        }
+    raise WireError(f"cannot render result kind {result.kind!r}")
+
+
+def error_payload(error: Exception, code: str | None = None) -> dict:
+    """The structured error shape every non-200 response carries.
+
+    ``code`` is the stable machine-readable identifier from
+    :mod:`repro.errors` (kebab-case, part of the wire contract)."""
+    if code is None:
+        code = getattr(error, "code", "internal-error")
+    return {"kind": "error", "error": str(error), "code": code}
+
+
+# ----------------------------------------------------------------------
 # response payloads (shared by the server and the CLI's --json mode)
 # ----------------------------------------------------------------------
 def analyze_payload(query_text: str) -> dict:
-    from repro.core.wl_dimension import analyse_query
-    from repro.queries.parser import format_query, parse_query
+    from repro.api.session import default_session
+    from repro.api.tasks import AnalyzeTask
 
-    query = parse_query(query_text)
-    return {
-        "kind": "analyze",
-        "query": query_text,
-        "logic": format_query(query, style="logic"),
-        "analysis": analyse_query(query),
-    }
+    return result_to_payload(default_session().run(AnalyzeTask(query_text)))
 
 
 def wl_dim_payload(query_text: str) -> dict:
-    from repro.core.wl_dimension import wl_dimension
-    from repro.queries.parser import format_query, parse_query
+    from repro.api.session import default_session
+    from repro.api.tasks import WlDimensionTask
 
-    query = parse_query(query_text)
-    return {
-        "kind": "wl-dim",
-        "query": query_text,
-        "logic": format_query(query, style="logic"),
-        "wl_dimension": wl_dimension(query),
-    }
+    return result_to_payload(default_session().run(WlDimensionTask(query_text)))
 
 
 def count_answers_payload(
@@ -218,27 +439,14 @@ def count_answers_payload(
     """Count the answers to a parsed CQ on ``host`` via the engine-backed
     route (Lemma-22 interpolation; Boolean queries fall back to the direct
     check, whose answer is 0 or 1)."""
-    from repro.queries.answers import (
-        count_answers,
-        count_answers_by_interpolation,
-    )
-    from repro.queries.parser import format_query, parse_query
+    from repro.api.session import default_session
+    from repro.api.tasks import AnswerCountTask
 
-    query = parse_query(query_text)
-    if query.is_boolean():
-        count = count_answers(query, host)
-        method = "direct"
-    else:
-        count = count_answers_by_interpolation(query, host)
-        method = "interpolation"
-    return {
-        "kind": "count-answers",
-        "query": query_text,
-        "logic": format_query(query, style="logic"),
-        "target": target_name if target_name is not None else graph_summary(host),
-        "count": count,
-        "method": method,
-    }
+    result = default_session().run(AnswerCountTask(query_text, host))
+    payload = result_to_payload(result)
+    if target_name is not None:
+        payload["target"] = target_name
+    return payload
 
 
 def count_payload(

@@ -1,0 +1,175 @@
+"""Hypothesis property tests: every spec type round-trips byte-identically
+through the wire codecs.
+
+`task -> to_wire -> from_wire -> to_wire` must reproduce the exact
+canonical JSON (sorted-key dumps compared byte for byte), and the decoded
+spec must be *equal* to the original (same cache key), for every task
+kind over randomly generated graphs, queries, and knowledge graphs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import (
+    AnalyzeTask,
+    AnswerCountTask,
+    HomCountTask,
+    KgAnswerCountTask,
+    TaskBatch,
+    WlDimensionTask,
+)
+from repro.graphs import Graph
+from repro.kg import KnowledgeGraph, KgQuery
+from repro.service.wire import task_from_wire, task_to_wire
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def graphs(draw, min_vertices: int = 0, max_vertices: int = 7):
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    graph = Graph(vertices=range(n))
+    if n >= 2:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for index in draw(
+            st.sets(st.integers(0, len(pairs) - 1), max_size=len(pairs)),
+        ):
+            graph.add_edge(*pairs[index])
+    return graph
+
+
+@st.composite
+def query_texts(draw):
+    """Random CQ text: variables v0..v5, >= 1 atom, free ⊆ used."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    names = [f"v{i}" for i in range(n)]
+    pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1:]]
+    chosen = sorted(
+        draw(st.sets(st.integers(0, len(pairs) - 1), min_size=1, max_size=6)),
+    )
+    atoms = [pairs[index] for index in chosen]
+    used = sorted({v for atom in atoms for v in atom})
+    free = sorted(draw(st.sets(st.sampled_from(used), max_size=len(used))))
+    head = ", ".join(free)
+    body = ", ".join(f"E({u}, {v})" for u, v in atoms)
+    return f"q({head}) :- {body}"
+
+
+@st.composite
+def knowledge_graphs(draw, with_labels: bool = True):
+    n = draw(st.integers(min_value=1, max_value=5))
+    names = [f"e{i}" for i in range(n)]
+    labels = st.sampled_from(["User", "Item", None]) if with_labels else st.none()
+    kg = KnowledgeGraph(
+        vertices={name: draw(labels) for name in names},
+    )
+    edge_labels = ["likes", "follows"]
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        source = draw(st.sampled_from(names))
+        others = [name for name in names if name != source]
+        if not others:
+            break
+        kg.add_edge(
+            source,
+            draw(st.sampled_from(edge_labels)),
+            draw(st.sampled_from(others)),
+        )
+    return kg
+
+
+@st.composite
+def kg_queries(draw):
+    m = draw(st.integers(min_value=1, max_value=3))
+    variables = [f"x{i}" for i in range(m + 1)]
+    pattern = KnowledgeGraph(vertices={v: None for v in variables})
+    for i in range(m):
+        pattern.add_edge(
+            variables[i],
+            draw(st.sampled_from(["likes", "follows"])),
+            variables[i + 1],
+        )
+    free = sorted(draw(st.sets(st.sampled_from(variables), max_size=2)))
+    return KgQuery(pattern, free)
+
+
+def targets():
+    return st.one_of(graphs(), st.sampled_from(["hosts", "shards", "big"]))
+
+
+# ----------------------------------------------------------------------
+# the property
+# ----------------------------------------------------------------------
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def assert_roundtrip(task):
+    first = task_to_wire(task)
+    decoded = task_from_wire(first)
+    second = task_to_wire(decoded)
+    assert canonical(first) == canonical(second)
+    assert decoded == task
+    assert decoded.cache_key() == task.cache_key()
+    # and the wire payload is actually JSON-transportable
+    assert task_to_wire(task_from_wire(json.loads(canonical(first)))) == first
+
+
+class TestRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(min_vertices=1), targets())
+    def test_hom_count(self, pattern, target):
+        assert_roundtrip(HomCountTask(pattern, target))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        query_texts(),
+        targets(),
+        st.sampled_from(["auto", "direct", "interpolation"]),
+    )
+    def test_answer_count(self, text, target, method):
+        assert_roundtrip(AnswerCountTask(text, target, method=method))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        kg_queries(),
+        st.one_of(knowledge_graphs(), st.sampled_from(["taste", "kgx"])),
+    )
+    def test_kg_answer_count(self, query, target):
+        assert_roundtrip(KgAnswerCountTask(query, target))
+
+    @settings(max_examples=40, deadline=None)
+    @given(query_texts())
+    def test_wl_dimension(self, text):
+        assert_roundtrip(WlDimensionTask(text))
+
+    @settings(max_examples=40, deadline=None)
+    @given(query_texts())
+    def test_analyze(self, text):
+        assert_roundtrip(AnalyzeTask(text))
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(min_vertices=1), query_texts())
+    def test_batch(self, pattern, text):
+        batch = TaskBatch(
+            [
+                HomCountTask(pattern, "hosts"),
+                AnswerCountTask(text, pattern),
+                WlDimensionTask(text),
+            ],
+        )
+        assert_roundtrip(batch)
+
+
+class TestLargeGraphSpecs:
+    def test_over_62_vertices_uses_edge_lists(self):
+        graph = Graph(vertices=range(70))
+        for i in range(69):
+            graph.add_edge(i, i + 1)
+        task = HomCountTask(Graph(vertices=[0, 1]), graph)
+        payload = task_to_wire(task)
+        assert "vertices" in payload["target"]
+        assert_roundtrip(task)

@@ -1,0 +1,152 @@
+"""Benchmark — observability overhead on the warm-cache API workload.
+
+Instrumentation must be effectively free where it matters most: the
+steady-state serving path, where every count is answered from the
+engine's count cache and a ``Session.run`` call is tens of microseconds.
+This benchmark runs bench_api's workload twice — tracing+metrics enabled
+vs tracing disabled — and gates the enabled/disabled ratio at **< 5%**.
+
+What the enabled path pays per task: one ``Span`` (contextvar set/reset,
+ring-buffer push on root exit), one memoised counter increment, and the
+``trace`` entry in provenance.  The engine's warm path has *no* spans —
+only cold compiles and executes open them — which is why the budget
+holds.
+
+``python benchmarks/bench_obs.py`` asserts the gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _tables import print_table
+from repro.api import HomCountTask, Session
+from repro.api.executors import LocalExecutor
+from repro.engine import HomEngine
+from repro.graphs import random_graph
+from repro.obs import clear_traces, set_tracing
+from repro.wl.hom_indistinguishability import bounded_treewidth_patterns
+
+GATE = 1.05    # traced time must stay under 105% of untraced time
+SAMPLES = 60   # timed workload passes per mode, tightly alternated
+PASSES = 9     # best-of for the pytest-benchmark variants
+
+
+def workload():
+    patterns = bounded_treewidth_patterns(2, 5)
+    targets = [random_graph(40, 0.12, seed=700 + i) for i in range(12)]
+    return patterns, targets
+
+
+def time_best(fn, passes: int = PASSES) -> float:
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_session():
+    patterns, targets = workload()
+    engine = HomEngine()
+    session = Session(executor=LocalExecutor(engine=engine))
+    tasks = [
+        HomCountTask(pattern, target)
+        for pattern in patterns
+        for target in targets
+    ]
+    for task in tasks:  # warm: plans, counts, target fingerprints
+        session.run(task)
+    return session, tasks
+
+
+def run_experiment() -> None:
+    session, tasks = build_session()
+
+    def session_pass():
+        for task in tasks:
+            session.run(task)
+
+    previous = set_tracing(True)
+    try:
+        # Sanity: the traced path really carries a span tree.
+        traced_result = session.run(tasks[0])
+        assert traced_result.trace is not None
+        assert traced_result.trace.name == "task.hom-count"
+        # Shared-machine noise is one-sided (contention only ever slows a
+        # pass) and drifts by whole percents, so an A…A-then-B…B layout
+        # measures the weather, not the tracer.  Instead, tightly
+        # alternate the two modes and gate on the ratio of per-mode
+        # MINIMA: with many interleaved samples both modes get shots at
+        # the machine's least-contended moments, so each min converges to
+        # the mode's intrinsic floor and the ratio isolates the tracer.
+        best = {False: float("inf"), True: float("inf")}
+        session_pass()  # shake out lazy imports before the first sample
+        for sample in range(SAMPLES):
+            order = (False, True) if sample % 2 == 0 else (True, False)
+            for mode in order:
+                set_tracing(mode)
+                start = time.perf_counter()
+                session_pass()
+                best[mode] = min(best[mode], time.perf_counter() - start)
+    finally:
+        set_tracing(previous)
+        clear_traces()
+
+    disabled, enabled = best[False], best[True]
+    ratio = enabled / disabled
+    overhead = ratio - 1.0
+    calls = len(tasks)
+    print_table(
+        "Observability overhead — warm-cache Session.run workload",
+        ["workload", "tracing off", "tracing on", "per call", "overhead"],
+        [
+            [
+                f"{calls} warm tasks (bench_api workload)",
+                f"{disabled * 1000:.2f} ms",
+                f"{enabled * 1000:.2f} ms",
+                f"{(enabled - disabled) / calls * 1e6:.2f} us",
+                f"{overhead * 100:+.1f}%",
+            ],
+        ],
+    )
+    print(
+        f"\nenabled/disabled ratio of minima over {SAMPLES} interleaved "
+        f"samples per mode: {ratio:.3f} (gate: < {GATE:.2f})",
+    )
+    assert ratio < GATE, (
+        f"observability overhead {overhead * 100:.1f}% exceeds the "
+        f"{(GATE - 1) * 100:.0f}% gate"
+    )
+
+
+def test_bench_tracing_disabled(benchmark):
+    session, tasks = build_session()
+    previous = set_tracing(False)
+    try:
+        result = benchmark(
+            lambda: [session.run(task).value for task in tasks],
+        )
+    finally:
+        set_tracing(previous)
+    assert all(value >= 0 for value in result)
+
+
+def test_bench_tracing_enabled(benchmark):
+    session, tasks = build_session()
+    previous = set_tracing(True)
+    try:
+        result = benchmark(
+            lambda: [session.run(task).value for task in tasks],
+        )
+    finally:
+        set_tracing(previous)
+        clear_traces()
+    assert all(value >= 0 for value in result)
+
+
+if __name__ == "__main__":
+    run_experiment()

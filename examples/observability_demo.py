@@ -1,0 +1,82 @@
+"""Demo — tracing, metrics, and structured logs across the stack.
+
+Three views of the same workload:
+
+1. **Local tracing** — run a cold and a warm :class:`HomCountTask`
+   through a :class:`Session` and render their span trees with
+   ``result.explain()``: the cold run shows ``engine.compile`` and
+   ``engine.execute`` children, the warm repeat is a bare cache hit.
+2. **Service metrics** — drive a loopback server, then scrape
+   ``GET /metrics`` (Prometheus text) and show the counter families
+   reconciling with the traffic we just sent.
+3. **Trace ring buffers** — fetch ``GET /traces`` and print the most
+   recent server-side request trace by the id echoed in the
+   ``X-Repro-Trace`` response header.
+
+Run with::
+
+    PYTHONPATH=src python examples/observability_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.api import HomCountTask, Session
+from repro.engine import set_default_engine
+from repro.graphs import cycle_graph, path_graph, random_graph
+from repro.obs import render_span, set_trace_sampling
+from repro.service import BackgroundServer, ServiceClient
+
+
+def main() -> None:
+    # Keep every root trace (production default samples 1-in-8 fast
+    # traces) so the demo's rings are deterministic.
+    set_trace_sampling(1)
+
+    host = random_graph(14, 0.25, seed=11)
+
+    # ------------------------------------------------------------------
+    # 1. local span trees via result.explain()
+    # ------------------------------------------------------------------
+    session = Session()
+    session.register("hosts", host)
+    task = HomCountTask(cycle_graph(5), "hosts")
+
+    cold = session.run(task)
+    warm = session.run(task)
+    print("cold run (compiles and executes under the task span):")
+    print(cold.explain())
+    print("\nwarm repeat (pure cache hit, no engine children):")
+    print(warm.explain())
+
+    # ------------------------------------------------------------------
+    # 2. service metrics: scrape what the traffic did
+    # ------------------------------------------------------------------
+    with BackgroundServer(workers=2) as server:
+        client = ServiceClient(port=server.port)
+        client.register_graph("hosts", host)
+        for pattern in (path_graph(3), path_graph(4), cycle_graph(4)):
+            client.count(pattern, "hosts")
+        client.count(path_graph(3), "hosts")  # warm repeat → cache hit
+        count_trace_id = client.last_trace_id
+
+        print("\nselected /metrics families after 4 counts:")
+        for line in client.metrics_text().splitlines():
+            if line.startswith((
+                "repro_server_requests_total",
+                "repro_tasks_total",
+                "repro_scheduler_requests_total",
+            )):
+                print(f"  {line}")
+
+        # --------------------------------------------------------------
+        # 3. the server-side trace for the warm repeat count
+        # --------------------------------------------------------------
+        recent = client.traces(limit=16)["recent"]
+        ours = [t for t in recent if t.get("trace_id") == count_trace_id]
+        print(f"\nserver trace for the warm count ({count_trace_id}):")
+        print(render_span(ours[0]) if ours else "  (already evicted)")
+    set_default_engine(None)
+
+
+if __name__ == "__main__":
+    main()

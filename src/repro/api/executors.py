@@ -23,7 +23,6 @@ LRU so long sessions stay flat in memory.
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 
 from repro.api.result import Result
@@ -37,10 +36,28 @@ from repro.api.tasks import (
     WlDimensionTask,
 )
 from repro.errors import TaskError
+from repro.obs import leaf_span, registry as _metrics_registry, span
 
 # Per-executor resolution memo bound; evicted entries are simply re-resolved
 # (and maintained handles re-subscribed) on next use.
 PREPARED_LIMIT = 512
+
+# repro_tasks_total children, memoised per (kind, executor) so the warm
+# path pays one dict hit + one counter inc, not a registry lookup.
+_task_children: dict[tuple[str, str], object] = {}
+
+
+def _count_task(kind: str, executor: str) -> None:
+    child = _task_children.get((kind, executor))
+    if child is None:
+        family = _metrics_registry().counter(
+            "repro_tasks_total",
+            "Task specs executed, by task kind and executor.",
+            labelnames=("kind", "executor"),
+        )
+        child = family.labels(kind=kind, executor=executor)
+        _task_children[(kind, executor)] = child
+    child.inc()
 
 
 class _PreparedCache:
@@ -109,20 +126,25 @@ class Executor:
         from repro.core.wl_dimension import analyse_query, wl_dimension
         from repro.queries.parser import format_query, parse_query
 
-        start = time.perf_counter()
-        query = parse_query(task.query)
-        logic = format_query(query, style="logic")
-        if isinstance(task, WlDimensionTask):
-            value: object = wl_dimension(query)
-        else:
-            value = analyse_query(query)
+        sp = span(f"task.{task.kind}", executor=self.name)
+        with sp:
+            query = parse_query(task.query)
+            logic = format_query(query, style="logic")
+            if isinstance(task, WlDimensionTask):
+                value: object = wl_dimension(query)
+            else:
+                value = analyse_query(query)
+        _count_task(task.kind, self.name)
+        provenance: dict = {"query": task.query, "logic": logic}
+        if sp.live:
+            provenance["trace"] = sp
         return Result(
             kind=task.kind,
             value=value,
             executor=self.name,
             backend="exact",
-            provenance={"query": task.query, "logic": logic},
-            elapsed_ms=(time.perf_counter() - start) * 1000,
+            provenance=provenance,
+            elapsed_ms=sp.duration_ms,
         )
 
 
@@ -225,39 +247,53 @@ class LocalExecutor(Executor):
 
     def _run_hom_count(self, task: HomCountTask) -> Result:
         engine = self.engine
-        start = time.perf_counter()
-        pattern = task.pattern
-        shard_count = 1
-        version = None
-        if isinstance(task.target, str):
-            serving = self._serving(task.target, "graph")
-            version = serving.version
-            target_name: object = task.target
-            if (
-                len(serving.shards) > 1
-                and pattern.num_vertices() > 0
-                and pattern.is_connected()
-            ):
-                # Connected patterns sum over component shards exactly.
-                shard_count = len(serving.shards)
-                value, cached = 0, True
-                for shard, shard_id in zip(serving.shards, serving.shard_ids):
-                    part, hit = engine.count_detailed(
-                        pattern, shard, target_id=shard_id,
+        # leaf_span: warm cache hits are tens of microseconds, so this
+        # span skips contextvar registration; the engine's cold-path
+        # spans are handed `sp` explicitly instead of discovering it.
+        sp = leaf_span("task.hom-count", executor=self.name)
+        with sp:
+            pattern = task.pattern
+            shard_count = 1
+            version = None
+            if isinstance(task.target, str):
+                serving = self._serving(task.target, "graph")
+                version = serving.version
+                target_name: object = task.target
+                if (
+                    len(serving.shards) > 1
+                    and pattern.num_vertices() > 0
+                    and pattern.is_connected()
+                ):
+                    # Connected patterns sum over component shards exactly.
+                    shard_count = len(serving.shards)
+                    value, cached = 0, True
+                    for shard, shard_id in zip(serving.shards, serving.shard_ids):
+                        part, hit = engine.count_detailed(
+                            pattern, shard, target_id=shard_id, parent_span=sp,
+                        )
+                        value += part
+                        cached = cached and hit
+                else:
+                    value, cached = engine.count_detailed(
+                        pattern, serving.graph, target_id=serving.target_id,
+                        parent_span=sp,
                     )
-                    value += part
-                    cached = cached and hit
             else:
+                target_name = _graph_summary(task.target)
+                target_id = self._prepared_target_id(task)
                 value, cached = engine.count_detailed(
-                    pattern, serving.graph, target_id=serving.target_id,
+                    pattern, task.target, target_id=target_id, parent_span=sp,
                 )
-        else:
-            target_name = _graph_summary(task.target)
-            target_id = self._prepared_target_id(task)
-            value, cached = engine.count_detailed(
-                pattern, task.target, target_id=target_id,
-            )
-        backend = engine.plan_for(pattern).describe()
+            backend = engine.plan_for(pattern, parent_span=sp).describe()
+        _count_task(task.kind, self.name)
+        provenance: dict = {
+            "pattern": _graph_summary(pattern),
+            "target": target_name,
+            "shards": shard_count,
+        }
+        if sp.live:
+            sp.attrs["cached"] = cached
+            provenance["trace"] = sp
         return Result(
             kind=task.kind,
             value=value,
@@ -265,12 +301,8 @@ class LocalExecutor(Executor):
             backend=backend,
             cached=cached,
             version=version,
-            provenance={
-                "pattern": _graph_summary(pattern),
-                "target": target_name,
-                "shards": shard_count,
-            },
-            elapsed_ms=(time.perf_counter() - start) * 1000,
+            provenance=provenance,
+            elapsed_ms=sp.duration_ms,
         )
 
     def _prepared_target_id(self, task: HomCountTask) -> tuple:
@@ -287,55 +319,68 @@ class LocalExecutor(Executor):
     def _run_answer_count(self, task: AnswerCountTask) -> Result:
         from repro.queries.parser import format_query
 
-        start = time.perf_counter()
-        query = task.parsed()
-        version = None
-        if isinstance(task.target, str):
-            serving = self._serving(task.target, "graph")
-            host, version, target_name = (
-                serving.graph, serving.version, task.target,
-            )
-        else:
-            host, target_name = task.target, _graph_summary(task.target)
-        value, method = self._answer_count_parsed(query, host, task.method)
+        sp = span("task.answer-count", executor=self.name)
+        with sp:
+            query = task.parsed()
+            version = None
+            if isinstance(task.target, str):
+                serving = self._serving(task.target, "graph")
+                host, version, target_name = (
+                    serving.graph, serving.version, task.target,
+                )
+            else:
+                host, target_name = task.target, _graph_summary(task.target)
+            value, method = self._answer_count_parsed(query, host, task.method)
+            sp.annotate(backend=method)
+        _count_task(task.kind, self.name)
+        provenance: dict = {
+            "query": task.query,
+            "logic": format_query(query, style="logic"),
+            "target": target_name,
+        }
+        if sp.live:
+            provenance["trace"] = sp
         return Result(
             kind=task.kind,
             value=value,
             executor=self.name,
             backend=method,
             version=version,
-            provenance={
-                "query": task.query,
-                "logic": format_query(query, style="logic"),
-                "target": target_name,
-            },
-            elapsed_ms=(time.perf_counter() - start) * 1000,
+            provenance=provenance,
+            elapsed_ms=sp.duration_ms,
         )
 
     def _run_kg_answer_count(self, task: KgAnswerCountTask) -> Result:
         from repro.service.wire import kg_query_to_spec
 
-        start = time.perf_counter()
-        version = None
-        if isinstance(task.target, str):
-            serving = self._serving(task.target, "kg")
-            encoding, target_id = serving.kg_encoding, serving.target_id
-            version, target_name = serving.version, task.target
-        else:
-            encoding, target_id = self._prepared_kg_encoding(task)
-            target_name = _kg_summary(task.target)
-        value = self.kg_answer_count(task.query, encoding, target_id=target_id)
+        sp = span("task.kg-answer-count", executor=self.name)
+        with sp:
+            version = None
+            if isinstance(task.target, str):
+                serving = self._serving(task.target, "kg")
+                encoding, target_id = serving.kg_encoding, serving.target_id
+                version, target_name = serving.version, task.target
+            else:
+                encoding, target_id = self._prepared_kg_encoding(task)
+                target_name = _kg_summary(task.target)
+            value = self.kg_answer_count(
+                task.query, encoding, target_id=target_id,
+            )
+        _count_task(task.kind, self.name)
+        provenance: dict = {
+            "kg_query": kg_query_to_spec(task.query),
+            "target": target_name,
+        }
+        if sp.live:
+            provenance["trace"] = sp
         return Result(
             kind=task.kind,
             value=value,
             executor=self.name,
             backend="kg-engine",
             version=version,
-            provenance={
-                "kg_query": kg_query_to_spec(task.query),
-                "target": target_name,
-            },
-            elapsed_ms=(time.perf_counter() - start) * 1000,
+            provenance=provenance,
+            elapsed_ms=sp.duration_ms,
         )
 
     def _prepared_kg_encoding(self, task: KgAnswerCountTask):
@@ -441,31 +486,36 @@ class DynamicExecutor(Executor):
             # method keeps specs differing only in it on one shared
             # handle instead of duplicating subscriptions.
             task = AnswerCountTask(task.query, task.target)
-        start = time.perf_counter()
-        key = task.cache_key()
-        for _ in range(3):
-            entry = self._handle_for(task)
-            handle, target_name = entry
-            value = handle.value
-            # A concurrent bind may have LRU-evicted (and closed) this
-            # handle mid-read, in which case the value can miss updates
-            # applied since the close; re-check and rebind if the entry
-            # did not survive the read.  Each retry re-puts the entry as
-            # most-recently-used, so a second eviction needs the whole
-            # cache to churn again — three attempts in practice always
-            # settle, and the bound rules out a livelock under
-            # pathological spec churn.
-            if self._handles.get(key) is entry:
-                break
-        backend = getattr(handle, "method", "maintained")
+        sp = span("task.maintained", executor=self.name, kind=task.kind)
+        with sp:
+            key = task.cache_key()
+            for _ in range(3):
+                entry = self._handle_for(task)
+                handle, target_name = entry
+                value = handle.value
+                # A concurrent bind may have LRU-evicted (and closed) this
+                # handle mid-read, in which case the value can miss updates
+                # applied since the close; re-check and rebind if the entry
+                # did not survive the read.  Each retry re-puts the entry as
+                # most-recently-used, so a second eviction needs the whole
+                # cache to churn again — three attempts in practice always
+                # settle, and the bound rules out a livelock under
+                # pathological spec churn.
+                if self._handles.get(key) is entry:
+                    break
+            backend = getattr(handle, "method", "maintained")
+        _count_task(task.kind, self.name)
+        provenance = self._provenance(task, target_name)
+        if sp.live:
+            provenance["trace"] = sp
         return Result(
             kind=task.kind,
             value=value,
             executor=self.name,
             backend=f"maintained/{backend}",
             version=handle.version,
-            provenance=self._provenance(task, target_name),
-            elapsed_ms=(time.perf_counter() - start) * 1000,
+            provenance=provenance,
+            elapsed_ms=sp.duration_ms,
         )
 
     def _provenance(self, task: Task, target_name) -> dict:

@@ -34,6 +34,12 @@ class Result:
     def with_executor(self, executor: str) -> "Result":
         return replace(self, executor=executor)
 
+    @property
+    def trace(self):
+        """The request's span tree (a live ``Span`` locally, a dict after
+        a wire round-trip), or ``None`` when tracing was disabled."""
+        return self.provenance.get("trace")
+
     def explain(self) -> str:
         """A multi-line, human-readable account of how the value was made."""
         lines = [f"{self.kind}: {self.value!r}"]
@@ -45,6 +51,15 @@ class Result:
         if self.version is not None:
             lines.append(f"  version    {self.version}")
         for key in sorted(self.provenance):
+            if key == "trace":
+                continue
             lines.append(f"  {key:10s} {self.provenance[key]!r}")
         lines.append(f"  elapsed    {self.elapsed_ms:.3f} ms")
+        trace = self.trace
+        if trace is not None:
+            from repro.obs.trace import render_span
+
+            lines.append("  trace")
+            for trace_line in render_span(trace).splitlines():
+                lines.append(f"    {trace_line}")
         return "\n".join(lines)

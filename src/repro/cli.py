@@ -195,9 +195,8 @@ def _run_dynamic_workload(engine, args) -> dict:
 
 
 def _cmd_engine_stats(args: argparse.Namespace) -> int:
-    import time
-
     from repro.engine import HomEngine
+    from repro.obs import registry as metrics_registry, span
     from repro.wl.hom_indistinguishability import bounded_treewidth_patterns
 
     patterns = bounded_treewidth_patterns(args.tw, args.max_pattern_vertices)
@@ -212,12 +211,13 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         store = PersistentStore(args.persistent)
     engine = HomEngine(processes=args.processes, store=store)
 
-    start = time.perf_counter()
-    engine.count_batch(patterns, targets)
-    cold = time.perf_counter() - start
-    start = time.perf_counter()
-    engine.count_batch(patterns, targets)
-    warm = time.perf_counter() - start
+    cold_span = span("cli.engine-stats.cold-batch")
+    with cold_span:
+        engine.count_batch(patterns, targets)
+    warm_span = span("cli.engine-stats.warm-batch")
+    with warm_span:
+        engine.count_batch(patterns, targets)
+    cold_ms, warm_ms = cold_span.duration_ms, warm_span.duration_ms
 
     kinds: dict[str, int] = {}
     for pattern in patterns:
@@ -235,10 +235,13 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
                 "patterns": len(patterns),
                 "targets": len(targets),
                 "plan_kinds": kinds,
-                "cold_ms": round(cold * 1000, 3),
-                "warm_ms": round(warm * 1000, 3),
+                "cold_ms": round(cold_ms, 3),
+                "warm_ms": round(warm_ms, 3),
                 "engine": engine.stats_summary(),
                 "dynamic": dynamic_payload,
+                # Additive: the process metrics snapshot alongside the
+                # CacheStats block; pre-existing fields are unchanged.
+                "metrics": metrics_registry().snapshot(),
             },
             indent=2,
         ))
@@ -250,8 +253,8 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         f"{len(targets)} targets G({args.n}, {args.p})",
     )
     print(f"plan kinds      {kinds}")
-    print(f"cold batch      {cold * 1000:.1f} ms")
-    print(f"warm batch      {warm * 1000:.1f} ms (served from count cache)")
+    print(f"cold batch      {cold_ms:.1f} ms")
+    print(f"warm batch      {warm_ms:.1f} ms (served from count cache)")
     for key, value in sorted(engine.stats_summary().items()):
         print(f"  {key:24s} {value}")
     if store is not None:
@@ -287,9 +290,8 @@ def _make_generator_graph(args: argparse.Namespace):
 
 
 def _cmd_encode_stats(args: argparse.Namespace) -> int:
-    import time
-
     from repro.graphs.indexed import IndexedGraph, graph_memory_footprint
+    from repro.obs import span
 
     graph = _make_generator_graph(args)
     if args.rich_labels:
@@ -300,14 +302,14 @@ def _cmd_encode_stats(args: argparse.Namespace) -> int:
             },
         )
 
-    start = time.perf_counter()
-    indexed = IndexedGraph.from_graph(graph)
-    encode_time = time.perf_counter() - start
-    start = time.perf_counter()
-    indexed.bitsets()
-    indexed.degree_sequence()
-    indexed.connected_components()
-    invariant_time = time.perf_counter() - start
+    encode_span = span("cli.encode-stats.encode")
+    with encode_span:
+        indexed = IndexedGraph.from_graph(graph)
+    invariants_span = span("cli.encode-stats.invariants")
+    with invariants_span:
+        indexed.bitsets()
+        indexed.degree_sequence()
+        indexed.connected_components()
 
     graph_bytes = graph_memory_footprint(graph)
     indexed_bytes = indexed.memory_footprint()
@@ -317,8 +319,8 @@ def _cmd_encode_stats(args: argparse.Namespace) -> int:
         "vertices": graph.num_vertices(),
         "edges": graph.num_edges(),
         "rich_labels": bool(args.rich_labels),
-        "encode_ms": round(encode_time * 1000, 3),
-        "invariants_ms": round(invariant_time * 1000, 3),
+        "encode_ms": round(encode_span.duration_ms, 3),
+        "invariants_ms": round(invariants_span.duration_ms, 3),
         "graph_bytes": graph_bytes,
         "indexed_bytes": indexed_bytes,
         "bytes_ratio": round(indexed_bytes / graph_bytes, 3) if graph_bytes else None,
@@ -337,6 +339,82 @@ def _cmd_encode_stats(args: argparse.Namespace) -> int:
     print(f"  IndexedGraph bytes       {indexed_bytes}")
     print(f"  indexed / dict-of-sets   {payload['bytes_ratio']}")
     print(f"  structural digest        {payload['structural_digest'][:16]}…")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: the observability snapshot — the local process
+    metrics registry, or (with ``--port``) a running service's."""
+    from repro.obs import registry as metrics_registry
+
+    if args.port is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(host=args.host, port=args.port)
+        if args.metrics:
+            text = client.metrics_text()
+            if text:
+                print(text, end="" if text.endswith("\n") else "\n")
+            return 0
+        print(json.dumps(
+            {"kind": "metrics", "metrics": client.metrics()}, indent=2,
+        ))
+        return 0
+    if args.metrics:
+        text = metrics_registry().render_prometheus()
+        if text:
+            print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+    print(json.dumps(
+        {"kind": "metrics", "metrics": metrics_registry().snapshot()}, indent=2,
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run one task with tracing on and print its span
+    tree (the ``Result.explain()`` rendering, or the wire payload)."""
+    from repro.api import (
+        AnswerCountTask,
+        HomCountTask,
+        Session,
+        WlDimensionTask,
+    )
+    from repro.graphs.io import from_graph6
+    from repro.obs import set_tracing
+
+    if args.pattern_graph6:
+        pattern = from_graph6(args.pattern_graph6)
+        target = (
+            from_graph6(args.graph6) if args.graph6
+            else random_graph(args.n, args.p, seed=args.seed)
+        )
+        task = HomCountTask(pattern, target)
+    elif args.query is not None:
+        if args.wl_dim:
+            task = WlDimensionTask(args.query)
+        else:
+            target = (
+                from_graph6(args.graph6) if args.graph6
+                else random_graph(args.n, args.p, seed=args.seed)
+            )
+            task = AnswerCountTask(args.query, target)
+    else:
+        raise ReproError("pass a query, or --pattern-graph6 for a hom count")
+
+    previous = set_tracing(True)
+    try:
+        session = Session()
+        for _ in range(max(1, args.repeat)):
+            result = session.run(task)
+    finally:
+        set_tracing(previous)
+    if args.json:
+        from repro.service.wire import result_to_wire
+
+        print(json.dumps(result_to_wire(result), indent=2))
+        return 0
+    print(result.explain())
     return 0
 
 
@@ -621,6 +699,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     encode_stats.add_argument("--json", action="store_true", help=json_help)
     encode_stats.set_defaults(func=_cmd_encode_stats)
+
+    stats = sub.add_parser(
+        "stats",
+        help="print the observability metrics snapshot (local process, or "
+        "a running service with --port)",
+    )
+    stats.add_argument(
+        "--metrics", action="store_true",
+        help="emit the Prometheus text exposition instead of JSON",
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument(
+        "--port", type=int, default=None,
+        help="scrape a running service's GET /metrics instead of this process",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one task with tracing enabled and print its span tree",
+    )
+    trace.add_argument(
+        "query", nargs="?", default=None,
+        help="query text (answer count; --wl-dim analyses it instead)",
+    )
+    trace.add_argument(
+        "--pattern-graph6", default=None,
+        help="trace a hom count of this graph6 pattern instead of a query",
+    )
+    trace.add_argument("--graph6", help="target as a graph6 string")
+    trace.add_argument("--n", type=int, default=10)
+    trace.add_argument("--p", type=float, default=0.4)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--wl-dim", action="store_true",
+        help="trace the WL-dimension analysis of the query",
+    )
+    trace.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the task N times and print the last trace (N=2 shows "
+        "the warm-cache path)",
+    )
+    trace.add_argument("--json", action="store_true", help=json_help)
+    trace.set_defaults(func=_cmd_trace)
 
     serve = sub.add_parser(
         "serve", help="run the counting service (HTTP/JSON, stdlib only)",

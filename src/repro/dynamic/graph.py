@@ -40,8 +40,23 @@ from typing import Iterable
 from repro.errors import GraphError, UpdateError
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.indexed import IndexedGraph, LabelCodec
+from repro.obs import DEFAULT_SIZE_BUCKETS, registry as _metrics_registry
 
 DEFAULT_HISTORY_LIMIT = 8
+
+_batch_hist = None
+
+
+def _observe_batch_size(size: int) -> None:
+    """Record one applied batch's operation count (lazy family lookup)."""
+    global _batch_hist
+    if _batch_hist is None:
+        _batch_hist = _metrics_registry().histogram(
+            "repro_dynamic_batch_ops",
+            "Operations per applied dynamic-target update batch.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+    _batch_hist.observe(size)
 
 # Provenance (journal entries, handle provenance) is bounded so a
 # long-running update stream cannot grow memory without limit.
@@ -451,6 +466,10 @@ class DynamicGraph:
             batch = UpdateBatch.build(**kwargs)
         elif kwargs:
             raise TypeError("pass an UpdateBatch or keywords, not both")
+        _observe_batch_size(
+            len(batch.add_vertices) + len(batch.add_edges)
+            + len(batch.remove_edges) + len(batch.remove_vertices),
+        )
         with self._lock:
             old = self._versions[-1]
             new_graph = old.graph.copy()

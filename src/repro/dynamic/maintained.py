@@ -39,8 +39,25 @@ from repro.dynamic.delta import (
 from repro.dynamic.graph import DynamicGraph, GraphVersion
 from repro.errors import UpdateError
 from repro.graphs.graph import Graph
+from repro.obs import registry as _metrics_registry, span
 
 Mode = Literal["auto", "delta", "recompute"]
+
+# repro_dynamic_refreshes_total children, memoised per refresh method.
+_refresh_children: dict[str, object] = {}
+
+
+def _count_refresh(method: str) -> None:
+    child = _refresh_children.get(method)
+    if child is None:
+        family = _metrics_registry().counter(
+            "repro_dynamic_refreshes_total",
+            "Maintained-count refreshes, split by delta vs full recompute.",
+            labelnames=("method",),
+        )
+        child = family.labels(method=method)
+        _refresh_children[method] = child
+    child.inc()
 
 # Per-handle provenance is a ring buffer: enough history to audit
 # recent refreshes, bounded for long-running streams.
@@ -231,12 +248,16 @@ class MaintainedCount:
             if delta_cost > recompute_cost:
                 use_delta = False
         if use_delta:
-            counts = self._delta_counts(old, new, previous[2], plans)
+            with span("dynamic.refresh", method="delta"):
+                counts = self._delta_counts(old, new, previous[2], plans)
             stats.deltas_applied += 1
+            _count_refresh("delta")
             self._commit(new, counts, "delta")
         else:
-            counts = self._recompute(new)
+            with span("dynamic.refresh", method="recompute"):
+                counts = self._recompute(new)
             stats.delta_fallbacks += 1
+            _count_refresh("recompute")
             self._commit(new, counts, "recompute")
 
     def _on_rollback(self, dropped: GraphVersion, restored: GraphVersion) -> None:

@@ -36,6 +36,7 @@ from repro.engine.cache import (
 )
 from repro.engine.plans import CountPlan, compile_plan
 from repro.graphs.graph import Graph, Vertex
+from repro.obs import child_span, family_snapshot, registry
 
 
 class HomEngine:
@@ -76,12 +77,21 @@ class HomEngine:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan_for(self, pattern: Graph) -> CountPlan:
-        """The compiled plan for ``pattern`` (cached by canonical form)."""
+    def plan_for(self, pattern: Graph, parent_span=None) -> CountPlan:
+        """The compiled plan for ``pattern`` (cached by canonical form).
+
+        ``parent_span`` nests the cold compile span under a caller-held
+        span that is not published in the ambient context (the task
+        executors trace with :func:`~repro.obs.trace.leaf_span`).
+        """
         key = self._cache.pattern_key(pattern)
         plan = self._cache.lookup_plan(key)
         if plan is None:
-            plan = compile_plan(pattern)
+            with child_span(
+                parent_span, "engine.compile", vertices=pattern.num_vertices(),
+            ) as sp:
+                plan = compile_plan(pattern)
+                sp.annotate(backend=plan.kind)
             self._note_plan_compiled()
             self._cache.store_plan(key, plan)
         return plan
@@ -127,12 +137,15 @@ class HomEngine:
         target: Graph,
         allowed: Mapping[Vertex, frozenset] | None = None,
         target_id: tuple | None = None,
+        parent_span=None,
     ) -> tuple[int, bool]:
         """:meth:`count` plus cache provenance: ``(value, from_cache)``.
 
         The task API's :class:`~repro.api.result.Result` reports the flag;
         one call computes the cache key once, so provenance costs nothing
-        over a plain count.
+        over a plain count.  ``parent_span`` nests the cold compile and
+        execute spans under a caller-held (non-published) span; the warm
+        cache-hit path opens no spans at all.
         """
         pattern_id = self._pattern_id(pattern, allowed)
         if target_id is None:
@@ -143,10 +156,15 @@ class HomEngine:
             return cached, True
         plan = self._cache.lookup_plan(pattern_id)
         if plan is None:
-            plan = compile_plan(pattern)
+            with child_span(
+                parent_span, "engine.compile", vertices=pattern.num_vertices(),
+            ) as sp:
+                plan = compile_plan(pattern)
+                sp.annotate(backend=plan.kind)
             self._note_plan_compiled()
             self._cache.store_plan(pattern_id, plan)
-        value = plan.execute(target, allowed=allowed)
+        with child_span(parent_span, "engine.execute", backend=plan.kind):
+            value = plan.execute(target, allowed=allowed)
         self._note_count_executed()
         self._cache.store_count(key, value)
         return value, False
@@ -248,3 +266,75 @@ def set_default_engine(engine: HomEngine | None) -> HomEngine | None:
     previous = _default_engine
     _default_engine = engine
     return previous
+
+
+# ----------------------------------------------------------------------
+# metrics export
+# ----------------------------------------------------------------------
+_EVENT_NAMES = {
+    "hits": "hit",
+    "misses": "miss",
+    "requests": "request",
+    "evictions": "eviction",
+}
+
+
+def engine_metric_families(
+    engine: HomEngine, label: str = "default",
+) -> list[tuple[str, dict]]:
+    """One engine's :meth:`~HomEngine.stats_summary` as metric families.
+
+    Collectors call this at scrape time, so the counting hot path pays
+    nothing for metrics export; derived ``*_rate`` fields are skipped
+    (rates are recomputable from the counters).
+    """
+    summary = engine.stats_summary()
+    events: list[tuple[dict, int | float]] = []
+    entries: list[tuple[dict, int | float]] = []
+    work: list[tuple[dict, int | float]] = []
+    for field, value in summary.items():
+        tier, name = "memory", field
+        if name.startswith("persistent_"):
+            tier, name = "store", name[len("persistent_"):]
+        if name.endswith("_rate"):
+            continue
+        if name in ("plans_compiled", "counts_executed"):
+            kind = "compile" if name == "plans_compiled" else "execute"
+            work.append(({"engine": label, "kind": kind}, value))
+            continue
+        if name in ("plans_cached", "counts_cached"):
+            cache = "plan" if name == "plans_cached" else "count"
+            entries.append(({"engine": label, "cache": cache}, value))
+            continue
+        cache, _, suffix = name.partition("_")
+        event = _EVENT_NAMES.get(suffix)
+        if cache in ("plan", "count") and event is not None:
+            events.append((
+                {"engine": label, "tier": tier, "cache": cache, "event": event},
+                value,
+            ))
+    return [
+        family_snapshot(
+            "repro_engine_cache_events_total", "counter", events,
+            help="Engine cache lookups by tier, cache, and outcome.",
+        ),
+        family_snapshot(
+            "repro_engine_cache_entries", "gauge", entries,
+            help="Live entries in the in-memory plan and count caches.",
+        ),
+        family_snapshot(
+            "repro_engine_work_total", "counter", work,
+            help="Plans compiled and plan executions run by the engine.",
+        ),
+    ]
+
+
+def _default_engine_collector() -> list[tuple[str, dict]]:
+    # Reads the module global at scrape time, so swapping engines with
+    # set_default_engine (tests, benchmarks) is automatically reflected.
+    if _default_engine is None:
+        return []
+    return engine_metric_families(_default_engine, label="default")
+
+
+registry().register_collector(_default_engine_collector)

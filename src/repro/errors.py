@@ -98,6 +98,16 @@ class ServiceError(ReproError):
             self.code = code
 
 
+class ObservabilityError(ReproError, ValueError):
+    """Invalid metrics/tracing usage (bad label set, negative counter inc).
+
+    Subclasses ``ValueError`` because misuse of an instrument is an
+    argument error at the call site, never a runtime serving failure.
+    """
+
+    code = "obs-error"
+
+
 class UpdateError(GraphError, ValueError):
     """A dynamic-target update or maintenance request was rejected.
 

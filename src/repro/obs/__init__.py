@@ -1,0 +1,84 @@
+"""``repro.obs`` — zero-dependency observability for the whole stack.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — a process-global, thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms with labeled families, rendered as Prometheus text or JSON.
+  Subsystems that already keep stats objects (``CacheStats``,
+  ``SchedulerStats``, …) export them via scrape-time *collectors*, so
+  the hot path pays nothing.
+* :mod:`repro.obs.trace` — ``span("engine.compile", **attrs)`` context
+  managers building per-request span trees, propagated across asyncio
+  and worker-pool hops via ``contextvars``, with bounded ring buffers
+  of recent and slow traces.
+* :mod:`repro.obs.logging` — structured (key=value / JSON) stdlib
+  logging with per-subsystem loggers and a ``REPRO_LOG`` env switch;
+  log lines carry the current trace id.
+"""
+
+from repro.obs.logging import (
+    configure_from_env,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    family_snapshot,
+    registry,
+)
+from repro.obs.trace import (
+    Span,
+    bind_current_context,
+    child_span,
+    clear_traces,
+    current_span,
+    current_trace_id,
+    leaf_span,
+    recent_traces,
+    render_span,
+    set_slow_threshold_ms,
+    set_trace_sampling,
+    set_tracing,
+    slow_threshold_ms,
+    slow_traces,
+    span,
+    span_to_dict,
+    trace_sampling,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "bind_current_context",
+    "child_span",
+    "clear_traces",
+    "configure_from_env",
+    "configure_logging",
+    "current_span",
+    "current_trace_id",
+    "family_snapshot",
+    "get_logger",
+    "leaf_span",
+    "log_event",
+    "recent_traces",
+    "registry",
+    "render_span",
+    "set_slow_threshold_ms",
+    "set_trace_sampling",
+    "set_tracing",
+    "slow_threshold_ms",
+    "slow_traces",
+    "span",
+    "span_to_dict",
+    "trace_sampling",
+    "tracing_enabled",
+]

@@ -1,0 +1,150 @@
+"""Structured logging for the ``repro`` stack, on stdlib ``logging``.
+
+Every subsystem logs through ``get_logger("scheduler")`` → the
+``repro.scheduler`` logger, all children of the single ``repro`` root
+logger.  :func:`configure_logging` installs one stderr handler on that
+root with either a ``key=value`` line formatter (greppable, the default)
+or a JSON-lines formatter, and is driven by the ``REPRO_LOG``
+environment variable:
+
+    REPRO_LOG=debug           # kv lines at DEBUG
+    REPRO_LOG=info,json       # JSON lines at INFO
+    REPRO_LOG=off             # disable repro logging entirely
+
+Unset, the ``repro`` root gets a ``NullHandler`` and stays silent —
+importing the library never spams a host application's logs.
+
+:func:`log_event` is the structured emit helper: a short machine-stable
+``event`` name plus arbitrary fields, with the current trace id (if a
+span is open in this context) attached automatically so log lines can be
+joined against traces.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Any
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "configure_from_env",
+    "log_event",
+]
+
+ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... event=... k=v ...`` single lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields: dict = getattr(record, "repro_fields", None) or {}
+        parts = [
+            f"ts={self.formatTime(record, '%Y-%m-%dT%H:%M:%S')}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"event={record.getMessage()}",
+        ]
+        for key in sorted(fields):
+            parts.append(f"{key}={_kv_value(fields[key])}")
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; unserialisable values fall back to repr."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields: dict = getattr(record, "repro_fields", None) or {}
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(fields)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def _kv_value(value: Any) -> str:
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+def get_logger(subsystem: str = "") -> logging.Logger:
+    """The per-subsystem logger, e.g. ``get_logger("engine")``."""
+    name = f"{ROOT_NAME}.{subsystem}" if subsystem else ROOT_NAME
+    return logging.getLogger(name)
+
+
+def configure_logging(level: str = "info", fmt: str = "kv") -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    Idempotent: reconfiguring replaces the previously installed handler
+    rather than stacking a second one.
+    """
+    if level not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        )
+    if fmt not in ("kv", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; expected 'kv' or 'json'")
+    root = logging.getLogger(ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(JsonFormatter() if fmt == "json" else KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(_LEVELS[level])
+    root.propagate = False
+    return root
+
+
+def configure_from_env(env: str | None = None) -> logging.Logger:
+    """Apply the ``REPRO_LOG`` setting (``level[,format]`` or ``off``)."""
+    raw = os.environ.get("REPRO_LOG", "") if env is None else env
+    root = logging.getLogger(ROOT_NAME)
+    spec = raw.strip().lower()
+    if not spec or spec in ("off", "0", "false", "none"):
+        if not root.handlers:
+            root.addHandler(logging.NullHandler())
+        return root
+    level, fmt = "info", "kv"
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        if part in _LEVELS:
+            level = part
+        elif part in ("kv", "json"):
+            fmt = part
+    return configure_logging(level, fmt)
+
+
+def log_event(
+    logger: logging.Logger,
+    level: int,
+    event: str,
+    **fields: Any,
+) -> None:
+    """Emit a structured event, auto-attaching the current trace id."""
+    if not logger.isEnabledFor(level):
+        return
+    trace_id = current_trace_id()
+    if trace_id is not None and "trace_id" not in fields:
+        fields["trace_id"] = trace_id
+    logger.log(level, event, extra={"repro_fields": fields})
+
+
+configure_from_env()

@@ -1,0 +1,440 @@
+"""Process-global metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds *families* — a metric name plus a fixed
+label schema — and each family holds one child instrument per label-value
+combination.  Everything is stdlib and thread-safe: counters and gauges
+update an int/float under a per-child lock, histograms update fixed
+cumulative buckets, and snapshots are taken under the registry lock so a
+scrape never observes a half-registered family.
+
+Two complementary ways to get numbers in:
+
+* **direct instruments** — ``registry().counter("repro_tasks_total",
+  labelnames=("kind",)).labels(kind="hom-count").inc()`` — for events not
+  counted anywhere else (HTTP requests, task runs, queue waits);
+* **collectors** — callables registered with
+  :meth:`MetricsRegistry.register_collector` that are invoked at snapshot
+  time and return family snapshots built from statistics the subsystems
+  already maintain (:class:`~repro.engine.cache.CacheStats`,
+  :class:`~repro.service.scheduler.SchedulerStats`,
+  :class:`~repro.dynamic.graph.DynamicStats`, …).  Collectors add **zero**
+  hot-path cost: the engine's count path keeps its existing counters and
+  the registry merely re-exports them when ``/metrics`` is scraped.
+
+Two stable render formats: :meth:`MetricsRegistry.snapshot` (JSON-able
+dict, served by ``GET /metrics?format=json``) and
+:meth:`MetricsRegistry.render_prometheus` (Prometheus text exposition,
+served by ``GET /metrics``).  Samples are emitted in sorted label order,
+so identical state always renders byte-identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+
+# Default latency buckets, in milliseconds: spans sub-100us dispatch up to
+# multi-second cold compiles.
+DEFAULT_MS_BUCKETS = (
+    0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+)
+
+# Small-integer buckets for size-ish histograms (batch sizes, queue depths).
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _format_value(value) -> str:
+    """Prometheus sample value: ints without a trailing ``.0``."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed cumulative buckets plus sum and count.
+
+    Bucket semantics follow Prometheus: an observation lands in every
+    bucket whose upper bound is ``>=`` the value (``le`` — *less than or
+    equal*), and the implicit ``+Inf`` bucket equals the total count.
+    """
+
+    __slots__ = ("_lock", "bounds", "_buckets", "_sum", "_count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise ObservabilityError("histogram needs at least one bucket")
+        if list(cleaned) != sorted(cleaned):
+            raise ObservabilityError("histogram buckets must be sorted")
+        self._lock = threading.Lock()
+        self.bounds = cleaned
+        self._buckets = [0] * len(cleaned)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: int | float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._buckets[index] += 1
+                    break
+
+    @property
+    def value(self) -> dict:
+        """Cumulative bucket counts keyed by bound, plus sum/count."""
+        with self._lock:
+            raw = list(self._buckets)
+            total_sum, total_count = self._sum, self._count
+        cumulative: list[int] = []
+        running = 0
+        for count in raw:
+            running += count
+            cumulative.append(running)
+        return {
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(self.bounds, cumulative)
+            ],
+            "sum": total_sum,
+            "count": total_count,
+        }
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One metric name + label schema, holding per-label-value children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ObservabilityError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: dict[tuple, object] = {}
+        if not self.labelnames:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_MS_BUCKETS)
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, **labelvalues):
+        """The child instrument for one label-value combination."""
+        if len(labelvalues) != len(self.labelnames) or any(
+            name not in labelvalues for name in self.labelnames
+        ):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes exactly the labels "
+                f"{self.labelnames}, got {sorted(labelvalues)}",
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    # unlabelled families proxy straight to their single child ---------
+    def inc(self, amount: int | float = 1) -> None:
+        self._require_default().inc(amount)
+
+    def dec(self, amount: int | float = 1) -> None:
+        self._require_default().dec(amount)
+
+    def set(self, value: int | float) -> None:
+        self._require_default().set(value)
+
+    def observe(self, value: int | float) -> None:
+        self._require_default().observe(value)
+
+    @property
+    def value(self):
+        return self._require_default().value
+
+    def _require_default(self):
+        if self._default is None:
+            raise ObservabilityError(
+                f"metric {self.name!r} is labelled by {self.labelnames}; "
+                "call .labels(...) first",
+            )
+        return self._default
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            children = list(self._children.items())
+        samples = [
+            {
+                "labels": dict(zip(self.labelnames, key)),
+                "value": child.value,
+            }
+            for key, child in sorted(children, key=lambda item: item[0])
+        ]
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "samples": samples,
+        }
+
+
+def family_snapshot(
+    name: str,
+    kind: str,
+    samples: Iterable[tuple[Mapping[str, object], int | float]],
+    help: str = "",
+) -> tuple[str, dict]:
+    """Build a collector-produced family in the snapshot shape.
+
+    ``samples`` is an iterable of ``(labels, value)`` pairs; collectors
+    return a list of these so scrape-time state (cache stats, queue
+    depths) exports without any hot-path instrumentation.
+    """
+    return name, {
+        "kind": kind,
+        "help": help,
+        "samples": [
+            {"labels": dict(labels), "value": value}
+            for labels, value in samples
+        ],
+    }
+
+
+class MetricsRegistry:
+    """A named set of metric families plus scrape-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[], Iterable[tuple[str, dict]]]] = []
+
+    # ------------------------------------------------------------------
+    # family registration (idempotent per name)
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise ObservabilityError(
+                        f"metric {name!r} is already registered as a "
+                        f"{family.kind} with labels {family.labelnames}",
+                    )
+                return family
+            family = MetricFamily(
+                name, kind, help=help, labelnames=labelnames, buckets=buckets,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    # ------------------------------------------------------------------
+    # collectors
+    # ------------------------------------------------------------------
+    def register_collector(
+        self, collector: Callable[[], Iterable[tuple[str, dict]]],
+    ) -> None:
+        with self._lock:
+            if collector not in self._collectors:
+                self._collectors.append(collector)
+
+    def unregister_collector(self, collector) -> None:
+        with self._lock:
+            if collector in self._collectors:
+                self._collectors.remove(collector)
+
+    # ------------------------------------------------------------------
+    # scraping
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All families (direct + collected) as a stable JSON-able dict."""
+        with self._lock:
+            families = dict(self._families)
+            collectors = list(self._collectors)
+        report: dict[str, dict] = {
+            name: family.snapshot() for name, family in families.items()
+        }
+        for collector in collectors:
+            try:
+                collected = list(collector())
+            except Exception:  # noqa: BLE001 - a broken collector must
+                continue       # never take the scrape endpoint down
+            for name, family in collected:
+                existing = report.get(name)
+                if existing is None:
+                    report[name] = {
+                        "kind": family["kind"],
+                        "help": family.get("help", ""),
+                        "samples": list(family["samples"]),
+                    }
+                else:
+                    existing["samples"].extend(family["samples"])
+        return {name: report[name] for name in sorted(report)}
+
+    def render_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, family in self.snapshot().items():
+            if family.get("help"):
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            for sample in family["samples"]:
+                labels = sample["labels"]
+                value = sample["value"]
+                if family["kind"] == "histogram":
+                    lines.extend(
+                        self._render_histogram(name, labels, value),
+                    )
+                else:
+                    lines.append(
+                        f"{name}{self._render_labels(labels)} "
+                        f"{_format_value(value)}",
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_labels(labels: Mapping[str, object], extra: str = "") -> str:
+        parts = [
+            f'{key}="{_escape_label(labels[key])}"' for key in sorted(labels)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    @classmethod
+    def _render_histogram(cls, name, labels, value) -> list[str]:
+        lines = []
+        for bound, count in value["buckets"]:
+            extra = 'le="%s"' % _format_value(bound)
+            lines.append(
+                f"{name}_bucket{cls._render_labels(labels, extra)} {count}",
+            )
+        inf_labels = cls._render_labels(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{inf_labels} {value['count']}")
+        lines.append(
+            f"{name}_sum{cls._render_labels(labels)} "
+            f"{_format_value(value['sum'])}",
+        )
+        lines.append(f"{name}_count{cls._render_labels(labels)} {value['count']}")
+        return lines
+
+    def reset(self) -> None:
+        """Drop every family and collector (tests only)."""
+        with self._lock:
+            self._families.clear()
+            self._collectors.clear()
+
+
+_global_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry every subsystem instruments into."""
+    return _global_registry

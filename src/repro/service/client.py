@@ -56,11 +56,16 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Trace id of the most recent response (the server's
+        #: ``X-Repro-Trace`` header), for correlating with ``/traces``.
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request_raw(
+        self, method: str, path: str, payload: dict | None = None,
+    ) -> tuple[int, bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout,
         )
@@ -71,12 +76,17 @@ class ServiceClient:
             response = connection.getresponse()
             data = response.read()
             status = response.status
+            self.last_trace_id = response.getheader("X-Repro-Trace")
         except (OSError, http.client.HTTPException) as error:
             raise ServiceError(
                 f"cannot reach service at {self.host}:{self.port}: {error}",
             ) from error
         finally:
             connection.close()
+        return status, data
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, data = self._request_raw(method, path, payload)
         try:
             decoded = json.loads(data) if data else {}
         except ValueError as error:
@@ -88,6 +98,21 @@ class ServiceClient:
                 code=decoded.get("code"),
             )
         return decoded
+
+    def request_text(self, method: str, path: str) -> str:
+        """A non-JSON GET (the Prometheus ``/metrics`` exposition)."""
+        status, data = self._request_raw(method, path)
+        text = data.decode("utf-8", "replace")
+        if status != 200:
+            code = None
+            try:
+                decoded = json.loads(text)
+                message = decoded.get("error", f"HTTP {status}")
+                code = decoded.get("code")
+            except ValueError:
+                message = f"HTTP {status}"
+            raise ServiceError(message, status, code=code)
+        return text
 
     def _post(self, path: str, payload: dict) -> dict:
         return self.request("POST", path, payload)
@@ -122,6 +147,18 @@ class ServiceClient:
 
     def datasets(self) -> list[dict]:
         return self.request("GET", "/datasets")["datasets"]
+
+    def metrics(self) -> dict:
+        """The metrics registry snapshot (``GET /metrics?format=json``)."""
+        return self.request("GET", "/metrics?format=json")["metrics"]
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``)."""
+        return self.request_text("GET", "/metrics")
+
+    def traces(self, limit: int = 20) -> dict:
+        """Recent and recent-slow span trees (``GET /traces``)."""
+        return self.request("GET", f"/traces?limit={int(limit)}")
 
     def register_graph(self, name: str, graph, shards: int = 1) -> dict:
         payload = {"name": name, "graph": _as_graph_spec(graph)}

@@ -21,11 +21,18 @@ started/stopped with the server.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 from repro.errors import ServiceError
+from repro.obs import family_snapshot, get_logger, log_event, registry
+from repro.obs.trace import current_trace_id
+
+_log = get_logger("scheduler")
 
 
 @dataclass
@@ -68,6 +75,16 @@ class RequestScheduler:
         self._inflight: dict = {}
         self._tasks: list[asyncio.Task] = []
         self._executor: ThreadPoolExecutor | None = None
+        # Shared, process-global latency families (idempotent re-lookup).
+        reg = registry()
+        self._wait_hist = reg.histogram(
+            "repro_scheduler_wait_ms",
+            "Time jobs spend queued before a worker picks them up.",
+        )
+        self._run_hist = reg.histogram(
+            "repro_scheduler_run_ms",
+            "Time jobs spend executing on the worker pool.",
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -100,7 +117,7 @@ class RequestScheduler:
         # leave their waiters hanging on futures nobody will resolve.
         if self._queue is not None:
             while not self._queue.empty():
-                _, _, future = self._queue.get_nowait()
+                _, _, future, _, _ = self._queue.get_nowait()
                 if not future.done():
                     future.cancel()
         for future in self._inflight.values():
@@ -129,8 +146,11 @@ class RequestScheduler:
             return await asyncio.shield(future)
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
+        # Snapshot the submitter's context so the worker thread sees the
+        # same current span (trace ids survive the pool hop).
+        ctx = contextvars.copy_context()
         try:
-            await self._queue.put((key, fn, future))
+            await self._queue.put((key, fn, future, ctx, perf_counter()))
         except BaseException:
             # The enqueue never happened; cancel the future so waiters that
             # already coalesced onto it are released rather than hung.
@@ -149,24 +169,65 @@ class RequestScheduler:
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            key, fn, future = await self._queue.get()
+            key, fn, future, ctx, enqueued_at = await self._queue.get()
+            started_at = perf_counter()
+            self._wait_hist.observe((started_at - enqueued_at) * 1000.0)
             try:
-                value = await loop.run_in_executor(self._executor, fn)
+                # ctx.run keeps the submitter's contextvars (current span,
+                # trace id) current inside the pool thread.
+                value = await loop.run_in_executor(self._executor, ctx.run, fn)
             except asyncio.CancelledError:
                 if not future.done():
                     future.cancel()
                 raise
             except Exception as error:
                 self.stats.failed += 1
+                self._run_hist.observe((perf_counter() - started_at) * 1000.0)
+                trace_id = ctx.run(current_trace_id)
+                log_event(
+                    _log, logging.ERROR, "worker-error",
+                    code=getattr(error, "code", "internal-error"),
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    **({"trace_id": trace_id} if trace_id else {}),
+                )
                 if not future.done():
                     future.set_exception(error)
-                # The traceback is delivered to every waiter; nothing to
-                # log here and the worker stays alive.
+                # The traceback is delivered to every waiter; the worker
+                # stays alive.
                 future.exception()
             else:
                 self.stats.executed += 1
+                self._run_hist.observe((perf_counter() - started_at) * 1000.0)
                 if not future.done():
                     future.set_result(value)
             finally:
                 self._inflight.pop(key, None)
                 self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # metrics export
+    # ------------------------------------------------------------------
+    def metric_families(self) -> list[tuple[str, dict]]:
+        """Scheduler counters and live queue depth as metric families."""
+        snapshot = self.stats.snapshot()
+        events = [
+            ({"event": event}, snapshot[event])
+            for event in ("submitted", "coalesced", "executed", "failed")
+        ]
+        depth = self._queue.qsize() if self._queue is not None else 0
+        return [
+            family_snapshot(
+                "repro_scheduler_requests_total", "counter", events,
+                help="Jobs submitted, coalesced, executed, and failed.",
+            ),
+            family_snapshot(
+                "repro_scheduler_queue_depth", "gauge", [({}, depth)],
+                help="Jobs currently waiting in the scheduler queue.",
+            ),
+            family_snapshot(
+                "repro_scheduler_queue_depth_max", "gauge",
+                [({}, snapshot["max_queue_depth"])],
+                help="High-water mark of the scheduler queue.",
+            ),
+        ]

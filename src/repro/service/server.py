@@ -38,20 +38,40 @@ Routes
 ``POST /register-dataset`` ``{"name": str, "graph": graphspec, "shards": int}``
                            or ``{"name": str, "kg": kgspec}``
 ``GET  /stats``, ``GET /datasets``, ``GET /health``
+``GET  /metrics``          Prometheus text (``?format=json`` for the JSON
+                           snapshot) of the process metrics registry
+``GET  /traces``           recent and recent-slow span trees (``?limit=n``)
+
+Every HTTP response carries the request's trace id in an
+``X-Repro-Trace`` header; error payloads (status >= 400) repeat it as a
+``trace_id`` field so clients can quote it when reporting problems.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import sys
 import threading
+from urllib.parse import parse_qsl
 
 from repro.api.executors import LocalExecutor
 from repro.api.session import Session
 from repro.api.tasks import TaskBatch
 from repro.engine import HomEngine, set_default_engine
+from repro.engine.engine import engine_metric_families
 from repro.errors import ReproError, ServiceError
+from repro.obs import (
+    family_snapshot,
+    get_logger,
+    log_event,
+    recent_traces,
+    registry as metrics_registry,
+    slow_traces,
+    span,
+    span_to_dict,
+)
 from repro.service.registry import DatasetRegistry, RegistryError
 from repro.service.scheduler import RequestScheduler
 from repro.service.store import PersistentStore, stable_key_digest
@@ -73,6 +93,8 @@ from repro.service.wire import (
 )
 
 _MAX_BODY = 32 * 1024 * 1024
+
+_log = get_logger("server")
 
 
 def _bad_request(message: str) -> dict:
@@ -113,6 +135,13 @@ class CountingService:
         )
         self.scheduler = RequestScheduler(workers=workers, max_queue=max_queue)
         self.request_counts: dict[str, int] = {}
+        self.error_counts: dict[tuple[str, str], int] = {}
+        self._request_ms = metrics_registry().histogram(
+            "repro_server_request_ms",
+            "End-to-end request handling latency per route.",
+            labelnames=("route",),
+        )
+        metrics_registry().register_collector(self._collect_metrics)
         self._routes = {
             ("POST", "/task"): self._op_task,
             ("POST", "/count"): self._op_count,
@@ -126,6 +155,8 @@ class CountingService:
             ("GET", "/stats"): self._op_stats,
             ("GET", "/datasets"): self._op_datasets,
             ("GET", "/health"): self._op_health,
+            ("GET", "/metrics"): self._op_metrics,
+            ("GET", "/traces"): self._op_traces,
         }
         # Updates and subscription creations are stateful: each submission
         # gets a unique scheduler key (never coalesced); per-dataset
@@ -144,28 +175,71 @@ class CountingService:
 
     def close(self) -> None:
         """Release held resources (the persistent store's append handle)."""
+        metrics_registry().unregister_collector(self._collect_metrics)
         if self.store is not None:
             self.store.close()
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    async def handle(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+    async def handle(
+        self, method: str, path: str, body: dict,
+    ) -> tuple[int, dict | str, str | None]:
+        """Dispatch one request: ``(status, payload, trace_id)``.
+
+        The whole request runs under a root ``server.request`` span, so
+        scheduler hops and engine work nest under one trace; the trace id
+        is echoed in the transport's ``X-Repro-Trace`` header and, for
+        error payloads, in an additive ``trace_id`` field.  Unexpected
+        handler exceptions become structured 500s with an error log.
+        """
         route = (method.upper(), path.rstrip("/") or "/")
         handler = self._routes.get(route)
         if handler is None:
+            name = "<unknown>"
+            self.error_counts[(name, "unknown-route")] = (
+                self.error_counts.get((name, "unknown-route"), 0) + 1
+            )
             return 404, {
                 "kind": "error",
                 "error": f"no route {method.upper()} {path}",
                 "code": "unknown-route",
-            }
-        self.request_counts[route[1]] = self.request_counts.get(route[1], 0) + 1
-        try:
-            return 200, await handler(body)
-        except RegistryError as error:
-            return 404, error_payload(error)
-        except ReproError as error:
-            return 400, error_payload(error)
+            }, None
+        name = route[1]
+        self.request_counts[name] = self.request_counts.get(name, 0) + 1
+        status = 200
+        sp = span("server.request", route=name, method=route[0])
+        with sp:
+            try:
+                payload: dict | str = await handler(body)
+            except RegistryError as error:
+                status, payload = 404, error_payload(error)
+            except ReproError as error:
+                status, payload = 400, error_payload(error)
+            except Exception as error:  # noqa: BLE001 - a 500, not a crash
+                status = 500
+                payload = {
+                    "kind": "error",
+                    "error": f"{type(error).__name__}: {error}",
+                    "code": "internal-error",
+                }
+            sp.annotate(status=status)
+        self._request_ms.labels(route=name).observe(sp.duration_ms)
+        if status >= 400 and isinstance(payload, dict):
+            code = str(payload.get("code", "internal-error"))
+            self.error_counts[(name, code)] = (
+                self.error_counts.get((name, code), 0) + 1
+            )
+            if sp.trace_id is not None:
+                payload = {**payload, "trace_id": sp.trace_id}
+            if status >= 500:
+                log_event(
+                    _log, logging.ERROR, "request-error",
+                    route=name, status=status, code=code,
+                    error=str(payload.get("error", "")),
+                    **({"trace_id": sp.trace_id} if sp.trace_id else {}),
+                )
+        return status, payload, sp.trace_id
 
     # ------------------------------------------------------------------
     # task resolution
@@ -510,6 +584,31 @@ class CountingService:
     async def _op_health(self, body: dict) -> dict:
         return {"kind": "health", "status": "ok"}
 
+    async def _op_metrics(self, body: dict) -> dict | str:
+        """The process metrics registry: Prometheus text, or JSON."""
+        fmt = body.get("format", "prometheus")
+        if fmt == "json":
+            return {"kind": "metrics", "metrics": metrics_registry().snapshot()}
+        if fmt not in ("prometheus", "text"):
+            raise WireError(f"unknown metrics format {fmt!r}")
+        return metrics_registry().render_prometheus()
+
+    async def _op_traces(self, body: dict) -> dict:
+        """Recent and recent-slow completed span trees."""
+        limit = body.get("limit", 20)
+        if isinstance(limit, str):
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise WireError(f"'limit' must be an integer, got {limit!r}")
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise WireError(f"'limit' must be a positive integer, got {limit!r}")
+        return {
+            "kind": "traces",
+            "recent": [span_to_dict(trace) for trace in recent_traces(limit)],
+            "slow": [span_to_dict(trace) for trace in slow_traces(limit)],
+        }
+
     def stats_payload(self) -> dict:
         from repro.service.wire import dynamic_stats_payload
 
@@ -526,7 +625,69 @@ class CountingService:
                 self.store.summary() if self.store is not None else None
             ),
             "requests": dict(self.request_counts),
+            # Additive: the full metrics snapshot rides along for callers
+            # that want one stop; all pre-existing fields are unchanged.
+            "metrics": metrics_registry().snapshot(),
         }
+
+    # ------------------------------------------------------------------
+    # metrics export
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> list[tuple[str, dict]]:
+        """Scrape-time export of service state as metric families."""
+        families = list(self.scheduler.metric_families())
+        requests = [
+            ({"route": route}, count)
+            for route, count in sorted(self.request_counts.items())
+        ]
+        errors = [
+            ({"route": route, "code": code}, count)
+            for (route, code), count in sorted(self.error_counts.items())
+        ]
+        families.append(family_snapshot(
+            "repro_server_requests_total", "counter", requests,
+            help="Requests handled per route.",
+        ))
+        families.append(family_snapshot(
+            "repro_server_errors_total", "counter", errors,
+            help="Error responses per route and stable error code.",
+        ))
+        # The default-engine collector (repro.engine) already exports the
+        # service engine when it is installed as the process default; only
+        # export it here when it is a private engine.
+        from repro.engine import engine as engine_module
+
+        if self.engine is not engine_module._default_engine:
+            families.extend(engine_metric_families(self.engine, label="service"))
+        dynamic_events: list[tuple[dict, int | float]] = []
+        journals: list[tuple[dict, int | float]] = []
+        for dataset_name in self.registry.names():
+            dataset = self.registry.get(dataset_name)
+            stats = getattr(dataset, "stats", None)
+            if stats is None:
+                continue
+            snapshot = stats.snapshot()
+            for field, value in snapshot.items():
+                if field.endswith("_ratio"):
+                    continue
+                dynamic_events.append(
+                    ({"dataset": dataset_name, "event": field}, value),
+                )
+            holder = getattr(dataset, "dynamic", None) or getattr(
+                dataset, "dynamic_kg", None,
+            )
+            journal = getattr(holder, "journal", None)
+            if journal is not None:
+                journals.append(({"dataset": dataset_name}, len(journal)))
+        families.append(family_snapshot(
+            "repro_dynamic_events_total", "counter", dynamic_events,
+            help="Dynamic-target update and refresh events per dataset.",
+        ))
+        families.append(family_snapshot(
+            "repro_dynamic_journal_entries", "gauge", journals,
+            help="Update-journal entries retained per dynamic dataset.",
+        ))
+        return families
 
 
 # ----------------------------------------------------------------------
@@ -572,16 +733,25 @@ class ServiceServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         try:
-            status, payload = await self._handle_request(reader)
-            data = json.dumps(payload).encode("utf-8")
+            status, payload, trace_id = await self._handle_request(reader)
+            if isinstance(payload, str):
+                data = payload.encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                data = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
             reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
                 status, "Internal Server Error",
+            )
+            trace_header = (
+                f"X-Repro-Trace: {trace_id}\r\n" if trace_id else ""
             )
             writer.write(
                 (
                     f"HTTP/1.1 {status} {reason}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
+                    f"{trace_header}"
                     "Connection: close\r\n\r\n"
                 ).encode("ascii") + data,
             )
@@ -597,13 +767,14 @@ class ServiceServer:
 
     async def _handle_request(
         self, reader: asyncio.StreamReader,
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict | str, str | None]:
         try:
             request_line = await reader.readline()
             parts = request_line.decode("ascii", "replace").split()
             if len(parts) < 2:
-                return 400, _bad_request("malformed request line")
-            method, path = parts[0], parts[1]
+                return 400, _bad_request("malformed request line"), None
+            method, target = parts[0], parts[1]
+            path, _, query = target.partition("?")
             headers: dict[str, str] = {}
             while True:
                 line = await reader.readline()
@@ -613,13 +784,18 @@ class ServiceServer:
                 headers[name.strip().lower()] = value.strip()
             length = int(headers.get("content-length", "0") or "0")
             if length > _MAX_BODY:
-                return 400, _bad_request("request body too large")
+                return 400, _bad_request("request body too large"), None
             raw = await reader.readexactly(length) if length else b""
             body = json.loads(raw) if raw else {}
             if not isinstance(body, dict):
-                return 400, _bad_request("request body must be a JSON object")
+                return 400, _bad_request("request body must be a JSON object"), None
+            if query:
+                # Query parameters fill body fields (body wins), so GET
+                # routes take options: /metrics?format=json, /traces?limit=5.
+                for key, value in parse_qsl(query):
+                    body.setdefault(key, value)
         except (ValueError, UnicodeDecodeError) as error:
-            return 400, _bad_request(f"bad request: {error}")
+            return 400, _bad_request(f"bad request: {error}"), None
         try:
             return await self.service.handle(method, path, body)
         except Exception as error:  # noqa: BLE001 - served as a 500, not a crash
@@ -627,7 +803,7 @@ class ServiceServer:
                 "kind": "error",
                 "error": f"{type(error).__name__}: {error}",
                 "code": "internal-error",
-            }
+            }, None
 
 
 def run_server(

@@ -323,6 +323,14 @@ def _field(payload: Mapping, name: str):
 def result_to_wire(result) -> dict:
     """The full :class:`~repro.api.result.Result` as a JSON payload
     (the ``POST /task`` response shape)."""
+    provenance = dict(result.provenance)
+    trace = provenance.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        # A live Span (local execution) serialises to its tree dict;
+        # already-wire dicts pass through untouched.
+        from repro.obs.trace import span_to_dict
+
+        provenance["trace"] = span_to_dict(trace)
     return {
         "kind": "result",
         "task": result.kind,
@@ -331,7 +339,7 @@ def result_to_wire(result) -> dict:
         "backend": result.backend,
         "cached": result.cached,
         "version": result.version,
-        "provenance": dict(result.provenance),
+        "provenance": provenance,
         "elapsed_ms": round(result.elapsed_ms, 3),
     }
 

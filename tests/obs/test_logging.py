@@ -1,0 +1,140 @@
+"""Unit tests for structured logging: formatters, env switch, log_event."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure_from_env, configure_logging, get_logger, log_event
+from repro.obs.logging import (
+    JsonFormatter,
+    KeyValueFormatter,
+    ROOT_NAME,
+)
+from repro.obs.trace import span
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    root = logging.getLogger(ROOT_NAME)
+    handlers = list(root.handlers)
+    level, propagate = root.level, root.propagate
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in handlers:
+        root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = propagate
+
+
+def _record(event: str, fields: dict) -> logging.LogRecord:
+    record = logging.LogRecord(
+        name="repro.engine",
+        level=logging.INFO,
+        pathname=__file__,
+        lineno=1,
+        msg=event,
+        args=(),
+        exc_info=None,
+    )
+    record.repro_fields = fields
+    return record
+
+
+class TestFormatters:
+    def test_kv_line(self):
+        line = KeyValueFormatter().format(
+            _record("cache-miss", {"tier": "hot", "key": "a b"}),
+        )
+        assert "level=info" in line
+        assert "logger=repro.engine" in line
+        assert "event=cache-miss" in line
+        assert 'key="a b"' in line  # values with spaces are quoted
+        assert "tier=hot" in line
+        assert line.index("key=") < line.index("tier=")  # fields sorted
+
+    def test_json_line(self):
+        line = JsonFormatter().format(
+            _record("cache-miss", {"tier": "hot", "obj": object()}),
+        )
+        payload = json.loads(line)
+        assert payload["event"] == "cache-miss"
+        assert payload["logger"] == "repro.engine"
+        assert payload["tier"] == "hot"
+        assert payload["obj"].startswith("<object")  # repr fallback
+
+
+class TestConfiguration:
+    def test_configure_logging_is_idempotent(self):
+        root = configure_logging("debug")
+        configure_logging("info")
+        assert len(root.handlers) == 1
+        assert root.level == logging.INFO
+        assert root.propagate is False
+
+    def test_configure_logging_validates(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+        with pytest.raises(ValueError):
+            configure_logging("info", fmt="xml")
+
+    def test_env_level_and_format(self):
+        root = configure_from_env("debug")
+        assert root.level == logging.DEBUG
+        assert isinstance(root.handlers[0].formatter, KeyValueFormatter)
+        root = configure_from_env("info,json")
+        assert root.level == logging.INFO
+        assert isinstance(root.handlers[0].formatter, JsonFormatter)
+
+    def test_env_off_installs_null_handler_once(self):
+        root = logging.getLogger(ROOT_NAME)
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        configure_from_env("off")
+        configure_from_env("")
+        assert len(root.handlers) == 1
+        assert isinstance(root.handlers[0], logging.NullHandler)
+
+
+class TestLogEvent:
+    def _capture(self):
+        configure_logging("info")
+        root = logging.getLogger(ROOT_NAME)
+        records: list[logging.LogRecord] = []
+
+        class Sink(logging.Handler):
+            def emit(self, record: logging.LogRecord) -> None:
+                records.append(record)
+
+        root.addHandler(Sink())
+        return records
+
+    def test_attaches_current_trace_id(self):
+        records = self._capture()
+        with span("request") as sp:
+            log_event(get_logger("engine"), logging.INFO, "cache-miss", tier="hot")
+        (record,) = records
+        assert record.repro_fields == {
+            "tier": "hot", "trace_id": sp.trace_id,
+        }
+
+    def test_explicit_trace_id_wins(self):
+        records = self._capture()
+        with span("request"):
+            log_event(
+                get_logger("engine"), logging.INFO, "e", trace_id="mine",
+            )
+        assert records[0].repro_fields["trace_id"] == "mine"
+
+    def test_no_span_means_no_trace_id(self):
+        records = self._capture()
+        log_event(get_logger("engine"), logging.INFO, "e", k=1)
+        assert records[0].repro_fields == {"k": 1}
+
+    def test_disabled_level_short_circuits(self):
+        records = self._capture()
+        log_event(get_logger("engine"), logging.DEBUG, "quiet")
+        assert records == []

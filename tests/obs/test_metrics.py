@@ -1,0 +1,195 @@
+"""Unit tests for the metrics registry: instruments, families, renderers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    family_snapshot,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_counts(self, reg):
+        counter = reg.counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self, reg):
+        with pytest.raises(ObservabilityError):
+            reg.counter("c_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self, reg):
+        gauge = reg.gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_histogram_bucket_edges(self):
+        hist = Histogram(bounds=(1.0, 5.0, 10.0))
+        # le semantics: a value exactly on a bound lands in that bucket.
+        for value in (0.5, 1.0, 5.0, 5.1, 10.0, 99.0):
+            hist.observe(value)
+        snap = hist.value
+        assert snap["count"] == 6
+        assert snap["sum"] == pytest.approx(120.6)
+        # Cumulative: le=1 holds {0.5, 1.0}; le=5 adds {5.0}; le=10 adds
+        # {5.1, 10.0}; 99.0 only exists in the implicit +Inf bucket.
+        assert snap["buckets"] == [[1.0, 2], [5.0, 3], [10.0, 5]]
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(bounds=())
+        with pytest.raises(ObservabilityError):
+            Histogram(bounds=(5.0, 1.0))
+
+
+class TestFamilies:
+    def test_labeled_children_are_independent(self, reg):
+        family = reg.counter("req_total", labelnames=("route",))
+        family.labels(route="a").inc()
+        family.labels(route="b").inc(2)
+        snap = family.snapshot()
+        assert snap["samples"] == [
+            {"labels": {"route": "a"}, "value": 1},
+            {"labels": {"route": "b"}, "value": 2},
+        ]
+
+    def test_labels_are_validated(self, reg):
+        family = reg.counter("req_total", labelnames=("route",))
+        with pytest.raises(ObservabilityError):
+            family.labels(wrong="a")
+        with pytest.raises(ObservabilityError):
+            family.labels(route="a", extra="b")
+        with pytest.raises(ObservabilityError):
+            family.labels()
+
+    def test_unlabelled_proxy_requires_no_labels(self, reg):
+        family = reg.counter("req_total", labelnames=("route",))
+        with pytest.raises(ObservabilityError):
+            family.inc()
+
+    def test_registration_is_idempotent(self, reg):
+        first = reg.counter("c_total", labelnames=("k",))
+        again = reg.counter("c_total", labelnames=("k",))
+        assert first is again
+
+    def test_conflicting_registration_raises(self, reg):
+        reg.counter("c_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("c_total")
+        with pytest.raises(ObservabilityError):
+            reg.counter("c_total", labelnames=("k",))
+
+    def test_thread_hammer_loses_nothing(self, reg):
+        counter = reg.counter("hammer_total", labelnames=("worker",))
+        hist = reg.histogram("hammer_ms", buckets=DEFAULT_MS_BUCKETS)
+        threads, per_thread = 8, 5000
+        barrier = threading.Barrier(threads)
+
+        def work(worker: int) -> None:
+            child = counter.labels(worker=worker % 2)
+            barrier.wait()
+            for _ in range(per_thread):
+                child.inc()
+                hist.observe(1.0)
+
+        pool = [
+            threading.Thread(target=work, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        snap = counter.snapshot()
+        assert sum(s["value"] for s in snap["samples"]) == threads * per_thread
+        assert hist.value["count"] == threads * per_thread
+
+
+class TestCollectors:
+    def test_collector_families_appear_in_snapshot(self, reg):
+        reg.register_collector(
+            lambda: [
+                family_snapshot(
+                    "col_total", "counter", [({"tier": "hot"}, 3)], "help!",
+                ),
+            ],
+        )
+        snap = reg.snapshot()
+        assert snap["col_total"]["samples"] == [
+            {"labels": {"tier": "hot"}, "value": 3},
+        ]
+        assert snap["col_total"]["help"] == "help!"
+
+    def test_name_collision_extends_samples(self, reg):
+        reg.counter("shared_total", labelnames=("who",)).labels(who="a").inc()
+        reg.register_collector(
+            lambda: [
+                family_snapshot("shared_total", "counter", [({"who": "b"}, 7)]),
+            ],
+        )
+        samples = reg.snapshot()["shared_total"]["samples"]
+        assert {"labels": {"who": "a"}, "value": 1} in samples
+        assert {"labels": {"who": "b"}, "value": 7} in samples
+
+    def test_broken_collector_never_breaks_the_scrape(self, reg):
+        def broken():
+            raise RuntimeError("boom")
+
+        reg.register_collector(broken)
+        reg.counter("ok_total").inc()
+        assert reg.snapshot()["ok_total"]["samples"][0]["value"] == 1
+
+    def test_unregister(self, reg):
+        collector = lambda: [family_snapshot("gone_total", "counter", [({}, 1)])]
+        reg.register_collector(collector)
+        assert "gone_total" in reg.snapshot()
+        reg.unregister_collector(collector)
+        assert "gone_total" not in reg.snapshot()
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self, reg):
+        reg.counter("c_total", help="counts things").inc(2)
+        reg.gauge("g", labelnames=("zone",)).labels(zone="eu").set(1.5)
+        text = reg.render_prometheus()
+        assert "# HELP c_total counts things" in text
+        assert "# TYPE c_total counter" in text
+        assert "c_total 2" in text  # integral floats render without .0
+        assert 'g{zone="eu"} 1.5' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self, reg):
+        hist = reg.histogram("lat_ms", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = reg.render_prometheus()
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="10"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 3' in text
+        assert "lat_ms_sum 55.5" in text
+        assert "lat_ms_count 3" in text
+
+    def test_label_escaping(self, reg):
+        reg.counter("c_total", labelnames=("q",)).labels(q='a"b\nc').inc()
+        text = reg.render_prometheus()
+        assert 'q="a\\"b\\nc"' in text
+
+    def test_families_render_sorted_by_name(self, reg):
+        reg.counter("zz_total").inc()
+        reg.counter("aa_total").inc()
+        text = reg.render_prometheus()
+        assert text.index("aa_total") < text.index("zz_total")

@@ -1,0 +1,188 @@
+"""Benchmark telemetry: JSON records per bench + a regression gate.
+
+Every ``bench_*.py`` routes its ``__main__`` through :func:`main_record`,
+which runs the bench's ``run_experiment()`` and persists a machine-
+readable record to ``BENCH_<name>.json`` at the repo root:
+
+* the workload tables the bench printed (captured structurally via
+  ``_tables.print_table`` — raw timings and ratios included);
+* an optional **primary metric** (the gated benches return their
+  speedup/overhead ratio from ``run_experiment``) with a
+  ``higher_is_better`` direction;
+* the observability metrics snapshot after the run, so one record also
+  carries cache hit counts, phase histograms, and work counters;
+* run metadata (python version, wall duration).
+
+The committed records are the perf trajectory of the repo — the same
+longitudinal discipline the metrics registry applies to a running
+process, applied across commits.  ``python benchmarks/_harness.py check
+bench_kernel bench_api ...`` compares each freshly regenerated record
+against the version committed at ``HEAD`` and fails when a primary
+metric regresses beyond the tolerance (``REPRO_BENCH_TOLERANCE``,
+default 0.5 — i.e. a gated ratio may drift 50% with CI noise before the
+gate trips; the benches' own absolute asserts stay much tighter).  CI
+runs the gated benches, checks, then uploads every record as a workflow
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+DEFAULT_TOLERANCE = 0.5
+
+
+def record_path(name: str) -> str:
+    return os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+
+
+def main_record(
+    name: str,
+    run,
+    params: dict | None = None,
+    primary: str | None = None,
+    higher_is_better: bool = True,
+) -> dict:
+    """Run a bench's experiment and persist its telemetry record.
+
+    ``run`` is the bench's ``run_experiment`` (gates assert inside it —
+    a failed gate still raises before any record is written, so a
+    regression can never overwrite a good baseline with a bad one).
+    When ``primary`` is named, ``run``'s return value is recorded as the
+    regression-gated metric.
+    """
+    import _tables
+
+    _tables.drain_tables()  # a fresh capture window for this bench
+    start = time.perf_counter()
+    value = run()
+    duration = time.perf_counter() - start
+    record: dict = {
+        "bench": name,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "duration_s": round(duration, 3),
+        "params": dict(params or {}),
+        "tables": _tables.drain_tables(),
+    }
+    if primary is not None and value is not None:
+        record["primary"] = {
+            "name": primary,
+            "value": round(float(value), 6),
+            "higher_is_better": bool(higher_is_better),
+        }
+    try:
+        from repro.obs import registry
+
+        record["metrics"] = registry().snapshot()
+    except Exception:  # pragma: no cover - obs must never fail a bench
+        record["metrics"] = {}
+    path = record_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\ntelemetry record written to {os.path.relpath(path, os.getcwd())}")
+    return record
+
+
+# ----------------------------------------------------------------------
+# regression comparison against the committed baseline
+# ----------------------------------------------------------------------
+def load_committed(name: str) -> dict | None:
+    """The record committed at HEAD, or None when there is no baseline."""
+    result = subprocess.run(
+        ["git", "show", f"HEAD:BENCH_{name}.json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        return None
+    try:
+        return json.loads(result.stdout)
+    except ValueError:
+        return None
+
+
+def check(names: list[str], tolerance: float | None = None) -> int:
+    """Compare fresh records against committed baselines; 0 = all pass."""
+    if tolerance is None:
+        tolerance = float(
+            os.environ.get("REPRO_BENCH_TOLERANCE", str(DEFAULT_TOLERANCE)),
+        )
+    failures: list[str] = []
+    for name in names:
+        path = record_path(name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: no record at {path} — run the bench first")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            current = json.load(handle)
+        committed = load_committed(name)
+        if committed is None:
+            print(f"{name}: no committed baseline yet — pass (first record)")
+            continue
+        current_primary = current.get("primary")
+        committed_primary = committed.get("primary")
+        if not current_primary or not committed_primary:
+            print(f"{name}: record-only (no primary metric) — pass")
+            continue
+        value = float(current_primary["value"])
+        base = float(committed_primary["value"])
+        metric = current_primary.get("name", "primary")
+        if current_primary.get("higher_is_better", True):
+            bound = base * (1.0 - tolerance)
+            ok = value >= bound
+            detail = (
+                f"{metric} {value:.3f} vs baseline {base:.3f} "
+                f"(floor {bound:.3f})"
+            )
+        else:
+            bound = base * (1.0 + tolerance)
+            ok = value <= bound
+            detail = (
+                f"{metric} {value:.3f} vs baseline {base:.3f} "
+                f"(ceiling {bound:.3f})"
+            )
+        print(f"{name}: {detail} — {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(f"{name}: {detail}")
+    if failures:
+        print("\nbenchmark regressions beyond tolerance "
+              f"{tolerance:.2f}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(names)} benchmark records within tolerance {tolerance:.2f}")
+    return 0
+
+
+def _main(argv: list[str]) -> int:
+    if not argv or argv[0] != "check":
+        print(
+            "usage: python benchmarks/_harness.py check [--tolerance X] "
+            "bench_name [bench_name ...]",
+            file=sys.stderr,
+        )
+        return 2
+    args = argv[1:]
+    tolerance = None
+    if args and args[0] == "--tolerance":
+        if len(args) < 2:
+            print("--tolerance needs a value", file=sys.stderr)
+            return 2
+        tolerance = float(args[1])
+        args = args[2:]
+    if not args:
+        print("pass at least one bench name", file=sys.stderr)
+        return 2
+    return check(args, tolerance=tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

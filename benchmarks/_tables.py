@@ -9,10 +9,28 @@ Every ``bench_e*.py`` module is both
 
 from __future__ import annotations
 
+# Every table printed since the last drain, as structured rows — the
+# telemetry harness (benchmarks/_harness.py) drains this into the
+# BENCH_<name>.json record, so benches need no changes beyond routing
+# their __main__ through the harness.
+_captured: list[dict] = []
+
+
+def drain_tables() -> list[dict]:
+    """Structured copies of every table printed since the last drain."""
+    drained = list(_captured)
+    _captured.clear()
+    return drained
+
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     """Render an aligned plain-text table (the experiment report format)."""
     table = [headers] + [[str(cell) for cell in row] for row in rows]
+    _captured.append({
+        "title": title,
+        "headers": list(headers),
+        "rows": [row[:] for row in table[1:]],
+    })
     widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
     print(f"\n== {title} ==")
     for index, row in enumerate(table):

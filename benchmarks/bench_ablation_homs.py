@@ -78,4 +78,6 @@ def test_bench_dp(benchmark, index):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_ablation_homs", run_experiment)

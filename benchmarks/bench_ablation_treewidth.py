@@ -83,4 +83,6 @@ def test_bench_heuristic(benchmark, index):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_ablation_treewidth", run_experiment)

@@ -88,4 +88,6 @@ def test_bench_oracle(benchmark, level):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_ablation_wl", run_experiment)

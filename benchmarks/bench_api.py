@@ -46,7 +46,7 @@ def time_best(fn, passes: int = PASSES) -> float:
     return best
 
 
-def run_experiment() -> None:
+def run_experiment() -> float:
     patterns, targets = workload()
     engine = HomEngine()
     session = Session(executor=LocalExecutor(engine=engine))
@@ -101,6 +101,7 @@ def run_experiment() -> None:
         f"Session dispatch overhead {overhead * 100:.1f}% exceeds the "
         f"{(GATE - 1) * 100:.0f}% gate"
     )
+    return through_session / direct
 
 
 def test_bench_direct_engine(benchmark):
@@ -139,4 +140,6 @@ def test_bench_session_dispatch(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_api", run_experiment, params={"gate": 1.05}, primary="session_vs_direct_ratio", higher_is_better=False)

@@ -117,7 +117,7 @@ def run_incremental(host, batch_plan):
     return elapsed, values, dynamic
 
 
-def run_experiment() -> None:
+def run_experiment() -> float:
     host = base_target()
     batch_plan = sliding_window_batches(host)
     changed = sum(len(a) + len(r) for a, r in batch_plan)
@@ -159,6 +159,7 @@ def run_experiment() -> None:
     assert speedup >= GATE, (
         f"incremental speedup {speedup:.2f}x below the {GATE:.0f}x gate"
     )
+    return speedup
 
 
 @pytest.fixture(scope="module")
@@ -180,4 +181,6 @@ def test_bench_incremental(benchmark, workload):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_dynamic", run_experiment, params={"gate": 5.0}, primary="speedup_vs_recompute", higher_is_better=True)

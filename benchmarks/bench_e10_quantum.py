@@ -128,4 +128,6 @@ def test_bench_union_translation(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e10_quantum", run_experiment)

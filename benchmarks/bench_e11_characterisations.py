@@ -90,4 +90,6 @@ def test_bench_characterisations_agree(benchmark, level):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e11_characterisations", run_experiment)

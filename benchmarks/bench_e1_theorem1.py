@@ -125,4 +125,6 @@ def test_bench_lower_bound_witness_star2(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e1_theorem1", run_experiment)

@@ -77,4 +77,6 @@ def test_bench_separating_query_search(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e2_corollary2", run_experiment)

@@ -100,4 +100,6 @@ def test_bench_star_dimension_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e3_acyclic", run_experiment)

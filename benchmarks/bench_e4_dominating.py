@@ -108,4 +108,6 @@ def test_bench_quantum_expansion(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e4_dominating", run_experiment)

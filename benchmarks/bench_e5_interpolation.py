@@ -75,4 +75,6 @@ def test_bench_direct_counting_baseline(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e5_interpolation", run_experiment)

@@ -117,4 +117,6 @@ def test_bench_wl_equivalence_k4_pair(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e6_cfi", run_experiment)

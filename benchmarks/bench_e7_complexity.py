@@ -106,4 +106,6 @@ def test_bench_dp_scaling(benchmark, n):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e7_complexity", run_experiment)

@@ -124,4 +124,6 @@ def test_bench_clone_search(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e8_lowerbound", run_experiment)

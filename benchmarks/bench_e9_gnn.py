@@ -85,4 +85,6 @@ def test_bench_minimum_order_battery(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_e9_gnn", run_experiment)

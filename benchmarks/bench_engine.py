@@ -42,7 +42,7 @@ def workloads():
     ]
 
 
-def run_experiment() -> None:
+def run_experiment() -> float:
     # Matrix plans import numpy lazily; pay that one-time cost outside the
     # timed region so the table reflects steady-state per-call behaviour.
     from repro.graphs.matrices import count_walks
@@ -84,6 +84,7 @@ def run_experiment() -> None:
     speedup = overall_seed / overall_engine
     print(f"\noverall speedup: {speedup:.1f}x (gate: >= 3x)")
     assert speedup >= 3.0, f"engine speedup {speedup:.2f}x below the 3x gate"
+    return speedup
 
 
 @pytest.mark.parametrize(
@@ -112,4 +113,6 @@ def test_bench_engine(benchmark, index):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_engine", run_experiment, params={"gate": 3.0}, primary="speedup_vs_seed", higher_is_better=True)

@@ -214,7 +214,7 @@ def _partition(colours):
     return {frozenset(block) for block in blocks.values()}
 
 
-def run_experiment() -> None:
+def run_experiment() -> float:
     rows = []
     overall_seed = 0.0
     overall_indexed = 0.0
@@ -278,6 +278,7 @@ def run_experiment() -> None:
     speedup = overall_seed / overall_indexed
     print(f"\noverall speedup: {speedup:.1f}x (gate: >= 3x)")
     assert speedup >= 3.0, f"kernel speedup {speedup:.2f}x below the 3x gate"
+    return speedup
 
 
 @pytest.mark.parametrize("index", range(2), ids=["seed", "indexed"])
@@ -307,4 +308,6 @@ def test_bench_dp(benchmark, index):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_kernel", run_experiment, params={"gate": 3.0}, primary="speedup_vs_seed", higher_is_better=True)

@@ -75,7 +75,7 @@ def service_concurrent(requests, workers: int = 4) -> tuple[list[int], dict]:
     return asyncio.run(main())
 
 
-def run_experiment() -> None:
+def run_experiment() -> float:
     # Pay numpy's lazy import outside the timed regions.
     from repro.graphs.matrices import count_walks
 
@@ -111,6 +111,7 @@ def run_experiment() -> None:
     speedup = cold_time / service_time
     print(f"\noverall speedup: {speedup:.1f}x (gate: >= 3x)")
     assert speedup >= 3.0, f"service speedup {speedup:.2f}x below the 3x gate"
+    return speedup
 
 
 @pytest.mark.parametrize("index", range(len(request_mix())))
@@ -141,4 +142,6 @@ def test_service_results_match_cold_baseline():
 
 
 if __name__ == "__main__":
-    run_experiment()
+    from _harness import main_record
+
+    main_record("bench_service", run_experiment, params={"gate": 3.0}, primary="speedup_vs_cold", higher_is_better=True)

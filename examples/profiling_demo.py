@@ -1,0 +1,99 @@
+"""Demo — the sampling profiler, cost accounting, and slow-query log.
+
+Three follow-ups to ``observability_demo.py``, answering the operator's
+next questions:
+
+1. **Where does the time go inside a task?** — run cold hom-count tasks
+   under the sampling profiler and print span-attributed collapsed
+   stacks (flame-graph input: ``span;outer;…;leaf count``).
+2. **What did one task cost?** — ``result.cost`` buckets the span tree
+   into compile / execute / encode / lookup; ``.explain()`` renders the
+   same block inline.
+3. **Which requests were slow?** — drop the slow-query threshold, drive
+   a loopback server, and read ``GET /slow-queries``: each entry carries
+   the canonical task key, plan explain output, cost breakdown, and
+   trace id.
+
+Run with::
+
+    PYTHONPATH=src python examples/profiling_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.api import HomCountTask, Session
+from repro.graphs import cycle_graph, path_graph, random_graph
+from repro.obs import (
+    SamplingProfiler,
+    render_cost,
+    set_trace_sampling,
+)
+from repro.service import BackgroundServer, ServiceClient
+
+
+def main() -> None:
+    set_trace_sampling(1)  # deterministic rings for the demo
+    host = random_graph(60, 0.15, seed=23)
+
+    # ------------------------------------------------------------------
+    # 1. span-attributed sampling profile of cold engine work
+    # ------------------------------------------------------------------
+    session = Session()
+    session.register("hosts", host)
+    patterns = [path_graph(5), cycle_graph(5), cycle_graph(6)]
+
+    profiler = SamplingProfiler(interval_ms=1.0)
+    profiler.start()
+    try:
+        results = [
+            session.run(HomCountTask(pattern, "hosts"))
+            for pattern in patterns
+        ]
+    finally:
+        snapshot = profiler.stop()
+
+    print(
+        f"profiler: {snapshot['samples']} samples over "
+        f"{snapshot['elapsed_s']:.2f}s, "
+        f"{snapshot['distinct_stacks']} distinct stacks",
+    )
+    print("samples by span:", snapshot["spans"])
+    print("\nheaviest collapsed stacks (flame-graph input):")
+    for line in profiler.render_collapsed().splitlines()[:5]:
+        print(f"  {line}")
+
+    # ------------------------------------------------------------------
+    # 2. per-task cost: where one result's milliseconds went
+    # ------------------------------------------------------------------
+    cold = results[0]
+    print("\ncold task cost breakdown:")
+    print(render_cost(cold.cost))
+    warm = session.run(HomCountTask(patterns[0], "hosts"))
+    print("\nwarm repeat (pure lookup):")
+    print(render_cost(warm.cost))
+
+    # ------------------------------------------------------------------
+    # 3. the slow-query log over the wire
+    # ------------------------------------------------------------------
+    with BackgroundServer(workers=2) as server:
+        client = ServiceClient(port=server.port)
+        client.register_graph("hosts", host)
+        client.slow_queries(threshold_ms=0.0)  # capture everything
+        client.count(cycle_graph(5), "hosts")
+        client.count(cycle_graph(5), "hosts")  # warm → all-lookup cost
+
+        log = client.slow_queries(limit=5)
+        print(f"\nslow-query log ({len(log['slow_queries'])} entries):")
+        for entry in log["slow_queries"]:
+            cost = entry["cost"] or {}
+            print(
+                f"  #{entry['seq']}  {entry['elapsed_ms']:.3f} ms  "
+                f"{entry['kind']}  cached={entry['cached']}  "
+                f"[trace {entry['trace_id']}]  "
+                f"execute={cost.get('execute_ms', 0.0):.3f} ms  "
+                f"lookup={cost.get('lookup_ms', 0.0):.3f} ms",
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,15 @@ from repro.api.tasks import (
     WlDimensionTask,
 )
 from repro.errors import TaskError
-from repro.obs import leaf_span, registry as _metrics_registry, span
+from repro.obs import (
+    child_span,
+    cost_breakdown,
+    leaf_span,
+    maybe_record as _slowlog_record,
+    observe_task_cost,
+    registry as _metrics_registry,
+    span,
+)
 
 # Per-executor resolution memo bound; evicted entries are simply re-resolved
 # (and maintained handles re-subscribed) on next use.
@@ -58,6 +66,20 @@ def _count_task(kind: str, executor: str) -> None:
         child = family.labels(kind=kind, executor=executor)
         _task_children[(kind, executor)] = child
     child.inc()
+
+
+def _finish_task(task: Task, result: Result, sp) -> Result:
+    """Post-run telemetry shared by every in-process execution path.
+
+    Phase-cost histograms only when the span tree has children — i.e.
+    some real compile/execute/encode work ran; a warm cache hit skips
+    the tree walk entirely.  The slow-query check is one float compare
+    for fast results.
+    """
+    if sp.children and sp.live:
+        observe_task_cost(result.kind, result.backend, cost_breakdown(sp))
+    _slowlog_record(task, result)
+    return result
 
 
 class _PreparedCache:
@@ -138,14 +160,14 @@ class Executor:
         provenance: dict = {"query": task.query, "logic": logic}
         if sp.live:
             provenance["trace"] = sp
-        return Result(
+        return _finish_task(task, Result(
             kind=task.kind,
             value=value,
             executor=self.name,
             backend="exact",
             provenance=provenance,
             elapsed_ms=sp.duration_ms,
-        )
+        ), sp)
 
 
 def _graph_summary(graph) -> dict:
@@ -280,7 +302,7 @@ class LocalExecutor(Executor):
                     )
             else:
                 target_name = _graph_summary(task.target)
-                target_id = self._prepared_target_id(task)
+                target_id = self._prepared_target_id(task, sp)
                 value, cached = engine.count_detailed(
                     pattern, task.target, target_id=target_id, parent_span=sp,
                 )
@@ -294,7 +316,7 @@ class LocalExecutor(Executor):
         if sp.live:
             sp.attrs["cached"] = cached
             provenance["trace"] = sp
-        return Result(
+        return _finish_task(task, Result(
             kind=task.kind,
             value=value,
             executor=self.name,
@@ -303,16 +325,17 @@ class LocalExecutor(Executor):
             version=version,
             provenance=provenance,
             elapsed_ms=sp.duration_ms,
-        )
+        ), sp)
 
-    def _prepared_target_id(self, task: HomCountTask) -> tuple:
+    def _prepared_target_id(self, task: HomCountTask, parent=None) -> tuple:
         """The inline target's engine cache key, fingerprinted once per spec."""
         key = task.cache_key()
         target_id = self._prepared.get(key)
         if target_id is None:
             from repro.engine.cache import target_key
 
-            target_id = target_key(task.target)
+            with child_span(parent, "task.encode.target"):
+                target_id = target_key(task.target)
             self._prepared.put(key, target_id)
         return target_id
 
@@ -340,7 +363,7 @@ class LocalExecutor(Executor):
         }
         if sp.live:
             provenance["trace"] = sp
-        return Result(
+        return _finish_task(task, Result(
             kind=task.kind,
             value=value,
             executor=self.name,
@@ -348,7 +371,7 @@ class LocalExecutor(Executor):
             version=version,
             provenance=provenance,
             elapsed_ms=sp.duration_ms,
-        )
+        ), sp)
 
     def _run_kg_answer_count(self, task: KgAnswerCountTask) -> Result:
         from repro.service.wire import kg_query_to_spec
@@ -361,7 +384,7 @@ class LocalExecutor(Executor):
                 encoding, target_id = serving.kg_encoding, serving.target_id
                 version, target_name = serving.version, task.target
             else:
-                encoding, target_id = self._prepared_kg_encoding(task)
+                encoding, target_id = self._prepared_kg_encoding(task, sp)
                 target_name = _kg_summary(task.target)
             value = self.kg_answer_count(
                 task.query, encoding, target_id=target_id,
@@ -373,7 +396,7 @@ class LocalExecutor(Executor):
         }
         if sp.live:
             provenance["trace"] = sp
-        return Result(
+        return _finish_task(task, Result(
             kind=task.kind,
             value=value,
             executor=self.name,
@@ -381,9 +404,9 @@ class LocalExecutor(Executor):
             version=version,
             provenance=provenance,
             elapsed_ms=sp.duration_ms,
-        )
+        ), sp)
 
-    def _prepared_kg_encoding(self, task: KgAnswerCountTask):
+    def _prepared_kg_encoding(self, task: KgAnswerCountTask, parent=None):
         """Gadget-encode an inline KG target once per spec."""
         key = task.cache_key()
         entry = self._prepared.get(key)
@@ -391,8 +414,9 @@ class LocalExecutor(Executor):
             from repro.engine.cache import target_key
             from repro.kg.engine_bridge import encode_kg
 
-            encoding = encode_kg(task.target)
-            entry = (encoding, target_key(encoding.graph))
+            with child_span(parent, "task.encode.kg"):
+                encoding = encode_kg(task.target)
+                entry = (encoding, target_key(encoding.graph))
             self._prepared.put(key, entry)
         return entry
 
@@ -508,7 +532,7 @@ class DynamicExecutor(Executor):
         provenance = self._provenance(task, target_name)
         if sp.live:
             provenance["trace"] = sp
-        return Result(
+        return _finish_task(task, Result(
             kind=task.kind,
             value=value,
             executor=self.name,
@@ -516,7 +540,7 @@ class DynamicExecutor(Executor):
             version=handle.version,
             provenance=provenance,
             elapsed_ms=sp.duration_ms,
-        )
+        ), sp)
 
     def _provenance(self, task: Task, target_name) -> dict:
         if isinstance(task, HomCountTask):

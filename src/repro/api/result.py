@@ -40,6 +40,19 @@ class Result:
         a wire round-trip), or ``None`` when tracing was disabled."""
         return self.provenance.get("trace")
 
+    @property
+    def cost(self) -> Mapping | None:
+        """Phase cost breakdown (compile/execute/encode/lookup ms + work
+        counters), derived lazily from the span tree — or the precomputed
+        dict a wire round-trip carried over.  ``None`` when tracing was
+        disabled."""
+        precomputed = self.provenance.get("cost")
+        if precomputed is not None:
+            return precomputed
+        from repro.obs.cost import cost_breakdown
+
+        return cost_breakdown(self.trace)
+
     def explain(self) -> str:
         """A multi-line, human-readable account of how the value was made."""
         lines = [f"{self.kind}: {self.value!r}"]
@@ -51,10 +64,17 @@ class Result:
         if self.version is not None:
             lines.append(f"  version    {self.version}")
         for key in sorted(self.provenance):
-            if key == "trace":
+            if key in ("trace", "cost"):
                 continue
             lines.append(f"  {key:10s} {self.provenance[key]!r}")
         lines.append(f"  elapsed    {self.elapsed_ms:.3f} ms")
+        cost = self.cost
+        if cost is not None:
+            from repro.obs.cost import render_cost
+
+            lines.append("  cost")
+            for cost_line in render_cost(cost).splitlines():
+                lines.append(f"    {cost_line}")
         trace = self.trace
         if trace is not None:
             from repro.obs.trace import render_span

@@ -418,6 +418,138 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: sample this process while an inner repro
+    command runs, or inspect/control a running service's profiler."""
+    from repro.obs import profile_snapshot, start_profiling, stop_profiling
+
+    if args.port is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(host=args.host, port=args.port)
+        if args.start:
+            payload = client.profile_start(
+                interval_ms=args.interval_ms, keep_idle=args.keep_idle,
+            )
+            print(json.dumps(payload, indent=2))
+            return 0
+        if args.stop:
+            snapshot = client.profile_stop()
+        elif args.collapsed:
+            text = client.profile_collapsed()
+            print(text, end="" if text.endswith("\n") or not text else "\n")
+            return 0
+        else:
+            snapshot = client.profile()
+        _print_profile(snapshot, args)
+        return 0
+    if not args.cmd:
+        raise ReproError(
+            "pass a repro command to profile (e.g. `repro profile -- trace "
+            "'q(x) :- E(x, y)'`), or --port to talk to a running service",
+        )
+    inner = list(args.cmd)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        raise ReproError("nothing to profile after '--'")
+    if inner[0] in ("profile",):
+        raise ReproError("refusing to profile `repro profile` recursively")
+    start_profiling(interval_ms=args.interval_ms, keep_idle=args.keep_idle)
+    try:
+        exit_code = main(inner)
+    finally:
+        snapshot = stop_profiling()
+    _print_profile(snapshot, args)
+    return exit_code
+
+
+def _print_profile(snapshot: dict, args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps({"kind": "profile", "profile": snapshot}, indent=2))
+        return
+    if args.collapsed:
+        from repro.obs import render_collapsed
+
+        text = render_collapsed()
+        if text:
+            print(text, end="")
+        return
+    print(
+        f"profile: {snapshot['samples']} samples over "
+        f"{snapshot['elapsed_s']}s (interval {snapshot['interval_ms']} ms, "
+        f"{snapshot['idle_skipped']} idle skipped)",
+    )
+    spans = snapshot.get("spans", {})
+    if spans:
+        print("samples by span:")
+        width = max(len(name) for name in spans)
+        for name, count in sorted(
+            spans.items(), key=lambda item: (-item[1], item[0]),
+        ):
+            print(f"  {name:<{width}}  {count}")
+    top = snapshot.get("stacks", [])[: args.top]
+    if top:
+        print(f"heaviest stacks (top {len(top)}):")
+        for stack in top:
+            label = stack["span"] if stack["span"] is not None else "-"
+            print(f"  {stack['samples']:>6}  [{label}]")
+            for frame in stack["frames"][-args.depth:]:
+                print(f"          {frame}")
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    """``repro slowlog``: the slow-query log — local process, or a
+    running service's with ``--port``."""
+    if args.port is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(host=args.host, port=args.port)
+        payload = client.slow_queries(
+            limit=args.limit, threshold_ms=args.threshold_ms,
+        )
+    else:
+        from repro.obs import (
+            set_slowlog_threshold_ms,
+            slow_queries,
+            slowlog_threshold_ms,
+        )
+
+        if args.threshold_ms is not None:
+            set_slowlog_threshold_ms(args.threshold_ms)
+        payload = {
+            "kind": "slow-queries",
+            "threshold_ms": slowlog_threshold_ms(),
+            "slow_queries": slow_queries(args.limit),
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    entries = payload["slow_queries"]
+    print(
+        f"slow-query log: {len(entries)} entries "
+        f"(threshold {payload['threshold_ms']} ms)",
+    )
+    for entry in entries:
+        trace_id = entry.get("trace_id") or "-"
+        print(
+            f"  #{entry['seq']}  {entry['elapsed_ms']:.3f} ms  "
+            f"{entry['kind']}  [{entry['executor']}]  trace {trace_id}",
+        )
+        cost = entry.get("cost")
+        if cost:
+            print(
+                f"      compile {cost['compile_ms']:.3f}  "
+                f"execute {cost['execute_ms']:.3f}  "
+                f"encode {cost['encode_ms']:.3f}  "
+                f"lookup {cost['lookup_ms']:.3f} ms",
+            )
+        if args.explain:
+            for line in entry.get("explain", "").splitlines():
+                print(f"      {line}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_server
 
@@ -743,6 +875,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--json", action="store_true", help=json_help)
     trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="sample-profile an inner repro command (span-attributed, "
+        "flame-graph output), or a running service with --port",
+    )
+    profile.add_argument(
+        "--interval-ms", type=float, default=5.0,
+        help="sampling interval in milliseconds",
+    )
+    profile.add_argument(
+        "--keep-idle", action="store_true",
+        help="keep samples of threads parked in blocking calls",
+    )
+    profile.add_argument(
+        "--collapsed", action="store_true",
+        help="emit collapsed-stack text (flamegraph.pl / speedscope input)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=5,
+        help="heaviest stacks to show in the summary",
+    )
+    profile.add_argument(
+        "--depth", type=int, default=6,
+        help="innermost frames to show per stack in the summary",
+    )
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument(
+        "--port", type=int, default=None,
+        help="talk to a running service's profiler instead of sampling "
+        "this process",
+    )
+    profile.add_argument(
+        "--start", action="store_true",
+        help="with --port: start the service's profiler",
+    )
+    profile.add_argument(
+        "--stop", action="store_true",
+        help="with --port: stop the service's profiler and print the profile",
+    )
+    profile.add_argument("--json", action="store_true", help=json_help)
+    profile.add_argument(
+        "cmd", nargs=argparse.REMAINDER,
+        help="repro command to run under the profiler (prefix with --)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    slowlog = sub.add_parser(
+        "slowlog",
+        help="print the slow-query log (local process, or a running "
+        "service with --port)",
+    )
+    slowlog.add_argument("--limit", type=int, default=20)
+    slowlog.add_argument(
+        "--threshold-ms", type=float, default=None,
+        help="retune the capture threshold before reading",
+    )
+    slowlog.add_argument(
+        "--explain", action="store_true",
+        help="print each entry's full explain output",
+    )
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=None)
+    slowlog.add_argument("--json", action="store_true", help=json_help)
+    slowlog.set_defaults(func=_cmd_slowlog)
 
     serve = sub.add_parser(
         "serve", help="run the counting service (HTTP/JSON, stdlib only)",

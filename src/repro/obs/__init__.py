@@ -15,8 +15,26 @@ Three pieces, all stdlib-only:
 * :mod:`repro.obs.logging` — structured (key=value / JSON) stdlib
   logging with per-subsystem loggers and a ``REPRO_LOG`` env switch;
   log lines carry the current trace id.
+
+Plus the performance-telemetry layer built on the span substrate:
+
+* :mod:`repro.obs.profile` — a span-attributed sampling profiler
+  (daemon thread over ``sys._current_frames()``), start/stoppable at
+  runtime, emitting collapsed-stack / flame-graph output.
+* :mod:`repro.obs.cost` — per-task cost breakdowns
+  (compile/execute/encode/lookup) derived lazily from span trees and
+  exported as the ``repro_task_phase_ms`` histogram family.
+* :mod:`repro.obs.slowlog` — a bounded ring of task executions over a
+  latency threshold, each entry carrying the canonical task key, plan,
+  cost breakdown, and trace id.
 """
 
+from repro.obs.cost import (
+    COST_PHASES,
+    cost_breakdown,
+    observe_task_cost,
+    render_cost,
+)
 from repro.obs.logging import (
     configure_from_env,
     configure_logging,
@@ -30,6 +48,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
     family_snapshot,
     registry,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    profile_snapshot,
+    profiling_active,
+    render_collapsed,
+    start_profiling,
+    stop_profiling,
+)
+from repro.obs.slowlog import (
+    clear_slow_queries,
+    maybe_record,
+    set_slowlog_limit,
+    set_slowlog_threshold_ms,
+    slow_queries,
+    slowlog_limit,
+    slowlog_threshold_ms,
 )
 from repro.obs.trace import (
     Span,
@@ -53,32 +88,49 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "COST_PHASES",
     "DEFAULT_MS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "MetricFamily",
     "MetricsRegistry",
+    "SamplingProfiler",
     "Span",
     "bind_current_context",
     "child_span",
+    "clear_slow_queries",
     "clear_traces",
     "configure_from_env",
     "configure_logging",
+    "cost_breakdown",
     "current_span",
     "current_trace_id",
     "family_snapshot",
     "get_logger",
     "leaf_span",
     "log_event",
+    "maybe_record",
+    "observe_task_cost",
+    "profile_snapshot",
+    "profiling_active",
     "recent_traces",
     "registry",
+    "render_collapsed",
+    "render_cost",
     "render_span",
     "set_slow_threshold_ms",
+    "set_slowlog_limit",
+    "set_slowlog_threshold_ms",
     "set_trace_sampling",
     "set_tracing",
+    "slow_queries",
     "slow_threshold_ms",
     "slow_traces",
+    "slowlog_limit",
+    "slowlog_threshold_ms",
     "span",
     "span_to_dict",
+    "start_profiling",
+    "stop_profiling",
     "trace_sampling",
     "tracing_enabled",
 ]

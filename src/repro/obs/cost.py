@@ -1,0 +1,158 @@
+"""Per-task cost accounting assembled from span trees.
+
+A task's span tree already times every phase the stack went through —
+``engine.compile``, ``engine.execute``, ``task.encode`` children under
+the task span — so the cost breakdown is *derived*, not separately
+measured: :func:`cost_breakdown` walks the tree once and buckets child
+durations into compile / execute / encode, with the unattributed
+remainder (cache lookups, key canonicalisation, dispatch) reported as
+``lookup_ms``.  On a warm cache hit there are no phase children at all
+and the whole elapsed time is lookup — exactly the right reading.
+
+The walk runs lazily — in ``Result.explain()``, when a result is
+serialised to the wire, and when the slow-query log captures an entry —
+never on the warm per-call path, so cost accounting adds nothing to the
+bench_obs overhead budget.
+
+:func:`observe_task_cost` feeds the breakdown into the
+``repro_task_phase_ms`` histogram family (labels ``kind`` × ``backend``
+× ``phase``), giving ``/metrics`` a longitudinal per-phase latency
+distribution to set the compiled-kernel and scale-out work against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, registry
+
+__all__ = [
+    "COST_PHASES",
+    "cost_breakdown",
+    "render_cost",
+    "observe_task_cost",
+]
+
+# Phase attribution by span name.  Exact names first; ``task.encode``
+# spans carry a suffix (``task.encode.target`` / ``task.encode.kg``), so
+# encode matches by prefix.  A matching span claims its whole subtree —
+# nested phase spans (execute under compile would be a bug anyway) are
+# not double counted.
+COST_PHASES = ("compile", "execute", "encode", "lookup")
+
+_EXACT_PHASE = {
+    "engine.compile": "compile",
+    "engine.execute": "execute",
+}
+_ENCODE_PREFIX = "task.encode"
+
+
+def _node_fields(node) -> tuple[str, float, tuple]:
+    """(name, duration_ms, children) for a live Span or a wire dict."""
+    if isinstance(node, Mapping):
+        return (
+            node.get("name", ""),
+            float(node.get("duration_ms", 0.0)),
+            tuple(node.get("children", ())),
+        )
+    return node.name, node.duration_ms, tuple(node.children)
+
+
+def _phase_of(name: str) -> str | None:
+    phase = _EXACT_PHASE.get(name)
+    if phase is not None:
+        return phase
+    if name.startswith(_ENCODE_PREFIX):
+        return "encode"
+    return None
+
+
+def cost_breakdown(trace) -> dict | None:
+    """Bucket a span tree's time into compile/execute/encode/lookup.
+
+    ``trace`` is a live :class:`~repro.obs.trace.Span` or the dict a wire
+    round-trip turned it into (``Result.trace`` either way); ``None`` in,
+    ``None`` out, so callers need no tracing-enabled conditionals.
+
+    Returns ``{"total_ms", "compile_ms", "execute_ms", "encode_ms",
+    "lookup_ms", "compile_spans", "execute_spans", "encode_spans",
+    "span_count"}`` — the ``*_spans`` counts are the work counters (how
+    many compiles/executions/encodings actually ran; all zero means the
+    task was served entirely from cache and ``lookup_ms == total_ms``).
+    """
+    if trace is None:
+        return None
+    name, total_ms, children = _node_fields(trace)
+    phase_ms = {"compile": 0.0, "execute": 0.0, "encode": 0.0}
+    phase_spans = {"compile": 0, "execute": 0, "encode": 0}
+    span_count = 1
+    stack = list(children)
+    while stack:
+        node = stack.pop()
+        node_name, node_ms, node_children = _node_fields(node)
+        span_count += 1
+        phase = _phase_of(node_name)
+        if phase is not None:
+            phase_ms[phase] += node_ms
+            phase_spans[phase] += 1
+            # the phase span claims its subtree; count descendants but
+            # don't re-bucket them
+            tail = list(node_children)
+            while tail:
+                inner = tail.pop()
+                _, _, inner_children = _node_fields(inner)
+                span_count += 1
+                tail.extend(inner_children)
+        else:
+            stack.extend(node_children)
+    attributed = sum(phase_ms.values())
+    return {
+        "total_ms": round(total_ms, 3),
+        "compile_ms": round(phase_ms["compile"], 3),
+        "execute_ms": round(phase_ms["execute"], 3),
+        "encode_ms": round(phase_ms["encode"], 3),
+        "lookup_ms": round(max(total_ms - attributed, 0.0), 3),
+        "compile_spans": phase_spans["compile"],
+        "execute_spans": phase_spans["execute"],
+        "encode_spans": phase_spans["encode"],
+        "span_count": span_count,
+    }
+
+
+def render_cost(cost: Mapping) -> str:
+    """One-line-per-phase text (the ``.explain()`` cost block body)."""
+    lines = [f"total    {cost['total_ms']:.3f} ms"]
+    for phase in ("compile", "execute", "encode"):
+        ms = cost.get(f"{phase}_ms", 0.0)
+        spans = cost.get(f"{phase}_spans", 0)
+        if spans:
+            lines.append(f"{phase:8s} {ms:.3f} ms  ({spans} span(s))")
+    lines.append(f"lookup   {cost.get('lookup_ms', 0.0):.3f} ms")
+    return "\n".join(lines)
+
+
+def _phase_family():
+    return registry().histogram(
+        "repro_task_phase_ms",
+        help="Per-task time by phase (compile/execute/encode/lookup)",
+        labelnames=("kind", "backend", "phase"),
+        buckets=DEFAULT_MS_BUCKETS,
+    )
+
+
+def observe_task_cost(kind: str, backend, cost: Mapping | None) -> None:
+    """Record a task's phase breakdown in ``repro_task_phase_ms``.
+
+    Call sites keep this off the warm path: executors only observe when
+    the span tree has children (i.e. some real phase work happened), so
+    a warm cache hit costs nothing here.
+    """
+    if cost is None:
+        return
+    family = _phase_family()
+    backend_label = backend if backend is not None else "-"
+    for phase in COST_PHASES:
+        ms = cost.get(f"{phase}_ms", 0.0)
+        if phase != "lookup" and not cost.get(f"{phase}_spans", 0):
+            continue
+        family.labels(kind=kind, backend=backend_label, phase=phase).observe(ms)

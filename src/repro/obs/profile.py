@@ -1,0 +1,302 @@
+"""Span-attributed sampling profiler — zero-dependency, start/stoppable.
+
+A :class:`SamplingProfiler` wakes on its own daemon thread every
+``interval_ms``, snapshots every thread's frame stack via
+``sys._current_frames()`` (no ``sys.setprofile`` hooks — the profiled
+code runs completely unmodified), and aggregates the samples into
+collapsed stacks.  Each sample is attributed to the span that was
+current on the sampled thread at that instant: while a profiler runs,
+instrumented ``Span.__enter__``/``__exit__`` variants are swapped onto
+the span class that publish per-thread current spans in a table the
+sampler can read (contextvars are only readable from their own thread).
+Stopped, the original methods are restored, so the profiler-disabled
+span hot path carries **zero** profiler code — gated on the warm
+bench_api workload by ``benchmarks/bench_obs.py``.
+
+Output is flame-graph ready: :meth:`SamplingProfiler.render_collapsed`
+emits classic ``span;outer;inner <count>`` collapsed-stack lines
+(``flamegraph.pl`` / speedscope input), and :meth:`SamplingProfiler
+.snapshot` the JSON shape served by ``GET /profile``.  The module-level
+:func:`start_profiling` / :func:`stop_profiling` pair manages one
+process-global profiler for the service routes and ``repro profile``.
+
+Sampling bias to keep in mind: stacks are captured at interval
+boundaries, so anything shorter than the interval is seen
+probabilistically — counts estimate *where time is spent*, not how
+often a function is called.  Threads parked in known blocking calls
+(``wait``, ``select``, ``accept``…) are skipped by default so a mostly
+idle server profile shows work, not waiting; pass ``keep_idle=True``
+to keep them.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from time import perf_counter
+
+from repro.errors import ObservabilityError
+from repro.obs import trace as _trace
+
+__all__ = [
+    "SamplingProfiler",
+    "start_profiling",
+    "stop_profiling",
+    "profiling_active",
+    "profile_snapshot",
+    "render_collapsed",
+]
+
+DEFAULT_INTERVAL_MS = 5.0
+MAX_STACK_DEPTH = 48
+SNAPSHOT_STACK_LIMIT = 200
+
+# Leaf functions that mean "this thread is parked, not working".  The
+# sampler skips such samples by default: a serving process is mostly
+# blocked threads (selector loop, queue gets, pool waits), and keeping
+# them would bury the actual compute under idle stacks.
+IDLE_LEAF_FUNCTIONS = frozenset({
+    "wait", "wait_for", "_wait_for_tstate_lock", "select", "poll",
+    "epoll", "kqueue", "accept", "recv", "recv_into", "read", "readline",
+    "readinto", "get", "acquire", "sleep", "settrace", "_recv", "join",
+})
+
+
+def _rank_key(item) -> tuple:
+    """Heaviest first, then a total order (span name may be ``None``)."""
+    (span_name, frames), count = item
+    return (-count, span_name or "", frames)
+
+
+def _frame_label(frame) -> str:
+    """One stack entry: ``module.py:qualname`` (stable across runs)."""
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    # co_qualname (3.11+) distinguishes methods sharing a name.
+    name = getattr(code, "co_qualname", None) or code.co_name
+    return f"{filename}:{name}"
+
+
+class SamplingProfiler:
+    """Aggregate frame-stack samples attributed to the current span."""
+
+    def __init__(
+        self,
+        interval_ms: float = DEFAULT_INTERVAL_MS,
+        keep_idle: bool = False,
+    ) -> None:
+        interval_ms = float(interval_ms)
+        if not interval_ms > 0:
+            raise ObservabilityError(
+                f"profiler interval must be positive, got {interval_ms!r}",
+            )
+        self.interval_ms = interval_ms
+        self.keep_idle = bool(keep_idle)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+        self._elapsed_s = 0.0
+        # (span name | None, leaf-first frame tuple) -> sample count
+        self._stacks: dict[tuple, int] = {}
+        self._samples = 0
+        self._idle_skipped = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "SamplingProfiler":
+        with self._lock:
+            if self._thread is not None:
+                raise ObservabilityError("profiler is already running")
+            self._stop.clear()
+            self._started_at = perf_counter()
+            _trace._set_profile_hook(True)
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> dict:
+        """Stop sampling and return the final :meth:`snapshot`."""
+        with self._lock:
+            thread = self._thread
+            if thread is not None:
+                self._stop.set()
+        if thread is None:  # already stopped: snapshot re-locks, so
+            return self.snapshot()  # it must run outside the block
+        thread.join(timeout=5.0)
+        with self._lock:
+            self._thread = None
+            self._elapsed_s += perf_counter() - self._started_at
+            _trace._set_profile_hook(False)
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # sampling loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        interval_s = self.interval_ms / 1000.0
+        spans = _trace._profile_threads
+        while not self._stop.wait(interval_s):
+            # sys._current_frames() returns a materialised dict — safe to
+            # walk while the threads keep running; stacks are a snapshot
+            # of the instant the dict was built.
+            for ident, frame in sys._current_frames().items():
+                if ident == own_ident:
+                    continue
+                if not self.keep_idle and frame.f_code.co_name in IDLE_LEAF_FUNCTIONS:
+                    with self._lock:
+                        self._idle_skipped += 1
+                    continue
+                stack = []
+                depth = 0
+                while frame is not None and depth < MAX_STACK_DEPTH:
+                    stack.append(_frame_label(frame))
+                    frame = frame.f_back
+                    depth += 1
+                span = spans.get(ident)
+                key = (span.name if span is not None else None, tuple(stack))
+                with self._lock:
+                    self._stacks[key] = self._stacks.get(key, 0) + 1
+                    self._samples += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _elapsed(self) -> float:
+        if self._thread is not None:
+            return self._elapsed_s + (perf_counter() - self._started_at)
+        return self._elapsed_s
+
+    def snapshot(self, limit: int = SNAPSHOT_STACK_LIMIT) -> dict:
+        """The aggregated profile as a JSON-able dict (``GET /profile``).
+
+        ``stacks`` lists the heaviest collapsed stacks (root-first frame
+        order, capped at ``limit``); ``spans`` totals samples per
+        attributed span name (``None`` key rendered as ``"-"``).
+        """
+        with self._lock:
+            stacks = dict(self._stacks)
+            samples = self._samples
+            idle = self._idle_skipped
+            elapsed = self._elapsed()
+            running = self._thread is not None
+        by_span: dict[str, int] = {}
+        for (span_name, _), count in stacks.items():
+            label = span_name if span_name is not None else "-"
+            by_span[label] = by_span.get(label, 0) + count
+        ranked = sorted(stacks.items(), key=_rank_key)
+        return {
+            "running": running,
+            "interval_ms": self.interval_ms,
+            "elapsed_s": round(elapsed, 3),
+            "samples": samples,
+            "idle_skipped": idle,
+            "distinct_stacks": len(stacks),
+            "spans": {name: by_span[name] for name in sorted(by_span)},
+            "stacks": [
+                {
+                    "span": span_name,
+                    "frames": list(reversed(frames)),  # root-first
+                    "samples": count,
+                }
+                for (span_name, frames), count in ranked[:limit]
+            ],
+        }
+
+    def render_collapsed(self) -> str:
+        """Collapsed-stack text: ``span;root;…;leaf count`` per line.
+
+        The classic flame-graph input format — feed it straight to
+        ``flamegraph.pl`` or paste it into speedscope.  The attributed
+        span name is the first frame, so one flame graph shows where
+        each task kind spends its time.
+        """
+        with self._lock:
+            stacks = dict(self._stacks)
+        lines = []
+        for (span_name, frames), count in sorted(stacks.items(), key=_rank_key):
+            prefix = span_name if span_name is not None else "-"
+            lines.append(
+                ";".join([prefix, *reversed(frames)]) + f" {count}",
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop accumulated samples (the sampler keeps running)."""
+        with self._lock:
+            self._stacks.clear()
+            self._samples = 0
+            self._idle_skipped = 0
+            self._elapsed_s = 0.0
+            if self._thread is not None:
+                self._started_at = perf_counter()
+
+
+# ----------------------------------------------------------------------
+# the process-global profiler (service routes, CLI)
+# ----------------------------------------------------------------------
+_active: SamplingProfiler | None = None
+_active_lock = threading.Lock()
+
+
+def start_profiling(
+    interval_ms: float = DEFAULT_INTERVAL_MS, keep_idle: bool = False,
+) -> SamplingProfiler:
+    """Start the process-global profiler (off by default, one at a time)."""
+    global _active
+    with _active_lock:
+        if _active is not None and _active.running:
+            raise ObservabilityError("a profiler is already running")
+        profiler = SamplingProfiler(interval_ms=interval_ms, keep_idle=keep_idle)
+        profiler.start()
+        _active = profiler
+        return profiler
+
+
+def stop_profiling() -> dict:
+    """Stop the process-global profiler; returns its final snapshot.
+
+    The stopped profiler's samples stay readable through
+    :func:`profile_snapshot` until the next :func:`start_profiling`."""
+    with _active_lock:
+        if _active is None:
+            raise ObservabilityError("no profiler is running")
+        return _active.stop()
+
+
+def profiling_active() -> bool:
+    with _active_lock:
+        return _active is not None and _active.running
+
+
+def profile_snapshot(limit: int = SNAPSHOT_STACK_LIMIT) -> dict:
+    """The global profiler's snapshot (empty shape when never started)."""
+    with _active_lock:
+        profiler = _active
+    if profiler is None:
+        return {
+            "running": False,
+            "interval_ms": None,
+            "elapsed_s": 0.0,
+            "samples": 0,
+            "idle_skipped": 0,
+            "distinct_stacks": 0,
+            "spans": {},
+            "stacks": [],
+        }
+    return profiler.snapshot(limit)
+
+
+def render_collapsed() -> str:
+    """The global profiler's collapsed-stack text ("" when never started)."""
+    with _active_lock:
+        profiler = _active
+    return profiler.render_collapsed() if profiler is not None else ""

@@ -36,6 +36,7 @@ import os
 import threading
 from collections import deque
 from contextvars import ContextVar, Token, copy_context
+from threading import get_ident
 from time import perf_counter
 
 __all__ = [
@@ -90,7 +91,6 @@ _slow_append = _slow.append
 _trace_ids = itertools.count(1)
 _trace_prefix = f"{os.getpid():x}"
 _config_lock = threading.Lock()
-
 
 def set_tracing(enabled: bool) -> bool:
     """Switch span-tree collection on/off; returns the previous setting."""
@@ -228,11 +228,73 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def adopt_trace(self, trace_id: str | None) -> "Span":
+        """Join a caller-supplied trace instead of allocating a fresh id.
+
+        Cross-process propagation: the server's root request span adopts
+        the id the client sent in ``X-Repro-Trace``, so server-side spans
+        land in the trace rings under the *caller's* trace id and one id
+        follows a request across the wire.  Only live root spans adopt —
+        a nested span already shares its parent's trace."""
+        if trace_id and self.live and self.parent is None:
+            self._trace_id = str(trace_id)
+        return self
+
     def __repr__(self) -> str:
         return (
             f"Span({self.name!r}, {self.duration_ms:.3f} ms, "
             f"children={len(self.children)})"
         )
+
+
+# ----------------------------------------------------------------------
+# profiler hook (see repro.obs.profile)
+#
+# The sampling profiler runs on its own thread and cannot read another
+# thread's contextvars, so while a profiler is attached every live span
+# additionally publishes itself in this thread-keyed table on enter and
+# restores its parent on exit.  The bookkeeping lives in *replacement*
+# ``__enter__``/``__exit__`` methods swapped onto :class:`Span` by
+# :func:`_set_profile_hook` — the default span hot path carries no
+# profiler code at all, so the profiler-disabled overhead is exactly
+# zero (``benchmarks/bench_obs.py`` gates that enabling and disabling
+# the hook restores the original method objects and timing).
+# ----------------------------------------------------------------------
+_profiling = False
+_profile_threads: dict[int, Span] = {}
+
+_plain_enter = Span.__enter__
+_plain_exit = Span.__exit__
+
+
+def _profiled_enter(self: Span) -> Span:
+    _plain_enter(self)
+    if self.live:
+        _profile_threads[get_ident()] = self
+    return self
+
+
+def _profiled_exit(self: Span, exc_type, exc, tb) -> None:
+    _plain_exit(self, exc_type, exc, tb)
+    if self.live:
+        parent = self.parent
+        if parent is None:
+            _profile_threads.pop(get_ident(), None)
+        else:
+            _profile_threads[get_ident()] = parent
+
+
+def _set_profile_hook(enabled: bool) -> None:
+    global _profiling
+    with _config_lock:
+        _profiling = bool(enabled)
+        if enabled:
+            Span.__enter__ = _profiled_enter  # type: ignore[method-assign]
+            Span.__exit__ = _profiled_exit  # type: ignore[method-assign]
+        else:
+            Span.__enter__ = _plain_enter  # type: ignore[method-assign]
+            Span.__exit__ = _plain_exit  # type: ignore[method-assign]
+            _profile_threads.clear()
 
 
 def span(name: str, **attrs) -> Span:

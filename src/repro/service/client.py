@@ -20,6 +20,7 @@ from typing import Mapping
 
 from repro.errors import ServiceError
 from repro.graphs.graph import Graph
+from repro.obs.trace import current_trace_id
 from repro.service.wire import kg_to_spec, task_to_wire
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -72,6 +73,12 @@ class ServiceClient:
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
             headers = {"Content-Type": "application/json"} if body else {}
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                # Propagate the caller's trace: the server's root span
+                # adopts this id, so one trace follows the request across
+                # the wire (client span tree + server /traces entries).
+                headers["X-Repro-Trace"] = trace_id
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             data = response.read()
@@ -159,6 +166,39 @@ class ServiceClient:
     def traces(self, limit: int = 20) -> dict:
         """Recent and recent-slow span trees (``GET /traces``)."""
         return self.request("GET", f"/traces?limit={int(limit)}")
+
+    def profile(self) -> dict:
+        """The server profiler's snapshot (``GET /profile``)."""
+        return self.request("GET", "/profile")["profile"]
+
+    def profile_collapsed(self) -> str:
+        """Flame-graph-ready collapsed stacks (``GET /profile?format=collapsed``)."""
+        return self.request_text("GET", "/profile?format=collapsed")
+
+    def profile_start(
+        self, interval_ms: float = 5.0, keep_idle: bool = False,
+    ) -> dict:
+        """Start the server's sampling profiler."""
+        payload: dict = {"action": "start", "interval_ms": float(interval_ms)}
+        if keep_idle:
+            payload["keep_idle"] = True
+        return self._post("/profile", payload)
+
+    def profile_stop(self) -> dict:
+        """Stop the server's profiler; returns the final snapshot."""
+        return self._post("/profile", {"action": "stop"})["profile"]
+
+    def slow_queries(
+        self, limit: int = 20, threshold_ms: float | None = None,
+    ) -> dict:
+        """The server's slow-query log (``GET /slow-queries``).
+
+        Passing ``threshold_ms`` retunes the server's capture threshold.
+        """
+        path = f"/slow-queries?limit={int(limit)}"
+        if threshold_ms is not None:
+            path += f"&threshold_ms={float(threshold_ms)}"
+        return self.request("GET", path)
 
     def register_graph(self, name: str, graph, shards: int = 1) -> dict:
         payload = {"name": name, "graph": _as_graph_spec(graph)}

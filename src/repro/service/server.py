@@ -41,10 +41,18 @@ Routes
 ``GET  /metrics``          Prometheus text (``?format=json`` for the JSON
                            snapshot) of the process metrics registry
 ``GET  /traces``           recent and recent-slow span trees (``?limit=n``)
+``GET  /profile``          the sampling profiler's snapshot
+                           (``?format=collapsed`` for flame-graph text)
+``POST /profile``          ``{"action": "start"|"stop"|"snapshot", ...}``
+                           controls the process-global profiler
+``GET  /slow-queries``     the slow-query log (``?limit=n``; an optional
+                           ``threshold_ms`` retunes the capture threshold)
 
 Every HTTP response carries the request's trace id in an
 ``X-Repro-Trace`` header; error payloads (status >= 400) repeat it as a
 ``trace_id`` field so clients can quote it when reporting problems.
+Requests may send their own ``X-Repro-Trace``: the server's root span
+adopts it, linking server-side spans into the caller's trace.
 """
 
 from __future__ import annotations
@@ -66,11 +74,18 @@ from repro.obs import (
     family_snapshot,
     get_logger,
     log_event,
+    profile_snapshot,
     recent_traces,
     registry as metrics_registry,
+    render_collapsed,
+    set_slowlog_threshold_ms,
+    slow_queries,
     slow_traces,
+    slowlog_threshold_ms,
     span,
     span_to_dict,
+    start_profiling,
+    stop_profiling,
 )
 from repro.service.registry import DatasetRegistry, RegistryError
 from repro.service.scheduler import RequestScheduler
@@ -157,6 +172,9 @@ class CountingService:
             ("GET", "/health"): self._op_health,
             ("GET", "/metrics"): self._op_metrics,
             ("GET", "/traces"): self._op_traces,
+            ("GET", "/profile"): self._op_profile,
+            ("POST", "/profile"): self._op_profile_control,
+            ("GET", "/slow-queries"): self._op_slow_queries,
         }
         # Updates and subscription creations are stateful: each submission
         # gets a unique scheduler key (never coalesced); per-dataset
@@ -184,14 +202,18 @@ class CountingService:
     # ------------------------------------------------------------------
     async def handle(
         self, method: str, path: str, body: dict,
+        client_trace: str | None = None,
     ) -> tuple[int, dict | str, str | None]:
         """Dispatch one request: ``(status, payload, trace_id)``.
 
         The whole request runs under a root ``server.request`` span, so
         scheduler hops and engine work nest under one trace; the trace id
         is echoed in the transport's ``X-Repro-Trace`` header and, for
-        error payloads, in an additive ``trace_id`` field.  Unexpected
-        handler exceptions become structured 500s with an error log.
+        error payloads, in an additive ``trace_id`` field.  When the
+        caller sent its own ``X-Repro-Trace`` (``client_trace``), the
+        root span adopts that id, so server-side spans land in the trace
+        rings under the caller's trace.  Unexpected handler exceptions
+        become structured 500s with an error log.
         """
         route = (method.upper(), path.rstrip("/") or "/")
         handler = self._routes.get(route)
@@ -210,6 +232,7 @@ class CountingService:
         status = 200
         sp = span("server.request", route=name, method=route[0])
         with sp:
+            sp.adopt_trace(client_trace)
             try:
                 payload: dict | str = await handler(body)
             except RegistryError as error:
@@ -609,6 +632,70 @@ class CountingService:
             "slow": [span_to_dict(trace) for trace in slow_traces(limit)],
         }
 
+    async def _op_profile(self, body: dict) -> dict | str:
+        """The sampling profiler's aggregated snapshot.
+
+        ``?format=collapsed`` answers flame-graph-ready collapsed-stack
+        text; the default JSON snapshot carries per-span sample totals
+        and the heaviest stacks.
+        """
+        fmt = body.get("format", "json")
+        if fmt == "collapsed":
+            return render_collapsed()
+        if fmt != "json":
+            raise WireError(f"unknown profile format {fmt!r}")
+        return {"kind": "profile", "profile": profile_snapshot()}
+
+    async def _op_profile_control(self, body: dict) -> dict:
+        """Start/stop the process-global profiler at runtime."""
+        action = _require(body, "action")
+        if action == "start":
+            interval = body.get("interval_ms", 5.0)
+            try:
+                interval = float(interval)
+            except (TypeError, ValueError):
+                raise WireError(
+                    f"'interval_ms' must be a number, got {interval!r}",
+                )
+            profiler = start_profiling(
+                interval_ms=interval,
+                keep_idle=bool(body.get("keep_idle", False)),
+            )
+            return {
+                "kind": "profile",
+                "running": True,
+                "interval_ms": profiler.interval_ms,
+            }
+        if action == "stop":
+            return {"kind": "profile", "profile": stop_profiling()}
+        if action == "snapshot":
+            return {"kind": "profile", "profile": profile_snapshot()}
+        raise WireError(f"unknown profile action {action!r}")
+
+    async def _op_slow_queries(self, body: dict) -> dict:
+        """The slow-query log, newest last."""
+        limit = body.get("limit", 20)
+        if isinstance(limit, str):
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise WireError(f"'limit' must be an integer, got {limit!r}")
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise WireError(f"'limit' must be a positive integer, got {limit!r}")
+        threshold = body.get("threshold_ms")
+        if threshold is not None:
+            try:
+                set_slowlog_threshold_ms(float(threshold))
+            except (TypeError, ValueError):
+                raise WireError(
+                    f"'threshold_ms' must be a number, got {threshold!r}",
+                )
+        return {
+            "kind": "slow-queries",
+            "threshold_ms": slowlog_threshold_ms(),
+            "slow_queries": slow_queries(limit),
+        }
+
     def stats_payload(self) -> dict:
         from repro.service.wire import dynamic_stats_payload
 
@@ -797,7 +884,10 @@ class ServiceServer:
         except (ValueError, UnicodeDecodeError) as error:
             return 400, _bad_request(f"bad request: {error}"), None
         try:
-            return await self.service.handle(method, path, body)
+            return await self.service.handle(
+                method, path, body,
+                client_trace=headers.get("x-repro-trace"),
+            )
         except Exception as error:  # noqa: BLE001 - served as a 500, not a crash
             return 500, {
                 "kind": "error",

@@ -331,6 +331,12 @@ def result_to_wire(result) -> dict:
         from repro.obs.trace import span_to_dict
 
         provenance["trace"] = span_to_dict(trace)
+    if trace is not None and "cost" not in provenance:
+        # The phase breakdown travels precomputed so service-side clients
+        # read Result.cost without re-walking the tree.
+        from repro.obs.cost import cost_breakdown
+
+        provenance["cost"] = cost_breakdown(provenance["trace"])
     return {
         "kind": "result",
         "task": result.kind,

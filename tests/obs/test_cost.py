@@ -1,0 +1,129 @@
+"""Cost accounting: span trees bucketed into compile/execute/encode/lookup."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    cost_breakdown,
+    observe_task_cost,
+    registry,
+    render_cost,
+    span,
+)
+
+
+def _tree(name, duration_ms, children=()):
+    return {
+        "name": name,
+        "duration_ms": duration_ms,
+        "children": list(children),
+    }
+
+
+def metric(snapshot: dict, name: str, **labels) -> float:
+    total = 0
+    for sample in snapshot.get(name, {}).get("samples", ()):
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            value = sample["value"]
+            total += value["count"] if isinstance(value, dict) else value
+    return total
+
+
+class TestCostBreakdown:
+    def test_none_in_none_out(self):
+        assert cost_breakdown(None) is None
+
+    def test_phases_bucketed_with_lookup_residual(self):
+        trace = _tree("task.hom-count", 10.0, [
+            _tree("engine.compile", 2.0),
+            _tree("engine.execute", 5.0, [_tree("engine.execute.shard", 4.0)]),
+            _tree("task.encode.target", 1.0),
+        ])
+        cost = cost_breakdown(trace)
+        assert cost == {
+            "total_ms": 10.0,
+            "compile_ms": 2.0,
+            "execute_ms": 5.0,
+            "encode_ms": 1.0,
+            "lookup_ms": 2.0,  # 10 - (2 + 5 + 1)
+            "compile_spans": 1,
+            "execute_spans": 1,
+            "encode_spans": 1,
+            "span_count": 5,
+        }
+
+    def test_phase_span_claims_its_subtree(self):
+        # A compile nested under execute is execute time, not double
+        # counted into both buckets.
+        trace = _tree("task", 10.0, [
+            _tree("engine.execute", 6.0, [_tree("engine.compile", 2.0)]),
+        ])
+        cost = cost_breakdown(trace)
+        assert cost["execute_ms"] == 6.0
+        assert cost["compile_ms"] == 0.0
+        assert cost["span_count"] == 3
+
+    def test_warm_hit_is_pure_lookup(self):
+        cost = cost_breakdown(_tree("task.hom-count", 0.05))
+        assert cost["lookup_ms"] == 0.05
+        assert cost["compile_spans"] == 0
+        assert cost["execute_spans"] == 0
+        assert cost["encode_spans"] == 0
+        assert cost["span_count"] == 1
+
+    def test_residual_clamped_at_zero(self):
+        # Child sums can exceed the parent by rounding; never negative.
+        trace = _tree("task", 1.0, [_tree("engine.execute", 1.4)])
+        assert cost_breakdown(trace)["lookup_ms"] == 0.0
+
+    def test_live_span_trees_work_too(self):
+        with span("task.demo") as sp:
+            with span("engine.compile"):
+                pass
+            with span("task.encode.kg"):
+                pass
+        cost = cost_breakdown(sp)
+        assert cost["compile_spans"] == 1
+        assert cost["encode_spans"] == 1
+        assert cost["span_count"] == 3
+        assert cost["total_ms"] >= 0
+
+
+class TestRenderCost:
+    def test_zero_span_phases_are_omitted(self):
+        text = render_cost(cost_breakdown(_tree("task", 4.0, [
+            _tree("engine.execute", 3.0),
+        ])))
+        assert "total    4.000 ms" in text
+        assert "execute" in text
+        assert "compile" not in text
+        assert "encode" not in text
+        assert "lookup" in text  # always shown: the residual reading
+
+
+class TestObserveTaskCost:
+    def test_histogram_family_observes_active_phases(self):
+        cost = cost_breakdown(_tree("task", 10.0, [
+            _tree("engine.compile", 2.0),
+        ]))
+        before = registry().snapshot()
+        observe_task_cost("unit-cost-kind", None, cost)
+        after = registry().snapshot()
+
+        def delta(**labels):
+            return (
+                metric(after, "repro_task_phase_ms", **labels)
+                - metric(before, "repro_task_phase_ms", **labels)
+            )
+
+        # backend None renders as "-"; phases without spans are skipped,
+        # lookup always observed.
+        assert delta(kind="unit-cost-kind", backend="-", phase="compile") == 1
+        assert delta(kind="unit-cost-kind", backend="-", phase="lookup") == 1
+        assert delta(kind="unit-cost-kind", backend="-", phase="execute") == 0
+
+    def test_none_cost_is_a_noop(self):
+        before = registry().snapshot()
+        observe_task_cost("unit-cost-kind-2", "dp", None)
+        after = registry().snapshot()
+        assert metric(after, "repro_task_phase_ms", kind="unit-cost-kind-2") \
+            == metric(before, "repro_task_phase_ms", kind="unit-cost-kind-2")

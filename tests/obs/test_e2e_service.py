@@ -12,6 +12,8 @@ import pytest
 
 from repro.engine import set_default_engine
 from repro.graphs import cycle_graph, path_graph, random_graph
+from repro.obs import span
+from repro.obs import profile as _profile
 from repro.service import BackgroundServer, ServiceClient, ServiceError
 
 
@@ -119,6 +121,80 @@ class TestMetricsReconcile:
         assert failure.value.status == 400
         assert failure.value.code  # stable repro.errors code, not a message
         assert client.last_trace_id  # error responses are traced too
+
+    def test_client_trace_propagates_to_server_spans(self, client):
+        host = random_graph(8, 0.4, seed=21)
+        client.register_graph("linked", host)
+        with span("client.op") as sp:
+            client.count(path_graph(3), "linked")
+            client_trace = sp.trace_id
+        # the response echoes the id the server worked under — adopted
+        # from the X-Repro-Trace request header, not freshly allocated
+        assert client.last_trace_id == client_trace
+
+        traces = client.traces(limit=64)
+        adopted = [
+            trace for trace in traces["recent"]
+            if trace.get("trace_id") == client_trace
+            and trace["name"] == "server.request"
+        ]
+        assert len(adopted) == 1
+        assert adopted[0]["attrs"]["route"] == "/count"
+
+    def test_slow_request_lands_in_slow_query_log(self, client):
+        host = random_graph(14, 0.3, seed=11)
+        client.register_graph("slowhost", host)
+
+        response = client.slow_queries(threshold_ms=0.0)
+        assert response["kind"] == "slow-queries"
+        assert response["threshold_ms"] == 0.0
+
+        client.count(cycle_graph(5), "slowhost")
+        request_trace = client.last_trace_id
+
+        log = client.slow_queries(limit=50)
+        entries = [
+            entry for entry in log["slow_queries"]
+            if entry["trace_id"] == request_trace
+        ]
+        assert len(entries) == 1
+        (entry,) = entries
+        # the entry alone reconstructs the request: canonical task key,
+        # plan explain output, cost breakdown, trace id
+        assert entry["kind"] == "hom-count"
+        assert entry["task_key"]
+        assert entry["backend"]
+        assert "task.hom-count" in entry["explain"]
+        assert entry["cost"]["total_ms"] >= 0
+        assert entry["cost"]["span_count"] >= 1
+        assert entry["elapsed_ms"] >= 0
+
+    def test_profile_endpoints_roundtrip(self, client):
+        baseline = client.profile()
+        assert baseline["running"] is False
+
+        started = client.profile_start(interval_ms=1.0)
+        try:
+            assert started["kind"] == "profile"
+            assert started["running"] is True
+            assert started["interval_ms"] == 1.0
+
+            client.register_graph(
+                "profhost", random_graph(10, 0.3, seed=3),
+            )
+            for size in (3, 4, 5):
+                client.count(path_graph(size), "profhost")
+            assert client.profile()["running"] is True
+        finally:
+            final = client.profile_stop()
+        assert final["running"] is False
+        assert final["interval_ms"] == 1.0
+        assert final["samples"] >= 0
+        collapsed = client.profile_collapsed()
+        assert isinstance(collapsed, str)
+        assert client.profile()["running"] is False
+        with _profile._active_lock:
+            _profile._active = None  # don't leak state across tests
 
     def test_prometheus_text_and_stats_snapshot(self, client):
         client.health()

@@ -1,0 +1,189 @@
+"""Sampling profiler: hook swapping, lifecycle, span attribution."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    SamplingProfiler,
+    profile_snapshot,
+    profiling_active,
+    span,
+    start_profiling,
+    stop_profiling,
+)
+from repro.obs import profile as _profile
+from repro.obs import trace as _trace
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_profiler():
+    """Profilers are process-global; never leak one across tests."""
+    yield
+    with _profile._active_lock:
+        active = _profile._active
+        _profile._active = None
+    if active is not None and active.running:
+        active.stop()
+    _trace._set_profile_hook(False)
+
+
+class TestHookSwap:
+    def test_default_span_path_carries_no_profiler_code(self):
+        assert _trace.Span.__enter__ is _trace._plain_enter
+        assert _trace.Span.__exit__ is _trace._plain_exit
+
+    def test_enabled_hook_publishes_current_span_per_thread(self):
+        ident = threading.get_ident()
+        _trace._set_profile_hook(True)
+        try:
+            assert _trace.Span.__enter__ is _trace._profiled_enter
+            with span("outer"):
+                assert _trace._profile_threads[ident].name == "outer"
+                with span("inner"):
+                    assert _trace._profile_threads[ident].name == "inner"
+                # exiting a nested span restores its parent, not a blank
+                assert _trace._profile_threads[ident].name == "outer"
+            # exiting the root clears the thread's entry entirely
+            assert ident not in _trace._profile_threads
+        finally:
+            _trace._set_profile_hook(False)
+        assert _trace.Span.__enter__ is _trace._plain_enter
+
+    def test_disable_clears_the_thread_table(self):
+        _trace._set_profile_hook(True)
+        sp = span("left-open").__enter__()
+        assert _trace._profile_threads
+        _trace._set_profile_hook(False)
+        assert _trace._profile_threads == {}
+        sp.__exit__(None, None, None)
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        for bad in (0, -1, -0.5):
+            with pytest.raises(ObservabilityError):
+                SamplingProfiler(interval_ms=bad)
+
+    def test_start_stop_roundtrip(self):
+        profiler = SamplingProfiler(interval_ms=1.0)
+        assert profiler.running is False
+        profiler.start()
+        try:
+            assert profiler.running is True
+            assert _trace.Span.__enter__ is _trace._profiled_enter
+            with pytest.raises(ObservabilityError):
+                profiler.start()
+        finally:
+            snapshot = profiler.stop()
+        assert profiler.running is False
+        assert _trace.Span.__enter__ is _trace._plain_enter
+        assert snapshot["running"] is False
+        assert snapshot["interval_ms"] == 1.0
+        # stopping an already-stopped profiler is a harmless snapshot
+        assert profiler.stop()["running"] is False
+
+    def test_reset_drops_samples(self):
+        profiler = SamplingProfiler(interval_ms=1.0)
+        profiler._stacks[("x", ("a",))] = 3
+        profiler._samples = 3
+        profiler.reset()
+        assert profiler.snapshot()["samples"] == 0
+        assert profiler.snapshot()["distinct_stacks"] == 0
+
+
+class TestAttribution:
+    def test_concurrent_threads_attribute_to_their_own_spans(self):
+        stop_evt = threading.Event()
+
+        def busy(name):
+            with span(name):
+                while not stop_evt.is_set():
+                    sum(range(200))
+
+        profiler = SamplingProfiler(interval_ms=1.0)
+        workers = [
+            threading.Thread(target=busy, args=(f"worker.{tag}",))
+            for tag in ("alpha", "beta")
+        ]
+        profiler.start()
+        try:
+            for worker in workers:
+                worker.start()
+            wanted = {"worker.alpha", "worker.beta"}
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if wanted <= set(profiler.snapshot()["spans"]):
+                    break
+                time.sleep(0.01)
+        finally:
+            stop_evt.set()
+            for worker in workers:
+                worker.join()
+            final = profiler.stop()
+        assert wanted <= set(final["spans"])
+        assert final["samples"] >= 2
+        # every stack is span-attributed, leaf frames inside busy()
+        ours = [
+            stack for stack in final["stacks"]
+            if stack["span"] in wanted
+        ]
+        assert ours
+        assert all(stack["samples"] >= 1 for stack in ours)
+        assert any(
+            any("busy" in frame for frame in stack["frames"])
+            for stack in ours
+        )
+
+    def test_collapsed_stacks_are_flamegraph_lines(self):
+        profiler = SamplingProfiler(interval_ms=0.5)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            with span("hot.loop"):
+                while (
+                    profiler.snapshot()["samples"] < 3
+                    and time.monotonic() < deadline
+                ):
+                    sum(range(100))
+        finally:
+            final = profiler.stop()
+        assert final["samples"] >= 3
+        text = profiler.render_collapsed()
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack_part, _, count = line.rpartition(" ")
+            assert int(count) >= 1
+            assert ";" in stack_part  # span prefix + at least one frame
+        assert any(line.startswith("hot.loop;") for line in lines)
+
+
+class TestGlobalProfiler:
+    def test_global_lifecycle_and_snapshot(self):
+        with _profile._active_lock:
+            _profile._active = None  # a clean slate for the empty shape
+        empty = profile_snapshot()
+        assert empty["running"] is False
+        assert empty["samples"] == 0
+        assert empty["stacks"] == []
+        assert _profile.render_collapsed() == ""
+        with pytest.raises(ObservabilityError):
+            stop_profiling()
+
+        profiler = start_profiling(interval_ms=1.0)
+        try:
+            assert profiling_active() is True
+            with pytest.raises(ObservabilityError):
+                start_profiling()  # one at a time
+        finally:
+            final = stop_profiling()
+        assert profiling_active() is False
+        assert final["running"] is False
+        # the stopped profiler's data stays readable until the next start
+        assert profile_snapshot()["running"] is False
+        assert profiler.running is False

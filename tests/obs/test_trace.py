@@ -200,6 +200,78 @@ class TestRingBuffers:
         assert recent_traces() == []
 
 
+class TestRingEdgeCases:
+    def test_slow_roots_survive_sampling_pressure(self):
+        # A stride so large that effectively no fast root is retained;
+        # slow roots must still land in BOTH rings unconditionally.
+        set_trace_sampling(997)
+        set_slow_threshold_ms(1.0)
+        clear_traces()
+        for _ in range(5):
+            with span("fast"):
+                pass
+        with span("slow"):
+            time.sleep(0.003)
+        assert [sp.name for sp in slow_traces()] == ["slow"]
+        recent = [sp.name for sp in recent_traces()]
+        assert "slow" in recent
+        # at most one fast root can have hit the global stride boundary
+        assert recent.count("fast") <= 1
+
+    def test_recent_ring_overflow_keeps_newest_in_order(self):
+        from repro.obs.trace import RECENT_LIMIT
+
+        for i in range(RECENT_LIMIT + 40):
+            with span("r", i=i):
+                pass
+        kept = recent_traces()
+        assert len(kept) == RECENT_LIMIT
+        assert [sp.attrs["i"] for sp in kept] \
+            == list(range(40, RECENT_LIMIT + 40))
+
+    def test_slow_ring_overflow_keeps_newest_in_order(self):
+        from repro.obs.trace import SLOW_LIMIT
+
+        set_slow_threshold_ms(0.0)
+        for i in range(SLOW_LIMIT + 8):
+            with span("s", i=i):
+                pass
+        kept = slow_traces()
+        assert len(kept) == SLOW_LIMIT
+        assert [sp.attrs["i"] for sp in kept] \
+            == list(range(8, SLOW_LIMIT + 8))
+
+
+class TestAdoptTrace:
+    def test_live_root_adopts_caller_id_for_whole_tree(self):
+        with span("server.request") as root:
+            root.adopt_trace("abc-123")
+            with span("inner") as inner:
+                pass
+        assert root.trace_id == "abc-123"
+        assert inner.trace_id == "abc-123"
+
+    def test_nested_span_keeps_its_parents_trace(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                inner.adopt_trace("zzz-9")
+        assert inner.trace_id == outer.trace_id
+        assert outer.trace_id != "zzz-9"
+
+    def test_dead_span_ignores_adoption(self):
+        set_tracing(False)
+        with span("x") as sp:
+            sp.adopt_trace("abc")
+        assert sp.trace_id is None
+
+    def test_empty_id_falls_back_to_a_fresh_one(self):
+        with span("a") as sp:
+            sp.adopt_trace(None)
+            sp.adopt_trace("")
+        assert sp.trace_id  # freshly allocated, not the empty string
+        assert sp.trace_id != ""
+
+
 class TestDisabledTracing:
     def test_disabled_spans_time_but_build_nothing(self):
         set_tracing(False)

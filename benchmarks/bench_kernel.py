@@ -15,7 +15,16 @@ engine's plans compute entirely over ints.  This bench runs a mixed
 WL-refinement + DP-counting workload on rich-label hosts through both
 paths (the seed implementations are embedded below, verbatim from the
 seed tree) and gates the kernel at >= 3x overall.
-``python benchmarks/bench_kernel.py`` asserts it.
+
+On top of that sits the vectorised tier (`repro.kernel`): the DP
+instruction tape lowered to batched int64 ndarray steps, and colour
+refinement as counting-sort rounds over the CSR arrays.  The second
+section here runs a mixed DP+WL workload sized for that tier through
+both backends (``force_backend``) and gates numpy at >= 5x over the
+indexed pure-Python path.  Its speedup is the record's primary metric;
+when numpy is absent the section is skipped and the record is
+telemetry-only.  ``python benchmarks/bench_kernel.py`` asserts both
+gates.
 """
 
 from __future__ import annotations
@@ -25,9 +34,17 @@ import time
 import pytest
 
 from _tables import print_table
-from repro.graphs import grid_graph, path_graph, random_graph, random_tree
+from repro import kernel
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    random_tree,
+)
 from repro.homs import count_homomorphisms_dp, prepared_pattern
 from repro.wl import colour_refinement, wl_1_equivalent
+from repro.wl.refinement import indexed_colour_partition
 
 
 # ----------------------------------------------------------------------
@@ -214,6 +231,103 @@ def _partition(colours):
     return {frozenset(block) for block in blocks.values()}
 
 
+# ----------------------------------------------------------------------
+# the vectorised tier: numpy kernels vs the indexed pure-Python path
+# ----------------------------------------------------------------------
+def numpy_dp_workload():
+    """(name, pattern, hosts) — tape-compiled patterns against hosts
+    large enough that the batched ndarray steps amortise their setup."""
+    sparse = [random_graph(400, 0.012, seed=900 + i) for i in range(3)]
+    sparse += [random_graph(700, 0.006, seed=910 + i) for i in range(2)]
+    return [
+        ("tree(9)", random_tree(9, seed=11), sparse),
+        ("C6", cycle_graph(6), sparse),
+    ]
+
+
+def numpy_wl_workload():
+    """Large sparse hosts, pre-indexed — the counting-sort refinement's
+    home turf (few rounds, wide frontiers)."""
+    return [
+        random_graph(16_000, 0.0004, seed=920).to_indexed(),
+        random_graph(8_000, 0.0011, seed=921).to_indexed(),
+    ]
+
+
+def _as_partition(colours):
+    seen = {}
+    return [seen.setdefault(colour, len(seen)) for colour in colours]
+
+
+def run_numpy_section(rows):
+    """Gate the numpy tier at >= 5x over the indexed path; returns the
+    mixed-workload speedup (the record's primary metric)."""
+    total_python = 0.0
+    total_numpy = 0.0
+
+    # --- WL refinement ---------------------------------------------------
+    indexed_hosts = numpy_wl_workload()
+    with kernel.force_backend("python"):
+        start = time.perf_counter()
+        python_parts = [
+            _as_partition(indexed_colour_partition(g)) for g in indexed_hosts
+        ]
+        python_time = time.perf_counter() - start
+    with kernel.force_backend("numpy"):
+        start = time.perf_counter()
+        numpy_parts = [
+            _as_partition(indexed_colour_partition(g)) for g in indexed_hosts
+        ]
+        numpy_time = time.perf_counter() - start
+    assert numpy_parts == python_parts
+    total_python += python_time
+    total_numpy += numpy_time
+    sizes = "+".join(str(g.n) for g in indexed_hosts)
+    rows.append(
+        [
+            f"1-WL: n={sizes}",
+            f"{python_time * 1000:.1f} ms",
+            f"{numpy_time * 1000:.1f} ms",
+            f"{python_time / numpy_time:.1f}x",
+        ],
+    )
+
+    # --- treewidth-DP tapes ----------------------------------------------
+    for name, pattern, hosts in numpy_dp_workload():
+        root = prepared_pattern(pattern)
+        with kernel.force_backend("python"):
+            start = time.perf_counter()
+            expected = [
+                count_homomorphisms_dp(pattern, host, root=root)
+                for host in hosts
+            ]
+            python_time = time.perf_counter() - start
+        with kernel.force_backend("numpy"):
+            start = time.perf_counter()
+            got = [
+                count_homomorphisms_dp(pattern, host, root=root)
+                for host in hosts
+            ]
+            numpy_time = time.perf_counter() - start
+        assert got == expected
+        total_python += python_time
+        total_numpy += numpy_time
+        rows.append(
+            [
+                f"DP: {name} x {len(hosts)} hosts",
+                f"{python_time * 1000:.1f} ms",
+                f"{numpy_time * 1000:.1f} ms",
+                f"{python_time / numpy_time:.1f}x",
+            ],
+        )
+
+    speedup = total_python / total_numpy
+    assert speedup >= 5.0, (
+        f"numpy tier speedup {speedup:.2f}x below the 5x gate"
+    )
+    return speedup
+
+
 def run_experiment() -> float:
     rows = []
     overall_seed = 0.0
@@ -278,7 +392,23 @@ def run_experiment() -> float:
     speedup = overall_seed / overall_indexed
     print(f"\noverall speedup: {speedup:.1f}x (gate: >= 3x)")
     assert speedup >= 3.0, f"kernel speedup {speedup:.2f}x below the 3x gate"
-    return speedup
+
+    # --- the vectorised tier (primary metric; skipped without numpy) ------
+    if kernel.numpy_or_none() is None:
+        print(
+            "\nnumpy tier unavailable — vectorised section skipped "
+            "(record is telemetry-only)",
+        )
+        return None
+    numpy_rows: list[list[str]] = []
+    numpy_speedup = run_numpy_section(numpy_rows)
+    print_table(
+        "Vectorised numpy tier vs indexed pure-Python path — mixed DP+WL",
+        ["workload", "python tier", "numpy tier", "speedup"],
+        numpy_rows,
+    )
+    print(f"\nnumpy tier speedup: {numpy_speedup:.1f}x (gate: >= 5x)")
+    return numpy_speedup
 
 
 @pytest.mark.parametrize("index", range(2), ids=["seed", "indexed"])
@@ -310,4 +440,10 @@ def test_bench_dp(benchmark, index):
 if __name__ == "__main__":
     from _harness import main_record
 
-    main_record("bench_kernel", run_experiment, params={"gate": 3.0}, primary="speedup_vs_seed", higher_is_better=True)
+    main_record(
+        "bench_kernel",
+        run_experiment,
+        params={"gate_indexed_vs_seed": 3.0, "gate_numpy_vs_indexed": 5.0},
+        primary="numpy_speedup_vs_indexed",
+        higher_is_better=True,
+    )

@@ -1,0 +1,101 @@
+"""Demo — the vectorised numpy kernel tier and its pure-Python oracle.
+
+Every ``CountPlan`` can execute on two tiers: the always-present
+pure-Python kernels and, when numpy is importable, vectorised kernels
+compiled over the same CSR/bitset/tape abstractions.  This demo walks
+the selection surface:
+
+1. **Who decides?** — the cost model picks per call by target size;
+   ``kernel.force_backend`` and the ``REPRO_KERNEL`` env var override
+   it.  ``Result.backend`` and ``.explain()`` name the tier that ran.
+2. **Same answers, different tier** — the two tiers are differentially
+   identical; the demo diffs ``.explain()`` output between forced runs.
+3. **Exactness fallback** — a count that would overflow int64 makes the
+   numpy tape raise ``KernelUnsupported`` internally and re-run pure
+   Python; the result is the exact big integer either way and the
+   fallback shows up in ``kernel.kernel_report()``.
+
+Run with::
+
+    PYTHONPATH=src python examples/backends_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import kernel
+from repro.api import HomCountTask, Session
+from repro.graphs import Graph, complete_graph, random_graph, star_graph
+
+
+def explain_under(backend: str) -> tuple[str, object]:
+    """One cold hom-count task executed with ``backend`` forced."""
+    from repro.engine import HomEngine
+
+    session = Session(engine=HomEngine())  # fresh caches: a cold run
+    task = HomCountTask(star_graph(3), random_graph(80, 0.15, seed=9))
+    with kernel.force_backend(backend):
+        result = session.run(task)
+    return result.explain(), result.value
+
+
+def main() -> None:
+    report = kernel.kernel_report()
+    print(
+        "numpy tier:",
+        f"available (numpy {report['numpy_version']})"
+        if report["numpy_available"]
+        else "unavailable — every call below runs the pure tier",
+    )
+    print("size thresholds per layer:", report["thresholds"])
+
+    # ------------------------------------------------------------------
+    # 1. the cost model picks per call; overrides are explicit
+    # ------------------------------------------------------------------
+    print("\nauto selection by target size (layer 'dp', threshold "
+          f"{report['thresholds']['dp']}):")
+    for size in (8, 200):
+        print(f"  target n={size:<4d} -> {kernel.would_select('dp', size)}")
+    with kernel.force_backend("python"):
+        print("  forced python  ->", kernel.would_select("dp", 200))
+
+    # ------------------------------------------------------------------
+    # 2. same count on both tiers; .explain() names the one that ran
+    # ------------------------------------------------------------------
+    python_explain, python_value = explain_under("python")
+    backends = ["python"]
+    if report["numpy_available"]:
+        numpy_explain, numpy_value = explain_under("numpy")
+        assert numpy_value == python_value
+        backends.append("numpy")
+        print("\n.explain() diff between forced tiers (same exact count):")
+        python_lines = python_explain.splitlines()
+        numpy_lines = numpy_explain.splitlines()
+        for old, new in zip(python_lines, numpy_lines):
+            marker = " " if old == new else "|"
+            print(f"  {old:<44s}{marker} {new}")
+    else:
+        print("\npure-tier .explain():")
+        for line in python_explain.splitlines():
+            print(f"  {line}")
+    print(f"  agreed value on {'/'.join(backends)}: {python_value}")
+
+    # ------------------------------------------------------------------
+    # 3. int64-unsafe counts reroute to the oracle, exactly
+    # ------------------------------------------------------------------
+    # Hom(edgeless 30-vertex pattern, K40) = 40**30, far past int64: the
+    # numpy tape's a-priori guard fires and the pure tape answers.
+    from repro.homs.treewidth_dp import count_homomorphisms_dp
+
+    pattern = Graph(vertices=range(30))
+    target = complete_graph(40)
+    with kernel.force_backend("numpy" if report["numpy_available"]
+                              else "python"):
+        value = count_homomorphisms_dp(pattern, target)
+    assert value == 40 ** 30
+    print(f"\noverflow-guarded count: 40**30 = {value}")
+    fallbacks = kernel.kernel_report()["fallbacks"]
+    print("recorded fallbacks:", fallbacks or "(none)")
+
+
+if __name__ == "__main__":
+    main()

@@ -281,6 +281,7 @@ class LocalExecutor(Executor):
                 serving = self._serving(task.target, "graph")
                 version = serving.version
                 target_name: object = task.target
+                target_graph = serving.graph
                 if (
                     len(serving.shards) > 1
                     and pattern.num_vertices() > 0
@@ -302,11 +303,14 @@ class LocalExecutor(Executor):
                     )
             else:
                 target_name = _graph_summary(task.target)
+                target_graph = task.target
                 target_id = self._prepared_target_id(task, sp)
                 value, cached = engine.count_detailed(
                     pattern, task.target, target_id=target_id, parent_span=sp,
                 )
-            backend = engine.plan_for(pattern, parent_span=sp).describe()
+            backend = engine.plan_for(pattern, parent_span=sp).describe_for(
+                target_graph,
+            )
         _count_task(task.kind, self.name)
         provenance: dict = {
             "pattern": _graph_summary(pattern),

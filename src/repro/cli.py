@@ -213,10 +213,10 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
 
     cold_span = span("cli.engine-stats.cold-batch")
     with cold_span:
-        engine.count_batch(patterns, targets)
+        engine.count_batch(patterns, targets, pool=args.pool)
     warm_span = span("cli.engine-stats.warm-batch")
     with warm_span:
-        engine.count_batch(patterns, targets)
+        engine.count_batch(patterns, targets, pool=args.pool)
     cold_ms, warm_ms = cold_span.duration_ms, warm_span.duration_ms
 
     kinds: dict[str, int] = {}
@@ -227,6 +227,12 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
     dynamic_payload = None
     if args.dynamic_batches > 0:
         dynamic_payload = _run_dynamic_workload(engine, args)
+
+    backends_payload = None
+    if args.backends:
+        from repro import kernel
+
+        backends_payload = kernel.kernel_report()
 
     if args.json:
         print(json.dumps(
@@ -239,6 +245,7 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
                 "warm_ms": round(warm_ms, 3),
                 "engine": engine.stats_summary(),
                 "dynamic": dynamic_payload,
+                "backends": backends_payload,
                 # Additive: the process metrics snapshot alongside the
                 # CacheStats block; pre-existing fields are unchanged.
                 "metrics": metrics_registry().snapshot(),
@@ -269,6 +276,24 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         for key, value in sorted(dynamic_payload.items()):
             if key != "kind":
                 print(f"  {key:24s} {value}")
+    if backends_payload is not None:
+        numpy_line = (
+            f"numpy {backends_payload['numpy_version']}"
+            if backends_payload["numpy_available"]
+            else "numpy unavailable (pure-Python tier only)"
+        )
+        if backends_payload["forced"]:
+            numpy_line += f", forced={backends_payload['forced']}"
+        print(f"kernel backends  {numpy_line}")
+        print(f"  thresholds      {backends_payload['thresholds']}")
+        selected = backends_payload["selected"] or {}
+        for key in sorted(selected):
+            print(f"  selected        {key:18s} {selected[key]}")
+        fallbacks = backends_payload["fallbacks"] or {}
+        for key in sorted(fallbacks):
+            print(f"  fallback        {key:18s} {fallbacks[key]}")
+        if not fallbacks:
+            print("  fallback        (none)")
     return 0
 
 
@@ -797,7 +822,17 @@ def build_parser() -> argparse.ArgumentParser:
     engine_stats.add_argument("--seed", type=int, default=0)
     engine_stats.add_argument(
         "--processes", type=int, default=None,
-        help="evaluate the batch on a multiprocessing pool",
+        help="evaluate the batch on a worker pool of this size",
+    )
+    engine_stats.add_argument(
+        "--pool", choices=("process", "thread"), default=None,
+        help="worker-pool flavour (default: automatic — threads when the "
+        "numpy kernel tier carries the counting)",
+    )
+    engine_stats.add_argument(
+        "--backends", action="store_true",
+        help="report kernel backend availability, per-layer selection "
+        "counts, and overflow fallbacks",
     )
     engine_stats.add_argument(
         "--persistent", metavar="DIR", default=None,

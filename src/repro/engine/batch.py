@@ -6,13 +6,19 @@ benchmarks — are all cross products.  :func:`run_batch` evaluates the full
 ``len(patterns) × len(targets)`` matrix with each pattern compiled exactly
 once, consulting the engine's count cache before any recomputation.
 
-An optional ``multiprocessing`` pool splits the matrix into
-pattern-aligned chunks (so every worker also compiles each of its patterns
-only once).  Pool results are folded back into the engine cache, so a
-parallel batch warms subsequent sequential calls.  Pool failures — missing
-OS support in sandboxes, unpicklable exotic vertex labels — degrade
-silently to the sequential path: batching is an optimisation, never a
-correctness dependency.
+An optional worker pool splits the matrix into pattern-aligned chunks
+(so every worker also compiles each of its patterns only once).  Two
+pool flavours are supported: ``pool='process'`` (``multiprocessing``,
+sidesteps the GIL for pure-Python counting) and ``pool='thread'``
+(``concurrent.futures.ThreadPoolExecutor`` — no fork or pickling cost,
+the right choice when the numpy kernel tier carries the counting work,
+since the heavy ndarray steps release the GIL).  ``pool=None`` lets the
+kernel cost model pick: threads when the vectorised DP tier would serve
+the batch's targets, processes otherwise.  Pool results are folded back
+into the engine cache, so a parallel batch warms subsequent sequential
+calls.  Pool failures — missing OS support in sandboxes, unpicklable
+exotic vertex labels — degrade silently to the sequential path:
+batching is an optimisation, never a correctness dependency.
 """
 
 from __future__ import annotations
@@ -41,11 +47,27 @@ def _chunked(items: list, size: int) -> list[list]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
+def _pick_pool(targets: Sequence[Graph]) -> str:
+    """``'thread'`` when the vectorised kernel would carry the work.
+
+    Worker chunks spend their time in ``plan.execute``; if the kernel
+    cost model routes the median target to the numpy DP tier, those
+    executions release the GIL inside the ndarray steps and threads beat
+    the fork + pickle tax of a process pool.
+    """
+    from repro import kernel
+
+    sizes = sorted(target.num_vertices() for target in targets)
+    median = sizes[len(sizes) // 2] if sizes else 0
+    return "thread" if kernel.would_select("dp", median) == "numpy" else "process"
+
+
 def _run_batch_pool(
     engine: "HomEngine",
     patterns: Sequence[Graph],
     targets: Sequence[Graph],
     processes: int,
+    pool: str,
 ) -> list[list[int]] | None:
     # Probe the count cache first; only misses travel to the pool, so a
     # warm repeat of a parallel batch never forks at all.
@@ -66,10 +88,16 @@ def _run_batch_pool(
             slots.append((i, chunk))
 
     try:
-        import multiprocessing
+        if pool == "thread":
+            from concurrent.futures import ThreadPoolExecutor
 
-        with multiprocessing.Pool(processes=processes) as pool:
-            chunk_results = pool.map(_pool_worker, tasks)
+            with ThreadPoolExecutor(max_workers=processes) as executor:
+                chunk_results = list(executor.map(_pool_worker, tasks))
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(processes=processes) as worker_pool:
+                chunk_results = worker_pool.map(_pool_worker, tasks)
     except Exception:  # pragma: no cover - platform-dependent failure modes
         return None
 
@@ -87,13 +115,18 @@ def run_batch(
     targets: Sequence[Graph],
     allowed: Mapping[Vertex, frozenset] | None = None,
     processes: int | None = None,
+    pool: str | None = None,
 ) -> list[list[int]]:
     """``rows[i][j] = |Hom(patterns[i], targets[j])|`` with plan reuse.
 
     ``allowed`` (applied uniformly to every pair) forces the sequential
     path; ``processes > 1`` requests a worker pool for the unrestricted
-    case.
+    case.  ``pool`` selects the pool flavour — ``'process'``,
+    ``'thread'``, or ``None`` for the kernel-aware automatic choice
+    (threads when the numpy tier would serve the targets).
     """
+    if pool not in (None, "process", "thread"):
+        raise ValueError(f"unknown pool flavour {pool!r}")
     patterns = list(patterns)
     targets = list(targets)
     if not patterns or not targets:
@@ -105,7 +138,10 @@ def run_batch(
         and processes > 1
         and len(patterns) * len(targets) >= 2 * _MIN_CHUNK
     ):
-        rows = _run_batch_pool(engine, patterns, targets, processes)
+        rows = _run_batch_pool(
+            engine, patterns, targets, processes,
+            pool or _pick_pool(targets),
+        )
         if rows is not None:
             return rows
 

@@ -196,12 +196,19 @@ class HomEngine:
         targets: Sequence[Graph],
         allowed: Mapping[Vertex, frozenset] | None = None,
         processes: int | None = None,
+        pool: str | None = None,
     ) -> list[list[int]]:
-        """``rows[i][j] = |Hom(patterns[i], targets[j])|`` with plan reuse."""
+        """``rows[i][j] = |Hom(patterns[i], targets[j])|`` with plan reuse.
+
+        ``pool`` ∈ {``'process'``, ``'thread'``, ``None``} picks the
+        worker-pool flavour when ``processes > 1`` (``None`` = automatic:
+        threads when the numpy kernel tier would carry the counting).
+        """
         if processes is None:
             processes = self.processes
         return run_batch(
             self, patterns, targets, allowed=allowed, processes=processes,
+            pool=pool,
         )
 
     def seed_counts(

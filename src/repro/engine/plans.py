@@ -54,6 +54,12 @@ class CountPlan:
         """One-line human-readable summary (CLI / benchmark reporting)."""
         return self.kind
 
+    def describe_for(self, target: Graph) -> str:
+        """:meth:`describe` plus the kernel tier the cost model would
+        pick for ``target`` (``.../numpy`` or ``.../python``) — the
+        string the task API surfaces as ``Result.backend``."""
+        return self.describe()
+
 
 @dataclass
 class ConstantPlan(CountPlan):
@@ -78,6 +84,12 @@ class BrutePlan(CountPlan):
 
     def describe(self) -> str:
         return f"brute(n={self.pattern.num_vertices()})"
+
+    def describe_for(self, target: Graph) -> str:
+        from repro import kernel
+
+        tier = kernel.would_select("bitset", target.num_vertices())
+        return f"{self.describe()}/{tier}"
 
 
 @dataclass
@@ -108,6 +120,12 @@ class MatrixPlan(CountPlan):
     def describe(self) -> str:
         return f"matrix({self.shape}, length={self.length})"
 
+    def describe_for(self, target: Graph) -> str:
+        from repro import kernel
+
+        tier = kernel.would_select("matrix", target.num_vertices())
+        return f"{self.describe()}/{tier}"
+
 
 # One instruction per nice-tree node, in postorder.  All pattern-side index
 # arithmetic (`bag_order`, `.index(...)` calls) is resolved at compile time;
@@ -137,10 +155,47 @@ class DPPlan(CountPlan):
     instructions: Sequence[tuple] = field(repr=False)
     kind: PlanKind = "dp"
 
-    def execute(self, target, allowed=None):
+    def execute(self, target, allowed=None, backend: str = "auto"):
+        """Count against ``target``.
+
+        ``backend`` picks the evaluation tier: ``'auto'`` applies the
+        kernel cost model (numpy for large-enough targets when
+        importable), ``'python'`` pins the pure tape (the oracle),
+        ``'numpy'`` pins the vectorised tape.  A numpy run that could
+        leave int64 falls back to the pure tape — results are exact on
+        every tier.
+        """
         if target.num_vertices() == 0:
             return 0
         indexed_target = target.to_indexed()
+
+        from repro import kernel
+
+        tier = kernel.resolve("dp", indexed_target.n, backend)
+        if tier == "numpy" and kernel.dp_packable(indexed_target.n, self.width + 1):
+            from repro.kernel import dp_numpy
+
+            if allowed is None:
+                masks = None
+            else:
+                encode_mask = indexed_target.codec.encode_mask
+                masks = {
+                    vertex: encode_mask(pool)
+                    for vertex, pool in allowed.items()
+                }
+            try:
+                return dp_numpy.execute_tape(
+                    self.instructions, indexed_target, self.width + 1,
+                    allowed_masks=masks,
+                )
+            except kernel.KernelUnsupported as exc:
+                kernel.note_fallback("dp", exc.reason)
+        elif tier == "numpy":
+            kernel.note_fallback("dp", "overflow")
+        return self._execute_python(indexed_target, allowed)
+
+    def _execute_python(self, indexed_target, allowed):
+        """The pure-Python instruction tape — the differential oracle."""
         target_bits = indexed_target.bitsets()
         full_pool = (1 << indexed_target.n) - 1
         stack: list[dict[tuple, int]] = []
@@ -200,6 +255,16 @@ class DPPlan(CountPlan):
             f"dp(n={self.pattern.num_vertices()}, width={self.width}, "
             f"nodes={self.node_count})"
         )
+
+    def describe_for(self, target: Graph) -> str:
+        from repro import kernel
+
+        tier = kernel.would_select("dp", target.num_vertices())
+        if tier == "numpy" and not kernel.dp_packable(
+            target.num_vertices(), self.width + 1,
+        ):
+            tier = "python"
+        return f"{self.describe()}/{tier}"
 
 
 def _compile_instructions(pattern: Graph, root: NiceNode) -> list[tuple]:

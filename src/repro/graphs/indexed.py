@@ -106,6 +106,7 @@ class IndexedGraph:
         "codec",
         "_adjacency_lists",
         "_bitsets",
+        "_packed_bitsets",
         "_degree_sequence",
         "_components",
         "_digest",
@@ -124,6 +125,7 @@ class IndexedGraph:
         self.codec = codec
         self._adjacency_lists: tuple[tuple[int, ...], ...] | None = None
         self._bitsets: tuple[int, ...] | None = None
+        self._packed_bitsets = None  # (n, words) uint64 — repro.kernel
         self._degree_sequence: tuple[int, ...] | None = None
         self._components: tuple[tuple[int, ...], ...] | None = None
         self._digest: str | None = None
@@ -236,6 +238,14 @@ class IndexedGraph:
             cached = tuple(rows)
             self._bitsets = cached
         return cached
+
+    def packed_bitsets(self):
+        """The neighbourhood bitsets as an ``(n, words)`` ``uint64``
+        ndarray (cached) — the vectorised twin of :meth:`bitsets`,
+        available only when the numpy kernel tier is importable."""
+        from repro.kernel.bitset_numpy import pack_bitsets
+
+        return pack_bitsets(self)
 
     def has_edge(self, u: int, v: int) -> bool:
         return bool((self.bitsets()[u] >> v) & 1)

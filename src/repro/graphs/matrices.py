@@ -1,4 +1,4 @@
-"""Adjacency matrices and spectral/walk-based counting (numpy).
+"""Adjacency matrices and spectral/walk-based counting.
 
 Closed-form homomorphism counts through linear algebra:
 
@@ -8,12 +8,23 @@ Closed-form homomorphism counts through linear algebra:
 used as independent oracles for the combinatorial counters in tests, and
 as the engine behind walk-profile invariants (walk counts of length ≤ L
 are 1-WL-invariant — exercised in the property suite).
+
+Walk counting runs on the kernel tier the registry picks
+(:mod:`repro.kernel.backend`): with numpy importable the powers are
+int64 ``numpy.linalg.matrix_power`` (switching to ``dtype=object``
+big-ints when the a-priori bound says int64 could wrap), without it a
+pure-Python exact matrix power takes over — same counts, so
+``MatrixPlan`` and the whole suite work with numpy uninstalled.
+:func:`spectrum`/:func:`cospectral` are float linear algebra with no
+pure equivalent; they raise :class:`repro.errors.ReproError` without
+numpy.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import ReproError
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,18 +36,34 @@ def adjacency_matrix(graph: Graph) -> "numpy.ndarray":
 
     Built from the cached :class:`~repro.graphs.indexed.IndexedGraph`
     encoding (index order *is* insertion order), so no label is hashed
-    here however rich the vertex labels are.
+    here however rich the vertex labels are.  The fill is one flat
+    scatter over the CSR arrays.  Requires numpy (the return type *is*
+    an ndarray); the walk counters below do not.
     """
     import numpy
 
     indexed = graph.to_indexed()
     n = indexed.n
-    matrix = numpy.zeros((n, n), dtype=numpy.int64)
-    offsets, targets = indexed.offsets, indexed.targets
-    for u in range(n):
-        for position in range(offsets[u], offsets[u + 1]):
-            matrix[u][targets[position]] = 1
-    return matrix
+    flat = numpy.zeros(n * n, dtype=numpy.int64)
+    if len(indexed.targets):
+        offsets = numpy.frombuffer(indexed.offsets, dtype=numpy.int64)
+        targets = numpy.frombuffer(indexed.targets, dtype=numpy.int64)
+        degrees = offsets[1:] - offsets[:-1]
+        sources = numpy.repeat(numpy.arange(n, dtype=numpy.int64), degrees)
+        flat[sources * n + targets] = 1
+    return flat.reshape(n, n)
+
+
+def _adjacency_rows(graph: Graph) -> list[list[int]]:
+    """The adjacency matrix as plain Python lists (kernel-free twin)."""
+    indexed = graph.to_indexed()
+    n = indexed.n
+    rows = [[0] * n for _ in range(n)]
+    for u, row in enumerate(indexed.adjacency_lists()):
+        this = rows[u]
+        for v in row:
+            this[v] = 1
+    return rows
 
 
 # Entries of A^k are bounded by n^k; keep int64 only while that bound fits
@@ -72,14 +99,62 @@ def _exact_matrix_power(matrix: "numpy.ndarray", power: int) -> "numpy.ndarray":
     return numpy.linalg.matrix_power(matrix, power)
 
 
+def _python_matrix_power(rows: list[list[int]], power: int) -> list[list[int]]:
+    """Exact big-int ``rows ** power`` by repeated squaring — the
+    kernel-free fallback behind the walk counters (and the oracle the
+    numpy powers are differentially tested against)."""
+    n = len(rows)
+    result = [[int(i == j) for j in range(n)] for i in range(n)]
+    base = [list(row) for row in rows]
+    while power:
+        if power & 1:
+            result = _python_matmul(result, base)
+        power >>= 1
+        if power:
+            base = _python_matmul(base, base)
+    return result
+
+
+def _python_matmul(a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
+    n = len(a)
+    transposed = list(zip(*b)) if n else []
+    return [
+        [
+            sum(x * y for x, y in zip(row, column) if x)
+            for column in transposed
+        ]
+        for row in a
+    ]
+
+
+def _walk_matrix_power(graph: Graph, power: int):
+    """``A^power`` on the selected kernel tier: ``(ndarray, None)`` or
+    ``(None, list-of-lists)``."""
+    from repro.kernel import backend as kernel_backend
+
+    n = graph.num_vertices()
+    numpy = kernel_backend.numpy_or_none()
+    if numpy is not None:
+        kernel_backend.note_selected("matrix", "numpy")
+        return _exact_matrix_power(adjacency_matrix(graph), power), None
+    kernel_backend.note_selected("matrix", "python")
+    if n * n * max(power, 1) > 1 << 24:
+        # The cubic pure power is the availability fallback, not a fast
+        # path; flag enormous requests in the metrics but still run.
+        kernel_backend.note_fallback("matrix", "large-pure-power")
+    return None, _python_matrix_power(_adjacency_rows(graph), power)
+
+
 def count_walks(graph: Graph, length: int) -> int:
     """Number of walks with ``length`` edges = ``|Hom(P_{length+1}, G)|``."""
     if length < 0:
         raise ValueError("length must be non-negative")
     if graph.num_vertices() == 0:
         return 0
-    power = _exact_matrix_power(adjacency_matrix(graph), length)
-    return int(power.sum())
+    ndarray_power, rows = _walk_matrix_power(graph, length)
+    if ndarray_power is not None:
+        return int(ndarray_power.sum())
+    return sum(sum(row) for row in rows)
 
 
 def count_closed_walks(graph: Graph, length: int) -> int:
@@ -89,16 +164,18 @@ def count_closed_walks(graph: Graph, length: int) -> int:
     exist, so shorter "closed walk" traces (``trace(A) = 0``,
     ``trace(A²) = 2|E|``) never equal a cycle homomorphism count.
     """
-    import numpy
-
     if length < 3:
         raise ValueError(
             "closed-walk counts require length >= 3 (C_k needs k >= 3)",
         )
     if graph.num_vertices() == 0:
         return 0
-    power = _exact_matrix_power(adjacency_matrix(graph), length)
-    return int(numpy.trace(power))
+    ndarray_power, rows = _walk_matrix_power(graph, length)
+    if ndarray_power is not None:
+        import numpy
+
+        return int(numpy.trace(ndarray_power))
+    return sum(rows[i][i] for i in range(len(rows)))
 
 
 def walk_profile(graph: Graph, max_length: int) -> tuple[int, ...]:
@@ -117,9 +194,20 @@ def closed_walk_profile(graph: Graph, max_length: int) -> tuple[int, ...]:
 
 
 def spectrum(graph: Graph) -> tuple[float, ...]:
-    """Adjacency eigenvalues, sorted descending (floats)."""
-    import numpy
+    """Adjacency eigenvalues, sorted descending (floats).
 
+    Float linear algebra with no pure-Python twin: raises
+    :class:`ReproError` when numpy is unavailable.  (Deliberately not
+    routed through the kernel registry — ``REPRO_KERNEL=python`` pins the
+    *exact* counters to their oracle tier and has nothing to say about
+    float spectra.)
+    """
+    try:
+        import numpy
+    except ImportError as exc:
+        raise ReproError(
+            "spectrum() requires numpy (no pure-Python tier)",
+        ) from exc
     if graph.num_vertices() == 0:
         return ()
     values = numpy.linalg.eigvalsh(adjacency_matrix(graph).astype(float))

@@ -176,10 +176,18 @@ def count_homomorphisms_brute(
     target: Graph,
     fixed: Mapping[Vertex, Vertex] | None = None,
     allowed: Mapping[Vertex, frozenset] | None = None,
+    backend: str = "auto",
 ) -> int:
     """``|Hom(pattern, target)|`` (restricted), by exhaustive backtracking.
 
     Pure index-space counting: no assignment dicts are materialised.
+
+    ``backend`` picks the candidate-pool tier for the bottom two search
+    levels: with ``'numpy'`` (or ``'auto'`` on large-enough targets) the
+    innermost double loop collapses into one batch over packed
+    ``uint64`` bitset rows — gather the candidate rows, AND the static
+    pool of the last vertex, sum popcounts — while ``'python'`` keeps
+    the big-int pools end to end (the oracle; counts agree exactly).
     """
     search = _prepare(pattern, target, fixed, allowed)
     if search is None:
@@ -191,6 +199,48 @@ def count_homomorphisms_brute(
     for v, image in search.fixed.items():
         images[v] = image
 
+    from repro import kernel
+
+    leaf_kernel = None
+    if depth >= 2:
+        tier = kernel.resolve("bitset", search.target.n, backend)
+        if tier == "numpy":
+            from repro.kernel import bitset_numpy
+
+            leaf_kernel = bitset_numpy
+            packed = bitset_numpy.pack_bitsets(search.target)
+            n_target = search.target.n
+
+    def count_leaf_pairs(pool: int, vertex: int) -> int:
+        """The bottom two levels in one vectorised step: ``pool`` holds
+        the candidates for ``vertex`` (= ``order[depth - 2]``)."""
+        base_last = pools[depth - 1]
+        vertex_pinned = False
+        for u in pinned[depth - 1]:
+            if u == vertex:
+                vertex_pinned = True
+            else:
+                base_last &= target_bits[images[u]]
+        if not vertex_pinned:
+            return pool.bit_count() * base_last.bit_count()
+        if not pool or not base_last:
+            return 0
+        if pool.bit_count() < 32:
+            # Too few candidate rows to amortise the ndarray round-trip;
+            # the big-int pools win (same arithmetic, oracle-identical).
+            total = 0
+            while pool:
+                low_bit = pool & -pool
+                pool ^= low_bit
+                total += (
+                    base_last & target_bits[low_bit.bit_length() - 1]
+                ).bit_count()
+            return total
+        candidates = leaf_kernel.expand_mask(pool, n_target)
+        return leaf_kernel.leaf_pair_count(
+            candidates, packed, leaf_kernel.pack_mask(base_last, n_target),
+        )
+
     def count_from(position: int) -> int:
         if position == depth:
             return 1
@@ -200,6 +250,8 @@ def count_homomorphisms_brute(
         if position == depth - 1:
             return pool.bit_count()
         vertex = order[position]
+        if leaf_kernel is not None and position == depth - 2:
+            return count_leaf_pairs(pool, vertex)
         total = 0
         while pool:
             low_bit = pool & -pool

@@ -37,12 +37,20 @@ def count_homomorphisms_dp(
     target: Graph,
     allowed: Mapping[Vertex, frozenset] | None = None,
     root: NiceNode | None = None,
+    backend: str = "auto",
 ) -> int:
     """``|Hom(pattern, target)|`` via tree-decomposition DP.
 
     ``root`` can supply a pre-computed nice decomposition of ``pattern``
     (useful when counting against many targets, e.g. the WL
     indistinguishability oracle); otherwise an optimal one is computed.
+
+    ``backend`` picks the table-evaluation tier: ``'python'`` is the
+    in-line dict DP below (the differential oracle), ``'numpy'`` lowers
+    the decomposition to the compiled instruction tape and evaluates it
+    with the vectorised kernel (:mod:`repro.kernel.dp_numpy`), and
+    ``'auto'`` lets the kernel cost model decide per target.  All tiers
+    return the same exact count; int64-unsafe inputs fall back here.
     """
     if pattern.num_vertices() == 0:
         return 1
@@ -51,6 +59,14 @@ def count_homomorphisms_dp(
     if root is None:
         decomposition = optimal_tree_decomposition(pattern)
         root = nice_tree_decomposition(decomposition)
+
+    from repro import kernel
+
+    tier = kernel.resolve("dp", target.num_vertices(), backend)
+    if tier == "numpy":
+        value = _count_via_tape(pattern, target, allowed, root)
+        if value is not None:
+            return value
 
     indexed_pattern = pattern.to_indexed()
     indexed_target = target.to_indexed()
@@ -121,6 +137,40 @@ def count_homomorphisms_dp(
 
     root_table = tables[id(root)]
     return root_table.get((), 0)
+
+
+def _count_via_tape(pattern, target, allowed, root: NiceNode) -> int | None:
+    """Lower ``root`` to the compiled instruction tape and run it on the
+    vectorised kernel; ``None`` means "fall back to the dict DP"."""
+    from repro import kernel
+    from repro.engine.plans import _compile_instructions
+    from repro.kernel import dp_numpy
+
+    indexed_target = target.to_indexed()
+    max_bag = root.width() + 1
+    if not dp_numpy.packable(indexed_target.n, max_bag):
+        kernel.note_fallback("dp", "overflow")
+        return None
+    if allowed is None:
+        masks = None
+    else:
+        encode_mask = indexed_target.codec.encode_mask
+        masks = {vertex: encode_mask(pool) for vertex, pool in allowed.items()}
+    # Memoise the lowered tape on the decomposition root: repeated calls
+    # with a prepared_pattern() root (the hom-profile access shape) pay
+    # the pattern-side compile once, like DPPlan does.
+    cache = getattr(root, "_tape_cache", None)
+    if cache is None or cache[0] is not pattern:
+        cache = (pattern, _compile_instructions(pattern, root))
+        root._tape_cache = cache
+    try:
+        return dp_numpy.execute_tape(
+            cache[1], indexed_target, max_bag,
+            allowed_masks=masks,
+        )
+    except kernel.KernelUnsupported as exc:
+        kernel.note_fallback("dp", exc.reason)
+        return None
 
 
 def prepared_pattern(pattern: Graph) -> NiceNode:

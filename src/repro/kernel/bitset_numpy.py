@@ -1,0 +1,136 @@
+"""Packed ``uint64`` bitset arrays over :class:`IndexedGraph` CSR data.
+
+The pure-Python kernel keeps candidate pools as Python big-ints (one bit
+per target vertex); this module is the vectorised counterpart: a graph's
+neighbourhood bitsets become an ``(n, words)`` ``uint64`` matrix so a
+whole *batch* of pool intersections is one ``&`` over rows, expansion of
+every pool into its member indices is one ``unpackbits``/``nonzero``
+pair, and popcounts come from ``bitwise_count``/byte tables instead of
+``int.bit_count`` per pool.
+
+Converters keep the two representations interchangeable: a Python-int
+mask packs into a word row (:func:`pack_mask`) and back
+(:func:`unpack_mask_int`), so ``allowed`` restrictions and the
+backtracking search's partially-intersected pools cross the boundary
+losslessly.  Consumers: :mod:`repro.kernel.dp_numpy` (DP candidate
+pools) and :func:`repro.homs.brute_force.count_homomorphisms_brute`
+(vectorised bottom-of-search expansion).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.backend import numpy_or_none
+
+# Per-IndexedGraph cache of the packed matrix, keyed by id(graph) with a
+# weak guard via the graph's own lifetime: IndexedGraph is immutable and
+# hashless, so the matrix is attached on first use through this module
+# (see packed_bitsets).
+_WORD_BITS = 64
+
+
+def word_count(n: int) -> int:
+    """Words needed for an ``n``-bit pool (at least 1 so shapes stay 2-D)."""
+    return max(1, (n + _WORD_BITS - 1) // _WORD_BITS)
+
+
+def pack_bitsets(graph) -> "object":
+    """The ``(n, words)`` ``uint64`` neighbourhood-bitset matrix of an
+    :class:`~repro.graphs.indexed.IndexedGraph`, cached on the graph.
+
+    Row ``v`` is the packed form of ``graph.bitsets()[v]``; built
+    straight from the CSR arrays with one ``bitwise_or.at`` scatter, no
+    Python big-ints involved.
+    """
+    cached = getattr(graph, "_packed_bitsets", None)
+    if cached is not None:
+        return cached
+    numpy = numpy_or_none()
+    if numpy is None:
+        raise RuntimeError("packed bitsets need numpy")
+    n = graph.n
+    words = word_count(n)
+    matrix = numpy.zeros((n, words), dtype=numpy.uint64)
+    if len(graph.targets):
+        targets = numpy.frombuffer(graph.targets, dtype=numpy.int64)
+        offsets = numpy.frombuffer(graph.offsets, dtype=numpy.int64)
+        degrees = offsets[1:] - offsets[:-1]
+        sources = numpy.repeat(numpy.arange(n, dtype=numpy.int64), degrees)
+        flat = matrix.reshape(-1)
+        positions = sources * words + (targets >> 6)
+        bits = numpy.uint64(1) << (targets.astype(numpy.uint64) & numpy.uint64(63))
+        numpy.bitwise_or.at(flat, positions, bits)
+    try:
+        graph._packed_bitsets = matrix
+    except AttributeError:  # __slots__ without the cache slot
+        pass
+    return matrix
+
+
+def pack_mask(mask: int, n: int) -> "object":
+    """A Python-int bitset as a ``(words,)`` ``uint64`` row."""
+    numpy = numpy_or_none()
+    words = word_count(n)
+    return numpy.frombuffer(
+        mask.to_bytes(words * 8, "little"), dtype=numpy.uint64,
+    ).copy()
+
+
+def unpack_mask_int(row) -> int:
+    """The Python-int bitset of a ``(words,)`` ``uint64`` row."""
+    return int.from_bytes(row.tobytes(), "little")
+
+
+def expand_rows(pools, n: int):
+    """Member indices of every pool row at once.
+
+    ``pools`` is ``(rows, words)`` ``uint64``; returns ``(row_index,
+    member)`` int64 arrays listing each set bit, ordered by row then by
+    member — the vectorised form of the ``while pool: pool &= pool - 1``
+    bit loop over every row.
+    """
+    numpy = numpy_or_none()
+    bits = numpy.unpackbits(
+        pools.view(numpy.uint8), axis=1, bitorder="little", count=n,
+    )
+    return numpy.nonzero(bits)
+
+
+def expand_mask(mask: int, n: int):
+    """Member indices of one Python-int pool as an int64 array."""
+    numpy = numpy_or_none()
+    row = pack_mask(mask, n).reshape(1, -1)
+    return expand_rows(row, n)[1]
+
+
+def popcount_rows(pools):
+    """Per-row popcounts of a ``(rows, words)`` ``uint64`` matrix."""
+    numpy = numpy_or_none()
+    if hasattr(numpy, "bitwise_count"):
+        return numpy.bitwise_count(pools).sum(axis=1, dtype=numpy.int64)
+    bytes_view = pools.view(numpy.uint8)
+    table = _byte_popcounts(numpy)
+    return table[bytes_view].sum(axis=1, dtype=numpy.int64)
+
+
+_byte_table = None
+
+
+def _byte_popcounts(numpy):
+    global _byte_table
+    if _byte_table is None:
+        _byte_table = numpy.array(
+            [bin(i).count("1") for i in range(256)], dtype=numpy.int64,
+        )
+    return _byte_table
+
+
+def leaf_pair_count(candidates, packed, base_mask_row) -> int:
+    """``sum(popcount(base & bitset[c]) for c in candidates)`` in one shot.
+
+    The bottom two levels of the backtracking counter: ``candidates``
+    are the images of the second-to-last search vertex, ``base_mask_row``
+    the already-intersected static pool of the last vertex.  Exact: the
+    per-row popcount sum is at most ``n**2 < 2**63``.
+    """
+    rows = packed[candidates] & base_mask_row
+    return int(popcount_rows(rows).sum())

@@ -1,0 +1,138 @@
+"""Vectorised 1-WL colour refinement (counting-sort signature passes).
+
+The pure-Python worklist refinement
+(:func:`repro.wl.refinement.indexed_colour_partition`) processes one
+splitter class at a time; this module computes the same stable partition
+round-synchronously with whole-graph array passes:
+
+each round builds, for every vertex at once, the signature
+``(own colour, sorted multiset of neighbour colours)`` — neighbour
+colours are gathered with one fancy-index over the CSR ``targets``
+array, sorted per vertex by a single ``lexsort`` (the counting-sort
+discipline: keys are dense class ids), scattered into a padded
+``(n, max_degree + 1)`` signature matrix, and collapsed to dense new
+class ids by one more ``lexsort`` over the matrix columns plus a
+consecutive-row comparison (a vectorised group-by; far cheaper than
+``numpy.unique(axis=0)``).  Rounds repeat until the class count stops
+growing.
+
+The stable partition is the coarsest equitable partition refining the
+seed, which is unique — so the classes agree with the worklist oracle
+(class *ids* differ; compare partitions, not ids).
+
+Round-synchronous refinement is O(n + m) per round but needs as many
+rounds as the partition takes to stabilise — on long-diameter graphs
+(paths, cycles) that is Θ(n) rounds and the worklist's
+O((n + m) log n) total wins by a mile.  After :data:`_MAX_ROUNDS`
+rounds this module therefore gives up and raises
+:class:`KernelUnsupported` *carrying the partial colouring*
+(``exc.partial``); the caller re-seeds the worklist with it, so the
+vectorised rounds already done are not wasted — refining an
+intermediate partition yields the same unique stable partition.
+
+The padded matrix costs ``n × (max_degree + 1)`` int64 cells; graphs
+where that exceeds :data:`_CELL_BUDGET` (a hub vertex in a huge sparse
+graph) raise :class:`KernelUnsupported` up front and fall back to the
+worklist from the original seed.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.backend import KernelUnsupported, numpy_or_none
+
+# At 8 bytes per cell this caps the signature matrix at 512 MiB.
+_CELL_BUDGET = 1 << 26
+
+# Most graphs where vectorisation pays off stabilise in a handful of
+# rounds (random sparse graphs: O(log n) with high probability).  Past
+# this budget the graph is long-diameter-shaped and the worklist's
+# complexity guarantee should take over (seeded with the partial work).
+_MAX_ROUNDS = 32
+
+
+def _dense_ranks(numpy, signature, n):
+    """Collapse signature rows to dense class ids: lexsort the rows,
+    compare consecutive sorted rows, cumulative-sum the changes."""
+    row_order = numpy.lexsort(signature.T[::-1])
+    ordered = signature[row_order]
+    changed = numpy.empty(n, dtype=numpy.int64)
+    changed[0] = 0
+    changed[1:] = numpy.any(ordered[1:] != ordered[:-1], axis=1)
+    ranks = numpy.cumsum(changed)
+    colours = numpy.empty(n, dtype=numpy.int64)
+    colours[row_order] = ranks
+    return colours, int(ranks[-1]) + 1
+
+
+def refine_partition(indexed_graph, initial=None) -> list[int]:
+    """The stable 1-WL partition of an
+    :class:`~repro.graphs.indexed.IndexedGraph` as a dense class-id list.
+
+    ``initial`` (a per-index id sequence) seeds the partition.  Raises
+    :class:`KernelUnsupported` when numpy is unavailable, the padded
+    signature matrix would blow the memory budget, or the partition is
+    still moving after :data:`_MAX_ROUNDS` rounds (the exception then
+    carries the partial colouring in ``.partial`` for the worklist to
+    finish).
+    """
+    numpy = numpy_or_none()
+    if numpy is None:
+        raise KernelUnsupported("unavailable", "numpy is not importable")
+    n = indexed_graph.n
+    if n == 0:
+        return []
+
+    offsets = numpy.frombuffer(indexed_graph.offsets, dtype=numpy.int64)
+    targets = numpy.frombuffer(indexed_graph.targets, dtype=numpy.int64)
+    degrees = offsets[1:] - offsets[:-1]
+    max_degree = int(degrees.max()) if n else 0
+    if n * (max_degree + 1) > _CELL_BUDGET:
+        raise KernelUnsupported(
+            "memory",
+            f"signature matrix n*(max_degree+1) = {n * (max_degree + 1)} "
+            "cells exceeds the budget",
+        )
+
+    if initial is None:
+        colours = numpy.zeros(n, dtype=numpy.int64)
+        num_classes = 1
+    else:
+        _, colours = numpy.unique(
+            numpy.asarray(initial, dtype=numpy.int64), return_inverse=True,
+        )
+        colours = colours.astype(numpy.int64, copy=False).reshape(n)
+        num_classes = int(colours.max()) + 1
+
+    sources = numpy.repeat(numpy.arange(n, dtype=numpy.int64), degrees)
+    # Column of each CSR slot within its vertex's signature row.
+    slot = numpy.arange(len(targets), dtype=numpy.int64) - numpy.repeat(
+        offsets[:-1], degrees,
+    ) + 1
+    # Padding cells (columns past a vertex's degree) are written once and
+    # never touched again: the scatter below hits the same cells every
+    # round.  n * num_classes stays far inside int64 (both ≤ n ≤ the cell
+    # budget), so one single-key argsort replaces a two-key lexsort.
+    signature = numpy.full((n, max_degree + 1), -1, dtype=numpy.int64)
+
+    for _ in range(_MAX_ROUNDS):
+        if num_classes == n:
+            break  # discrete partition: trivially stable
+        neighbour_colours = colours[targets]
+        # Counting-sort pass: sort edges by (vertex, neighbour colour) so
+        # every vertex's neighbour multiset lands in sorted order.  Ties
+        # are exact duplicates, so an unstable sort is fine.
+        order = numpy.argsort(sources * num_classes + neighbour_colours)
+        signature[:, 0] = colours
+        signature[sources, slot] = neighbour_colours[order]
+        colours, new_classes = _dense_ranks(numpy, signature, n)
+        if new_classes == num_classes:
+            break
+        num_classes = new_classes
+    else:
+        exc = KernelUnsupported(
+            "slow-convergence",
+            f"partition still moving after {_MAX_ROUNDS} rounds",
+        )
+        exc.partial = colours.tolist()
+        raise exc
+    return colours.tolist()

@@ -49,13 +49,23 @@ class ColourInterner:
 def indexed_colour_partition(
     graph: IndexedGraph,
     initial: Sequence[int] | None = None,
+    backend: str = "auto",
 ) -> list[int]:
     """The stable 1-WL partition of ``graph`` as a class-id array.
 
     ``initial`` (when given) seeds the partition: vertices with equal
     initial ids start in the same class.  Returned ids are dense and
-    deterministic for a given graph but are *not* comparable across
-    graphs — compare histograms after refining a disjoint union instead.
+    deterministic for a given graph *and backend* but are *not*
+    comparable across graphs (or backends) — compare partitions, or
+    histograms after refining a disjoint union.
+
+    ``backend`` selects the evaluation tier: ``'auto'`` lets the kernel
+    cost model pick (the vectorised counting-sort refinement of
+    :mod:`repro.kernel.wl_numpy` for large-enough graphs when numpy is
+    importable), ``'python'`` pins the worklist refinement below — the
+    differential oracle — and ``'numpy'`` pins the vectorised pass.
+    Both compute the same partition (the coarsest equitable refinement
+    of the seed, which is unique).
 
     Worklist refinement: a queue of splitter classes; for each splitter,
     vertices are regrouped by their neighbour count into it (a
@@ -66,6 +76,22 @@ def indexed_colour_partition(
     n = graph.n
     if n == 0:
         return []
+
+    from repro import kernel
+
+    tier = kernel.resolve("wl", n + len(graph.targets), backend)
+    if tier == "numpy":
+        from repro.kernel import wl_numpy
+
+        try:
+            return wl_numpy.refine_partition(graph, initial=initial)
+        except kernel.KernelUnsupported as exc:
+            kernel.note_fallback("wl", exc.reason)
+            if exc.partial is not None:
+                # The vectorised rounds got partway (round budget hit on
+                # a long-diameter graph); resume the worklist from the
+                # intermediate partition — same unique stable result.
+                initial = exc.partial
     adjacency = graph.adjacency_lists()
 
     colour = [0] * n

@@ -72,6 +72,39 @@ class TestBatch:
         assert pooled_engine.count_batch(_patterns(), _targets()) == sequential
         assert pooled_engine.counts_executed == executed
 
+    def test_thread_pool_matches_sequential(self):
+        sequential = HomEngine().count_batch(_patterns(), _targets())
+        threaded_engine = HomEngine()
+        threaded = threaded_engine.count_batch(
+            _patterns(), _targets(), processes=2, pool="thread",
+        )
+        assert threaded == sequential
+        executed = threaded_engine.counts_executed
+        assert threaded_engine.count_batch(_patterns(), _targets()) == (
+            sequential
+        )
+        assert threaded_engine.counts_executed == executed
+
+    def test_pool_flavour_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HomEngine().count_batch(
+                _patterns(), _targets(), processes=2, pool="fibers",
+            )
+
+    def test_automatic_pool_choice_follows_kernel(self):
+        from repro import kernel
+        from repro.engine.batch import _pick_pool
+
+        small = [random_graph(6, 0.3, seed=1)]
+        large = [random_graph(64, 0.1, seed=2)]
+        if kernel.numpy_available():
+            assert _pick_pool(small) == "process"
+            assert _pick_pool(large) == "thread"
+        with kernel.force_backend("python"):
+            assert _pick_pool(large) == "process"
+
 
 class TestFacade:
     def test_hom_vector(self):

@@ -82,6 +82,15 @@ class TestExactArithmetic:
         # Walks of length k in K_n: n * (n-1)^k; 11^30 ≈ 10^31 >> 2^63.
         assert count_walks(complete_graph(12), 30) == 12 * 11 ** 30
 
+    def test_pure_python_tier_is_exact_too(self):
+        from repro import kernel
+
+        with kernel.force_backend("python"):
+            assert count_walks(complete_graph(12), 30) == 12 * 11 ** 30
+            assert count_walks(complete_graph(5), 3) == count_homomorphisms(
+                path_graph(4), complete_graph(5),
+            )
+
     def test_long_closed_walks_do_not_overflow(self):
         # trace(A^k) on K_n via the spectrum {n-1, (-1)^(n-1 times)}.
         n, k = 12, 25
@@ -106,6 +115,7 @@ class TestExactArithmetic:
                     assert n * (n - 1) ** power < 2 ** 63
 
     def test_int64_fast_path_agrees_with_exact(self):
+        pytest.importorskip("numpy", exc_type=ImportError)
         g = random_graph(8, 0.5, seed=64)
         # Short walks fit comfortably in int64; the exact path must agree.
         from repro.graphs.matrices import _exact_matrix_power, adjacency_matrix
@@ -117,6 +127,12 @@ class TestExactArithmetic:
 
 
 class TestSpectra:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        # Float spectra have no pure-Python tier (matrices.spectrum
+        # raises ReproError without numpy).
+        pytest.importorskip("numpy", exc_type=ImportError)
+
     def test_known_spectrum_complete(self):
         spec = spectrum(complete_graph(4))
         assert abs(spec[0] - 3.0) < 1e-9

@@ -1,0 +1,130 @@
+"""The backend registry: cost model, overrides, accounting, reporting."""
+
+import pytest
+
+from repro import kernel
+from repro.engine.plans import compile_plan
+from repro.graphs import complete_graph, path_graph, random_graph, star_graph
+from repro.kernel import backend
+
+needs_numpy = pytest.mark.skipif(
+    not kernel.numpy_available(), reason="numpy kernel tier not importable",
+)
+
+
+class TestCostModel:
+    @needs_numpy
+    def test_thresholds_gate_small_inputs(self):
+        for layer, threshold in backend._THRESHOLDS.items():
+            if threshold > 1:
+                assert kernel.would_select(layer, threshold - 1) == "python"
+            assert kernel.would_select(layer, threshold) == "numpy"
+
+    @needs_numpy
+    def test_select_records_metrics(self):
+        before = kernel.kernel_report()["selected"].get("dp/numpy", 0)
+        assert kernel.select("dp", 10 ** 6) == "numpy"
+        assert kernel.kernel_report()["selected"]["dp/numpy"] == before + 1
+
+    def test_resolve_validates(self):
+        with pytest.raises(ValueError):
+            kernel.resolve("dp", 10, "fortran")
+
+    @needs_numpy
+    def test_resolve_honours_explicit_backend(self):
+        assert kernel.resolve("dp", 2, "python") == "python"
+        assert kernel.resolve("dp", 2, "numpy") == "numpy"
+
+
+class TestOverrides:
+    @needs_numpy
+    def test_force_backend_beats_size(self):
+        with kernel.force_backend("numpy"):
+            assert kernel.would_select("dp", 1) == "numpy"
+        with kernel.force_backend("python"):
+            assert kernel.would_select("dp", 10 ** 9) == "python"
+        assert kernel.would_select("dp", 1) == "python"
+
+    def test_force_backend_validates(self):
+        with pytest.raises(ValueError):
+            with kernel.force_backend("cuda"):
+                pass
+
+    @needs_numpy
+    def test_env_variable_forces(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert kernel.would_select("dp", 10 ** 9) == "python"
+        assert kernel.numpy_or_none() is None
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert kernel.would_select("dp", 1) == "numpy"
+        # Unknown values are ignored, not an error.
+        monkeypatch.setenv("REPRO_KERNEL", "gpu")
+        assert backend._env_force() is None
+
+    @needs_numpy
+    def test_force_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        with kernel.force_backend("numpy"):
+            assert kernel.would_select("dp", 1) == "numpy"
+
+
+class TestReport:
+    def test_report_shape(self):
+        report = kernel.kernel_report()
+        assert set(report) == {
+            "numpy_available", "numpy_version", "forced", "layers",
+            "thresholds", "selected", "fallbacks",
+        }
+        assert report["layers"] == sorted(backend._THRESHOLDS)
+        assert report["thresholds"] == backend._THRESHOLDS
+
+    @needs_numpy
+    def test_fallback_accounting(self):
+        before = kernel.kernel_report()["fallbacks"].get("dp/test-reason", 0)
+        kernel.note_fallback("dp", "test-reason")
+        assert (
+            kernel.kernel_report()["fallbacks"]["dp/test-reason"] == before + 1
+        )
+
+
+class TestPlanDescriptions:
+    """``describe_for`` surfaces the tier — the string behind
+    ``Result.backend`` and ``.explain()``."""
+
+    @needs_numpy
+    def test_dp_plan_tier(self):
+        plan = compile_plan(star_graph(3))
+        assert plan.kind == "dp"
+        assert plan.describe_for(random_graph(60, 0.2, seed=3)).endswith(
+            "/numpy",
+        )
+        assert plan.describe_for(random_graph(8, 0.2, seed=3)).endswith(
+            "/python",
+        )
+
+    @needs_numpy
+    def test_brute_plan_tier(self):
+        plan = compile_plan(complete_graph(4))
+        assert plan.kind == "brute"
+        assert plan.describe_for(random_graph(200, 0.1, seed=4)).endswith(
+            "/numpy",
+        )
+
+    @needs_numpy
+    def test_matrix_plan_tier(self):
+        plan = compile_plan(path_graph(5))
+        assert plan.kind == "matrix"
+        assert plan.describe_for(random_graph(30, 0.2, seed=5)).endswith(
+            "/numpy",
+        )
+
+    @needs_numpy
+    def test_result_backend_carries_tier(self):
+        from repro import HomCountTask, Session
+
+        result = Session().run(
+            HomCountTask(star_graph(3), random_graph(64, 0.2, seed=6)),
+        )
+        assert result.backend is not None
+        assert result.backend.endswith(("/numpy", "/python"))
+        assert "backend" in result.explain()

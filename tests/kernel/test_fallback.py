@@ -1,0 +1,99 @@
+"""Exactness fallbacks: int64-unsafe inputs must reroute to the oracle.
+
+The numpy tiers never trade exactness for speed — every step that could
+leave int64 is guarded a priori, raises
+:class:`~repro.kernel.KernelUnsupported`, and re-runs pure Python.  These
+tests force each guard and check (a) the result is the exact big
+integer and (b) the fallback is visible in the metrics.
+"""
+
+import pytest
+
+from repro import kernel
+from repro.graphs import Graph, complete_graph, path_graph, star_graph
+from repro.homs.treewidth_dp import count_homomorphisms_dp
+from repro.wl.refinement import indexed_colour_partition
+
+pytestmark = pytest.mark.skipif(
+    not kernel.numpy_available(), reason="numpy kernel tier not importable",
+)
+
+
+def fallback_count(layer: str, reason: str) -> int:
+    return kernel.kernel_report()["fallbacks"].get(f"{layer}/{reason}", 0)
+
+
+class TestDPOverflow:
+    def test_packable_bounds(self):
+        assert kernel.dp_packable(10, 5)
+        assert kernel.dp_packable(1, 99)
+        # 65536**4 = 2**64 > 2**62: codes would not fit.
+        assert not kernel.dp_packable(1 << 16, 4)
+
+    def test_huge_count_falls_back_exactly(self):
+        # Hom(edgeless 30-vertex pattern, K50) = 50**30 ≈ 2**169: the
+        # FORGET merge guard fires long before any int64 wraparound.
+        pattern = Graph(vertices=range(30))
+        target = complete_graph(50)
+        before = fallback_count("dp", "overflow")
+        with kernel.force_backend("numpy"):
+            value = count_homomorphisms_dp(pattern, target)
+        assert value == 50 ** 30
+        assert fallback_count("dp", "overflow") > before
+
+    def test_fallback_result_matches_oracle(self):
+        pattern = Graph(vertices=range(30))
+        target = complete_graph(50)
+        with kernel.force_backend("python"):
+            oracle = count_homomorphisms_dp(pattern, target)
+        with kernel.force_backend("numpy"):
+            assert count_homomorphisms_dp(pattern, target) == oracle
+
+
+class TestWLBudgets:
+    def test_long_path_takes_partial_resume(self):
+        from repro.kernel import wl_numpy
+
+        indexed = path_graph(300).to_indexed()
+        with pytest.raises(kernel.KernelUnsupported) as excinfo:
+            wl_numpy.refine_partition(indexed)
+        assert excinfo.value.reason == "slow-convergence"
+        partial = excinfo.value.partial
+        assert isinstance(partial, list) and len(partial) == indexed.n
+
+        before = fallback_count("wl", "slow-convergence")
+        with kernel.force_backend("numpy"):
+            refined = indexed_colour_partition(indexed)
+        assert fallback_count("wl", "slow-convergence") > before
+        with kernel.force_backend("python"):
+            oracle = indexed_colour_partition(indexed)
+
+        def as_partition(colours):
+            seen = {}
+            return [seen.setdefault(c, len(seen)) for c in colours]
+
+        assert as_partition(refined) == as_partition(oracle)
+
+    def test_hub_blows_memory_budget(self):
+        from repro.kernel import wl_numpy
+
+        # star_graph(10_000): n*(max_degree+1) ≈ 10^8 cells > the budget.
+        indexed = star_graph(10_000).to_indexed()
+        with pytest.raises(kernel.KernelUnsupported) as excinfo:
+            wl_numpy.refine_partition(indexed)
+        assert excinfo.value.reason == "memory"
+        # The public entry point still answers (worklist fallback).
+        with kernel.force_backend("numpy"):
+            partition = indexed_colour_partition(indexed)
+        assert len(set(partition)) == 2  # hub vs leaves
+
+
+class TestTapeGuards:
+    def test_execute_tape_rejects_unpackable(self):
+        from repro.kernel import dp_numpy
+
+        indexed = complete_graph(3).to_indexed()
+        with pytest.raises(kernel.KernelUnsupported):
+            # max_bag chosen so n**max_bag >= 2**62 is impossible to pack
+            # (3**200 is astronomically past int64).
+            dp_numpy.execute_tape([(0,)], indexed, 200)

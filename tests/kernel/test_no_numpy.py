@@ -1,0 +1,96 @@
+"""Clean degradation with numpy absent.
+
+An import block in ``sys.modules`` makes ``import numpy`` raise inside
+the probe; every layer must then run its pure-Python tier with no
+behavioural difference (counts and partitions are the oracle's).  This
+is the in-process twin of the no-numpy CI job.
+"""
+
+import sys
+
+import pytest
+
+from repro.graphs import complete_graph, path_graph, random_graph
+from repro.homs.brute_force import count_homomorphisms_brute
+from repro.homs.treewidth_dp import count_homomorphisms_dp
+from repro.wl.refinement import indexed_colour_partition
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    from repro.kernel import backend
+
+    monkeypatch.setitem(sys.modules, "numpy", None)  # import -> ImportError
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    backend._reset_probe_for_tests()
+    try:
+        yield
+    finally:
+        monkeypatch.undo()
+        backend._reset_probe_for_tests()
+
+
+def test_probe_reports_unavailable(no_numpy):
+    from repro import kernel
+
+    assert not kernel.numpy_available()
+    report = kernel.kernel_report()
+    assert report["numpy_available"] is False
+    assert report["numpy_version"] is None
+
+
+def test_auto_selection_degrades_to_python(no_numpy):
+    from repro import kernel
+
+    assert kernel.select("dp", 10 ** 9) == "python"
+    assert kernel.would_select("wl", 10 ** 9) == "python"
+
+
+def test_explicit_numpy_request_fails_loudly(no_numpy):
+    from repro import kernel
+
+    with pytest.raises(RuntimeError):
+        kernel.resolve("dp", 100, "numpy")
+    with kernel.force_backend("numpy"):
+        with pytest.raises(RuntimeError):
+            kernel.select("dp", 100)
+
+
+def test_counting_layers_still_work(no_numpy):
+    pattern = path_graph(3)
+    target = random_graph(40, 0.3, seed=21)
+    assert count_homomorphisms_dp(pattern, target) == (
+        count_homomorphisms_brute(pattern, target)
+    )
+    partition = indexed_colour_partition(target.to_indexed())
+    assert len(partition) == 40
+
+
+def test_matrix_layer_runs_pure(no_numpy):
+    from repro.graphs.matrices import count_closed_walks, count_walks
+
+    target = random_graph(12, 0.5, seed=22)
+    assert count_walks(target, 3) == count_homomorphisms_brute(
+        path_graph(4), target,
+    )
+    assert count_closed_walks(complete_graph(4), 3) == 24
+
+
+def test_spectrum_raises_repro_error(no_numpy):
+    from repro.errors import ReproError
+    from repro.graphs.matrices import spectrum
+
+    with pytest.raises(ReproError):
+        spectrum(complete_graph(3))
+
+
+def test_matrix_plan_executes_pure(no_numpy):
+    from repro.engine.plans import compile_plan
+
+    plan = compile_plan(path_graph(4))
+    assert plan.kind == "matrix"
+    target = random_graph(10, 0.4, seed=23)
+    assert plan.execute(target) == count_homomorphisms_brute(
+        path_graph(4), target,
+    )
+    assert plan.describe_for(target).endswith("/python")

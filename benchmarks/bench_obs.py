@@ -23,7 +23,14 @@ overhead.  The enabled bookkeeping cost
 (only paid while a sampler is actually attached, where sampling noise
 dominates anyway) is reported in the same table, ungated.
 
-``python benchmarks/bench_obs.py`` asserts both gates.
+A third gate covers the health/SLO layer (repro.obs.health + .slo): the
+per-task cost with SLO windows and gc-pause tracking enabled vs disabled
+is bounded at **< 2%**.  Health probes are structurally absent from the
+request path — they only run on /healthz, /readyz, and metric scrapes —
+so this gate measures the only hot-path residents: ``observe_slo`` and
+the ``gc.callbacks`` pair.
+
+``python benchmarks/bench_obs.py`` asserts all three gates.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.wl.hom_indistinguishability import bounded_treewidth_patterns
 
 GATE = 1.05          # traced time must stay under 105% of untraced time
 GATE_PROFILE = 1.02  # profiler-disabled span path must stay under 2%
+GATE_HEALTH = 1.02   # SLO windows + gc tracking must stay under 2%
 SAMPLES = 60         # timed workload passes per mode, tightly alternated
 PASSES = 9           # best-of for the pytest-benchmark variants
 
@@ -214,6 +222,70 @@ def run_experiment() -> float:
         f"profiler-disabled overhead {(hook_ratio - 1) * 100:.1f}% exceeds "
         f"the {(GATE_PROFILE - 1) * 100:.0f}% gate"
     )
+
+    # ------------------------------------------------------------------
+    # health/SLO layer overhead: what the enabled path pays per task is
+    # one observe_slo — a dict lookup, a bisect into the task kind's
+    # rolling window, and a lock — plus a gc.callbacks start/stop pair
+    # on the rare passes a collection actually runs.  Health *probes*
+    # cost nothing here by construction: they only run on /healthz,
+    # /readyz, and metric scrapes, never on the request path.  Tracing
+    # is off for this section so the gate isolates the new layer.
+    # ------------------------------------------------------------------
+    from repro.obs.health import GcPauseTracker
+    from repro.obs.slo import configure_slo, set_slo_tracking, tracker
+
+    gc_tracker = GcPauseTracker()
+
+    def set_health(mode: bool) -> None:
+        set_slo_tracking(mode)
+        if mode:
+            gc_tracker.install()
+        else:
+            gc_tracker.uninstall()
+
+    previous_tracing = set_tracing(False)
+    previous_slo_enabled = set_slo_tracking(True)
+    previous_objectives = configure_slo("hom-count:p99<250ms,err<1%")
+    try:
+        set_health(True)
+        session_pass()  # warm the hom-count window + its objective bounds
+        assert tracker().window("hom-count") is not None
+        best, health_ratio = interleaved_ratios(session_pass, set_health)
+    finally:
+        set_health(False)
+        set_slo_tracking(previous_slo_enabled)
+        tracker().set_objectives(previous_objectives)
+        tracker().reset()
+        set_tracing(previous_tracing)
+    health_off, health_on = best[False], best[True]
+    print_table(
+        "Health/SLO overhead — rolling windows + gc tracking on the "
+        "same workload",
+        ["mode", "time", "per call", "ratio"],
+        [
+            [
+                "slo+gc off",
+                f"{health_off * 1000:.2f} ms",
+                "-",
+                "1.000",
+            ],
+            [
+                "slo+gc on",
+                f"{health_on * 1000:.2f} ms",
+                f"{(health_on - health_off) / calls * 1e6:.2f} us",
+                f"{health_ratio:.3f}",
+            ],
+        ],
+    )
+    print(
+        f"\nmedian paired slo-on/slo-off ratio over {SAMPLES} interleaved "
+        f"samples per mode: {health_ratio:.3f} (gate: < {GATE_HEALTH:.2f})",
+    )
+    assert health_ratio < GATE_HEALTH, (
+        f"health/SLO overhead {(health_ratio - 1) * 100:.1f}% exceeds "
+        f"the {(GATE_HEALTH - 1) * 100:.0f}% gate"
+    )
     return ratio
 
 
@@ -251,6 +323,7 @@ if __name__ == "__main__":
         params={
             "gate_tracing": GATE,
             "gate_profiler_hook": GATE_PROFILE,
+            "gate_health_slo": GATE_HEALTH,
             "samples": SAMPLES,
         },
         primary="traced_vs_untraced_ratio",

@@ -1,0 +1,115 @@
+"""Demo — health probes, SLO windows, and alert rules on a live service.
+
+Walks the full degraded→recovered cycle in one process:
+
+1. **Ready** — start a service with SLO objectives configured, gate on
+   ``ServiceClient.wait_ready()`` instead of a sleep/retry loop, and
+   show the healthy ``/healthz`` verdict (every probe ``ok``).
+2. **Traffic** — drive counts so the ``count`` rolling window fills,
+   then read ``/slo``: objective attainment, observed quantile, and
+   the burn rate relative to the error budget.
+3. **Break it** — stop the scheduler under the server's feet.
+   ``/healthz`` flips to 503 with a structured reason, ``/readyz``
+   refuses traffic, and the ``probe:scheduler-workers`` alert rule
+   fires (severity ``page``) once its ``for_seconds`` hold elapses.
+4. **Recover** — restart the scheduler: ``/healthz`` returns to 200,
+   the alert resolves, and counts flow again.
+
+Run with::
+
+    PYTHONPATH=src python examples/health_demo.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.engine import set_default_engine
+from repro.graphs import cycle_graph, random_graph
+from repro.obs.slo import configure_slo, tracker
+from repro.service import BackgroundServer, ServiceClient
+
+
+def call_on_loop(server: BackgroundServer, coroutine):
+    """Run a coroutine on the server's own event loop and wait for it."""
+    return asyncio.run_coroutine_threadsafe(
+        coroutine, server._loop,
+    ).result(timeout=10.0)
+
+
+def show_health(label: str, client: ServiceClient) -> None:
+    status, payload = client.healthz()
+    print(f"\n{label}: /healthz → HTTP {status} ({payload['status']})")
+    for name, probe in sorted(payload["probes"].items()):
+        reason = f"  — {probe['reason']}" if probe.get("reason") else ""
+        print(f"  {probe['status']:<9} {name}{reason}")
+
+
+def main() -> None:
+    # Objectives would normally come from the environment
+    # (REPRO_SLO="count:p99<250ms,err<1%"); configure_slo takes the
+    # same grammar in-process.
+    previous_objectives = configure_slo("count:p99<250ms,err<1%")
+    host = random_graph(12, 0.3, seed=7)
+
+    with BackgroundServer(workers=2) as server:
+        client = ServiceClient(port=server.port)
+        ready = client.wait_ready(timeout=10.0)
+        print(f"server ready on http://127.0.0.1:{server.port} "
+              f"(readyz: {ready['status']})")
+        show_health("healthy baseline", client)
+
+        # --------------------------------------------------------------
+        # traffic: fill the `count` rolling window, then read /slo
+        # --------------------------------------------------------------
+        client.register_graph("hosts", host)
+        for _ in range(40):
+            client.count(cycle_graph(4), "hosts")
+        report = client.slo()
+        window = report["windows"]["count"]
+        print(f"\n/slo after 40 counts — window `count`: "
+              f"{window['count']} events, p99 ≈ {window['p99_ms']} ms")
+        for objective in report["objectives"]:
+            attained = objective.get(
+                "attained_ms", objective.get("error_rate"),
+            )
+            print(f"  {objective['objective']:<24} ok={objective['ok']}  "
+                  f"attained={attained}  burn={objective['burn_rate']}")
+
+        # --------------------------------------------------------------
+        # break: stop the scheduler — healthz 503, alert fires
+        # --------------------------------------------------------------
+        call_on_loop(server, server.service.scheduler.stop())
+        show_health("scheduler stopped", client)
+        status, _ = client.readyz()
+        print(f"  /readyz → HTTP {status} (load balancer drains this pod)")
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            firing = client.alerts()["firing"]
+            if "probe:scheduler-workers" in firing:
+                break
+            time.sleep(0.1)
+        alerts = client.alerts()
+        for alert in alerts["alerts"]:
+            if alert["name"] in alerts["firing"]:
+                print(f"  FIRING [{alert['severity']}] {alert['name']}: "
+                      f"{alert['reason']}")
+
+        # --------------------------------------------------------------
+        # recover: restart — healthz 200, alert resolves, traffic flows
+        # --------------------------------------------------------------
+        call_on_loop(server, server.service.scheduler.start())
+        show_health("scheduler restarted", client)
+        assert "probe:scheduler-workers" not in client.alerts()["firing"]
+        response = client.count(cycle_graph(5), "hosts")
+        print(f"\nrecovered: |Hom(C5, hosts)| = {response['count']} — "
+              f"alert resolved, counts flowing again")
+    set_default_engine(None)
+    tracker().set_objectives(previous_objectives)
+    tracker().reset()
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,7 @@ from repro.obs import (
     cost_breakdown,
     leaf_span,
     maybe_record as _slowlog_record,
+    observe_slo,
     observe_task_cost,
     registry as _metrics_registry,
     span,
@@ -78,6 +79,8 @@ def _finish_task(task: Task, result: Result, sp) -> Result:
     """
     if sp.children and sp.live:
         observe_task_cost(result.kind, result.backend, cost_breakdown(sp))
+    # Feed the task-kind SLO window (cheap no-op when tracking is off).
+    observe_slo(result.kind, result.elapsed_ms)
     _slowlog_record(task, result)
     return result
 

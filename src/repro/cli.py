@@ -737,6 +737,214 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         time.sleep(args.interval)
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """``repro health``: liveness/readiness of a running service.
+
+    ``--wait TIMEOUT`` polls ``/readyz`` until the service is ready —
+    the scripted replacement for sleep/retry startup loops.  Exit code 0
+    when healthy/ready, 1 when not (so shell gates compose:
+    ``repro health --wait 30 --port 8765 && run-load-test``).
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.wait is not None:
+        try:
+            payload = client.wait_ready(timeout=args.wait)
+        except ServiceError as error:
+            if args.json:
+                print(json.dumps(
+                    {"kind": "readyz", "ready": False, "error": str(error)},
+                ))
+            else:
+                print(f"not ready: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"ready ({payload.get('datasets', 0)} dataset(s) registered)")
+        return 0
+    status, payload = client.readyz() if args.ready else client.healthz()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{payload.get('status', '?')} (HTTP {status})")
+        for name, probe in sorted(payload.get("probes", {}).items()):
+            line = f"  {probe.get('status', '?'):<9} {name}"
+            if probe.get("reason"):
+                line += f" — {probe['reason']}"
+            print(line)
+    return 0 if status == 200 else 1
+
+
+_TOP_COLOURS = {
+    "ok": "\x1b[32m", "degraded": "\x1b[33m", "failing": "\x1b[31m",
+}
+_TOP_RESET = "\x1b[0m"
+
+
+def _top_snapshot(client) -> dict:
+    """One combined dashboard tick over the monitoring routes."""
+    status, health = client.healthz()
+    return {
+        "kind": "top",
+        "healthz_status": status,
+        "health": health,
+        "stats": client.stats(),
+        "slo": client.slo(),
+        "alerts": client.alerts(),
+    }
+
+
+def _render_top(
+    snap: dict,
+    previous: dict | None,
+    interval: float,
+    host: str,
+    port: int,
+    plain: bool,
+) -> str:
+    """The ``repro top`` frame: header, scheduler, requests (+rates),
+    SLOs, alerts, probes — every lookup defensive so a partial payload
+    renders instead of crashing the dashboard."""
+
+    def paint(status: str, text: str | None = None) -> str:
+        text = status if text is None else text
+        colour = _TOP_COLOURS.get(status)
+        if plain or colour is None:
+            return text
+        return f"{colour}{text}{_TOP_RESET}"
+
+    health = snap.get("health", {})
+    stats = snap.get("stats", {})
+    slo = snap.get("slo", {})
+    alerts = snap.get("alerts", {})
+    probes = health.get("probes", {})
+    firing = alerts.get("firing", [])
+    status = health.get("status", "?")
+    lines = [
+        f"repro top — {host}:{port} — health {paint(status)} — "
+        + paint(
+            "failing" if firing else "ok",
+            f"{len(firing)} alert(s) firing",
+        ),
+        "",
+    ]
+
+    sched = stats.get("scheduler", {})
+    workers = probes.get("scheduler-workers", {}).get("data", {})
+    queue = probes.get("scheduler-queue", {}).get("data", {})
+    lines.append(
+        "scheduler   "
+        f"workers {workers.get('alive', '?')}/{workers.get('configured', '?')}"
+        f"  restarts {sched.get('worker_restarts', 0)}"
+        f"  executed {sched.get('executed', 0)}"
+        f"  failed {sched.get('failed', 0)}"
+        f"  coalesce {sched.get('coalesce_rate', 0.0):.0%}"
+        f"  queue {queue.get('saturation', 0.0):.0%} of "
+        f"{queue.get('max_queue', '?')}",
+    )
+
+    engine = stats.get("engine", {})
+    if engine:
+        interesting = [
+            (key, engine[key])
+            for key in sorted(engine)
+            if isinstance(engine[key], (int, float)) and engine[key]
+        ][:6]
+        if interesting:
+            lines.append(
+                "engine      "
+                + "  ".join(f"{key} {value}" for key, value in interesting),
+            )
+
+    requests = stats.get("requests", {})
+    if requests:
+        prev_requests = (previous or {}).get("stats", {}).get("requests", {})
+        lines.append("")
+        lines.append("route                 total      rate")
+        for route in sorted(requests):
+            total = requests[route]
+            if previous is not None and interval > 0:
+                rate = (total - prev_requests.get(route, 0)) / interval
+                rate_text = f"{rate:8.1f}/s"
+            else:
+                rate_text = "        --"
+            lines.append(f"{route:<20} {total:>6} {rate_text}")
+
+    objectives = slo.get("objectives", [])
+    if objectives:
+        lines.append("")
+        lines.append("slo objective                     attained    burn   ok")
+        for obj in objectives:
+            attained = obj.get("attained_ms")
+            if attained is None and obj.get("kind") == "error-rate":
+                attained = f"{obj.get('error_rate', 0.0):.2%}"
+            elif attained is None:
+                attained = "--"
+            elif attained == float("inf"):
+                attained = ">buckets"
+            else:
+                attained = f"{attained:g}ms"
+            verdict = paint("ok" if obj.get("ok") else "failing",
+                            "yes" if obj.get("ok") else "NO")
+            lines.append(
+                f"{obj.get('objective', '?'):<32} {attained:>9}"
+                f"  {obj.get('burn_rate', 0.0):6.2f}   {verdict}",
+            )
+
+    if firing:
+        lines.append("")
+        lines.append("alerts firing:")
+        by_name = {a.get("name"): a for a in alerts.get("alerts", [])}
+        for name in firing:
+            alert = by_name.get(name, {})
+            lines.append(
+                "  " + paint("failing", name)
+                + f" [{alert.get('severity', '?')}] {alert.get('reason', '')}",
+            )
+
+    lines.append("")
+    lines.append("probes: " + "  ".join(
+        f"{name}={paint(probe.get('status', '?'))}"
+        for name, probe in sorted(probes.items())
+    ))
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: a refresh-loop terminal dashboard over a running
+    service's ``/stats`` + ``/healthz`` + ``/slo`` + ``/alerts``."""
+    import time
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.json:
+        print(json.dumps(_top_snapshot(client), indent=2))
+        return 0
+    previous: dict | None = None
+    ticks = 0
+    try:
+        while True:
+            snap = _top_snapshot(client)
+            frame = _render_top(
+                snap, previous, args.interval, args.host, args.port,
+                plain=args.plain,
+            )
+            if not args.plain:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home
+            print(frame)
+            sys.stdout.flush()
+            previous = snap
+            ticks += 1
+            if args.count and ticks >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_union(args: argparse.Namespace) -> int:
     from repro.core.quantum import union_to_quantum
     from repro.queries.parser import parse_union_query
@@ -975,6 +1183,49 @@ def build_parser() -> argparse.ArgumentParser:
     slowlog.add_argument("--port", type=int, default=None)
     slowlog.add_argument("--json", action="store_true", help=json_help)
     slowlog.set_defaults(func=_cmd_slowlog)
+
+    health = sub.add_parser(
+        "health",
+        help="check a running service's health/readiness (exit 0 healthy, "
+        "1 not); --wait polls /readyz until ready",
+    )
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, default=8765)
+    health.add_argument(
+        "--wait", type=float, default=None, metavar="TIMEOUT",
+        help="poll /readyz for up to TIMEOUT seconds (startup gate)",
+    )
+    health.add_argument(
+        "--ready", action="store_true",
+        help="query /readyz instead of /healthz",
+    )
+    health.add_argument("--json", action="store_true", help=json_help)
+    health.set_defaults(func=_cmd_health)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running service "
+        "(/stats + /healthz + /slo + /alerts)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8765)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="render N frames then exit (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--plain", action="store_true",
+        help="no ANSI colours or screen clearing (dumb terminals, logs)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print one combined JSON snapshot and exit",
+    )
+    top.set_defaults(func=_cmd_top)
 
     serve = sub.add_parser(
         "serve", help="run the counting service (HTTP/JSON, stdlib only)",

@@ -383,6 +383,22 @@ class DynamicGraph:
             maxlen=DEFAULT_JOURNAL_LIMIT,
         )
 
+    def journal_info(self) -> dict:
+        """Journal occupancy for the health layer.
+
+        ``saturated`` means the provenance ring is full and every new
+        update now evicts the oldest entry — expected in steady state,
+        but worth surfacing as a degraded signal for freshly started
+        streams that fill unexpectedly fast.
+        """
+        entries = len(self.journal)
+        limit = self.journal.maxlen
+        return {
+            "entries": entries,
+            "limit": limit,
+            "saturated": limit is not None and entries >= limit,
+        }
+
     # ------------------------------------------------------------------
     # read side
     # ------------------------------------------------------------------

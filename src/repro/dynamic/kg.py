@@ -162,6 +162,10 @@ class DynamicKnowledgeGraph:
     def journal(self):
         return self._stream.journal
 
+    def journal_info(self) -> dict:
+        """Journal occupancy of the underlying stream (health layer)."""
+        return self._stream.journal_info()
+
     def snapshot(self) -> KgVersion:
         with self.lock:
             return self._versions[-1]

@@ -27,7 +27,51 @@ Plus the performance-telemetry layer built on the span substrate:
 * :mod:`repro.obs.slowlog` — a bounded ring of task executions over a
   latency threshold, each entry carrying the canonical task key, plan,
   cost breakdown, and trace id.
+
+And the judgement layer on top of all of it (PR 9):
+
+* :mod:`repro.obs.health` — named probes (event-loop lag watchdog,
+  GC-pause tracking, memory watermarks, plus service-registered
+  scheduler/store/journal probes) aggregated into
+  ``ok | degraded | failing`` liveness/readiness verdicts.
+* :mod:`repro.obs.slo` — per-key rolling latency/error windows,
+  ``REPRO_SLO="count:p99<250ms,err<0.1%"`` objective parsing, and
+  error-budget burn-rate gauges.
+* :mod:`repro.obs.alerts` — a declarative alert rule engine evaluated
+  on scrape, with firing/resolved transitions as structured log events
+  and the ``repro_alerts_firing`` gauge.
 """
+
+from repro.obs.alerts import (
+    AlertManager,
+    AlertRule,
+    burn_rate_rule,
+    probe_rule,
+    threshold_rule,
+)
+from repro.obs.health import (
+    EventLoopLagMonitor,
+    GcPauseTracker,
+    HealthRegistry,
+    HealthReport,
+    MemoryWatermarkProbe,
+    ProbeResult,
+    degraded,
+    failing,
+    ok,
+    rss_bytes,
+)
+from repro.obs.slo import (
+    Objective,
+    RollingWindow,
+    SloTracker,
+    configure_slo,
+    observe_slo,
+    parse_slo,
+    set_slo_tracking,
+    slo_report,
+    tracker,
+)
 
 from repro.obs.cost import (
     COST_PHASES,
@@ -88,28 +132,48 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
     "COST_PHASES",
     "DEFAULT_MS_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "EventLoopLagMonitor",
+    "GcPauseTracker",
+    "HealthRegistry",
+    "HealthReport",
+    "MemoryWatermarkProbe",
     "MetricFamily",
     "MetricsRegistry",
+    "Objective",
+    "ProbeResult",
+    "RollingWindow",
     "SamplingProfiler",
+    "SloTracker",
     "Span",
+    "burn_rate_rule",
+    "probe_rule",
+    "threshold_rule",
     "bind_current_context",
     "child_span",
     "clear_slow_queries",
     "clear_traces",
     "configure_from_env",
     "configure_logging",
+    "configure_slo",
     "cost_breakdown",
     "current_span",
     "current_trace_id",
+    "degraded",
+    "failing",
     "family_snapshot",
     "get_logger",
     "leaf_span",
     "log_event",
     "maybe_record",
+    "observe_slo",
     "observe_task_cost",
+    "ok",
+    "parse_slo",
     "profile_snapshot",
     "profiling_active",
     "recent_traces",
@@ -117,11 +181,14 @@ __all__ = [
     "render_collapsed",
     "render_cost",
     "render_span",
+    "rss_bytes",
+    "set_slo_tracking",
     "set_slow_threshold_ms",
     "set_slowlog_limit",
     "set_slowlog_threshold_ms",
     "set_trace_sampling",
     "set_tracing",
+    "slo_report",
     "slow_queries",
     "slow_threshold_ms",
     "slow_traces",
@@ -133,4 +200,5 @@ __all__ = [
     "stop_profiling",
     "trace_sampling",
     "tracing_enabled",
+    "tracker",
 ]

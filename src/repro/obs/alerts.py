@@ -1,0 +1,249 @@
+"""A small declarative alert rule engine, evaluated on scrape.
+
+An :class:`AlertRule` is a named check returning ``(firing, value,
+reason)``; an :class:`AlertManager` evaluates its rules, detects
+firing↔resolved transitions, emits them as structured log events
+(``alert-firing`` / ``alert-resolved``), and exports the
+``repro_alerts_firing`` labeled gauge.  Evaluation happens whenever
+``/alerts`` is hit or metrics are scraped — there is no background
+evaluation thread, which keeps the engine zero-cost while nobody is
+looking and race-free by construction (evaluation is serialised under
+one lock).
+
+Rule helpers cover the standard service rules: SLO burn rate, event-loop
+lag, scheduler queue saturation, and health-probe escalation.  A rule
+whose check raises reports ``error`` status (never firing, never
+crashing the scrape) with the exception in its reason.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Callable, Iterable
+
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import family_snapshot
+
+__all__ = [
+    "AlertRule",
+    "AlertManager",
+    "burn_rate_rule",
+    "probe_rule",
+    "threshold_rule",
+]
+
+_log = get_logger("alerts")
+
+# A check returns (firing, value, reason).
+CheckFn = Callable[[], tuple[bool, object, str]]
+
+
+class AlertRule:
+    """One named alert: a check plus severity and description."""
+
+    def __init__(
+        self,
+        name: str,
+        check: CheckFn,
+        severity: str = "warn",
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.check = check
+        self.severity = severity
+        self.description = description
+        # transition state, owned by the manager's lock
+        self.firing = False
+        self.since: float | None = None
+        self.value: object = None
+        self.reason: str = ""
+        self.error: str | None = None
+
+    def to_dict(self, now: float) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "severity": self.severity,
+            "firing": self.firing,
+            "value": self.value,
+            "reason": self.reason,
+        }
+        if self.description:
+            payload["description"] = self.description
+        if self.firing and self.since is not None:
+            payload["for_seconds"] = round(now - self.since, 3)
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+class AlertManager:
+    """Evaluates rules, tracks transitions, exports the firing gauge."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._lock = threading.Lock()
+        self._rules: dict[str, AlertRule] = {}
+        self._clock = clock
+
+    def add_rule(
+        self,
+        name: str,
+        check: CheckFn,
+        severity: str = "warn",
+        description: str = "",
+    ) -> AlertRule:
+        rule = AlertRule(name, check, severity=severity, description=description)
+        with self._lock:
+            self._rules[name] = rule
+        return rule
+
+    def remove_rule(self, name: str) -> None:
+        with self._lock:
+            self._rules.pop(name, None)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._rules)
+
+    def evaluate(self) -> list[dict]:
+        """Run every rule, log transitions, return the rule states."""
+        now = self._clock()
+        with self._lock:
+            states = []
+            for rule in self._rules.values():
+                try:
+                    firing, value, reason = rule.check()
+                    rule.error = None
+                except Exception as error:  # noqa: BLE001 - a broken rule
+                    firing = False          # must never break the scrape
+                    value, reason = None, ""
+                    rule.error = f"{type(error).__name__}: {error}"
+                if firing and not rule.firing:
+                    rule.since = now
+                    log_event(
+                        _log, logging.WARNING, "alert-firing",
+                        alert=rule.name, severity=rule.severity,
+                        value=value, reason=reason,
+                    )
+                elif rule.firing and not firing:
+                    held = now - rule.since if rule.since is not None else 0.0
+                    log_event(
+                        _log, logging.INFO, "alert-resolved",
+                        alert=rule.name, severity=rule.severity,
+                        fired_for_seconds=round(held, 3),
+                    )
+                    rule.since = None
+                rule.firing = firing
+                rule.value = value
+                rule.reason = reason
+                states.append(rule.to_dict(now))
+            return states
+
+    def firing(self) -> list[str]:
+        """Names of currently firing rules (re-evaluates)."""
+        return [state["name"] for state in self.evaluate() if state["firing"]]
+
+    def metric_families(self) -> list[tuple[str, dict]]:
+        """Scrape-time collector: ``repro_alerts_firing`` 0/1 gauge."""
+        states = self.evaluate()
+        if not states:
+            return []
+        return [
+            family_snapshot(
+                "repro_alerts_firing",
+                "gauge",
+                [
+                    (
+                        {"alert": state["name"], "severity": state["severity"]},
+                        1 if state["firing"] else 0,
+                    )
+                    for state in states
+                ],
+                help="1 while the alert rule is firing",
+            ),
+        ]
+
+
+# ----------------------------------------------------------------------
+# rule builders
+# ----------------------------------------------------------------------
+
+def burn_rate_rule(
+    tracker,
+    objective,
+    threshold: float = 1.0,
+) -> tuple[str, CheckFn, str, str]:
+    """``(name, check, severity, description)`` for one SLO objective:
+    fires while its burn rate exceeds ``threshold``."""
+    described = objective.describe()
+
+    def check() -> tuple[bool, object, str]:
+        for status in tracker.report()["objectives"]:
+            if status["objective"] == described:
+                burn = status["burn_rate"]
+                return (
+                    burn > threshold,
+                    burn,
+                    f"burn rate {burn:g} (budget multiplier > {threshold:g})",
+                )
+        return False, None, "objective not configured"
+
+    return (
+        f"slo-burn:{described}",
+        check,
+        "warn",
+        f"error budget for {described} burning faster than {threshold:g}x",
+    )
+
+
+def probe_rule(
+    registry,
+    probe_name: str,
+    severity: str = "warn",
+    fire_on: Iterable[str] = ("degraded", "failing"),
+) -> tuple[str, CheckFn, str, str]:
+    """Fires while the named health probe reports a status in
+    ``fire_on``."""
+    statuses = frozenset(fire_on)
+
+    def check() -> tuple[bool, object, str]:
+        report = registry.check(names=[probe_name])
+        result = report.probes.get(probe_name)
+        if result is None:
+            return False, None, f"probe {probe_name!r} not registered"
+        return (
+            result.status in statuses,
+            result.status,
+            result.reason or result.status,
+        )
+
+    return (
+        f"probe:{probe_name}",
+        check,
+        severity,
+        f"health probe {probe_name!r} reports {'/'.join(sorted(statuses))}",
+    )
+
+
+def threshold_rule(
+    name: str,
+    read: Callable[[], float | None],
+    threshold: float,
+    severity: str = "warn",
+    unit: str = "",
+    description: str = "",
+) -> tuple[str, CheckFn, str, str]:
+    """Fires while ``read()`` returns a value ``>= threshold``."""
+
+    def check() -> tuple[bool, object, str]:
+        value = read()
+        if value is None:
+            return False, None, "no data"
+        return (
+            value >= threshold,
+            round(value, 4) if isinstance(value, float) else value,
+            f"{value:g}{unit} >= {threshold:g}{unit}",
+        )
+
+    return (name, check, severity, description or f"{name} >= {threshold:g}{unit}")

@@ -1,0 +1,431 @@
+"""Runtime health probes: liveness/readiness verdicts over live telemetry.
+
+A *probe* is a named zero-argument callable returning a
+:class:`ProbeResult` — ``ok``, ``degraded``, or ``failing`` plus a
+structured reason and free-form data.  A :class:`HealthRegistry`
+aggregates probes with worst-status-wins semantics and exports each
+probe's status as the ``repro_health_probe_status`` gauge (0/1/2).
+
+Three process-wide monitors live here because they are useful to any
+embedder, not just the HTTP service:
+
+* :class:`EventLoopLagMonitor` — a daemon thread that periodically posts
+  a timestamped callback onto an asyncio loop via
+  ``call_soon_threadsafe`` and measures how long the loop takes to run
+  it.  A blocked loop shows up as rising lag *even while blocked*,
+  because the probe counts the still-pending ping's age.
+* :class:`GcPauseTracker` — ``gc.callbacks`` start/stop pairing that
+  records last/max/total collector pause.
+* :func:`rss_bytes` + :class:`MemoryWatermarkProbe` — current RSS from
+  ``/proc/self/statm`` (``resource`` fallback), optional tracemalloc
+  figures when tracing is active, and a high-water mark with
+  degraded/failing thresholds.
+
+The service wires these plus its own scheduler/store/journal probes into
+``GET /healthz`` and ``GET /readyz`` (see ``service/server.py``); the
+probes themselves never import the service layer.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import family_snapshot
+
+__all__ = [
+    "OK",
+    "DEGRADED",
+    "FAILING",
+    "STATUS_ORDER",
+    "ProbeResult",
+    "ok",
+    "degraded",
+    "failing",
+    "HealthReport",
+    "HealthRegistry",
+    "EventLoopLagMonitor",
+    "GcPauseTracker",
+    "MemoryWatermarkProbe",
+    "rss_bytes",
+]
+
+OK = "ok"
+DEGRADED = "degraded"
+FAILING = "failing"
+
+# Worst-status-wins aggregation order, also the gauge encoding.
+STATUS_ORDER = {OK: 0, DEGRADED: 1, FAILING: 2}
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe's verdict: a status, a human reason, and data."""
+
+    status: str
+    reason: str | None = None
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUS_ORDER:
+            raise ObservabilityError(
+                f"unknown probe status {self.status!r}; "
+                f"expected one of {sorted(STATUS_ORDER)}",
+            )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"status": self.status}
+        if self.reason:
+            payload["reason"] = self.reason
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+
+def ok(reason: str | None = None, **data: object) -> ProbeResult:
+    return ProbeResult(OK, reason, data)
+
+
+def degraded(reason: str, **data: object) -> ProbeResult:
+    return ProbeResult(DEGRADED, reason, data)
+
+
+def failing(reason: str, **data: object) -> ProbeResult:
+    return ProbeResult(FAILING, reason, data)
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Aggregated verdict over a set of probes."""
+
+    status: str
+    probes: Mapping[str, ProbeResult]
+
+    @property
+    def reasons(self) -> dict[str, str]:
+        """Probe name → reason for every non-ok probe."""
+        return {
+            name: result.reason or result.status
+            for name, result in self.probes.items()
+            if result.status != OK
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "probes": {
+                name: result.to_dict() for name, result in self.probes.items()
+            },
+            "reasons": self.reasons,
+        }
+
+
+class HealthRegistry:
+    """Named probes aggregated worst-status-wins.
+
+    A probe that raises is reported as ``failing`` with the exception in
+    its reason — a broken probe must surface as unhealthy, never take
+    the health endpoint down.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._probes: dict[str, Callable[[], ProbeResult]] = {}
+
+    def register(self, name: str, probe: Callable[[], ProbeResult]) -> None:
+        with self._lock:
+            self._probes[name] = probe
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._probes.pop(name, None)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._probes)
+
+    def check(self, names: Sequence[str] | None = None) -> HealthReport:
+        """Run the named probes (all by default) and aggregate."""
+        with self._lock:
+            if names is None:
+                selected = list(self._probes.items())
+            else:
+                selected = [
+                    (name, self._probes[name])
+                    for name in names
+                    if name in self._probes
+                ]
+        results: dict[str, ProbeResult] = {}
+        worst = OK
+        for name, probe in selected:
+            try:
+                result = probe()
+            except Exception as error:  # noqa: BLE001 - see class docstring
+                result = failing(
+                    f"probe raised {type(error).__name__}: {error}",
+                )
+            results[name] = result
+            if STATUS_ORDER[result.status] > STATUS_ORDER[worst]:
+                worst = result.status
+        return HealthReport(status=worst, probes=results)
+
+    def metric_families(self) -> list[tuple[str, dict]]:
+        """Scrape-time collector: per-probe status gauge (0/1/2)."""
+        report = self.check()
+        if not report.probes:
+            return []
+        return [
+            family_snapshot(
+                "repro_health_probe_status",
+                "gauge",
+                [
+                    ({"probe": name}, STATUS_ORDER[result.status])
+                    for name, result in report.probes.items()
+                ],
+                help="Health probe status: 0=ok, 1=degraded, 2=failing",
+            ),
+        ]
+
+
+class EventLoopLagMonitor:
+    """Asyncio event-loop responsiveness watchdog, sampled off-loop.
+
+    Every ``interval_s`` the daemon thread posts a no-op callback with
+    ``call_soon_threadsafe`` and measures how long the loop takes to run
+    it.  While a ping is still pending, :meth:`probe` reports its age as
+    the effective lag, so a fully wedged loop is visible immediately —
+    crucial, since a wedged loop cannot serve ``/healthz`` itself but
+    in-process supervisors and tests still can ask.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 0.25,
+        degraded_ms: float = 100.0,
+        failing_ms: float = 1000.0,
+    ) -> None:
+        self.interval_s = interval_s
+        self.degraded_ms = degraded_ms
+        self.failing_ms = failing_ms
+        self._loop = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self.last_lag_ms: float | None = None
+        self.max_lag_ms = 0.0
+        self.samples = 0
+        self._pending_since: float | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, loop) -> None:
+        if self.running:
+            return
+        self._loop = loop
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-loop-lag", daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+        self._thread = None
+        with self._state_lock:
+            self._pending_since = None
+
+    def _record(self, lag_ms: float) -> None:
+        with self._state_lock:
+            self.last_lag_ms = lag_ms
+            self.max_lag_ms = max(self.max_lag_ms, lag_ms)
+            self.samples += 1
+            self._pending_since = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            done = threading.Event()
+            started = time.perf_counter()
+
+            def _pong() -> None:
+                self._record((time.perf_counter() - started) * 1000.0)
+                done.set()
+
+            with self._state_lock:
+                self._pending_since = started
+            try:
+                self._loop.call_soon_threadsafe(_pong)
+            except RuntimeError:
+                # Loop closed under us: the owner is shutting down.
+                with self._state_lock:
+                    self._pending_since = None
+                return
+            # Wait generously, but in small increments that also watch
+            # the stop flag — stop() may be called from the loop thread
+            # itself, which cannot run _pong while it joins this thread.
+            deadline = time.perf_counter() + max(self.failing_ms / 1000.0 * 2, 2.0)
+            while not done.is_set() and not self._stop.is_set():
+                if time.perf_counter() >= deadline:
+                    break
+                done.wait(timeout=0.05)
+
+    def current_lag_ms(self) -> float | None:
+        """Last measured lag, or the age of a still-pending ping if that
+        is worse."""
+        with self._state_lock:
+            lag = self.last_lag_ms
+            pending = self._pending_since
+        if pending is not None:
+            pending_ms = (time.perf_counter() - pending) * 1000.0
+            if lag is None or pending_ms > lag:
+                return pending_ms
+        return lag
+
+    def probe(self) -> ProbeResult:
+        if not self.running:
+            return ok("loop lag not monitored")
+        lag = self.current_lag_ms()
+        if lag is None:
+            return ok("no samples yet")
+        data = {
+            "lag_ms": round(lag, 3),
+            "max_lag_ms": round(self.max_lag_ms, 3),
+            "samples": self.samples,
+        }
+        if lag >= self.failing_ms:
+            return failing(f"event loop lag {lag:.0f}ms", **data)
+        if lag >= self.degraded_ms:
+            return degraded(f"event loop lag {lag:.0f}ms", **data)
+        return ok(None, **data)
+
+
+class GcPauseTracker:
+    """Garbage-collector pause tracking via ``gc.callbacks``."""
+
+    def __init__(
+        self,
+        degraded_ms: float = 50.0,
+        failing_ms: float = 500.0,
+    ) -> None:
+        self.degraded_ms = degraded_ms
+        self.failing_ms = failing_ms
+        self._started_at: float | None = None
+        self.collections = 0
+        self.last_pause_ms: float | None = None
+        self.max_pause_ms = 0.0
+        self.total_pause_ms = 0.0
+
+    @property
+    def installed(self) -> bool:
+        return self._callback in gc.callbacks
+
+    def install(self) -> None:
+        if not self.installed:
+            gc.callbacks.append(self._callback)
+
+    def uninstall(self) -> None:
+        try:
+            gc.callbacks.remove(self._callback)
+        except ValueError:
+            pass
+        self._started_at = None
+
+    def _callback(self, phase: str, info: dict) -> None:
+        # start/stop run back-to-back on the collecting thread, so a
+        # single scalar timestamp is enough.
+        if phase == "start":
+            self._started_at = time.perf_counter()
+        elif phase == "stop" and self._started_at is not None:
+            pause_ms = (time.perf_counter() - self._started_at) * 1000.0
+            self._started_at = None
+            self.collections += 1
+            self.last_pause_ms = pause_ms
+            self.max_pause_ms = max(self.max_pause_ms, pause_ms)
+            self.total_pause_ms += pause_ms
+
+    def probe(self) -> ProbeResult:
+        if not self.installed:
+            return ok("gc pauses not tracked")
+        data = {
+            "collections": self.collections,
+            "last_pause_ms": (
+                round(self.last_pause_ms, 3)
+                if self.last_pause_ms is not None else None
+            ),
+            "max_pause_ms": round(self.max_pause_ms, 3),
+            "total_pause_ms": round(self.total_pause_ms, 3),
+        }
+        worst = self.max_pause_ms
+        if worst >= self.failing_ms:
+            return failing(f"gc pause reached {worst:.0f}ms", **data)
+        if worst >= self.degraded_ms:
+            return degraded(f"gc pause reached {worst:.0f}ms", **data)
+        return ok(None, **data)
+
+
+def rss_bytes() -> int | None:
+    """Current resident set size, or ``None`` when unknowable."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS; either way it is a
+        # peak, which over-reports — acceptable for a fallback.
+        return peak * 1024 if os.uname().sysname != "Darwin" else peak
+    except Exception:  # noqa: BLE001 - platform-specific; stay best-effort
+        return None
+
+
+class MemoryWatermarkProbe:
+    """RSS high-water-mark probe with optional tracemalloc detail."""
+
+    def __init__(
+        self,
+        degraded_mb: float = 2048.0,
+        failing_mb: float = 4096.0,
+    ) -> None:
+        self.degraded_mb = degraded_mb
+        self.failing_mb = failing_mb
+        self.peak_rss_bytes = 0
+
+    def probe(self) -> ProbeResult:
+        rss = rss_bytes()
+        if rss is None:
+            return ok("rss not measurable on this platform")
+        self.peak_rss_bytes = max(self.peak_rss_bytes, rss)
+        rss_mb = rss / (1024 * 1024)
+        data: dict[str, object] = {
+            "rss_mb": round(rss_mb, 1),
+            "peak_rss_mb": round(self.peak_rss_bytes / (1024 * 1024), 1),
+        }
+        try:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                current, peak = tracemalloc.get_traced_memory()
+                data["tracemalloc_current_mb"] = round(current / (1024 * 1024), 1)
+                data["tracemalloc_peak_mb"] = round(peak / (1024 * 1024), 1)
+        except Exception:  # noqa: BLE001 - detail only, never fail the probe
+            pass
+        if rss_mb >= self.failing_mb:
+            return failing(f"rss {rss_mb:.0f}MB over {self.failing_mb:.0f}MB", **data)
+        if rss_mb >= self.degraded_mb:
+            return degraded(
+                f"rss {rss_mb:.0f}MB over {self.degraded_mb:.0f}MB", **data,
+            )
+        return ok(None, **data)

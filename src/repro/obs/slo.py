@@ -1,0 +1,629 @@
+"""Rolling SLO windows, objective parsing, and burn-rate computation.
+
+Service-level objectives turn the raw latency/error telemetry from PR 6
+into a pass/fail judgement: *"99% of count requests complete under
+250ms"*.  This module keeps one :class:`RollingWindow` per observed key
+(a route name like ``count`` or a task kind like ``hom-count``) — a ring
+of fixed time slices, each holding the same cumulative-bucket layout as
+:class:`repro.obs.metrics.Histogram`, so old observations age out
+instead of accumulating forever.
+
+Objectives are configured with the ``REPRO_SLO`` grammar::
+
+    REPRO_SLO="count:p99<250ms,err<0.1%;hom-count:p95<50ms"
+
+``;`` separates per-key objective groups, ``,`` separates conditions
+inside a group, and each condition is either ``pNN<THRESHOLDms``
+(a latency quantile objective) or ``err<RATE%`` (an error-rate
+objective).  :func:`parse_slo` turns the string into
+:class:`Objective` tuples; the process-global :class:`SloTracker` is
+seeded from the environment at import.
+
+For each objective the tracker reports *attainment* (the observed
+quantile or error rate over the window) and a **burn rate** — how fast
+the error budget is being consumed:
+
+* latency: ``(1 - fraction_within_threshold) / (1 - quantile)`` — 1.0
+  means exactly on budget, 2.0 means burning budget twice as fast as
+  allowed;
+* errors: ``observed_error_rate / target_rate``.
+
+The hot-path entry point is :func:`observe_slo`; it is a cheap no-op
+when tracking is disabled and, when on, one allocation-free append of
+the latency value onto a per-key *lane* (a plain list — the float is
+the caller's object, nothing is boxed or timestamped per event).  A
+lane is stamped with the clock once, when its first event after a drain
+arrives; bucketing, locking, and window maintenance all happen in
+:meth:`SloTracker._flush`, which drains lanes on every report/scrape
+and inline once a lane reaches ``_FLUSH_THRESHOLD`` events.  A drained
+batch lands in the window slice of its first event's timestamp — at
+most one 10s slice of skew for a batch, and skew toward *older*, so
+observations never outlive their true window.  The bench_obs
+``GATE_HEALTH`` gate bounds exactly this enabled-vs-disabled
+steady-state ratio on the warm task workload.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, family_snapshot, registry
+
+__all__ = [
+    "Objective",
+    "RollingWindow",
+    "SloTracker",
+    "parse_slo",
+    "tracker",
+    "observe_slo",
+    "set_slo_tracking",
+    "configure_slo",
+    "slo_report",
+    "DEFAULT_SLICES",
+    "DEFAULT_SLICE_SECONDS",
+]
+
+# Six 10-second slices: a one-minute rolling window, matching the
+# shortest window most burn-rate alerting schemes evaluate.
+DEFAULT_SLICES = 6
+DEFAULT_SLICE_SECONDS = 10.0
+
+# Lanes are drained on every report/scrape, and inline once a lane
+# reaches this many events (bounds memory between scrapes — the lane
+# holds references to already-live floats, so 4096 entries is ~32KB).
+_FLUSH_THRESHOLD = 4096
+
+_CONDITION_RE = re.compile(
+    r"^(?:p(?P<quantile>\d{1,2}(?:\.\d+)?)<(?P<ms>\d+(?:\.\d+)?)ms"
+    r"|err<(?P<rate>\d+(?:\.\d+)?)%)$"
+)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One parsed SLO condition for one window key."""
+
+    key: str
+    kind: str  # "latency" | "error-rate"
+    quantile: float | None = None  # e.g. 0.99 for p99 (latency only)
+    threshold_ms: float | None = None  # latency only
+    max_error_rate: float | None = None  # error-rate only
+
+    def describe(self) -> str:
+        if self.kind == "latency":
+            q = self.quantile * 100
+            q_text = f"{q:g}"
+            return f"{self.key}:p{q_text}<{self.threshold_ms:g}ms"
+        return f"{self.key}:err<{self.max_error_rate * 100:g}%"
+
+
+def parse_slo(text: str) -> tuple[Objective, ...]:
+    """Parse a ``REPRO_SLO`` string into objectives.
+
+    Raises :class:`ObservabilityError` on malformed input; an empty or
+    whitespace-only string parses to no objectives.
+    """
+    objectives: list[Objective] = []
+    for group in filter(None, (g.strip() for g in text.split(";"))):
+        key, sep, conditions = group.partition(":")
+        key = key.strip()
+        if not sep or not key:
+            raise ObservabilityError(
+                f"bad SLO group {group!r}: expected 'key:cond[,cond...]'",
+            )
+        parsed_any = False
+        for condition in filter(None, (c.strip() for c in conditions.split(","))):
+            match = _CONDITION_RE.match(condition)
+            if match is None:
+                raise ObservabilityError(
+                    f"bad SLO condition {condition!r} for key {key!r}: "
+                    "expected 'pNN<THRESHOLDms' or 'err<RATE%'",
+                )
+            if match.group("quantile") is not None:
+                quantile = float(match.group("quantile")) / 100.0
+                if not 0.0 < quantile < 1.0:
+                    raise ObservabilityError(
+                        f"bad SLO quantile in {condition!r}: "
+                        "expected 0 < pNN < 100",
+                    )
+                objectives.append(Objective(
+                    key=key,
+                    kind="latency",
+                    quantile=quantile,
+                    threshold_ms=float(match.group("ms")),
+                ))
+            else:
+                objectives.append(Objective(
+                    key=key,
+                    kind="error-rate",
+                    max_error_rate=float(match.group("rate")) / 100.0,
+                ))
+            parsed_any = True
+        if not parsed_any:
+            raise ObservabilityError(
+                f"bad SLO group {group!r}: no conditions after {key!r}:",
+            )
+    return tuple(objectives)
+
+
+class _Slice:
+    """One time slice of a rolling window (mutated under the window lock)."""
+
+    __slots__ = ("index", "buckets", "count", "errors", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.index = -1
+        self.buckets = [0] * n_buckets
+        self.count = 0
+        self.errors = 0
+        self.sum = 0.0
+
+    def reset(self, index: int) -> None:
+        self.index = index
+        for i in range(len(self.buckets)):
+            self.buckets[i] = 0
+        self.count = 0
+        self.errors = 0
+        self.sum = 0.0
+
+
+class RollingWindow:
+    """A ring of fixed-bucket latency slices with error counting.
+
+    Reuses the PR 6 histogram layout (sorted ``le`` bucket bounds plus an
+    implicit ``+Inf`` overflow) but rotates through ``slices`` time
+    slices of ``slice_seconds`` each, so a snapshot only ever covers the
+    last ``slices * slice_seconds`` seconds.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(
+        self,
+        bounds: Sequence[float] = DEFAULT_MS_BUCKETS,
+        slices: int = DEFAULT_SLICES,
+        slice_seconds: float = DEFAULT_SLICE_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned or list(cleaned) != sorted(cleaned):
+            raise ObservabilityError("window buckets must be non-empty and sorted")
+        if slices < 2:
+            raise ObservabilityError("a rolling window needs at least 2 slices")
+        if slice_seconds <= 0:
+            raise ObservabilityError("slice_seconds must be positive")
+        self.bounds = cleaned
+        self.slices = slices
+        self.slice_seconds = float(slice_seconds)
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        # One extra non-cumulative slot per slice for the +Inf overflow.
+        self._slots = [_Slice(len(cleaned) + 1) for _ in range(slices)]
+
+    def _slice_index(self) -> int:
+        return int((self._clock() - self._epoch) / self.slice_seconds)
+
+    def observe(self, ms: float, error: bool = False) -> None:
+        self.observe_at(self._clock(), ms, error)
+
+    def observe_at(self, timestamp: float, ms: float, error: bool = False) -> None:
+        """Record an observation made at ``timestamp`` (the window
+        clock's timebase) — the drain target for buffered tracking."""
+        index = int((timestamp - self._epoch) / self.slice_seconds)
+        bucket = bisect.bisect_left(self.bounds, ms)
+        with self._lock:
+            slot = self._slots[index % self.slices]
+            if slot.index > index:
+                return  # slice already recycled for a newer generation
+            if slot.index != index:
+                slot.reset(index)
+            slot.buckets[bucket] += 1
+            slot.count += 1
+            slot.sum += ms
+            if error:
+                slot.errors += 1
+
+    def snapshot(self) -> dict:
+        """Merged counts across the live slices, histogram-shaped.
+
+        ``buckets`` is cumulative ``[bound, count]`` pairs exactly like
+        :attr:`repro.obs.metrics.Histogram.value`, so renderers and
+        quantile logic are shared.
+        """
+        index = self._slice_index()
+        oldest_live = index - self.slices + 1
+        merged = [0] * (len(self.bounds) + 1)
+        count = errors = 0
+        total = 0.0
+        with self._lock:
+            for slot in self._slots:
+                if not oldest_live <= slot.index <= index:
+                    continue
+                for i, value in enumerate(slot.buckets):
+                    merged[i] += value
+                count += slot.count
+                errors += slot.errors
+                total += slot.sum
+        cumulative: list[list[float | int]] = []
+        running = 0
+        for bound, raw in zip(self.bounds, merged):
+            running += raw
+            cumulative.append([bound, running])
+        return {
+            "buckets": cumulative,
+            "sum": total,
+            "count": count,
+            "errors": errors,
+            "error_rate": (errors / count) if count else 0.0,
+            "window_seconds": self.slices * self.slice_seconds,
+        }
+
+    def quantile(self, q: float, snapshot: dict | None = None) -> float | None:
+        """Conservative quantile estimate: the upper bound of the bucket
+        holding the ``q``-th observation.  ``inf`` when it landed in the
+        overflow bucket; ``None`` on an empty window."""
+        if not 0.0 < q <= 1.0:
+            raise ObservabilityError("quantile must be in (0, 1]")
+        snap = snapshot or self.snapshot()
+        count = snap["count"]
+        if not count:
+            return None
+        rank = max(1, -(-int(q * count * 1_000_000) // 1_000_000))
+        rank = min(rank, count)
+        for bound, cum in snap["buckets"]:
+            if cum >= rank:
+                return bound
+        return float("inf")
+
+    def observe_bulk(
+        self,
+        timestamp: float,
+        samples: Sequence[float],
+        errors: int = 0,
+    ) -> None:
+        """Merge a drained lane into the slice holding ``timestamp``:
+        bucket counts are accumulated locally first, so the lock is held
+        once per batch instead of once per event."""
+        if not samples:
+            return
+        index = int((timestamp - self._epoch) / self.slice_seconds)
+        bounds = self.bounds
+        local = [0] * (len(bounds) + 1)
+        find_bucket = bisect.bisect_left
+        total = 0.0
+        for ms in samples:
+            local[find_bucket(bounds, ms)] += 1
+            total += ms
+        with self._lock:
+            slot = self._slots[index % self.slices]
+            if slot.index > index:
+                return  # slice already recycled for a newer generation
+            if slot.index != index:
+                slot.reset(index)
+            buckets = slot.buckets
+            for position, value in enumerate(local):
+                if value:
+                    buckets[position] += value
+            slot.count += len(samples)
+            slot.sum += total
+            slot.errors += errors
+
+    def fraction_within(
+        self, threshold_ms: float, snapshot: dict | None = None,
+    ) -> float | None:
+        """Fraction of observations ``<= threshold_ms`` (bucket-resolved;
+        conservative when the threshold falls between bounds)."""
+        snap = snapshot or self.snapshot()
+        count = snap["count"]
+        if not count:
+            return None
+        within = 0
+        for bound, cum in snap["buckets"]:
+            if bound <= threshold_ms:
+                within = cum
+            else:
+                break
+        return within / count
+
+
+def _objective_status(objective: Objective, window: RollingWindow | None) -> dict:
+    """Attainment + burn rate for one objective over one window."""
+    status: dict = {
+        "objective": objective.describe(),
+        "key": objective.key,
+        "kind": objective.kind,
+    }
+    snap = window.snapshot() if window is not None else None
+    count = snap["count"] if snap else 0
+    status["events"] = count
+    if objective.kind == "latency":
+        status["quantile"] = objective.quantile
+        status["threshold_ms"] = objective.threshold_ms
+        if not count:
+            status.update(attained_ms=None, ok=True, burn_rate=0.0)
+            return status
+        attained = window.quantile(objective.quantile, snap)
+        frac_ok = window.fraction_within(objective.threshold_ms, snap)
+        budget = 1.0 - objective.quantile
+        burn = (1.0 - frac_ok) / budget if budget > 0 else 0.0
+        status.update(
+            attained_ms=attained,
+            ok=frac_ok >= objective.quantile,
+            burn_rate=round(burn, 4),
+        )
+    else:
+        status["max_error_rate"] = objective.max_error_rate
+        if not count:
+            status.update(error_rate=0.0, ok=True, burn_rate=0.0)
+            return status
+        rate = snap["error_rate"]
+        target = objective.max_error_rate
+        burn = (rate / target) if target > 0 else (0.0 if not rate else float("inf"))
+        status.update(
+            error_rate=round(rate, 6),
+            ok=rate <= target,
+            burn_rate=round(burn, 4),
+        )
+    return status
+
+
+class SloTracker:
+    """Per-key rolling windows plus the configured objectives.
+
+    Keys are route names (``count``, ``task``) on the service side and
+    task kinds (``hom-count``, ``analyze``) on the executor side; the two
+    namespaces share one window space, which is deliberate — an SLO on
+    ``analyze`` covers the task kind and the route alike.
+    """
+
+    def __init__(
+        self,
+        objectives: Iterable[Objective] = (),
+        slices: int = DEFAULT_SLICES,
+        slice_seconds: float = DEFAULT_SLICE_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._windows: dict[str, RollingWindow] = {}
+        self._objectives: tuple[Objective, ...] = tuple(objectives)
+        self._slices = slices
+        self._slice_seconds = slice_seconds
+        self._clock = clock
+        self.enabled = True
+        # Hot-path lanes: key -> plain list of latency values, appended
+        # without a lock (list.append is atomic under the GIL) and
+        # drained by _flush().  Batch timestamp and error counts live in
+        # side dicts only touched on first-event-of-batch / on error.
+        self._lanes: dict[str, list[float]] = {}
+        self._lane_started: dict[str, float] = {}
+        self._lane_errors: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def objectives(self) -> tuple[Objective, ...]:
+        return self._objectives
+
+    def set_objectives(
+        self, objectives: Iterable[Objective],
+    ) -> tuple[Objective, ...]:
+        """Swap the objective set; returns the previous one.
+
+        Existing windows keep their observations — only the judgement
+        layer changes.  New keys named by the objectives get windows
+        whose bucket bounds include the objective thresholds, so
+        attainment is measured exactly at the target boundary.
+        """
+        with self._lock:
+            previous = self._objectives
+            self._objectives = tuple(objectives)
+        return previous
+
+    def _bounds_for(self, key: str) -> tuple[float, ...]:
+        extra = {
+            o.threshold_ms
+            for o in self._objectives
+            if o.key == key and o.threshold_ms is not None
+        }
+        if not extra:
+            return DEFAULT_MS_BUCKETS
+        return tuple(sorted(set(DEFAULT_MS_BUCKETS) | extra))
+
+    def _ensure_window(self, key: str) -> RollingWindow:
+        with self._lock:
+            window = self._windows.get(key)
+            if window is None:
+                window = RollingWindow(
+                    bounds=self._bounds_for(key),
+                    slices=self._slices,
+                    slice_seconds=self._slice_seconds,
+                    clock=self._clock,
+                )
+                self._windows[key] = window
+            return window
+
+    # ------------------------------------------------------------------
+    # observation + reporting
+    # ------------------------------------------------------------------
+    def observe(self, key: str, ms: float, error: bool = False) -> None:
+        if not self.enabled:
+            return
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._make_lane(key)
+        if not lane:
+            self._lane_started[key] = self._clock()
+        lane.append(ms)
+        if error:
+            self._lane_errors[key] = self._lane_errors.get(key, 0) + 1
+        if len(lane) >= _FLUSH_THRESHOLD:
+            self._flush()
+
+    def _make_lane(self, key: str) -> list[float]:
+        with self._lock:
+            return self._lanes.setdefault(key, [])
+
+    def _flush(self) -> None:
+        """Drain every lane into its rolling window.
+
+        Appends are lock-free, so the lane swap below can race one: an
+        appender that loaded the old list right before the swap lands
+        its event there, and it is drained with the batch unless it
+        arrives after ``observe_bulk`` consumed the list — a
+        nanosecond-wide window whose worst case is one lost sample in a
+        statistical aggregate.
+        """
+        lanes = self._lanes
+        clock = self._clock
+        with self._lock:
+            drained = []
+            for key, lane in lanes.items():
+                if not lane:
+                    continue
+                lanes[key] = []
+                drained.append((
+                    key,
+                    lane,
+                    self._lane_started.get(key, clock()),
+                    self._lane_errors.pop(key, 0),
+                ))
+        for key, samples, started, errors in drained:
+            window = self._windows.get(key)
+            if window is None:
+                window = self._ensure_window(key)
+            window.observe_bulk(started, samples, errors)
+
+    def window(self, key: str) -> RollingWindow | None:
+        self._flush()
+        return self._windows.get(key)
+
+    def reset(self) -> None:
+        """Drop all windows (tests and the bench harness only)."""
+        with self._lock:
+            self._windows.clear()
+            self._lanes.clear()
+            self._lane_started.clear()
+            self._lane_errors.clear()
+
+    def report(self) -> dict:
+        """Objective attainment + per-window summaries, JSON-able."""
+        self._flush()
+        with self._lock:
+            windows = dict(self._windows)
+            objectives = self._objectives
+        statuses = [
+            _objective_status(objective, windows.get(objective.key))
+            for objective in objectives
+        ]
+        summaries = {}
+        for key in sorted(windows):
+            snap = windows[key].snapshot()
+            summaries[key] = {
+                "count": snap["count"],
+                "errors": snap["errors"],
+                "error_rate": round(snap["error_rate"], 6),
+                "p50_ms": windows[key].quantile(0.50, snap),
+                "p99_ms": windows[key].quantile(0.99, snap),
+                "window_seconds": snap["window_seconds"],
+            }
+        return {
+            "enabled": self.enabled,
+            "objectives": statuses,
+            "windows": summaries,
+        }
+
+    def burn_rates(self) -> dict[str, float]:
+        """``describe() -> burn rate`` for every configured objective."""
+        return {
+            status["objective"]: status["burn_rate"]
+            for status in self.report()["objectives"]
+        }
+
+    def metric_families(self) -> list[tuple[str, dict]]:
+        """Scrape-time collector: burn-rate and attainment gauges."""
+        report = self.report()
+        if not report["objectives"]:
+            return []
+        burn = []
+        ok = []
+        for status in report["objectives"]:
+            labels = {"key": status["key"], "objective": status["objective"]}
+            burn.append((labels, status["burn_rate"]))
+            ok.append((labels, 1 if status["ok"] else 0))
+        return [
+            family_snapshot(
+                "repro_slo_burn_rate", "gauge", burn,
+                help="Error-budget burn rate per objective (1.0 = on budget)",
+            ),
+            family_snapshot(
+                "repro_slo_ok", "gauge", ok,
+                help="1 when the objective is currently met over its window",
+            ),
+        ]
+
+
+# ----------------------------------------------------------------------
+# process-global tracker, seeded from REPRO_SLO
+# ----------------------------------------------------------------------
+
+def _objectives_from_env() -> tuple[Objective, ...]:
+    raw = os.environ.get("REPRO_SLO", "")
+    try:
+        return parse_slo(raw)
+    except ObservabilityError:
+        # A malformed env var must never break library import; the CLI
+        # and configure_slo() surface parse errors loudly instead.
+        return ()
+
+
+_tracker = SloTracker(objectives=_objectives_from_env())
+registry().register_collector(_tracker.metric_families)
+
+
+def tracker() -> SloTracker:
+    """The process-global SLO tracker."""
+    return _tracker
+
+
+def observe_slo(key: str, ms: float, error: bool = False) -> None:
+    """Hot-path observation into the global tracker: a no-op when
+    tracking is disabled, one allocation-free lane append when on."""
+    tracked = _tracker
+    if not tracked.enabled:
+        return
+    lane = tracked._lanes.get(key)
+    if lane is None:
+        lane = tracked._make_lane(key)
+    if not lane:
+        tracked._lane_started[key] = tracked._clock()
+    lane.append(ms)
+    if error:
+        tracked._lane_errors[key] = tracked._lane_errors.get(key, 0) + 1
+    if len(lane) >= _FLUSH_THRESHOLD:
+        tracked._flush()
+
+
+def set_slo_tracking(enabled: bool) -> bool:
+    """Toggle global SLO observation; returns the previous setting."""
+    previous = _tracker.enabled
+    _tracker.enabled = bool(enabled)
+    return previous
+
+
+def configure_slo(spec: str) -> tuple[Objective, ...]:
+    """Parse ``spec`` and install it on the global tracker; returns the
+    previously configured objectives.  Raises on malformed specs."""
+    return _tracker.set_objectives(parse_slo(spec))
+
+
+def slo_report() -> dict:
+    """The global tracker's :meth:`SloTracker.report`."""
+    return _tracker.report()

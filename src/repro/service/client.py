@@ -143,11 +143,70 @@ class ServiceClient:
             raise ServiceError(str(error), 400, code=error.code) from error
         return self._post(path, payload)
 
+    def probe(self, method: str, path: str) -> tuple[int, dict]:
+        """Like :meth:`request` but non-raising on HTTP errors: returns
+        ``(status, decoded_payload)``.  Health endpoints answer 503 with
+        a structured verdict, not an error payload — callers inspect the
+        status instead of catching.  Transport failures still raise."""
+        status, data = self._request_raw(method, path)
+        try:
+            decoded = json.loads(data) if data else {}
+        except ValueError as error:
+            raise ServiceError(f"non-JSON response: {error}", status) from error
+        return status, decoded
+
+    def wait_ready(
+        self, timeout: float = 30.0, interval: float = 0.05,
+    ) -> dict:
+        """Poll ``GET /readyz`` until the service is ready.
+
+        Swallows connection errors and 503s until ``timeout`` elapses —
+        the canonical replacement for sleep/retry startup loops in tests
+        and scripts.  Returns the final readiness payload; raises
+        :class:`ServiceError` (code ``not-ready``) on deadline.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        last: dict | str = "no response yet"
+        while True:
+            try:
+                status, payload = self.probe("GET", "/readyz")
+                if status == 200:
+                    return payload
+                last = payload
+            except ServiceError as error:
+                last = str(error)
+            if _time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"service at {self.host}:{self.port} not ready "
+                    f"after {timeout:g}s: {last}",
+                    503,
+                    code="not-ready",
+                )
+            _time.sleep(interval)
+
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
     def health(self) -> dict:
         return self.request("GET", "/health")
+
+    def healthz(self) -> tuple[int, dict]:
+        """Liveness: ``(status, payload)`` — 503 while any probe fails."""
+        return self.probe("GET", "/healthz")
+
+    def readyz(self) -> tuple[int, dict]:
+        """Readiness: ``(status, payload)`` — 503 until serviceable."""
+        return self.probe("GET", "/readyz")
+
+    def slo(self) -> dict:
+        """Objective attainment and burn rates (``GET /slo``)."""
+        return self.request("GET", "/slo")
+
+    def alerts(self) -> dict:
+        """The alert rule engine's current state (``GET /alerts``)."""
+        return self.request("GET", "/alerts")
 
     def stats(self) -> dict:
         return self.request("GET", "/stats")

@@ -44,6 +44,7 @@ class SchedulerStats:
     executed: int = 0
     failed: int = 0
     max_queue_depth: int = 0
+    worker_restarts: int = 0
 
     @property
     def coalesce_rate(self) -> float:
@@ -56,6 +57,7 @@ class SchedulerStats:
             "executed": self.executed,
             "failed": self.failed,
             "max_queue_depth": self.max_queue_depth,
+            "worker_restarts": self.worker_restarts,
             "coalesce_rate": round(self.coalesce_rate, 4),
         }
 
@@ -63,13 +65,21 @@ class SchedulerStats:
 class RequestScheduler:
     """A coalescing, bounded, concurrency-limited job scheduler."""
 
-    def __init__(self, workers: int = 4, max_queue: int = 256) -> None:
+    def __init__(
+        self,
+        workers: int = 4,
+        max_queue: int = 256,
+        respawn_limit: int = 3,
+    ) -> None:
         if workers < 1:
             raise ServiceError("workers must be positive")
         if max_queue < 1:
             raise ServiceError("max_queue must be positive")
+        if respawn_limit < 0:
+            raise ServiceError("respawn_limit must be non-negative")
         self.workers = workers
         self.max_queue = max_queue
+        self.respawn_limit = respawn_limit
         self.stats = SchedulerStats()
         self._queue: asyncio.Queue | None = None
         self._inflight: dict = {}
@@ -98,7 +108,8 @@ class RequestScheduler:
             thread_name_prefix="repro-service",
         )
         self._tasks = [
-            asyncio.create_task(self._worker()) for _ in range(self.workers)
+            asyncio.create_task(self._supervise(slot))
+            for slot in range(self.workers)
         ]
 
     async def stop(self) -> None:
@@ -130,6 +141,16 @@ class RequestScheduler:
     def running(self) -> bool:
         return bool(self._tasks)
 
+    @property
+    def workers_alive(self) -> int:
+        """Worker slots whose supervisor task is still running.
+
+        A supervisor only finishes when its worker exhausted the respawn
+        budget (or the scheduler stopped), so during a crash+respawn the
+        slot still counts as alive.
+        """
+        return sum(1 for task in self._tasks if not task.done())
+
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
@@ -138,6 +159,11 @@ class RequestScheduler:
         its result.  ``key`` must canonically identify the work."""
         if self._queue is None:
             raise RuntimeError("scheduler is not running")
+        if self.workers_alive == 0:
+            # Every worker exhausted its respawn budget; queueing would
+            # hang the caller forever.  The health probe is already
+            # failing at this point — fail fast here too.
+            raise ServiceError("scheduler has no live workers")
         self.stats.submitted += 1
         future = self._inflight.get(key)
         if future is not None:
@@ -166,6 +192,40 @@ class RequestScheduler:
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
+    async def _supervise(self, slot: int) -> None:
+        """Keep one worker slot alive across crashes (bounded).
+
+        ``_worker`` only exits via an exception: ``CancelledError`` on
+        stop (re-raised), or a ``BaseException`` that escaped a job —
+        ``KeyboardInterrupt`` raised on a pool thread, a scheduler bug.
+        Those used to kill the worker silently; now the crash is logged,
+        counted, and the slot respawned up to ``respawn_limit`` times
+        before it is retired (surfacing via ``workers_alive`` and the
+        failing health probe).
+        """
+        restarts = 0
+        while True:
+            try:
+                await self._worker()
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - see docstring
+                log_event(
+                    _log, logging.ERROR, "worker-crashed",
+                    slot=slot,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    restarts=restarts,
+                )
+                if restarts >= self.respawn_limit:
+                    log_event(
+                        _log, logging.ERROR, "worker-retired",
+                        slot=slot, restarts=restarts,
+                    )
+                    return
+                restarts += 1
+                self.stats.worker_restarts += 1
+
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
@@ -196,6 +256,18 @@ class RequestScheduler:
                 # The traceback is delivered to every waiter; the worker
                 # stays alive.
                 future.exception()
+            except BaseException as error:
+                # A worker-killing crash (KeyboardInterrupt from the job,
+                # a scheduler bug): fail the waiters before the worker
+                # dies, then let the supervisor respawn the slot.
+                self.stats.failed += 1
+                if not future.done():
+                    future.set_exception(ServiceError(
+                        "scheduler worker crashed: "
+                        f"{type(error).__name__}: {error}",
+                    ))
+                    future.exception()
+                raise
             else:
                 self.stats.executed += 1
                 self._run_hist.observe((perf_counter() - started_at) * 1000.0)
@@ -230,4 +302,23 @@ class RequestScheduler:
                 [({}, snapshot["max_queue_depth"])],
                 help="High-water mark of the scheduler queue.",
             ),
+            family_snapshot(
+                "repro_scheduler_workers_alive", "gauge",
+                [({}, self.workers_alive)],
+                help="Worker slots currently alive (configured: workers).",
+            ),
+            family_snapshot(
+                "repro_scheduler_worker_restarts_total", "counter",
+                [({}, snapshot["worker_restarts"])],
+                help="Times a crashed worker slot was respawned.",
+            ),
         ]
+
+    # ------------------------------------------------------------------
+    # health probes
+    # ------------------------------------------------------------------
+    def queue_saturation(self) -> float:
+        """Live queue depth as a fraction of ``max_queue``."""
+        if self._queue is None:
+            return 0.0
+        return self._queue.qsize() / self.max_queue

@@ -47,6 +47,16 @@ Routes
                            controls the process-global profiler
 ``GET  /slow-queries``     the slow-query log (``?limit=n``; an optional
                            ``threshold_ms`` retunes the capture threshold)
+``GET  /healthz``          liveness: every registered health probe, 503
+                           while any probe is failing
+``GET  /readyz``           readiness: the gating probes (scheduler
+                           workers, store writability) plus the dataset
+                           count, 503 until the process should take
+                           traffic
+``GET  /slo``              objective attainment + burn rates over the
+                           rolling SLO windows (``REPRO_SLO`` grammar)
+``GET  /alerts``           the alert rule engine's current state
+                           (evaluated on request)
 
 Every HTTP response carries the request's trace id in an
 ``X-Repro-Trace`` header; error payloads (status >= 400) repeat it as a
@@ -74,6 +84,7 @@ from repro.obs import (
     family_snapshot,
     get_logger,
     log_event,
+    observe_slo,
     profile_snapshot,
     recent_traces,
     registry as metrics_registry,
@@ -87,20 +98,36 @@ from repro.obs import (
     start_profiling,
     stop_profiling,
 )
+from repro.obs.alerts import AlertManager, burn_rate_rule, probe_rule, threshold_rule
+from repro.obs.health import (
+    FAILING,
+    EventLoopLagMonitor,
+    GcPauseTracker,
+    HealthRegistry,
+    MemoryWatermarkProbe,
+    degraded as probe_degraded,
+    failing as probe_failing,
+    ok as probe_ok,
+)
+from repro.obs.slo import tracker as slo_tracker
 from repro.service.registry import DatasetRegistry, RegistryError
 from repro.service.scheduler import RequestScheduler
 from repro.service.store import PersistentStore, stable_key_digest
 from repro.service.wire import (
     WireError,
+    alerts_payload,
     error_payload,
     graph_from_spec,
+    health_payload,
     kg_from_spec,
     kg_query_from_spec,
     kg_query_to_spec,
     kg_to_spec,
     kg_update_from_spec,
+    readiness_payload,
     result_to_payload,
     result_to_wire,
+    slo_payload,
     subscription_payload,
     target_update_payload,
     task_from_wire,
@@ -110,6 +137,13 @@ from repro.service.wire import (
 _MAX_BODY = 32 * 1024 * 1024
 
 _log = get_logger("server")
+
+# Meta/introspection routes stay out of the SLO windows: a burst of
+# monitoring traffic must never burn a workload's error budget.
+_SLO_EXEMPT_ROUTES = frozenset({
+    "/health", "/healthz", "/readyz", "/metrics", "/slo", "/alerts",
+    "/stats", "/traces", "/profile", "/slow-queries",
+})
 
 
 def _bad_request(message: str) -> dict:
@@ -156,7 +190,42 @@ class CountingService:
             "End-to-end request handling latency per route.",
             labelnames=("route",),
         )
+        # --- health / SLO / alert layer -------------------------------
+        self.health = HealthRegistry()
+        self.loop_monitor = EventLoopLagMonitor()
+        self.gc_tracker = GcPauseTracker()
+        self.gc_tracker.install()
+        self.memory_probe = MemoryWatermarkProbe()
+        self.slo = slo_tracker()
+        self.alerts = AlertManager()
+        self.health.register("event-loop", self.loop_monitor.probe)
+        self.health.register("gc-pause", self.gc_tracker.probe)
+        self.health.register("memory", self.memory_probe.probe)
+        self.health.register("scheduler-workers", self._probe_scheduler_workers)
+        self.health.register("scheduler-queue", self._probe_scheduler_queue)
+        self.health.register("store-write", self._probe_store)
+        self.health.register("dynamic-journal", self._probe_journals)
+        for rule in (
+            probe_rule(self.health, "event-loop", severity="page"),
+            probe_rule(self.health, "scheduler-workers", severity="page"),
+            probe_rule(self.health, "memory"),
+            probe_rule(self.health, "store-write", severity="page",
+                       fire_on=("failing",)),
+            threshold_rule(
+                "scheduler-queue-saturation",
+                self.scheduler.queue_saturation,
+                0.8,
+                description="scheduler queue over 80% of max_queue",
+            ),
+        ):
+            self.alerts.add_rule(*rule)
+        # Burn-rate rules cover the objectives configured at construction
+        # (REPRO_SLO or a prior configure_slo()); objectives added later
+        # still show on /slo, just without a pre-built alert rule.
+        for objective in self.slo.objectives:
+            self.alerts.add_rule(*burn_rate_rule(self.slo, objective))
         metrics_registry().register_collector(self._collect_metrics)
+        metrics_registry().register_collector(self._collect_health)
         self._routes = {
             ("POST", "/task"): self._op_task,
             ("POST", "/count"): self._op_count,
@@ -170,6 +239,10 @@ class CountingService:
             ("GET", "/stats"): self._op_stats,
             ("GET", "/datasets"): self._op_datasets,
             ("GET", "/health"): self._op_health,
+            ("GET", "/healthz"): self._op_healthz,
+            ("GET", "/readyz"): self._op_readyz,
+            ("GET", "/slo"): self._op_slo,
+            ("GET", "/alerts"): self._op_alerts,
             ("GET", "/metrics"): self._op_metrics,
             ("GET", "/traces"): self._op_traces,
             ("GET", "/profile"): self._op_profile,
@@ -194,8 +267,21 @@ class CountingService:
     def close(self) -> None:
         """Release held resources (the persistent store's append handle)."""
         metrics_registry().unregister_collector(self._collect_metrics)
+        metrics_registry().unregister_collector(self._collect_health)
+        self.stop_monitors()
+        self.gc_tracker.uninstall()
         if self.store is not None:
             self.store.close()
+
+    # ------------------------------------------------------------------
+    # health monitors (started by the transport once a loop exists)
+    # ------------------------------------------------------------------
+    def start_monitors(self, loop) -> None:
+        """Attach the event-loop lag watchdog to the serving loop."""
+        self.loop_monitor.start(loop)
+
+    def stop_monitors(self) -> None:
+        self.loop_monitor.stop()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -235,6 +321,11 @@ class CountingService:
             sp.adopt_trace(client_trace)
             try:
                 payload: dict | str = await handler(body)
+                # Health-style handlers return (status, payload) so a
+                # degraded verdict can travel as a 503 without being an
+                # error payload.
+                if isinstance(payload, tuple):
+                    status, payload = payload
             except RegistryError as error:
                 status, payload = 404, error_payload(error)
             except ReproError as error:
@@ -248,7 +339,15 @@ class CountingService:
                 }
             sp.annotate(status=status)
         self._request_ms.labels(route=name).observe(sp.duration_ms)
-        if status >= 400 and isinstance(payload, dict):
+        if name not in _SLO_EXEMPT_ROUTES:
+            observe_slo(
+                name.lstrip("/"), sp.duration_ms, error=status >= 500,
+            )
+        if (
+            status >= 400
+            and isinstance(payload, dict)
+            and payload.get("kind") == "error"
+        ):
             code = str(payload.get("code", "internal-error"))
             self.error_counts[(name, code)] = (
                 self.error_counts.get((name, code), 0) + 1
@@ -605,7 +704,52 @@ class CountingService:
         return {"kind": "datasets", "datasets": self.registry.summary()}
 
     async def _op_health(self, body: dict) -> dict:
-        return {"kind": "health", "status": "ok"}
+        """Aggregated probe verdict (always 200; status tells the story).
+
+        ``kind``/``status`` are byte-compatible with the pre-PR-9 stub
+        when everything is healthy; ``probes``/``reasons`` are additive.
+        Probes may touch the disk (store write-probe), so they run off
+        the event loop.
+        """
+        report = await asyncio.get_running_loop().run_in_executor(
+            None, self.health.check,
+        )
+        return health_payload(report)
+
+    async def _op_healthz(self, body: dict):
+        """Liveness: 503 while any probe is failing, 200 otherwise."""
+        report = await asyncio.get_running_loop().run_in_executor(
+            None, self.health.check,
+        )
+        payload = health_payload(report, kind="healthz")
+        return (503 if report.status == FAILING else 200, payload)
+
+    async def _op_readyz(self, body: dict):
+        """Readiness: the gating probes (scheduler workers up, store
+        writable) plus the registered dataset count.  503 until the
+        process should receive traffic."""
+        gate = [
+            name for name in ("scheduler-workers", "store-write")
+            if name in self.health.names()
+        ]
+        report = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.health.check(names=gate),
+        )
+        ready = report.status != FAILING
+        payload = readiness_payload(
+            report, ready, datasets=len(self.registry.names()),
+        )
+        return (200 if ready else 503, payload)
+
+    async def _op_slo(self, body: dict) -> dict:
+        return slo_payload(self.slo.report())
+
+    async def _op_alerts(self, body: dict) -> dict:
+        # Rule checks run probes (which may touch disk): off the loop.
+        states = await asyncio.get_running_loop().run_in_executor(
+            None, self.alerts.evaluate,
+        )
+        return alerts_payload(states)
 
     async def _op_metrics(self, body: dict) -> dict | str:
         """The process metrics registry: Prometheus text, or JSON."""
@@ -718,8 +862,83 @@ class CountingService:
         }
 
     # ------------------------------------------------------------------
+    # health probes
+    # ------------------------------------------------------------------
+    def _probe_scheduler_workers(self):
+        scheduler = self.scheduler
+        if not scheduler.running:
+            return probe_failing("scheduler is not running")
+        alive = scheduler.workers_alive
+        data = {
+            "alive": alive,
+            "configured": scheduler.workers,
+            "restarts": scheduler.stats.worker_restarts,
+        }
+        if alive == 0:
+            return probe_failing(
+                "all scheduler workers exhausted their respawn budget",
+                **data,
+            )
+        if alive < scheduler.workers:
+            return probe_degraded(
+                f"{scheduler.workers - alive} worker slot(s) retired", **data,
+            )
+        return probe_ok(None, **data)
+
+    def _probe_scheduler_queue(self):
+        saturation = self.scheduler.queue_saturation()
+        data = {
+            "saturation": round(saturation, 4),
+            "max_queue": self.scheduler.max_queue,
+        }
+        if saturation >= 1.0:
+            return probe_degraded(
+                "scheduler queue is full (submitters are blocked)", **data,
+            )
+        return probe_ok(None, **data)
+
+    def _probe_store(self):
+        if self.store is None:
+            return probe_ok("no persistent store configured")
+        try:
+            path = self.store.write_probe()
+        except OSError as error:
+            return probe_failing(
+                f"store write failed: {error}", path=self.store.path,
+            )
+        return probe_ok(None, path=path)
+
+    def _probe_journals(self):
+        saturated: list[str] = []
+        entries: dict[str, int] = {}
+        for name in self.registry.names():
+            dataset = self.registry.get(name)
+            holder = getattr(dataset, "dynamic", None) or getattr(
+                dataset, "dynamic_kg", None,
+            )
+            if holder is None:
+                continue
+            info = holder.journal_info()
+            entries[name] = info["entries"]
+            if info["saturated"]:
+                saturated.append(name)
+        if saturated:
+            return probe_degraded(
+                "update journal at capacity (oldest provenance evicted) "
+                f"for: {', '.join(sorted(saturated))}",
+                **entries,
+            )
+        return probe_ok(None, **entries)
+
+    # ------------------------------------------------------------------
     # metrics export
     # ------------------------------------------------------------------
+    def _collect_health(self) -> list[tuple[str, dict]]:
+        """Scrape-time export of probe statuses and alert states."""
+        return list(self.health.metric_families()) + list(
+            self.alerts.metric_families(),
+        )
+
     def _collect_metrics(self) -> list[tuple[str, dict]]:
         """Scrape-time export of service state as metric families."""
         families = list(self.scheduler.metric_families())
@@ -796,6 +1015,7 @@ class ServiceServer:
 
     async def start(self) -> None:
         await self.service.scheduler.start()
+        self.service.start_monitors(asyncio.get_running_loop())
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
         )
@@ -806,6 +1026,7 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self.service.stop_monitors()
         await self.service.scheduler.stop()
         self.service.close()
 
@@ -827,9 +1048,12 @@ class ServiceServer:
             else:
                 data = json.dumps(payload).encode("utf-8")
                 content_type = "application/json"
-            reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
-                status, "Internal Server Error",
-            )
+            reason = {
+                200: "OK",
+                400: "Bad Request",
+                404: "Not Found",
+                503: "Service Unavailable",
+            }.get(status, "Internal Server Error")
             trace_header = (
                 f"X-Repro-Trace: {trace_id}\r\n" if trace_id else ""
             )

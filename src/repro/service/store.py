@@ -155,6 +155,24 @@ class PersistentStore:
                 pass
 
     # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def write_probe(self) -> str:
+        """Prove the store directory is still writable.
+
+        Writes and removes a tiny marker file; raises ``OSError`` when
+        the disk is full, the directory vanished, or permissions were
+        lost — the health layer turns that into a failing probe.
+        """
+        probe_path = os.path.join(
+            self.path, f".write-probe.{os.getpid()}.{threading.get_ident()}",
+        )
+        with open(probe_path, "w", encoding="utf-8") as handle:
+            handle.write("ok")
+        os.unlink(probe_path)
+        return self.path
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def counts_stored(self) -> int:

@@ -521,3 +521,43 @@ def target_update_payload(
         "dynamic": dynamic_stats_payload(stats),
         "subscriptions": subscriptions,
     }
+
+
+def health_payload(report, kind: str = "health") -> dict:
+    """A :class:`repro.obs.health.HealthReport` as a wire payload.
+
+    ``kind``/``status`` match the pre-PR-9 stub byte-for-byte when every
+    probe is ok; ``probes``/``reasons`` are the additive detail.
+    """
+    return {
+        "kind": kind,
+        "status": report.status,
+        "probes": {
+            name: result.to_dict() for name, result in report.probes.items()
+        },
+        "reasons": report.reasons,
+    }
+
+
+def readiness_payload(report, ready: bool, datasets: int) -> dict:
+    """The ``GET /readyz`` response: the gating probes plus whether the
+    process should receive traffic."""
+    payload = health_payload(report, kind="readyz")
+    payload["ready"] = ready
+    payload["datasets"] = datasets
+    return payload
+
+
+def slo_payload(report: dict) -> dict:
+    """The ``GET /slo`` response (``SloTracker.report()`` shape)."""
+    return {"kind": "slo", **report}
+
+
+def alerts_payload(states: list[dict]) -> dict:
+    """The ``GET /alerts`` response: every rule state plus the names of
+    currently firing rules."""
+    return {
+        "kind": "alerts",
+        "firing": [state["name"] for state in states if state["firing"]],
+        "alerts": states,
+    }

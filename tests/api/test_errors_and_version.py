@@ -127,7 +127,15 @@ class TestHttpErrorPayloads:
         with BackgroundServer(workers=1) as server:
             client = ServiceClient(port=server.port)
             payload = client.request("GET", "/health")
-            assert payload == {"kind": "health", "status": "ok"}
+            # kind/status are byte-compatible with the pre-health-layer
+            # stub; probes/reasons are the additive aggregated verdict.
+            assert payload["kind"] == "health"
+            assert payload["status"] == "ok"
+            assert all(
+                probe["status"] == "ok"
+                for probe in payload["probes"].values()
+            )
+            assert payload["reasons"] == {}
             # raw transport-level check of the structured error shape
             import http.client
             import json

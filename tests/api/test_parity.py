@@ -117,6 +117,7 @@ class TestCliServicePayloadParity:
         try:
             with BackgroundServer(workers=1) as server:
                 client = ServiceClient(port=server.port)
+                client.wait_ready()
                 assert client.wl_dim(TEXT) == cli_wl
                 assert client.analyze(TEXT) == cli_analyze
         finally:
@@ -130,6 +131,7 @@ class TestCliServicePayloadParity:
         try:
             with BackgroundServer(workers=1) as server:
                 client = ServiceClient(port=server.port)
+                client.wait_ready()
                 verb_payload = client.count_answers(TEXT, host)
                 task_payload = client.run_task(task)
         finally:

@@ -26,6 +26,8 @@ def _restore_default_engine():
 @pytest.fixture
 def server():
     with BackgroundServer(workers=2, max_queue=32) as running:
+        # readiness gate instead of trusting the startup event alone
+        ServiceClient(port=running.port).wait_ready()
         yield running
 
 

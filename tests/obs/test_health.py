@@ -1,0 +1,253 @@
+"""Health probes: verdict aggregation, monitors, and alert rules."""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.alerts import AlertManager, probe_rule, threshold_rule
+from repro.obs.health import (
+    DEGRADED,
+    FAILING,
+    OK,
+    EventLoopLagMonitor,
+    GcPauseTracker,
+    HealthRegistry,
+    MemoryWatermarkProbe,
+    ProbeResult,
+    degraded,
+    failing,
+    ok,
+    rss_bytes,
+)
+
+
+class TestProbeResult:
+    def test_helpers_build_the_three_statuses(self):
+        assert ok().status == OK
+        assert degraded("slow").status == DEGRADED
+        assert failing("dead").status == FAILING
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ObservabilityError):
+            ProbeResult("sideways")
+
+    def test_to_dict_omits_empty_fields(self):
+        assert ok().to_dict() == {"status": "ok"}
+        assert degraded("slow", lag_ms=7).to_dict() == {
+            "status": "degraded", "reason": "slow", "data": {"lag_ms": 7},
+        }
+
+
+class TestHealthRegistry:
+    def test_worst_status_wins(self):
+        registry = HealthRegistry()
+        registry.register("a", lambda: ok())
+        registry.register("b", lambda: degraded("meh"))
+        assert registry.check().status == DEGRADED
+        registry.register("c", lambda: failing("dead"))
+        report = registry.check()
+        assert report.status == FAILING
+        assert report.reasons == {"b": "meh", "c": "dead"}
+
+    def test_probe_exception_is_failing_not_a_crash(self):
+        registry = HealthRegistry()
+
+        def broken():
+            raise RuntimeError("probe exploded")
+
+        registry.register("broken", broken)
+        report = registry.check()
+        assert report.status == FAILING
+        assert "probe exploded" in report.probes["broken"].reason
+
+    def test_check_subset_and_unregister(self):
+        registry = HealthRegistry()
+        registry.register("good", lambda: ok())
+        registry.register("bad", lambda: failing("dead"))
+        assert registry.check(names=["good"]).status == OK
+        registry.unregister("bad")
+        assert registry.names() == ("good",)
+        assert registry.check().status == OK
+
+    def test_metric_families_encode_status_order(self):
+        registry = HealthRegistry()
+        registry.register("a", lambda: ok())
+        registry.register("b", lambda: degraded("meh"))
+        registry.register("c", lambda: failing("dead"))
+        ((name, family),) = registry.metric_families()
+        assert name == "repro_health_probe_status"
+        values = {
+            sample["labels"]["probe"]: sample["value"]
+            for sample in family["samples"]
+        }
+        assert values == {"a": 0, "b": 1, "c": 2}
+
+    def test_empty_registry_has_no_families_and_is_ok(self):
+        registry = HealthRegistry()
+        assert registry.metric_families() == []
+        assert registry.check().status == OK
+
+
+class TestEventLoopLagMonitor:
+    def test_unstarted_monitor_is_ok(self):
+        monitor = EventLoopLagMonitor()
+        assert not monitor.running
+        assert monitor.probe().status == OK
+
+    def test_measures_lag_on_a_live_loop(self):
+        monitor = EventLoopLagMonitor(interval_s=0.01)
+
+        async def scenario():
+            monitor.start(asyncio.get_running_loop())
+            deadline = time.monotonic() + 5.0
+            while monitor.samples == 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+
+        asyncio.run(scenario())
+        try:
+            assert monitor.samples > 0
+            assert monitor.current_lag_ms() is not None
+        finally:
+            monitor.stop()
+        assert not monitor.running
+
+    def test_pending_ping_age_counts_as_lag(self):
+        """A wedged loop cannot run the pong — the probe must still see
+        rising lag from the outside."""
+        monitor = EventLoopLagMonitor(
+            interval_s=0.01, degraded_ms=20.0, failing_ms=50.0,
+        )
+        loop = asyncio.new_event_loop()
+        blocker = threading.Event()
+        released = threading.Event()
+
+        def runner():
+            loop.run_until_complete(asyncio.sleep(0))
+            loop.call_soon(lambda: (blocker.wait(5.0), released.set()))
+            loop.run_until_complete(asyncio.sleep(0.2))
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        try:
+            monitor.start(loop)
+            deadline = time.monotonic() + 5.0
+            status = OK
+            while status != FAILING and time.monotonic() < deadline:
+                status = monitor.probe().status
+                time.sleep(0.01)
+            assert status == FAILING
+        finally:
+            blocker.set()
+            monitor.stop()
+            released.wait(5.0)
+            thread.join(timeout=5.0)
+            loop.close()
+
+
+class TestGcPauseTracker:
+    def test_records_pauses_while_installed(self):
+        tracker = GcPauseTracker()
+        assert tracker.probe().status == OK  # not installed → ok
+        tracker.install()
+        try:
+            assert tracker.installed
+            gc.collect()
+            assert tracker.collections >= 1
+            assert tracker.last_pause_ms is not None
+            assert tracker.max_pause_ms >= tracker.last_pause_ms >= 0.0
+            result = tracker.probe()
+            assert result.data["collections"] == tracker.collections
+        finally:
+            tracker.uninstall()
+        assert not tracker.installed
+
+    def test_thresholds_escalate(self):
+        tracker = GcPauseTracker(degraded_ms=0.0, failing_ms=10_000.0)
+        tracker.install()
+        try:
+            gc.collect()
+            # any observed pause is >= the 0ms degraded threshold
+            assert tracker.probe().status == DEGRADED
+        finally:
+            tracker.uninstall()
+
+    def test_double_install_is_idempotent(self):
+        tracker = GcPauseTracker()
+        tracker.install()
+        tracker.install()
+        try:
+            assert gc.callbacks.count(tracker._callback) == 1
+        finally:
+            tracker.uninstall()
+            tracker.uninstall()
+
+
+class TestMemoryWatermark:
+    def test_rss_is_measurable_here(self):
+        rss = rss_bytes()
+        assert rss is not None and rss > 0
+
+    def test_probe_tracks_peak_and_escalates(self):
+        probe = MemoryWatermarkProbe()
+        first = probe.probe()
+        assert first.status == OK
+        assert probe.peak_rss_bytes > 0
+        assert first.data["peak_rss_mb"] >= first.data["rss_mb"] > 0
+
+        tiny = MemoryWatermarkProbe(degraded_mb=0.001, failing_mb=0.002)
+        assert tiny.probe().status == FAILING
+        mid = MemoryWatermarkProbe(degraded_mb=0.001, failing_mb=10**9)
+        assert mid.probe().status == DEGRADED
+
+
+class TestAlertRules:
+    def test_probe_rule_fires_and_resolves_on_transitions(self):
+        registry = HealthRegistry()
+        state = {"status": ok()}
+        registry.register("flappy", lambda: state["status"])
+        manager = AlertManager()
+        manager.add_rule(*probe_rule(registry, "flappy", severity="page"))
+
+        assert manager.firing() == []
+        state["status"] = failing("dead")
+        (alert,) = manager.evaluate()
+        assert alert["firing"] and alert["severity"] == "page"
+        assert alert["reason"] == "dead"
+        assert alert["for_seconds"] >= 0.0
+        state["status"] = ok()
+        (alert,) = manager.evaluate()
+        assert not alert["firing"]
+
+    def test_threshold_rule_and_broken_rule(self):
+        manager = AlertManager()
+        level = {"value": 0.5}
+        manager.add_rule(*threshold_rule(
+            "queue", lambda: level["value"], 0.8, unit="%",
+        ))
+
+        def broken():
+            raise ValueError("no data source")
+
+        manager.add_rule("broken", broken)
+        states = {s["name"]: s for s in manager.evaluate()}
+        assert not states["queue"]["firing"]
+        assert not states["broken"]["firing"]
+        assert "no data source" in states["broken"]["error"]
+        level["value"] = 0.9
+        states = {s["name"]: s for s in manager.evaluate()}
+        assert states["queue"]["firing"]
+
+    def test_metric_families_render_firing_gauge(self):
+        manager = AlertManager()
+        manager.add_rule("hot", lambda: (True, 1, "always"), severity="page")
+        ((name, family),) = manager.metric_families()
+        assert name == "repro_alerts_firing"
+        (sample,) = family["samples"]
+        assert sample["labels"] == {"alert": "hot", "severity": "page"}
+        assert sample["value"] == 1

@@ -193,3 +193,52 @@ class TestPrometheusRender:
         reg.counter("aa_total").inc()
         text = reg.render_prometheus()
         assert text.index("aa_total") < text.index("zz_total")
+
+
+class TestRenderEdgeCases:
+    def test_labeled_gauge_renders_every_child_with_sorted_labels(self, reg):
+        family = reg.gauge("pool", labelnames=("zone", "tier"))
+        family.labels(zone="eu", tier="hot").set(3)
+        family.labels(zone="us", tier="cold").set(0.25)
+        text = reg.render_prometheus()
+        # label keys render sorted regardless of declaration order
+        assert 'pool{tier="hot",zone="eu"} 3' in text
+        assert 'pool{tier="cold",zone="us"} 0.25' in text
+
+    def test_backslash_escapes_before_other_escapes(self, reg):
+        reg.counter("c_total", labelnames=("path",)).labels(
+            path='C:\\tmp\n"x"',
+        ).inc()
+        text = reg.render_prometheus()
+        assert 'path="C:\\\\tmp\\n\\"x\\""' in text
+
+    def test_empty_histogram_renders_all_zero_buckets(self, reg):
+        reg.histogram("lat_ms", buckets=(1.0, 10.0))
+        text = reg.render_prometheus()
+        assert 'lat_ms_bucket{le="1"} 0' in text
+        assert 'lat_ms_bucket{le="10"} 0' in text
+        assert 'lat_ms_bucket{le="+Inf"} 0' in text
+        assert "lat_ms_sum 0" in text
+        assert "lat_ms_count 0" in text
+
+    def test_exact_boundary_observation_renders_in_its_le_bucket(self, reg):
+        hist = reg.histogram("lat_ms", buckets=(1.0, 10.0))
+        hist.observe(10.0)  # le semantics: value == bound is within
+        text = reg.render_prometheus()
+        assert 'lat_ms_bucket{le="1"} 0' in text
+        assert 'lat_ms_bucket{le="10"} 1' in text
+        assert 'lat_ms_bucket{le="+Inf"} 1' in text
+
+    def test_labeled_histogram_merges_le_with_other_labels(self, reg):
+        family = reg.histogram(
+            "lat_ms", buckets=(1.0,), labelnames=("route",),
+        )
+        family.labels(route="count").observe(0.5)
+        text = reg.render_prometheus()
+        assert 'lat_ms_bucket{route="count",le="1"} 1' in text
+        assert 'lat_ms_sum{route="count"} 0.5' in text
+        assert 'lat_ms_count{route="count"} 1' in text
+
+    def test_empty_label_value_still_renders(self, reg):
+        reg.counter("c_total", labelnames=("q",)).labels(q="").inc()
+        assert 'c_total{q=""} 1' in reg.render_prometheus()

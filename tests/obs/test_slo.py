@@ -1,0 +1,263 @@
+"""SLO grammar, rolling windows, burn rates, and the global tracker.
+
+The window tests drive a fake monotonic clock so slice roll-over is
+deterministic; the CI workflow additionally runs this file with
+``REPRO_SLO`` set, which the env-seeding test below detects and asserts
+against (it is a no-op under a plain ``pytest`` run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.slo import (
+    DEFAULT_SLICE_SECONDS,
+    DEFAULT_SLICES,
+    Objective,
+    RollingWindow,
+    SloTracker,
+    configure_slo,
+    observe_slo,
+    parse_slo,
+    set_slo_tracking,
+    slo_report,
+    tracker,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestParseGrammar:
+    def test_full_grammar(self):
+        objectives = parse_slo("count:p99<250ms,err<0.1%;hom-count:p95<50ms")
+        assert [o.describe() for o in objectives] == [
+            "count:p99<250ms", "count:err<0.1%", "hom-count:p95<50ms",
+        ]
+        latency = objectives[0]
+        assert (latency.kind, latency.quantile, latency.threshold_ms) == (
+            "latency", 0.99, 250.0,
+        )
+        errors = objectives[1]
+        assert (errors.kind, errors.max_error_rate) == ("error-rate", 0.001)
+
+    def test_empty_and_whitespace_parse_to_nothing(self):
+        assert parse_slo("") == ()
+        assert parse_slo("  ;  ") == ()
+
+    @pytest.mark.parametrize("bad", [
+        "count",                 # no colon
+        ":p99<250ms",            # no key
+        "count:",                # no conditions
+        "count:p99<250",         # missing ms unit
+        "count:p99>250ms",       # wrong comparator
+        "count:err<0.1",         # missing % unit
+        "count:p0<250ms",        # quantile not in (0, 100)
+        "count:latency<250ms",   # unknown condition shape
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ObservabilityError):
+            parse_slo(bad)
+
+    def test_objective_describe_roundtrips_through_parse(self):
+        objective = Objective("k", "latency", quantile=0.75, threshold_ms=5.0)
+        assert parse_slo(objective.describe()) == (objective,)
+
+
+class TestRollingWindow:
+    def test_observations_age_out_after_the_window(self):
+        clock = FakeClock()
+        window = RollingWindow(
+            slices=DEFAULT_SLICES,
+            slice_seconds=DEFAULT_SLICE_SECONDS,
+            clock=clock,
+        )
+        for _ in range(10):
+            window.observe(1.0)
+        assert window.snapshot()["count"] == 10
+        # one slice short of a full rotation: still visible
+        clock.advance(DEFAULT_SLICE_SECONDS * (DEFAULT_SLICES - 1))
+        assert window.snapshot()["count"] == 10
+        # past the window: gone
+        clock.advance(DEFAULT_SLICE_SECONDS)
+        assert window.snapshot()["count"] == 0
+
+    def test_slot_reuse_resets_stale_counts(self):
+        clock = FakeClock()
+        window = RollingWindow(slices=2, slice_seconds=1.0, clock=clock)
+        window.observe(1.0)
+        clock.advance(2.0)  # same ring slot, two generations later
+        window.observe(1.0)
+        snap = window.snapshot()
+        assert snap["count"] == 1  # stale generation was reset, not added
+
+    def test_empty_window_quantile_and_fraction_are_none(self):
+        window = RollingWindow(clock=FakeClock())
+        assert window.quantile(0.99) is None
+        assert window.fraction_within(100.0) is None
+        snap = window.snapshot()
+        assert snap["count"] == 0 and snap["error_rate"] == 0.0
+
+    def test_quantile_is_conservative_bucket_upper_bound(self):
+        window = RollingWindow(bounds=(1.0, 10.0, 100.0), clock=FakeClock())
+        for _ in range(99):
+            window.observe(0.5)  # bucket le=1.0
+        window.observe(50.0)     # bucket le=100.0
+        assert window.quantile(0.50) == 1.0
+        assert window.quantile(0.99) == 1.0
+        assert window.quantile(1.0) == 100.0
+
+    def test_exact_boundary_observation_lands_in_its_bucket(self):
+        """An observation equal to a bucket bound counts as within it
+        (``le`` semantics, matching the metrics Histogram)."""
+        window = RollingWindow(bounds=(1.0, 10.0), clock=FakeClock())
+        window.observe(10.0)
+        assert window.fraction_within(10.0) == 1.0
+        assert window.quantile(1.0) == 10.0
+
+    def test_overflow_bucket_reports_inf(self):
+        window = RollingWindow(bounds=(1.0,), clock=FakeClock())
+        window.observe(5.0)
+        assert window.quantile(0.99) == float("inf")
+        assert window.fraction_within(1.0) == 0.0
+
+    def test_error_rate_tracks_flagged_observations(self):
+        window = RollingWindow(clock=FakeClock())
+        window.observe(1.0)
+        window.observe(1.0, error=True)
+        snap = window.snapshot()
+        assert snap["errors"] == 1 and snap["error_rate"] == 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ObservabilityError):
+            RollingWindow(bounds=())
+        with pytest.raises(ObservabilityError):
+            RollingWindow(bounds=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            RollingWindow(slices=1)
+        with pytest.raises(ObservabilityError):
+            RollingWindow(slice_seconds=0)
+        with pytest.raises(ObservabilityError):
+            RollingWindow(clock=FakeClock()).quantile(0.0)
+
+
+class TestSloTracker:
+    def _tracker(self, spec: str) -> SloTracker:
+        return SloTracker(objectives=parse_slo(spec), clock=FakeClock())
+
+    def test_attained_objective_reports_ok_and_low_burn(self):
+        slo = self._tracker("count:p99<250ms,err<1%")
+        for _ in range(100):
+            slo.observe("count", 10.0)
+        report = slo.report()
+        assert all(status["ok"] for status in report["objectives"])
+        assert slo.burn_rates() == {
+            "count:p99<250ms": 0.0, "count:err<1%": 0.0,
+        }
+        assert report["windows"]["count"]["count"] == 100
+
+    def test_violated_latency_objective_burns_budget(self):
+        slo = self._tracker("count:p99<250ms")
+        for _ in range(99):
+            slo.observe("count", 1.0)
+        for _ in range(99):
+            slo.observe("count", 400.0)  # half the traffic over threshold
+        (status,) = slo.report()["objectives"]
+        assert not status["ok"]
+        # 50% outside a 1% budget → burning 50x
+        assert status["burn_rate"] == pytest.approx(50.0)
+
+    def test_violated_error_objective_burns_budget(self):
+        slo = self._tracker("count:err<0.1%")
+        for i in range(100):
+            slo.observe("count", 1.0, error=(i < 5))
+        (status,) = slo.report()["objectives"]
+        assert not status["ok"]
+        assert status["error_rate"] == pytest.approx(0.05)
+        assert status["burn_rate"] == pytest.approx(50.0)
+
+    def test_objective_threshold_becomes_a_bucket_bound(self):
+        """Attainment is measured exactly at the target boundary, not at
+        the nearest default bucket."""
+        slo = self._tracker("count:p99<250ms")
+        window = slo._ensure_window("count")
+        assert 250.0 in window.bounds
+        slo.observe("count", 250.0)  # exactly on target: within budget
+        (status,) = slo.report()["objectives"]
+        assert status["ok"]
+
+    def test_objective_with_no_traffic_is_vacuously_ok(self):
+        slo = self._tracker("count:p99<250ms")
+        (status,) = slo.report()["objectives"]
+        assert status["ok"] and status["events"] == 0
+        assert status["burn_rate"] == 0.0
+
+    def test_metric_families_expose_burn_and_ok_gauges(self):
+        slo = self._tracker("count:p99<250ms")
+        slo.observe("count", 1.0)
+        families = dict(slo.metric_families())
+        burn = families["repro_slo_burn_rate"]["samples"][0]
+        assert burn["labels"] == {
+            "key": "count", "objective": "count:p99<250ms",
+        }
+        assert families["repro_slo_ok"]["samples"][0]["value"] == 1
+
+    def test_set_objectives_keeps_windows(self):
+        slo = self._tracker("count:p99<250ms")
+        slo.observe("count", 1.0)
+        previous = slo.set_objectives(parse_slo("count:err<1%"))
+        assert [o.describe() for o in previous] == ["count:p99<250ms"]
+        assert slo.report()["windows"]["count"]["count"] == 1
+
+
+class TestGlobalTracker:
+    @pytest.fixture(autouse=True)
+    def _restore_global_state(self):
+        previous_objectives = tracker().objectives
+        previous_enabled = set_slo_tracking(True)
+        yield
+        tracker().set_objectives(previous_objectives)
+        set_slo_tracking(previous_enabled)
+        tracker().reset()
+
+    def test_observe_slo_feeds_the_global_report(self):
+        tracker().reset()
+        configure_slo("probe-key:p50<100ms")
+        observe_slo("probe-key", 1.0)
+        report = slo_report()
+        assert report["windows"]["probe-key"]["count"] == 1
+        (status,) = [
+            s for s in report["objectives"] if s["key"] == "probe-key"
+        ]
+        assert status["ok"]
+
+    def test_disabled_tracking_is_a_no_op(self):
+        tracker().reset()
+        set_slo_tracking(False)
+        observe_slo("ignored-key", 1.0)
+        assert "ignored-key" not in slo_report()["windows"]
+
+    def test_configure_slo_rejects_malformed_spec(self):
+        with pytest.raises(ObservabilityError):
+            configure_slo("count:p99<oops")
+
+    def test_env_seeded_objectives_when_ci_sets_repro_slo(self):
+        """Under the CI SLO job (REPRO_SLO exported before pytest starts)
+        the global tracker must carry the env-seeded objectives."""
+        spec = os.environ.get("REPRO_SLO")
+        if not spec:
+            pytest.skip("REPRO_SLO not set for this run")
+        assert [o.describe() for o in tracker().objectives] == [
+            o.describe() for o in parse_slo(spec)
+        ]

@@ -1,0 +1,223 @@
+"""End-to-end health semantics over HTTP: 503 on failure, 200 on recovery.
+
+These tests break the running service on purpose (stop its scheduler,
+make its store unwritable) and assert the health endpoints carry a
+structured, actionable reason — then recover it and assert the verdict
+flips back without a restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import set_default_engine
+from repro.graphs import cycle_graph, random_graph
+from repro.service import BackgroundServer, ServiceClient, ServiceError
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_engine():
+    yield
+    set_default_engine(None)
+
+
+@pytest.fixture
+def server(tmp_path):
+    # A real data_dir so the store-write probe exercises actual disk I/O.
+    with BackgroundServer(
+        workers=2, max_queue=32, data_dir=str(tmp_path / "store"),
+    ) as running:
+        ServiceClient(port=running.port).wait_ready()
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(port=server.port)
+
+
+def _call_on_loop(server, coroutine):
+    """Run a coroutine on the background server's own event loop."""
+    return asyncio.run_coroutine_threadsafe(coroutine, server._loop).result(
+        timeout=10.0,
+    )
+
+
+class TestHealthEndpoints:
+    def test_healthy_service_reports_200_everywhere(self, client):
+        status, payload = client.healthz()
+        assert status == 200
+        assert payload["kind"] == "healthz"
+        assert payload["status"] == "ok"
+        assert payload["reasons"] == {}
+        expected_probes = {
+            "event-loop", "gc-pause", "memory", "scheduler-workers",
+            "scheduler-queue", "store-write", "dynamic-journal",
+        }
+        assert expected_probes <= set(payload["probes"])
+
+        status, ready = client.readyz()
+        assert status == 200
+        assert ready["ready"] is True
+        assert ready["datasets"] == 0
+
+    def test_wait_ready_returns_the_readiness_payload(self, client):
+        payload = client.wait_ready(timeout=5.0)
+        assert payload["kind"] == "readyz" and payload["ready"] is True
+
+    def test_scheduler_stop_flips_healthz_to_503_and_back(
+        self, server, client,
+    ):
+        _call_on_loop(server, server.service.scheduler.stop())
+        status, payload = client.healthz()
+        assert status == 503
+        assert payload["status"] == "failing"
+        assert payload["reasons"]["scheduler-workers"] == (
+            "scheduler is not running"
+        )
+        status, ready = client.readyz()
+        assert status == 503 and ready["ready"] is False
+
+        _call_on_loop(server, server.service.scheduler.start())
+        status, payload = client.healthz()
+        assert status == 200 and payload["status"] == "ok"
+        assert client.readyz()[0] == 200
+        # and the service still actually serves work
+        client.register_graph("g", cycle_graph(5))
+        assert client.count(cycle_graph(3), "g")["count"] == 0
+
+    def test_unwritable_store_flips_healthz_to_503_and_back(
+        self, server, client, monkeypatch,
+    ):
+        def refuse():
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(server.service.store, "write_probe", refuse)
+        status, payload = client.healthz()
+        assert status == 503
+        assert payload["status"] == "failing"
+        assert "store write failed" in payload["reasons"]["store-write"]
+        assert client.readyz()[0] == 503
+
+        monkeypatch.undo()
+        status, payload = client.healthz()
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_health_route_stays_byte_compatible(self, client):
+        payload = client.health()
+        assert payload["kind"] == "health"
+        assert payload["status"] == "ok"
+
+
+class TestSloAndAlertsPayloads:
+    def test_slo_payload_schema(self, client):
+        client.register_graph("g", random_graph(10, 0.3, seed=3))
+        for _ in range(3):
+            client.count(cycle_graph(3), "g")
+        payload = client.slo()
+        assert payload["kind"] == "slo"
+        assert payload["enabled"] is True
+        assert isinstance(payload["objectives"], list)
+        for status in payload["objectives"]:
+            assert {
+                "objective", "key", "kind", "events", "ok", "burn_rate",
+            } <= set(status)
+        windows = payload["windows"]
+        # route-level and task-kind-level observations share the space
+        assert "count" in windows and "hom-count" in windows
+        for summary in windows.values():
+            assert {
+                "count", "errors", "error_rate", "p50_ms", "p99_ms",
+                "window_seconds",
+            } == set(summary)
+        # meta routes must not burn SLO budget
+        assert "healthz" not in windows and "stats" not in windows
+
+    def test_alerts_payload_schema_and_quiet_baseline(self, client):
+        payload = client.alerts()
+        assert payload["kind"] == "alerts"
+        assert payload["firing"] == []
+        names = {alert["name"] for alert in payload["alerts"]}
+        assert {
+            "probe:event-loop", "probe:scheduler-workers", "probe:memory",
+            "probe:store-write", "scheduler-queue-saturation",
+        } <= names
+        for alert in payload["alerts"]:
+            assert {"name", "severity", "firing", "value", "reason"} <= set(
+                alert,
+            )
+            assert alert["firing"] is False
+
+    def test_scheduler_death_raises_an_alert(self, server, client):
+        _call_on_loop(server, server.service.scheduler.stop())
+        try:
+            payload = client.alerts()
+            assert "probe:scheduler-workers" in payload["firing"]
+            (alert,) = [
+                a for a in payload["alerts"]
+                if a["name"] == "probe:scheduler-workers"
+            ]
+            assert alert["severity"] == "page"
+            assert alert["for_seconds"] >= 0.0
+        finally:
+            _call_on_loop(server, server.service.scheduler.start())
+        assert "probe:scheduler-workers" not in client.alerts()["firing"]
+
+    def test_metrics_exposition_includes_health_families(self, client):
+        client.healthz()  # ensure at least one verdict has been computed
+        text = client.request_text("GET", "/metrics")
+        assert "repro_health_probe_status" in text
+        assert "repro_alerts_firing" in text
+        assert "repro_scheduler_workers_alive" in text
+
+
+class TestCliIntegration:
+    def test_repro_health_wait_gates_on_readiness(self, server, capsys):
+        from repro.cli import main
+
+        rc = main(["health", "--port", str(server.port), "--wait", "10"])
+        assert rc == 0
+        assert "ready" in capsys.readouterr().out
+
+    def test_repro_health_exits_nonzero_when_failing(self, server, capsys):
+        from repro.cli import main
+
+        _call_on_loop(server, server.service.scheduler.stop())
+        try:
+            rc = main(["health", "--port", str(server.port)])
+            assert rc == 1
+            out = capsys.readouterr().out
+            assert "failing" in out and "scheduler is not running" in out
+        finally:
+            _call_on_loop(server, server.service.scheduler.start())
+        assert main(["health", "--port", str(server.port)]) == 0
+
+    def test_repro_top_json_one_shot(self, server, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["top", "--port", str(server.port), "--json"])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["kind"] == "top"
+        assert snap["healthz_status"] == 200
+        assert snap["health"]["status"] == "ok"
+        assert snap["slo"]["kind"] == "slo"
+        assert snap["alerts"]["kind"] == "alerts"
+        assert "/healthz" in snap["stats"]["requests"]
+
+    def test_repro_top_plain_frames(self, server, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "top", "--port", str(server.port),
+            "--plain", "--count", "2", "--interval", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top —") == 2
+        assert "scheduler" in out and "probes:" in out
+        assert "\x1b[" not in out  # --plain means no ANSI at all

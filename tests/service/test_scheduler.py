@@ -32,7 +32,14 @@ class TestCoalescing:
                 asyncio.create_task(scheduler.submit("hot-key", slow_job))
                 for _ in range(10)
             ]
-            await asyncio.sleep(0.1)  # let everyone reach the scheduler
+            # wait for every duplicate to reach the scheduler (condition
+            # poll, not a timing assumption)
+            deadline = time.monotonic() + 5.0
+            while (
+                scheduler.stats.coalesced < 9
+                and time.monotonic() < deadline
+            ):
+                await asyncio.sleep(0.001)
             release.set()
             results = await asyncio.gather(*tasks)
             stats = scheduler.stats
@@ -145,5 +152,57 @@ class TestFailuresAndLimits:
             scheduler = RequestScheduler()
             with pytest.raises(RuntimeError):
                 await scheduler.submit("k", lambda: 1)
+
+        run(scenario())
+
+
+class TestWorkerSupervision:
+    """Worker-death detection: respawn within budget, then retire."""
+
+    @staticmethod
+    def _kill_worker():
+        # Not an Exception subclass, so it escapes the job-failure path
+        # and takes the worker task down with it.
+        raise KeyboardInterrupt("worker-killing job")
+
+    async def _wait_for(self, condition, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while not condition() and time.monotonic() < deadline:
+            await asyncio.sleep(0.001)
+        assert condition()
+
+    def test_crashed_worker_respawns_and_waiter_is_not_stranded(self):
+        from repro.errors import ServiceError
+
+        async def scenario():
+            scheduler = RequestScheduler(workers=2, max_queue=8)
+            await scheduler.start()
+            with pytest.raises(ServiceError, match="worker crashed"):
+                await scheduler.submit("kaboom", self._kill_worker)
+            await self._wait_for(lambda: scheduler.workers_alive == 2)
+            assert scheduler.stats.worker_restarts == 1
+            value = await scheduler.submit("after", lambda: "alive")
+            await scheduler.stop()
+            return value
+
+        assert run(scenario()) == "alive"
+
+    def test_respawn_budget_exhaustion_retires_the_pool(self):
+        from repro.errors import ServiceError
+
+        async def scenario():
+            scheduler = RequestScheduler(
+                workers=1, max_queue=8, respawn_limit=1,
+            )
+            await scheduler.start()
+            # initial worker + one respawn = two crashes to exhaust
+            for attempt in range(2):
+                with pytest.raises(ServiceError):
+                    await scheduler.submit(("kill", attempt), self._kill_worker)
+            await self._wait_for(lambda: scheduler.workers_alive == 0)
+            assert scheduler.stats.worker_restarts == 1
+            with pytest.raises(ServiceError, match="no live workers"):
+                await scheduler.submit("dead-pool", lambda: 1)
+            await scheduler.stop()
 
         run(scenario())

@@ -25,6 +25,9 @@ def _restore_default_engine():
 @pytest.fixture
 def server():
     with BackgroundServer(workers=2, max_queue=32) as running:
+        # readiness gate, not a timing assumption: the suite starts
+        # talking to the service only once /readyz says it is ready
+        ServiceClient(port=running.port).wait_ready()
         yield running
 
 

@@ -35,6 +35,7 @@ from repro.api.tasks import (
     TaskBatch,
     WlDimensionTask,
 )
+from repro.engine.batch import run_shard_batch
 from repro.errors import TaskError
 from repro.obs import (
     child_span,
@@ -290,15 +291,14 @@ class LocalExecutor(Executor):
                     and pattern.num_vertices() > 0
                     and pattern.is_connected()
                 ):
-                    # Connected patterns sum over component shards exactly.
+                    # Connected patterns sum over component shards exactly;
+                    # numpy-tier shard misses run on a thread pool so one
+                    # request uses this worker process's cores.
                     shard_count = len(serving.shards)
-                    value, cached = 0, True
-                    for shard, shard_id in zip(serving.shards, serving.shard_ids):
-                        part, hit = engine.count_detailed(
-                            pattern, shard, target_id=shard_id, parent_span=sp,
-                        )
-                        value += part
-                        cached = cached and hit
+                    value, cached = run_shard_batch(
+                        engine, pattern, serving.shards, serving.shard_ids,
+                        parent_span=sp,
+                    )
                 else:
                     value, cached = engine.count_detailed(
                         pattern, serving.graph, target_id=serving.target_id,

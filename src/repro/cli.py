@@ -587,6 +587,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster``: the multi-process topology — a consistent-hash
+    router fronting N supervised worker processes, same wire protocol as
+    ``repro serve`` (every existing client and subcommand points at the
+    router's port unchanged)."""
+    from repro.cluster import run_cluster
+
+    return run_cluster(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        data_dir=args.data_dir,
+        scheduler_workers=args.scheduler_workers,
+        max_queue=args.queue,
+    )
+
+
 def _client_target(args: argparse.Namespace):
     from repro.service.client import ServiceError
 
@@ -856,6 +873,35 @@ def _render_top(
             lines.append(
                 "engine      "
                 + "  ".join(f"{key} {value}" for key, value in interesting),
+            )
+
+    cluster = stats.get("cluster", {})
+    if cluster:
+        router = cluster.get("router", {})
+        lines.append("")
+        lines.append(
+            "cluster     "
+            f"workers {router.get('admitted', '?')}"
+            f"  log {router.get('log_entries', 0)}"
+            f"  datasets {len(router.get('datasets', {}))}",
+        )
+        lines.append(
+            "worker     port    reachable   requests  executed  coalesced",
+        )
+        for worker in cluster.get("workers", []):
+            reachable = bool(worker.get("reachable"))
+            # Pad before painting: ANSI codes would defeat the format
+            # width, shifting every later column.
+            verdict = paint(
+                "ok" if reachable else "failing",
+                f"{'yes' if reachable else 'DOWN':<11}",
+            )
+            lines.append(
+                f"{worker.get('id', '?'):<10} {worker.get('port') or '?':<7}"
+                f" {verdict}"
+                f" {worker.get('requests', 0):>8}"
+                f"  {worker.get('executed', 0):>8}"
+                f"  {worker.get('coalesced', 0):>9}",
             )
 
     requests = stats.get("requests", {})
@@ -1242,6 +1288,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded request queue size (backpressure beyond it)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run the sharded topology: a consistent-hash router over N "
+        "supervised worker processes (same wire protocol as serve)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8765)
+    cluster.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes behind the router",
+    )
+    cluster.add_argument(
+        "--data-dir", default=None,
+        help="shared persistent cache directory (all workers warm it)",
+    )
+    cluster.add_argument(
+        "--scheduler-workers", type=int, default=4,
+        help="scheduler worker tasks inside each worker process",
+    )
+    cluster.add_argument(
+        "--queue", type=int, default=256,
+        help="bounded request queue size inside each worker",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     client = sub.add_parser(
         "client", help="query a running counting service",

@@ -1,0 +1,32 @@
+"""repro.cluster — multi-process sharded serving behind one router.
+
+The sixth layer of the stack: a consistent-hash **router**
+(:mod:`~repro.cluster.router`) fans the existing service wire protocol
+out over N supervised **worker** subprocesses
+(:mod:`~repro.cluster.worker`, :mod:`~repro.cluster.supervisor`), each
+running the full single-process stack.  Datasets replicate everywhere
+(:mod:`~repro.cluster.state`); the ring (:mod:`~repro.cluster.ring`)
+only decides *cache affinity* — which is what lets the router resubmit
+any request to any surviving worker when one dies, so a SIGKILL costs
+latency, never a client-visible error.
+
+An unmodified :class:`~repro.service.client.ServiceClient` talks to the
+router exactly as it talks to ``repro serve``.
+"""
+
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterRouter, RouterServer, WorkerUnreachable
+from repro.cluster.state import ClusterState, LogEntry
+from repro.cluster.supervisor import Cluster, Supervisor, run_cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterRouter",
+    "ClusterState",
+    "HashRing",
+    "LogEntry",
+    "RouterServer",
+    "Supervisor",
+    "WorkerUnreachable",
+    "run_cluster",
+]

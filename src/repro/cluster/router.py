@@ -1,0 +1,757 @@
+"""The cluster's front door: one asyncio router over N worker processes.
+
+The router speaks the *exact* wire protocol of a single
+:class:`~repro.service.server.CountingService`, so an unmodified
+:class:`~repro.service.client.ServiceClient` (and ``repro client``,
+``repro top``, ``repro health``) works against it.  Behind the socket it
+splits traffic three ways:
+
+* **counting routes** (``/task``, ``/count``, ``/count-answers``,
+  ``/wl-dim``, ``/analyze``) consistent-hash their canonical request
+  digest onto one worker, with router-level **single-flight** (a
+  stampede on one hot task leaves the router as a single worker
+  request), bounded **retry** on worker death (connection failures
+  resubmit to the next ring owner — a kill never surfaces as a client
+  error, because every worker replicates the dataset plane), and one
+  **hedge** request when the owner is slow;
+* **mutating routes** (``/register-dataset``, ``/target-update``,
+  ``/subscribe``) are serialised through the
+  :class:`~repro.cluster.state.ClusterState` log and fanned out to every
+  replica; the response is the primary's, and replica version agreement
+  is asserted after each commit;
+* **observability routes** are aggregated (``/healthz``, ``/health``,
+  ``/readyz``, ``/stats`` grow per-worker verdicts and a ``cluster``
+  block) or delegated to the first live worker (``/slo``, ``/alerts``,
+  ``/traces``, ``/profile``, ``/slow-queries``, ``/datasets``,
+  ``/subscriptions``); ``/metrics`` serves the router process's own
+  registry (``repro_router_*`` families).
+
+Health aggregation (the ``repro health`` contract): the router reports
+*degraded* as soon as any worker is failing or unreachable, and *failing*
+when a quorum (majority) of workers is lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs import (
+    family_snapshot,
+    get_logger,
+    log_event,
+    registry as metrics_registry,
+    span,
+)
+from repro.service.server import ServiceServer
+from repro.cluster.ring import HashRing
+from repro.cluster.state import REPLICATED_ROUTES, ClusterState
+from repro.utils import stable_key_digest
+
+import logging
+
+__all__ = ["ClusterRouter", "RouterServer", "WorkerUnreachable"]
+
+_log = get_logger("cluster.router")
+
+#: Idempotent counting routes: hashed, single-flighted, retried, hedged.
+HASHED_ROUTES = frozenset({
+    "/task", "/count", "/count-answers", "/wl-dim", "/analyze",
+})
+
+#: Read-only routes answered by the first live worker.
+DELEGATED_ROUTES = frozenset({
+    "/datasets", "/subscriptions", "/slo", "/alerts", "/traces",
+    "/profile", "/slow-queries",
+})
+
+
+class WorkerUnreachable(ConnectionError):
+    """A worker connection failed outright (refused, reset, or EOF)."""
+
+    def __init__(self, worker_id: str, reason: str) -> None:
+        super().__init__(f"worker {worker_id} unreachable: {reason}")
+        self.worker_id = worker_id
+
+
+async def http_call(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+    trace_id: str | None = None,
+) -> tuple[int, dict | str]:
+    """One HTTP/1.1 request over a fresh connection (the service answers
+    ``Connection: close``).  Returns ``(status, decoded payload)``; any
+    transport failure raises ``OSError``/``IncompleteReadError``."""
+
+    async def call() -> tuple[int, dict | str]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            data = json.dumps(body).encode("utf-8") if body is not None else b""
+            trace = f"X-Repro-Trace: {trace_id}\r\n" if trace_id else ""
+            writer.write(
+                (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"{trace}"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii") + data,
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split()
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            raw = await reader.readexactly(length) if length else b""
+            if headers.get("content-type", "").startswith("application/json"):
+                return status, json.loads(raw) if raw else {}
+            return status, raw.decode("utf-8", "replace")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(call(), timeout=timeout)
+
+
+class ClusterRouter:
+    """Route the service wire protocol across a set of worker endpoints.
+
+    Workers join through :meth:`admit_worker` (which replays the
+    replication log first, so a respawned process arrives at the
+    committed dataset state before taking traffic) and leave through
+    :meth:`demote_worker` — called on any transport failure, because on
+    loopback a failed connection means the process died; the supervisor
+    confirms, respawns, and re-admits.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        replicas: int = 64,
+        request_timeout: float = 60.0,
+        hedge_after: float = 1.0,
+        on_suspect=None,
+    ) -> None:
+        self.host = host
+        self.ring = HashRing(replicas=replicas)
+        self.state = ClusterState()
+        self.request_timeout = request_timeout
+        self.hedge_after = hedge_after
+        self.on_suspect = on_suspect
+        #: worker id -> (host, port); only admitted (replayed) workers.
+        self._workers: dict[str, tuple[str, int]] = {}
+        self._membership = asyncio.Event()
+        self._mutate_lock = asyncio.Lock()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.request_counts: dict[str, int] = {}
+        registry = metrics_registry()
+        self._requests_total = registry.counter(
+            "repro_router_requests_total",
+            "Requests handled by the cluster router, per route.",
+            labelnames=("route",),
+        )
+        self._retries_total = registry.counter(
+            "repro_router_retries_total",
+            "Counting requests resubmitted after a worker became unreachable.",
+        )
+        self._hedges_total = registry.counter(
+            "repro_router_hedges_total",
+            "Hedge requests launched against a slow primary worker.",
+        )
+        self._coalesced_total = registry.counter(
+            "repro_router_coalesced_total",
+            "Counting requests served by joining an identical in-flight one.",
+        )
+        self._replays_total = registry.counter(
+            "repro_router_replays_total",
+            "Replication-log entries replayed into (re)admitted workers.",
+        )
+        metrics_registry().register_collector(self._collect_metrics)
+
+    def close(self) -> None:
+        metrics_registry().unregister_collector(self._collect_metrics)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def worker_ids(self) -> list[str]:
+        return sorted(self._workers)
+
+    def endpoint(self, worker_id: str) -> tuple[str, int] | None:
+        return self._workers.get(worker_id)
+
+    async def admit_worker(
+        self, worker_id: str, host: str, port: int, replay: bool = True,
+    ) -> bool:
+        """Replay the committed log into a worker, then put it in rotation.
+
+        Admission runs under the mutation lock, so no fan-out can commit
+        between the final replayed entry and ring membership — the worker
+        joins at exactly the committed state.
+        """
+        async with self._mutate_lock:
+            if replay:
+                for entry in self.state.replay_entries():
+                    try:
+                        status, payload = await http_call(
+                            host, port, "POST", entry.path, entry.body,
+                            timeout=self.request_timeout,
+                        )
+                    except (OSError, asyncio.IncompleteReadError,
+                            asyncio.TimeoutError, ValueError) as error:
+                        log_event(
+                            _log, logging.ERROR, "replay-failed",
+                            worker=worker_id, path=entry.path,
+                            sequence=entry.sequence, error=str(error),
+                        )
+                        return False
+                    if status != 200:
+                        log_event(
+                            _log, logging.ERROR, "replay-rejected",
+                            worker=worker_id, path=entry.path,
+                            sequence=entry.sequence, status=status,
+                            error=str(payload),
+                        )
+                        return False
+                    self._replays_total.inc()
+            self._workers[worker_id] = (host, port)
+            self.ring.add(worker_id)
+            self._membership.set()
+            return True
+
+    def demote_worker(self, worker_id: str, reason: str = "unreachable") -> None:
+        """Drop a worker from rotation (idempotent).
+
+        Any transport failure demotes: a worker that missed even one
+        fan-out must not serve stale state, so re-entry always goes
+        through a fresh process + :meth:`admit_worker` replay.
+        """
+        if worker_id not in self._workers:
+            return
+        del self._workers[worker_id]
+        self.ring.remove(worker_id)
+        if not self._workers:
+            self._membership.clear()
+        log_event(
+            _log, logging.WARNING, "worker-demoted",
+            worker=worker_id, reason=reason,
+        )
+        if self.on_suspect is not None:
+            self.on_suspect(worker_id)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def handle(
+        self, method: str, path: str, body: dict,
+        client_trace: str | None = None,
+    ) -> tuple[int, dict | str, str | None]:
+        """The transport entry point — signature-compatible with
+        :meth:`CountingService.handle`, so :class:`RouterServer` reuses
+        the existing HTTP parsing layer unchanged."""
+        route = (method.upper(), path.rstrip("/") or "/")
+        name = route[1]
+        sp = span("router.request", route=name, method=route[0])
+        with sp:
+            sp.adopt_trace(client_trace)
+            try:
+                status, payload = await self._dispatch(route, body, sp.trace_id)
+            except Exception as error:  # noqa: BLE001 - a 503, not a crash
+                status = 503
+                payload = {
+                    "kind": "error",
+                    "error": f"cluster error: {type(error).__name__}: {error}",
+                    "code": "cluster-unavailable",
+                }
+            sp.annotate(status=status)
+        self.request_counts[name] = self.request_counts.get(name, 0) + 1
+        self._requests_total.labels(route=name).inc()
+        if status >= 400 and isinstance(payload, dict) and sp.trace_id:
+            payload = {**payload, "trace_id": sp.trace_id}
+        return status, payload, sp.trace_id
+
+    async def _dispatch(
+        self, route: tuple[str, str], body: dict, trace_id: str | None,
+    ) -> tuple[int, dict | str]:
+        method, path = route
+        if method == "POST" and path in HASHED_ROUTES:
+            return await self._dispatch_hashed(path, body, trace_id)
+        if method == "POST" and path in REPLICATED_ROUTES:
+            return await self._dispatch_replicated(path, body, trace_id)
+        if method == "GET" and path in ("/healthz", "/health"):
+            return await self._aggregate_health(
+                kind=path.lstrip("/"), liveness=path == "/healthz",
+            )
+        if method == "GET" and path == "/readyz":
+            return await self._aggregate_readiness()
+        if method == "GET" and path == "/stats":
+            return await self._aggregate_stats()
+        if method == "GET" and path == "/metrics":
+            return self._own_metrics(body)
+        if path in DELEGATED_ROUTES or (method, path) == ("POST", "/profile"):
+            return await self._delegate(method, path, body, trace_id)
+        return 404, {
+            "kind": "error",
+            "error": f"no route {method} {path}",
+            "code": "unknown-route",
+        }
+
+    # ------------------------------------------------------------------
+    # hashed counting routes
+    # ------------------------------------------------------------------
+    async def _dispatch_hashed(
+        self, path: str, body: dict, trace_id: str | None,
+    ) -> tuple[int, dict | str]:
+        key = stable_key_digest((path, body))
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self._coalesced_total.inc()
+            return await asyncio.shield(existing)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await self._forward_with_retry(path, body, key, trace_id)
+            future.set_result(result)
+            return result
+        except BaseException as error:
+            # Waiters see the same failure; transport-level surprises
+            # become a structured 503 in handle()'s catch-all.
+            if not future.done():
+                future.set_exception(error)
+                future.exception()  # consumed: no un-retrieved warnings
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _forward_with_retry(
+        self, path: str, body: dict, key: str, trace_id: str | None,
+    ) -> tuple[int, dict | str]:
+        """Forward to the key's ring owner; resubmit on worker death,
+        hedge once the owner looks slow, wait out respawn windows.
+
+        Counting routes are idempotent (same canonical task, same
+        answer), so resubmitting after a SIGKILL — even one that landed
+        mid-response — is always safe.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.request_timeout
+        attempted: set[str] = set()
+        pending: dict[asyncio.Task, str] = {}
+        try:
+            while True:
+                # (Re)compute the preference list against current
+                # membership: demotions and re-admissions between
+                # attempts are picked up immediately.
+                candidates: list[str] = []
+                if self._workers:
+                    candidates = [
+                        wid for wid in self.ring.nodes_for(key)
+                        if wid not in attempted
+                    ]
+                if candidates and len(pending) < 2:
+                    worker_id = candidates[0]
+                    attempted.add(worker_id)
+                    if attempted - {worker_id}:
+                        if pending:
+                            self._hedges_total.inc()
+                        else:
+                            self._retries_total.inc()
+                    endpoint = self._workers.get(worker_id)
+                    if endpoint is None:
+                        continue
+                    task = asyncio.create_task(http_call(
+                        endpoint[0], endpoint[1], "POST", path, body,
+                        timeout=max(0.05, deadline - loop.time()),
+                        trace_id=trace_id,
+                    ))
+                    pending[task] = worker_id
+                if not pending:
+                    # Nothing to try right now (ring empty mid-respawn, or
+                    # every member already failed): wait for membership to
+                    # change, then retry everyone afresh.
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        return 503, {
+                            "kind": "error",
+                            "error": "no cluster worker answered in time",
+                            "code": "cluster-unavailable",
+                        }
+                    self._membership.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._membership.wait(),
+                            timeout=min(remaining, 0.25),
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                    attempted = set()
+                    continue
+                timeout: float | None = None
+                more = [w for w in self.ring.nodes_for(key)
+                        if w in self._workers and w not in attempted]
+                if more and len(pending) < 2:
+                    timeout = self.hedge_after
+                done, _ = await asyncio.wait(
+                    set(pending),
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    continue  # hedge timer fired: loop launches a backup
+                for task in done:
+                    worker_id = pending.pop(task)
+                    try:
+                        status, payload = task.result()
+                    except asyncio.TimeoutError:
+                        # Slow, not dead (TimeoutError must precede its
+                        # OSError parent): leave membership alone, let
+                        # the loop try the next preference or give up
+                        # at the deadline.
+                        continue
+                    except (OSError, asyncio.IncompleteReadError,
+                            ValueError) as error:
+                        self.demote_worker(worker_id, reason=str(error))
+                        continue
+                    return status, payload
+        finally:
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # replicated mutating routes
+    # ------------------------------------------------------------------
+    async def _dispatch_replicated(
+        self, path: str, body: dict, trace_id: str | None,
+    ) -> tuple[int, dict | str]:
+        """Apply a mutation on a primary, commit it to the log, fan it
+        out to every other replica — all under the mutation lock, so
+        every worker sees the same ordered history."""
+        body = self.state.prepare(path, body)
+        async with self._mutate_lock:
+            primary_status: int | None = None
+            primary_payload: dict | str | None = None
+            versions: dict[str, object] = {}
+            for worker_id in list(self.worker_ids):
+                endpoint = self._workers.get(worker_id)
+                if endpoint is None:
+                    continue
+                try:
+                    status, payload = await http_call(
+                        endpoint[0], endpoint[1], "POST", path, body,
+                        timeout=self.request_timeout, trace_id=trace_id,
+                    )
+                except (OSError, asyncio.IncompleteReadError,
+                        asyncio.TimeoutError, ValueError) as error:
+                    self.demote_worker(worker_id, reason=str(error))
+                    continue
+                if primary_status is None:
+                    primary_status, primary_payload = status, payload
+                    if status != 200:
+                        # The primary rejected (bad spec, unknown name):
+                        # every replica would agree — do not commit, do
+                        # not fan out.
+                        return status, payload
+                versions[worker_id] = _payload_version(payload)
+            if primary_status is None:
+                return 503, {
+                    "kind": "error",
+                    "error": "no live worker to apply the mutation",
+                    "code": "cluster-unavailable",
+                }
+            if len(set(map(str, versions.values()))) > 1:
+                log_event(
+                    _log, logging.ERROR, "replica-version-divergence",
+                    path=path, versions={k: str(v) for k, v in versions.items()},
+                )
+            version = _payload_version(primary_payload)
+            self.state.record(
+                path, body,
+                version=version if isinstance(version, int) else None,
+            )
+            return primary_status, primary_payload
+
+    # ------------------------------------------------------------------
+    # aggregation + delegation
+    # ------------------------------------------------------------------
+    async def _poll_workers(
+        self, method: str, path: str,
+    ) -> dict[str, tuple[int, dict | str] | None]:
+        """One probe per admitted worker; ``None`` marks unreachable."""
+        ids = self.worker_ids
+        results = await asyncio.gather(*[
+            http_call(*self._workers[wid], method, path, timeout=10.0)
+            for wid in ids if wid in self._workers
+        ], return_exceptions=True)
+        verdicts: dict[str, tuple[int, dict | str] | None] = {}
+        for wid, result in zip(ids, results):
+            verdicts[wid] = None if isinstance(result, BaseException) else result
+        return verdicts
+
+    async def _aggregate_health(
+        self, kind: str, liveness: bool,
+    ) -> tuple[int, dict]:
+        """Worker verdicts rolled up through the router.
+
+        Degraded as soon as any worker is non-ok or unreachable; failing
+        when a majority is failing/unreachable (quorum lost) or no
+        workers are admitted at all.
+        """
+        verdicts = await self._poll_workers("GET", "/healthz")
+        probes: dict[str, dict] = {}
+        reasons: list[str] = []
+        lost = 0
+        for wid, verdict in sorted(verdicts.items()):
+            if verdict is None:
+                lost += 1
+                probes[f"worker-{wid}"] = {
+                    "status": "failing", "reason": "unreachable", "data": {},
+                }
+                reasons.append(f"worker-{wid}: unreachable")
+                continue
+            _, payload = verdict
+            status = payload.get("status", "failing") if isinstance(payload, dict) else "failing"
+            if status == "failing":
+                lost += 1
+            probes[f"worker-{wid}"] = {
+                "status": status,
+                "reason": "; ".join(payload.get("reasons", []))
+                if isinstance(payload, dict) else "malformed verdict",
+                "data": {"probes": len(payload.get("probes", {}))}
+                if isinstance(payload, dict) else {},
+            }
+            if status != "ok":
+                reasons.append(f"worker-{wid}: {status}")
+        total = len(verdicts)
+        if total == 0:
+            overall = "failing"
+            reasons.append("no workers admitted")
+        elif lost * 2 > total:
+            overall = "failing"
+            reasons.append(f"quorum lost ({lost}/{total} workers down)")
+        elif reasons:
+            overall = "degraded"
+        else:
+            overall = "ok"
+        probes["router-workers"] = {
+            "status": overall if overall != "degraded" else "degraded",
+            "reason": f"{total - lost}/{total} workers serving",
+            "data": {"alive": total - lost, "admitted": total},
+        }
+        payload = {
+            "kind": kind,
+            "status": overall,
+            "probes": probes,
+            "reasons": reasons,
+        }
+        status_code = 503 if (liveness and overall == "failing") else 200
+        return status_code, payload
+
+    async def _aggregate_readiness(self) -> tuple[int, dict]:
+        verdicts = await self._poll_workers("GET", "/readyz")
+        probes: dict[str, dict] = {}
+        ready = bool(verdicts)
+        datasets = 0
+        for wid, verdict in sorted(verdicts.items()):
+            if verdict is None:
+                probes[f"worker-{wid}"] = {
+                    "status": "failing", "reason": "unreachable", "data": {},
+                }
+                ready = False
+                continue
+            status, payload = verdict
+            worker_ready = status == 200
+            ready = ready and worker_ready
+            if isinstance(payload, dict):
+                datasets = max(datasets, int(payload.get("datasets", 0) or 0))
+            probes[f"worker-{wid}"] = {
+                "status": "ok" if worker_ready else "failing",
+                "reason": None if worker_ready else "not ready",
+                "data": {},
+            }
+        payload = {
+            "kind": "readyz",
+            "status": "ok" if ready else "failing",
+            "probes": probes,
+            "reasons": [] if ready else ["not every worker is ready"],
+            "ready": ready,
+            "datasets": datasets,
+        }
+        return (200 if ready else 503), payload
+
+    async def _aggregate_stats(self) -> tuple[int, dict]:
+        verdicts = await self._poll_workers("GET", "/stats")
+        worker_stats = {
+            wid: payload
+            for wid, verdict in verdicts.items()
+            if verdict is not None
+            for _, payload in [verdict]
+            if isinstance(payload, dict)
+        }
+        merged_requests: dict[str, int] = dict(self.request_counts)
+        engines = [s.get("engine", {}) for s in worker_stats.values()]
+        schedulers = [s.get("scheduler", {}) for s in worker_stats.values()]
+        first = next(iter(worker_stats.values()), {})
+        cluster_workers = []
+        for wid in sorted(verdicts):
+            stats = worker_stats.get(wid)
+            endpoint = self._workers.get(wid)
+            entry: dict = {
+                "id": wid,
+                "port": endpoint[1] if endpoint else None,
+                "reachable": stats is not None,
+            }
+            if stats is not None:
+                entry["requests"] = sum(stats.get("requests", {}).values())
+                scheduler = stats.get("scheduler", {})
+                engine = stats.get("engine", {})
+                entry["executed"] = scheduler.get("executed", 0)
+                entry["coalesced"] = scheduler.get("coalesced", 0)
+                entry["counts_executed"] = engine.get("counts_executed", 0)
+                entry["plans_compiled"] = engine.get("plans_compiled", 0)
+            cluster_workers.append(entry)
+        payload = {
+            "kind": "stats",
+            "engine": _merge_numeric(engines),
+            "scheduler": _merge_numeric(schedulers),
+            "datasets": first.get("datasets", []),
+            "dynamic": first.get("dynamic", {}),
+            "persistent": first.get("persistent"),
+            "requests": merged_requests,
+            "metrics": metrics_registry().snapshot(),
+            "cluster": {
+                "workers": cluster_workers,
+                "router": {
+                    "admitted": len(self._workers),
+                    "ring_nodes": sorted(self.ring.nodes),
+                    "requests": dict(self.request_counts),
+                    **self.state.summary(),
+                },
+            },
+        }
+        return 200, payload
+
+    def _own_metrics(self, body: dict) -> tuple[int, dict | str]:
+        fmt = body.get("format", "prometheus")
+        if fmt == "json":
+            return 200, {
+                "kind": "metrics", "metrics": metrics_registry().snapshot(),
+            }
+        return 200, metrics_registry().render_prometheus()
+
+    async def _delegate(
+        self, method: str, path: str, body: dict, trace_id: str | None,
+    ) -> tuple[int, dict | str]:
+        """Answer a read-only route from the first live worker (the
+        replicated planes agree, so any worker's view is the cluster's)."""
+        for worker_id in self.worker_ids:
+            endpoint = self._workers.get(worker_id)
+            if endpoint is None:
+                continue
+            try:
+                return await http_call(
+                    endpoint[0], endpoint[1], method, path,
+                    body or None, timeout=self.request_timeout,
+                    trace_id=trace_id,
+                )
+            except (OSError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, ValueError) as error:
+                self.demote_worker(worker_id, reason=str(error))
+        return 503, {
+            "kind": "error",
+            "error": "no live worker to delegate to",
+            "code": "cluster-unavailable",
+        }
+
+    # ------------------------------------------------------------------
+    # metrics export
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> list[tuple[str, dict]]:
+        return [
+            family_snapshot(
+                "repro_router_workers", "gauge",
+                [({}, len(self._workers))],
+                help="Workers currently admitted to the ring.",
+            ),
+            family_snapshot(
+                "repro_router_log_entries", "gauge",
+                [({}, len(self.state.entries))],
+                help="Committed mutations in the replication log.",
+            ),
+        ]
+
+
+def _payload_version(payload) -> object:
+    """The committed version a mutating response reports, if any."""
+    if not isinstance(payload, dict):
+        return None
+    if isinstance(payload.get("version"), int):
+        return payload["version"]
+    dataset = payload.get("dataset")
+    if isinstance(dataset, dict):
+        return dataset.get("version")
+    subscription = payload.get("subscription")
+    if isinstance(subscription, dict):
+        return subscription.get("version")
+    return None
+
+
+def _merge_numeric(snapshots: list[dict]) -> dict:
+    """Sum counters across workers (ratios/rates are re-averaged)."""
+    merged: dict[str, int | float] = {}
+    counts: dict[str, int] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+            counts[key] = counts.get(key, 0) + 1
+    for key in list(merged):
+        if key.endswith(("_rate", "_ratio", "saturation")) and counts[key]:
+            merged[key] = round(merged[key] / counts[key], 4)
+    return merged
+
+
+class RouterServer(ServiceServer):
+    """The router on a TCP port — reuses :class:`ServiceServer`'s HTTP
+    parsing verbatim (that layer only calls ``self.service.handle``);
+    only the lifecycle differs, because the router has no scheduler or
+    monitors of its own."""
+
+    def __init__(
+        self, router: ClusterRouter, host: str = "127.0.0.1", port: int = 0,
+    ) -> None:
+        super().__init__(router, host=host, port=port)  # type: ignore[arg-type]
+        self.router = router
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.router.close()

@@ -1,0 +1,96 @@
+"""Versioned serving-state replication for the cluster.
+
+The cluster replicates the *dataset* plane to every worker — each worker
+holds the full :class:`~repro.service.registry.DatasetRegistry`, so any
+worker can answer any counting request (the hash ring only decides cache
+affinity, which is what makes retry-on-death always safe).  The router
+funnels every mutating request (``/register-dataset``,
+``/target-update``, ``/subscribe``) through one :class:`ClusterState`:
+
+* mutations are **serialised** (the router applies them under one lock),
+  so every replica sees the same ordered sequence and each dataset moves
+  through the same version history on every worker — no worker ever
+  serves version N's graph against version N+1's cache key;
+* each committed mutation is appended to an in-memory **replication
+  log**; a worker respawned after a crash replays the log before it
+  rejoins the ring, arriving at exactly the committed state;
+* per-dataset **versions** are tracked as updates commit, so the router
+  can assert replica agreement after every fan-out.
+
+Subscription ids are assigned *by the router* when the client omits one,
+so replayed subscriptions land under the same id on every replica.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["ClusterState", "LogEntry"]
+
+#: Mutating routes the router records and fans out to every replica.
+REPLICATED_ROUTES = ("/register-dataset", "/target-update", "/subscribe")
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed mutation: replaying these in order rebuilds a worker."""
+
+    sequence: int
+    path: str
+    body: dict
+
+
+@dataclass
+class ClusterState:
+    """The replication log plus per-dataset version bookkeeping."""
+
+    entries: list[LogEntry] = field(default_factory=list)
+    versions: dict[str, int] = field(default_factory=dict)
+    _sequence: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @staticmethod
+    def dataset_of(path: str, body: dict) -> str | None:
+        """The dataset a mutating request addresses, if any."""
+        value = body.get("name") if path == "/register-dataset" else body.get("target")
+        return value if isinstance(value, str) else None
+
+    def next_sequence(self) -> int:
+        with self._lock:
+            self._sequence += 1
+            return self._sequence
+
+    def prepare(self, path: str, body: dict) -> dict:
+        """Normalise a mutating body before fan-out.
+
+        Subscriptions get a router-assigned id when the client sent none,
+        so every replica (including future replays) registers the handle
+        under one shared id.
+        """
+        if path == "/subscribe" and not body.get("id"):
+            body = {**body, "id": f"sub-{self.next_sequence()}"}
+        return body
+
+    def record(self, path: str, body: dict, version: int | None = None) -> LogEntry:
+        """Append a *committed* mutation to the replication log."""
+        with self._lock:
+            self._sequence += 1
+            entry = LogEntry(self._sequence, path, body)
+            self.entries.append(entry)
+            dataset = self.dataset_of(path, body)
+            if dataset is not None and version is not None:
+                self.versions[dataset] = version
+            return entry
+
+    def replay_entries(self) -> list[LogEntry]:
+        """The committed log, in commit order (for worker admission)."""
+        with self._lock:
+            return list(self.entries)
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "log_entries": len(self.entries),
+                "datasets": dict(self.versions),
+            }

@@ -1,0 +1,75 @@
+"""Cluster worker: one full service stack in a subprocess.
+
+``python -m repro.cluster.worker --port 0 --data-dir DIR`` runs the
+existing :func:`~repro.service.server.run_server` loop unchanged — the
+worker *is* the single-process service; the cluster layer wraps it
+rather than forking its internals.  Two small contracts make it
+supervisable:
+
+* the bound address is announced on stdout as the standard
+  ``repro service listening on http://host:port`` line (workers bind
+  port 0, so the supervisor learns the real port by parsing this);
+* a watchdog thread exits the process the moment stdin reaches EOF, so
+  workers can never outlive a killed supervisor and become orphans.
+
+All workers of one cluster share a ``--data-dir``: the
+:class:`~repro.service.store.PersistentStore` is multi-process safe
+(file-locked appends, refresh-on-miss), so any worker's cold count
+warms every other worker's persistent tier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+
+from repro.service.server import run_server
+
+__all__ = ["main", "ANNOUNCE_PREFIX"]
+
+#: The stdout line prefix the supervisor parses for the bound endpoint.
+ANNOUNCE_PREFIX = "repro service listening on http://"
+
+
+def _stdin_watchdog() -> None:
+    """Exit when the supervisor goes away (its pipe end closes)."""
+    try:
+        while sys.stdin.buffer.read(4096):
+            pass
+    except (OSError, ValueError):
+        pass
+    os._exit(0)
+
+
+def _announce(message) -> None:
+    print(message, flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description="one cluster worker process (a full repro service)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--data-dir", default=None)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="scheduler worker tasks inside this process")
+    parser.add_argument("--max-queue", type=int, default=256)
+    args = parser.parse_args(argv)
+    threading.Thread(target=_stdin_watchdog, daemon=True).start()
+    run_server(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        announce=_announce,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

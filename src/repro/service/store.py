@@ -14,6 +14,22 @@ processes (string hashing is salted), so keys are digested through a
 recursive *sorted* serialisation before touching the filesystem — the same
 logical key always lands on the same digest, in every process.
 
+The store is safe to share between *processes* (the cluster's workers all
+point at one directory):
+
+* count appends hold an advisory ``flock`` on the counts file, so two
+  workers never interleave bytes of one line;
+* before appending, the writer repairs a torn tail left by a writer that
+  crashed mid-line (a missing final newline) by terminating it — the torn
+  fragment then decodes as an invalid line and is skipped, instead of
+  merging with the next append into a *valid* line carrying a wrong value;
+* :meth:`~PersistentStore.refresh` folds lines appended by other processes
+  into the in-memory index; ``load_count`` triggers it automatically on a
+  miss when the file has grown, so workers serve each other's warm counts.
+
+Plans need none of this: they are digest-named and written via
+``os.replace``, which is already atomic across processes.
+
 The store keeps its own :class:`~repro.engine.cache.CacheStats` (evictions
 stay zero — nothing is ever evicted from disk), so ``repro engine-stats
 --persistent`` and the service ``stats`` endpoint report the tier with the
@@ -27,6 +43,11 @@ import os
 import pickle
 import threading
 
+try:  # POSIX only; on other platforms appends fall back to best-effort
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.engine.cache import CacheStats, LRUCache
 from repro.utils import stable_key_digest
 
@@ -34,6 +55,18 @@ __all__ = ["PersistentStore", "stable_key_digest"]
 
 _COUNTS_FILE = "counts.jsonl"
 _PLANS_DIR = "plans"
+
+
+def _flock(handle, exclusive: bool) -> bool:
+    if fcntl is None:
+        return False
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+    return True
+
+
+def _funlock(handle) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 class PersistentStore:
@@ -57,26 +90,93 @@ class PersistentStore:
         # repeated traffic on the same (pattern, target) pays the O(n+m)
         # serialisation once.
         self._digests = LRUCache(65536)
+        # Bytes of counts.jsonl already folded into the index; refresh()
+        # resumes scanning from here.  A torn final fragment (crashed
+        # writer) is never consumed, so its size is remembered to avoid
+        # re-reading it on every subsequent miss.
+        self._read_offset = 0
+        self._stalled_size: int | None = None
+        self.refreshes = 0
+        self._read_handle_obj: object | None = None
         self._load_counts()
         # One long-lived append handle: save_count is on the hot path of
         # every cold engine.count, so per-write open/close is avoided.
-        self._counts_handle = open(self._counts_path, "a", encoding="utf-8")
+        self._counts_handle = open(self._counts_path, "ab")
+
+    def _read_handle(self):
+        handle = self._read_handle_obj
+        if handle is None or handle.closed:
+            handle = open(self._counts_path, "rb")
+            self._read_handle_obj = handle
+        return handle
 
     def _load_counts(self) -> None:
         if not os.path.exists(self._counts_path):
             return
-        with open(self._counts_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    self._counts[record["key"]] = int(record["value"])
-                except (ValueError, KeyError, TypeError):
-                    # A torn final line (crashed writer) is not fatal; the
-                    # entry is simply recomputed and re-appended.
-                    continue
+        self._scan_new_lines()
+
+    def _scan_new_lines(self) -> int:
+        """Fold complete lines past ``_read_offset`` into the index.
+
+        Holds a shared ``flock`` for the read, so a concurrent writer's
+        line is either fully visible or not yet started; a torn tail
+        (crashed writer, no trailing newline) is left unconsumed — the
+        next locked append terminates it, turning the fragment into an
+        invalid line that is skipped here, never merged into a valid one.
+        Returns the number of entries applied.  Caller holds ``_lock``.
+        """
+        try:
+            read = self._read_handle()
+            locked = _flock(read, exclusive=False)
+            try:
+                read.seek(self._read_offset)
+                data = read.read()
+            finally:
+                if locked:
+                    _funlock(read)
+        except OSError:
+            return 0
+        end = data.rfind(b"\n") + 1
+        self._read_offset += end
+        self._stalled_size = (
+            self._read_offset + (len(data) - end) if end < len(data) else None
+        )
+        applied = 0
+        for line in data[:end].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                self._counts[record["key"]] = int(record["value"])
+                applied += 1
+            except (ValueError, KeyError, TypeError):
+                # A torn line (crashed writer, since repaired) is not
+                # fatal; the entry is simply recomputed and re-appended.
+                continue
+        return applied
+
+    def refresh(self) -> int:
+        """Fold counts appended by *other* processes into the index.
+
+        Returns the number of entries applied.  ``load_count`` calls this
+        automatically on a miss when the file has grown; explicit calls
+        are only needed to eagerly warm a long-idle process.
+        """
+        with self._lock:
+            self.refreshes += 1
+            return self._scan_new_lines()
+
+    def _maybe_refresh_locked(self) -> bool:
+        """Cheap growth check (one stat) before paying a rescan."""
+        try:
+            size = os.stat(self._counts_path).st_size
+        except OSError:
+            return False
+        if size <= self._read_offset or size == self._stalled_size:
+            return False
+        self.refreshes += 1
+        return self._scan_new_lines() > 0
 
     def _digest(self, key) -> str:
         with self._lock:
@@ -95,6 +195,8 @@ class PersistentStore:
         digest = self._digest(key)
         with self._lock:
             value = self._counts.get(digest)
+            if value is None and self._maybe_refresh_locked():
+                value = self._counts.get(digest)
             if value is None:
                 self.stats.count_misses += 1
             else:
@@ -103,24 +205,54 @@ class PersistentStore:
 
     def save_count(self, key, value: int) -> None:
         digest = self._digest(key)
+        line = json.dumps({"key": digest, "value": value}).encode("ascii")
         with self._lock:
             if self._counts.get(digest) == value:
                 return
             self._counts[digest] = value
             if self._counts_handle.closed:  # reopened after close()
-                self._counts_handle = open(
-                    self._counts_path, "a", encoding="utf-8",
-                )
-            self._counts_handle.write(
-                json.dumps({"key": digest, "value": value}) + "\n",
-            )
-            self._counts_handle.flush()
+                self._counts_handle = open(self._counts_path, "ab")
+            handle = self._counts_handle
+            try:
+                locked = _flock(handle, exclusive=True)
+                try:
+                    handle.write(self._tail_repair() + line + b"\n")
+                    handle.flush()
+                finally:
+                    if locked:
+                        _funlock(handle)
+            except OSError:
+                # Full disk / vanished directory: persistence is an
+                # optimisation, never a correctness dependency (the
+                # write probe surfaces the condition to health checks).
+                return
+
+    def _tail_repair(self) -> bytes:
+        """A newline iff the file ends mid-line (crashed writer).
+
+        Called with the exclusive append lock held.  Terminating the torn
+        fragment *before* appending makes it decode as one invalid line —
+        without this, ``fragment + this line`` could merge into a single
+        syntactically valid record carrying a corrupted value.
+        """
+        try:
+            read = self._read_handle()
+            size = read.seek(0, os.SEEK_END)
+            if size == 0:
+                return b""
+            read.seek(size - 1)
+            return b"" if read.read(1) == b"\n" else b"\n"
+        except OSError:
+            return b""
 
     def close(self) -> None:
-        """Release the append handle (reopened on demand if written again)."""
+        """Release the file handles (reopened on demand if used again)."""
         with self._lock:
             if not self._counts_handle.closed:
                 self._counts_handle.close()
+            read = self._read_handle_obj
+            if read is not None and not read.closed:
+                read.close()
 
     def load_plan(self, key):
         digest = self._digest(key)
@@ -193,6 +325,7 @@ class PersistentStore:
             "path": self.path,
             "counts_stored": self.counts_stored(),
             "plans_stored": self.plans_stored(),
+            "refreshes": self.refreshes,
         }
         report.update(self.stats.snapshot())
         return report

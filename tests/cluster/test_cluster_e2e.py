@@ -1,0 +1,227 @@
+"""The full topology end-to-end: router + supervised workers, driven by
+an unmodified :class:`ServiceClient`, checked against the brute oracle.
+
+The chaos test is the subsystem's contract: SIGKILL a worker while a
+client pool hammers counting routes, and assert *zero* client-visible
+failures with every value exact — worker death must cost latency only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import Cluster, ClusterRouter
+from repro.graphs import (
+    cycle_graph,
+    disjoint_union_many,
+    path_graph,
+    random_graph,
+)
+from repro.homs import count_homomorphisms_brute
+from repro.service.client import ServiceClient
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with Cluster(workers=2, hedge_after=0.5) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    client = ServiceClient(port=cluster.port)
+    client.wait_ready(timeout=30.0)
+    return client
+
+
+class TestClusterServing:
+    def test_counts_match_oracle(self, client):
+        host = random_graph(9, 0.4, seed=11)
+        client.register_graph("hosts", host)
+        for pattern in (path_graph(3), cycle_graph(4), cycle_graph(5)):
+            response = client.count(pattern, "hosts")
+            assert response["count"] == count_homomorphisms_brute(pattern, host)
+
+    def test_sharded_dataset_exact(self, client):
+        host = disjoint_union_many(
+            [random_graph(6, 0.5, seed=2), cycle_graph(6), path_graph(5)],
+        )
+        dataset = client.register_graph("sharded", host, shards=3)
+        assert dataset["shards"] == 3
+        pattern = path_graph(3)
+        response = client.count(pattern, "sharded")
+        assert response["shards"] == 3
+        assert response["count"] == count_homomorphisms_brute(pattern, host)
+
+    def test_inline_target(self, client):
+        host = random_graph(7, 0.5, seed=3)
+        response = client.count(path_graph(4), host)
+        assert response["count"] == count_homomorphisms_brute(
+            path_graph(4), host,
+        )
+
+    def test_health_aggregates_workers(self, client):
+        status, payload = client.healthz()
+        assert status == 200
+        assert payload["status"] == "ok"
+        worker_probes = [
+            name for name in payload["probes"] if name.startswith("worker-")
+        ]
+        assert len(worker_probes) == 2
+        assert "router-workers" in payload["probes"]
+
+    def test_readyz_aggregates_workers(self, client):
+        status, payload = client.readyz()
+        assert status == 200
+        assert payload["ready"] is True
+
+    def test_stats_cluster_block(self, client):
+        stats = client.stats()
+        cluster_block = stats["cluster"]
+        assert cluster_block["router"]["admitted"] == 2
+        ids = [worker["id"] for worker in cluster_block["workers"]]
+        assert ids == ["w0", "w1"]
+        assert all(worker["reachable"] for worker in cluster_block["workers"])
+
+    def test_subscription_and_update_fan_out(self, client, cluster):
+        host = cycle_graph(6)
+        client.register_graph("live", host)
+        sub = client.subscribe("live", pattern=cycle_graph(3))
+        assert sub["value"] == 0
+        update = client.target_update("live", add_edges=[(0, 2)])
+        # One chord on C6 creates exactly one triangle; 6 hom images.
+        refreshed = {
+            s["id"]: s["value"] for s in update["subscriptions"]
+        }
+        assert refreshed[sub["id"]] == 6
+        assert update["version"] == 1
+        # The mutation is in the replication log with its version.
+        assert cluster.router.state.versions["live"] == 1
+
+    def test_mutation_errors_do_not_commit(self, client, cluster):
+        log_before = len(cluster.router.state.entries)
+        with pytest.raises(Exception):
+            client.target_update("no-such-dataset", add_edges=[(0, 1)])
+        assert len(cluster.router.state.entries) == log_before
+
+    def test_single_flight_coalesces_stampede(self, client, cluster):
+        """A stampede of identical cold requests leaves the router as a
+        single worker request: the router's coalesced counter moves."""
+        pattern = cycle_graph(5)
+        host = random_graph(24, 0.5, seed=77)  # slow enough to overlap
+        client.register_graph("hot", host)
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def hammer():
+            try:
+                results.append(
+                    ServiceClient(port=cluster.port).count(pattern, "hot"),
+                )
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        values = {response["count"] for response in results}
+        assert len(values) == 1
+        metrics = cluster.router.request_counts
+        assert metrics.get("/count", 0) >= 1
+
+
+class TestRouterAggregation:
+    def test_no_workers_is_failing(self):
+        import asyncio
+
+        router = ClusterRouter()
+        try:
+            status, payload, _ = asyncio.run(
+                router.handle("GET", "/healthz", {}),
+            )
+        finally:
+            router.close()
+        assert status == 503
+        assert payload["status"] == "failing"
+        assert any("no workers" in reason for reason in payload["reasons"])
+
+    def test_counting_without_workers_times_out_as_503(self):
+        import asyncio
+
+        router = ClusterRouter(request_timeout=0.4)
+        try:
+            status, payload, _ = asyncio.run(
+                router.handle("POST", "/count", {"pattern": {}}),
+            )
+        finally:
+            router.close()
+        assert status == 503
+        assert payload["code"] == "cluster-unavailable"
+
+
+class TestChaos:
+    def test_sigkill_under_load_is_invisible(self):
+        """SIGKILL one of three workers mid-load: zero failed requests,
+        every count exact, and the worker comes back respawned."""
+        host = random_graph(9, 0.45, seed=21)
+        patterns = [path_graph(n) for n in (2, 3, 4)] + [cycle_graph(4)]
+        expected = {
+            i: count_homomorphisms_brute(pattern, host)
+            for i, pattern in enumerate(patterns)
+        }
+        with Cluster(workers=3, hedge_after=0.3) as cluster:
+            client = ServiceClient(port=cluster.port)
+            client.wait_ready(timeout=30.0)
+            client.register_graph("chaos", host)
+            failures: list[tuple] = []
+            done = threading.Event()
+
+            def load(worker_index: int) -> None:
+                local = ServiceClient(port=cluster.port, timeout=60.0)
+                i = worker_index
+                while not done.is_set():
+                    i = (i + 1) % len(patterns)
+                    try:
+                        response = local.count(patterns[i], "chaos")
+                        if response["count"] != expected[i]:
+                            failures.append((i, response))
+                    except Exception as error:
+                        failures.append((i, error))
+
+            threads = [
+                threading.Thread(target=load, args=(t,)) for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                time.sleep(0.5)  # load established
+                old_pid = cluster.kill_worker("w1")
+                time.sleep(2.5)  # ride through death + respawn
+            finally:
+                done.set()
+                for thread in threads:
+                    thread.join(timeout=60.0)
+            assert failures == []
+            # The worker came back as a fresh admitted process.
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                pids = cluster.worker_pids()
+                if (
+                    pids.get("w1") not in (None, old_pid)
+                    and "w1" in cluster.router.worker_ids
+                ):
+                    break
+                time.sleep(0.2)
+            assert cluster.worker_pids()["w1"] != old_pid
+            assert sorted(cluster.router.worker_ids) == ["w0", "w1", "w2"]
+            status, payload = client.healthz()
+            assert status == 200 and payload["status"] == "ok"
+            # And the respawned worker answers with replayed state.
+            response = client.count(patterns[0], "chaos")
+            assert response["count"] == expected[0]

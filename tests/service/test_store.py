@@ -67,6 +67,69 @@ class TestPersistentStore:
         reopened = PersistentStore(tmp_path)
         assert reopened.load_count(("a",)) == 7
 
+    def test_torn_tail_never_merges_into_valid_line(self, tmp_path):
+        """The crash-mid-write corruption: a torn fragment that is a
+        *prefix of a valid record* must not concatenate with the next
+        append into one syntactically valid line carrying a wrong value."""
+        store = PersistentStore(tmp_path)
+        store.save_count(("victim",), 7)
+        victim_digest = stable_key_digest(("victim",))
+        with open(os.path.join(store.path, "counts.jsonl"), "a") as handle:
+            # A writer died after emitting a complete-looking prefix:
+            # '{"key": "<victim>", "value": 99' — if the next append glues
+            # straight onto it, json.loads would accept the merged line.
+            handle.write('{"key": "%s", "value": 99' % victim_digest)
+        writer = PersistentStore(tmp_path)
+        writer.save_count(("other",), 3)
+        # Every fresh reader agrees: the victim keeps its committed value
+        # and the torn 99 never becomes visible.
+        reopened = PersistentStore(tmp_path)
+        assert reopened.load_count(("victim",)) == 7
+        assert reopened.load_count(("other",)) == 3
+
+    def test_refresh_sees_other_process_writes(self, tmp_path):
+        """Two stores on one directory (the cluster's workers): a value
+        saved through one is served by the other without reopening."""
+        writer = PersistentStore(tmp_path)
+        reader = PersistentStore(tmp_path)
+        assert reader.load_count(("shared",)) is None
+        writer.save_count(("shared",), 11)
+        assert reader.load_count(("shared",)) == 11  # refresh-on-miss
+        assert reader.refreshes >= 1
+        # Growth check: a miss on an unchanged file must not rescan.
+        before = reader.refreshes
+        assert reader.load_count(("absent",)) is None
+        assert reader.refreshes == before
+
+    def test_concurrent_writers_interleave_cleanly(self, tmp_path):
+        """Many threads over two store instances (worst case for append
+        interleaving): every committed entry must read back exactly."""
+        import threading
+
+        stores = [PersistentStore(tmp_path), PersistentStore(tmp_path)]
+        errors: list[Exception] = []
+
+        def write(store, base):
+            try:
+                for i in range(50):
+                    store.save_count((base, i), base * 1000 + i)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=write, args=(stores[t % 2], t))
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        fresh = PersistentStore(tmp_path)
+        for t in range(4):
+            for i in range(50):
+                assert fresh.load_count((t, i)) == t * 1000 + i
+
     def test_summary_is_cachestats_compatible(self, tmp_path):
         store = PersistentStore(tmp_path)
         store.save_count(("a",), 1)
